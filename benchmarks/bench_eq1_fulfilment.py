@@ -1,0 +1,126 @@
+"""E6 — Eq. 1: norm-fulfilment verification at scale.
+
+The QRN's central check — Σ_k f_{v_j,I_k} ≤ f_{v_j}^(acceptable) for all
+j — must stay cheap as norms and incident-type sets grow, and the
+statistical version (verdicts from counts over exposure) must behave
+correctly at the boundary.
+
+Paper shape: fulfilment checking is mechanical arithmetic (contrast with
+the open-ended confirmation review of a conventional HARA); verdicts are
+conservative — a budget is never 'demonstrated' from insufficient
+exposure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (ContributionSplit, IncidentType, SpeedBand,
+                        allocate_proportional, allocate_uniform_scaling,
+                        derive_safety_goals, example_norm)
+from repro.core.taxonomy import ActorClass
+from repro.core.verification import Verdict, verify_against_counts
+from repro.stats.poisson import exposure_to_demonstrate
+
+
+def synthetic_problem(n_types: int, seed: int = 0):
+    """A norm plus ``n_types`` random incident types."""
+    norm = example_norm()
+    rng = np.random.default_rng(seed)
+    class_ids = list(norm.class_ids)
+    types = []
+    for k in range(n_types):
+        touched = rng.choice(len(class_ids),
+                             size=int(rng.integers(1, 4)), replace=False)
+        remaining = 1.0
+        fractions = {}
+        for j in touched:
+            fraction = float(rng.uniform(0.05, 0.5)) * remaining
+            fractions[class_ids[int(j)]] = fraction
+            remaining -= fraction
+        types.append(IncidentType(
+            f"T{k}", ActorClass.EGO, ActorClass.CAR,
+            margin=SpeedBand(float(k), float(k) + 1.0),
+            split=ContributionSplit(fractions)))
+    return norm, types
+
+
+@pytest.mark.parametrize("n_types", [10, 100, 500])
+def test_eq1_check_scales(benchmark, n_types):
+    norm, types = synthetic_problem(n_types)
+    allocation = allocate_uniform_scaling(norm, types)
+
+    def check():
+        return allocation.is_feasible(), allocation.class_loads()
+
+    feasible, loads = benchmark(check)
+    assert feasible
+    for class_id, load in loads.items():
+        assert load.within(norm.budget(class_id))
+
+
+def test_eq1_statistical_verdicts(benchmark, save_artifact):
+    norm, types = synthetic_problem(50, seed=3)
+    # Proportional allocation lets quality-only types keep large budgets
+    # instead of being throttled by the fatality class, so the campaign
+    # can demonstrate them within realistic exposure.
+    allocation = allocate_proportional(norm, types)
+    goals = derive_safety_goals(allocation)
+    rng = np.random.default_rng(9)
+    exposure = 1e5
+    # A compliant system: true rates at 30% of budget.
+    counts = {
+        t.type_id: int(rng.poisson(0.3 * allocation.budget(t.type_id).rate
+                                   * exposure))
+        for t in types
+    }
+
+    def verify():
+        return verify_against_counts(goals, counts, exposure)
+
+    report = benchmark(verify)
+
+    # Conservatism: nothing VIOLATED unless its point estimate exceeds
+    # the budget; nothing DEMONSTRATED whose required exposure exceeds
+    # what we ran.
+    for verdict in report.goal_verdicts:
+        if verdict.verdict is Verdict.DEMONSTRATED:
+            assert exposure_to_demonstrate(
+                verdict.budget.rate, 0.95,
+                verdict.observed_count) <= exposure * (1 + 1e-9)
+        if verdict.verdict is Verdict.VIOLATED:
+            assert verdict.point_rate > verdict.budget.rate
+
+    demonstrated = sum(1 for v in report.goal_verdicts
+                       if v.verdict is Verdict.DEMONSTRATED)
+    inconclusive = sum(1 for v in report.goal_verdicts
+                       if v.verdict is Verdict.INCONCLUSIVE)
+    save_artifact("eq1_fulfilment", "\n".join([
+        f"50-type synthetic system, {exposure:g} h campaign, true rates at "
+        "30% of budget:",
+        f"  demonstrated: {demonstrated}",
+        f"  inconclusive: {inconclusive}",
+        f"  violated: {len(report.goal_verdicts) - demonstrated - inconclusive}",
+        "",
+        "Quality-class goals (big budgets) demonstrate quickly; "
+        "injury-class goals need orders of magnitude more exposure — the "
+        "ADS validation burden, reproduced.",
+    ]))
+
+
+def test_eq1_demonstration_burden(benchmark, save_artifact):
+    """The famous consequence: demonstrating a 1e-8/h budget needs ~3e8
+    incident-free hours at 95% confidence."""
+
+    def burden():
+        return {rate: exposure_to_demonstrate(rate, 0.95)
+                for rate in (1e-4, 1e-6, 1e-8)}
+
+    burdens = benchmark(burden)
+    assert burdens[1e-8] == pytest.approx(3e8, rel=0.01)
+    assert burdens[1e-8] / burdens[1e-4] == pytest.approx(1e4, rel=1e-6)
+    lines = ["Exposure needed to demonstrate a budget (0 events, 95%):"]
+    for rate, hours in burdens.items():
+        lines.append(f"  {rate:g}/h → {hours:.3g} h")
+    save_artifact("eq1_demonstration_burden", "\n".join(lines))

@@ -1,0 +1,80 @@
+"""E3 — Fig. 3: a concrete QRN with per-class budget stacks.
+
+Regenerates the figure: 3 quality + 3 safety consequence classes, each
+class budget partly consumed by the incident types allocated to it, with
+the Eq. 1 check per class.
+
+Paper shape: every class load ≤ its budget (Eq. 1); budgets descend with
+severity; each incident type's stacked contributions appear under the
+classes its split touches (e.g. the v_S1 column of Fig. 3 stacks I2 and
+I3 contributions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (LpObjective, allocate_lp, allocate_proportional,
+                        allocate_uniform_scaling, example_norm,
+                        figure5_incident_types)
+from repro.reporting import figure3_risk_norm
+
+
+def build_allocation():
+    return allocate_lp(example_norm(), list(figure5_incident_types()),
+                       objective=LpObjective.MAX_MIN)
+
+
+def test_fig3_budget_stacks(benchmark, save_artifact):
+    allocation = benchmark(build_allocation)
+    norm = allocation.norm
+
+    # Shape 1: Eq. 1 holds for every class.
+    assert allocation.is_feasible()
+
+    # Shape 2: budgets descend with severity along the axis.
+    budgets = [norm.budget(cid).rate for cid in norm.class_ids]
+    assert budgets == sorted(budgets, reverse=True)
+
+    # Shape 3: the stacking structure matches Fig. 3/5 — vS1 receives
+    # contributions from both collision types, vQ1 only from the
+    # near-miss type.
+    assert allocation.contribution("vS1", "I2").rate > 0
+    assert allocation.contribution("vS1", "I3").rate > 0
+    assert allocation.contribution("vQ1", "I1").rate > 0
+    assert allocation.contribution("vQ1", "I2").rate == 0
+
+    # Shape 4: at least one class is saturated — a norm with slack
+    # everywhere would mean the allocation is leaving permitted operation
+    # on the table.
+    utilisations = [allocation.utilisation(cid) for cid in norm.class_ids]
+    assert max(utilisations) == pytest.approx(1.0, rel=1e-6)
+
+    save_artifact("fig3_risk_norm", figure3_risk_norm(allocation))
+
+
+def test_fig3_strategy_comparison(benchmark, save_artifact):
+    """All three allocation strategies respect the same norm; their
+    total tolerated incident rates are ordered LP ≥ proportional ≥
+    uniform."""
+    norm = example_norm()
+    types = list(figure5_incident_types())
+
+    def run_all():
+        return {
+            "uniform": allocate_uniform_scaling(norm, types),
+            "proportional": allocate_proportional(norm, types),
+            "lp-max-total": allocate_lp(norm, types),
+        }
+
+    allocations = benchmark(run_all)
+    totals = {name: alloc.total_budget().rate
+              for name, alloc in allocations.items()}
+    assert all(alloc.is_feasible() for alloc in allocations.values())
+    assert totals["lp-max-total"] >= totals["proportional"] * (1 - 1e-9)
+    assert totals["proportional"] >= totals["uniform"] * (1 - 1e-9)
+
+    lines = ["Strategy comparison (total tolerated incident rate /h):"]
+    for name, total in totals.items():
+        lines.append(f"  {name}: {total:.3g}")
+    save_artifact("fig3_strategy_comparison", "\n".join(lines))

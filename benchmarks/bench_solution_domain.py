@@ -1,0 +1,134 @@
+"""E15 (ablation) — Sec. IV: freedom in the solution domain.
+
+"Considerable freedom to define a safety strategy using trade-offs
+between performance of sensors/actuators, driving style and verification
+effort (e.g. adjusting critical ODD parameters to ease difficult
+verification tasks)."
+
+Two levers are exercised against the simulator:
+
+* the trade study — driving style × sensor grade combinations evaluated
+  for goal fulfilment and cost; the cheapest fulfilling strategy and the
+  cost/margin Pareto front;
+* ODD restriction — dropping the hottest context cuts the achieved
+  incident rate at a quantified coverage price.
+
+Paper shape: multiple distinct strategies fulfil the same goals (the
+freedom is real); spending more buys margin along the Pareto front; ODD
+restriction trades coverage for rate multiplicatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assurance import TradeAxis, TradeOption, TradeStudy
+from repro.core import (Frequency, allocate_lp, derive_safety_goals,
+                        example_norm, figure5_incident_types)
+from repro.odd import evaluate_restriction
+from repro.reporting import render_table
+from repro.traffic import (BrakingSystem, EncounterGenerator,
+                           aggressive_policy, cautious_policy,
+                           default_context_profiles, default_perception,
+                           degraded_perception, nominal_policy, simulate,
+                           simulate_mix, type_counts)
+
+MIX = {"urban": 0.5, "suburban": 0.2, "rural": 0.2, "highway": 0.1}
+HOURS = 800.0
+
+
+@pytest.fixture(scope="module")
+def goal_set():
+    # Budgets roomy enough that *some* but not all strategies fulfil
+    # them at simulation-observable rates.
+    norm = example_norm().tightened(1e4, name="sim-scale QRN")
+    types = list(figure5_incident_types())
+    return derive_safety_goals(allocate_lp(norm, types,
+                                           objective="max-min"))
+
+
+def simulated_evaluator(goals):
+    world = EncounterGenerator(default_context_profiles())
+    types = [goal.incident_type for goal in goals]
+
+    def evaluate(selection):
+        policy = selection["driving_style"].payload
+        perception = selection["sensors"].payload
+        run = simulate_mix(policy, world, perception, BrakingSystem(), MIX,
+                           HOURS, np.random.default_rng(99))
+        counts, _ = type_counts(run, types)
+        return {goal.goal_id: Frequency.per_hour(
+                    counts.get(goal.type_id, 0) / run.hours)
+                for goal in goals}
+
+    return evaluate
+
+
+def test_trade_study_over_simulator(benchmark, goal_set, save_artifact):
+    axes = [
+        TradeAxis("driving_style", (
+            TradeOption("cautious", cost=3.0, payload=cautious_policy()),
+            TradeOption("nominal", cost=1.0, payload=nominal_policy()),
+            TradeOption("aggressive", cost=0.0, payload=aggressive_policy()),
+        )),
+        TradeAxis("sensors", (
+            TradeOption("premium", cost=4.0, payload=default_perception()),
+            TradeOption("budget", cost=1.0,
+                        payload=degraded_perception(miss_probability=0.03)),
+        )),
+    ]
+    study = TradeStudy(goal_set, axes, simulated_evaluator(goal_set))
+
+    results = benchmark.pedantic(study.evaluate_all, rounds=1, iterations=1)
+
+    fulfilling = [r for r in results if r.fulfils_all]
+    failing = [r for r in results if not r.fulfils_all]
+    # Shape 1: the freedom is real — more than one strategy fulfils, and
+    # at least one does not (the goals bite).
+    assert len(fulfilling) >= 2
+    assert failing
+    # Shape 2: aggressive driving is among the failures.
+    assert any("aggressive" in r.label() for r in failing)
+
+    front = study.pareto_front()
+    costs = [r.cost for r in front]
+    margins = [r.worst_margin_decades for r in front]
+    assert costs == sorted(costs)
+    assert margins == sorted(margins)
+
+    save_artifact("solution_domain_trade_study", study.report())
+
+
+def test_odd_restriction_lever(benchmark, save_artifact):
+    world = EncounterGenerator(default_context_profiles())
+
+    def measure():
+        rates = {}
+        for context in MIX:
+            run = simulate(nominal_policy(), world, default_perception(),
+                           BrakingSystem(), context, HOURS,
+                           np.random.default_rng(5))
+            rates[context] = Frequency.per_hour(
+                len(run.records) / run.hours)
+        return rates
+
+    context_rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    hottest = max(context_rates, key=lambda c: context_rates[c].rate)
+    kept = [c for c in MIX if c != hottest]
+    effect = evaluate_restriction(context_rates, MIX, kept)
+
+    # Shape: dropping the hottest context reduces the rate by more than
+    # the coverage it costs (that is what makes it a lever).
+    assert effect.rate_reduction_factor > 1.0 / effect.coverage
+
+    rows = [[context, f"{rate.rate:.3g}", f"{MIX[context]:.0%}"]
+            for context, rate in context_rates.items()]
+    save_artifact("solution_domain_odd_restriction", "\n".join([
+        render_table(["context", "incident rate (/h)", "mix share"], rows,
+                     title="Per-context incident rates (nominal policy)"),
+        "",
+        f"Restricting the ODD to exclude {hottest!r}: coverage "
+        f"{effect.coverage:.0%}, rate {effect.rate_before} → "
+        f"{effect.rate_after} ({effect.rate_reduction_factor:.1f}x lower).",
+    ]))

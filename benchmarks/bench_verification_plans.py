@@ -1,0 +1,140 @@
+"""E14 (ablation) — verification planning under the quantitative framework.
+
+Once every safety goal is a rate claim (Sec. V), verification campaigns
+become statistics.  This bench compares the two plan shapes the library
+offers:
+
+* the fixed plan — drive ≈ 3/budget clean hours, re-plan after any event;
+* the sequential plan (SPRT) — bounded error rates both ways, early
+  rejection of bad systems.
+
+Paper shape (implied by the quantitative framework): demonstration effort
+scales inversely with the budget; the sequential plan rejects a bad
+system in bounded time, which the fixed plan can never do; demonstration
+power at fixed exposure rises with the margin between the true rate and
+the budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats.poisson import demonstration_power, exposure_to_demonstrate
+from repro.stats.sequential import SprtPlan, expected_acceptance_exposure
+from repro.reporting import render_table
+
+BUDGET = 1e-4
+
+
+def test_fixed_vs_sequential(benchmark, save_artifact):
+    plan = SprtPlan(budget_rate=BUDGET, margin=2.0)
+
+    def characterise():
+        rows = []
+        for label, true_rate in (("10x better", BUDGET / 10),
+                                 ("at margin", BUDGET / 2),
+                                 ("at budget", BUDGET),
+                                 ("2x worse", 2 * BUDGET)):
+            exposure, acceptance, events = expected_acceptance_exposure(
+                plan, true_rate, seed=hash(label) % 2 ** 16,
+                replications=80)
+            rows.append((label, true_rate, exposure, acceptance, events))
+        return rows
+
+    rows = benchmark.pedantic(characterise, rounds=1, iterations=1)
+    by_label = {label: (exposure, acceptance)
+                for label, _, exposure, acceptance, _ in rows}
+
+    # Shape 1: good systems accepted, bad rejected, errors bounded.
+    assert by_label["10x better"][1] > 0.95
+    assert by_label["2x worse"][1] < 0.05
+    assert by_label["at budget"][1] <= 0.12   # ~alpha + overshoot
+
+    # Shape 2: the bad system is *rejected* well before a clean fixed
+    # campaign would finish — the fixed plan has no rejection at all.
+    fixed_clean = exposure_to_demonstrate(BUDGET, 0.95)
+    assert by_label["2x worse"][0] < 2.5 * fixed_clean
+
+    table_rows = [[label, f"{rate:g}", f"{exposure:,.0f}",
+                   f"{acceptance:.0%}", f"{events:.1f}"]
+                  for label, rate, exposure, acceptance, events in rows]
+    save_artifact("verification_sequential", render_table(
+        ["true system", "true rate (/h)", "mean decision exposure (h)",
+         "P(accept)", "mean events"],
+        table_rows,
+        title=f"SPRT on a {BUDGET:g}/h budget (margin 2, α=β=0.05); fixed "
+              f"clean plan needs {fixed_clean:,.0f} h and can never "
+              "reject"))
+
+
+def test_demonstration_power_curve(benchmark, save_artifact):
+    """Power of a fixed campaign vs how much better the system truly is."""
+    exposure = exposure_to_demonstrate(BUDGET, 0.95)  # the clean-run plan
+
+    def curve():
+        return {factor: demonstration_power(BUDGET / factor, BUDGET,
+                                            exposure)
+                for factor in (1.0, 1.5, 2.0, 5.0, 10.0, 100.0)}
+
+    powers = benchmark(curve)
+    ordered = [powers[f] for f in sorted(powers)]
+    assert ordered == sorted(ordered)          # power rises with margin
+    assert powers[100.0] > 0.9                 # comfortably better → works
+    assert powers[1.0] < 0.2                   # at the budget → hopeless
+
+    rows = [[f"{factor:g}x", f"{powers[factor]:.2f}"]
+            for factor in sorted(powers)]
+    save_artifact("verification_power", render_table(
+        ["true rate below budget by", "P(demonstrate) at the clean-plan "
+         "exposure"],
+        rows,
+        title="Fixed-plan power: systems barely below their budget "
+              "cannot demonstrate it in bounded exposure"))
+
+
+def test_burden_scales_inversely_with_budget(benchmark):
+    def burdens():
+        return [exposure_to_demonstrate(rate, 0.95)
+                for rate in (1e-3, 1e-5, 1e-7)]
+
+    values = benchmark(burdens)
+    assert values[1] / values[0] == pytest.approx(100.0, rel=1e-9)
+    assert values[2] / values[1] == pytest.approx(100.0, rel=1e-9)
+
+
+def test_simulation_supported_burden(benchmark, save_artifact):
+    """Sec. IV's simulation-supported argument, made quantitative: a
+    discounted simulation prior subtracts credited hours from the field
+    burden at the declared exchange rate."""
+    from repro.stats.bayes import (JEFFREYS, field_exposure_to_demonstrate,
+                                   prior_from_simulation)
+
+    budget = 1e-6
+    sim_hours = 1e7
+
+    def plan():
+        rows = {}
+        rows["no simulation"] = field_exposure_to_demonstrate(
+            JEFFREYS, budget)
+        for discount in (0.01, 0.1, 0.3):
+            prior = prior_from_simulation(0, sim_hours, discount)
+            rows[f"sim @ {discount:g}"] = field_exposure_to_demonstrate(
+                prior, budget)
+        return rows
+
+    burdens = benchmark(plan)
+
+    # Shape: field burden falls by exactly the credited exposure, and
+    # monotonically with the validity discount.
+    base = burdens["no simulation"]
+    assert base - burdens["sim @ 0.1"] == pytest.approx(1e6, rel=0.01)
+    ordered = [burdens[f"sim @ {d:g}"] for d in (0.01, 0.1, 0.3)]
+    assert ordered == sorted(ordered, reverse=True)
+
+    rows = [[label, f"{hours:,.0f}"] for label, hours in burdens.items()]
+    save_artifact("verification_bayes", render_table(
+        ["evidence basis", "clean field hours needed (95% credible)"],
+        rows,
+        title=f"Simulation-supported demonstration of a {budget:g}/h "
+              f"budget ({sim_hours:g} clean simulated hours; the discount "
+              "is the model-validity claim the safety case must defend)"))

@@ -1,0 +1,42 @@
+"""Benchmark harness conventions.
+
+Every benchmark regenerates one of the paper's figures or worked examples
+(the per-experiment index lives in DESIGN.md §4).  Each bench:
+
+* computes the experiment's data under ``benchmark`` so timings land in
+  the pytest-benchmark report;
+* asserts the *shape* the paper claims (who wins, which direction a curve
+  moves) — absolute numbers are synthetic by construction;
+* writes the rendered figure/table to ``benchmarks/output/<name>.txt`` so
+  the reproduced artefacts survive the run (EXPERIMENTS.md embeds them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_artifact(output_dir):
+    """Write one experiment's rendered output to disk."""
+
+    def _save(name: str, text: str) -> None:
+        (output_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20200629)  # the paper's presentation date

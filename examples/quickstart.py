@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: the QRN pipeline in one page.
+
+Reproduces the paper's running example end to end:
+
+1. define a quantitative risk norm (Fig. 3);
+2. classify incidents MECE (Fig. 4) and refine Ego<->VRU into the
+   I1/I2/I3 incident types (Fig. 5);
+3. allocate frequency budgets so Eq. 1 holds;
+4. emit one safety goal per incident type (the SG-I2 format);
+5. verify against (synthetic) field counts.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (allocate_lp, derive_safety_goals, example_norm,
+                        figure4_taxonomy, figure5_incident_types)
+from repro.core.verification import verify_against_counts
+from repro.reporting import figure3_risk_norm, figure5_assignment
+
+
+def main() -> None:
+    # 1. The risk norm: 3 quality + 3 safety consequence classes, each
+    #    with a strict frequency budget (all numbers synthetic, as the
+    #    paper's footnote 3 insists).
+    norm = example_norm()
+    print(f"Risk norm: {norm.name}")
+    for cls in norm.classes():
+        print(f"  {cls}")
+    print()
+
+    # 2. MECE incident classification (Fig. 4) + the Fig. 5 Ego<->VRU
+    #    incident types with their tolerance margins and contribution
+    #    splits.
+    taxonomy = figure4_taxonomy()
+    certificate = taxonomy.mece_certificate()
+    print(certificate.summary())
+    types = list(figure5_incident_types())
+    print()
+
+    # 3. Allocate budgets: LP maximising the headroom given to every
+    #    incident type while Eq. 1 holds for every consequence class.
+    allocation = allocate_lp(norm, types, objective="max-min")
+    print(figure3_risk_norm(allocation))
+
+    # 4. One safety goal per incident type, with the allocated budget as
+    #    its quantitative integrity attribute.
+    goals = derive_safety_goals(allocation, taxonomy=taxonomy,
+                                certificate=certificate)
+    print(figure5_assignment(goals))
+    print()
+    print(goals.completeness_argument())
+    print()
+
+    # 5. Verify against observed counts (synthetic campaign: 200k hours,
+    #    a handful of near-misses, one low-speed collision).
+    report = verify_against_counts(goals, {"I1": 4, "I2": 1},
+                                   exposure=2e5)
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

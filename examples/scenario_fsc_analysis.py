@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Scenario analysis in the solution domain (Sec. IV).
+
+The QRN removes scenario enumeration from goal derivation; the paper
+then puts it where it belongs — the functional safety concept, "with the
+purpose of fulfilling the risk norm rather than defining the risks".
+This example shows that workflow:
+
+1. fix the safety goals (policy-independent, from the norm);
+2. run the concrete scenario library against candidate tactical
+   policies;
+3. break each goal's expected budget consumption down by scenario —
+   the diagnostic that says where strategy work pays;
+4. apply the indicated strategy change and show the budget headroom it
+   buys, with the goals untouched throughout.
+
+Run:  python examples/scenario_fsc_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import (Frequency, allocate_lp, derive_safety_goals,
+                        example_norm, figure5_incident_types)
+from repro.reporting import render_table
+from repro.traffic import (AnimalRunOut, BrakingSystem, CrossingPedestrian,
+                           CutIn, LeadVehicleBraking, ObstacleBehindCurve,
+                           ScenarioSuite, incident_rate_contributions,
+                           nominal_policy)
+
+ENCOUNTER_RATES = {
+    CrossingPedestrian(): Frequency.per_hour(2.0),
+    AnimalRunOut(): Frequency.per_hour(0.2),
+    CutIn(): Frequency.per_hour(0.8),
+    LeadVehicleBraking(): Frequency.per_hour(0.5),
+    ObstacleBehindCurve(): Frequency.per_hour(0.1),
+}
+
+
+def analyse(policy, goals, seed=101):
+    suite = ScenarioSuite(ENCOUNTER_RATES)
+    evaluation = suite.evaluate(policy, BrakingSystem(),
+                                np.random.default_rng(seed),
+                                replications=2000)
+    types = [goal.incident_type for goal in goals]
+    return suite, evaluation, incident_rate_contributions(
+        suite, evaluation, types)
+
+
+def main() -> None:
+    # 1. Goals first — and they stay fixed for the whole study.
+    norm = example_norm().tightened(1e4, name="sim-scale QRN")
+    types = list(figure5_incident_types())
+    goals = derive_safety_goals(allocate_lp(norm, types,
+                                            objective="max-min"))
+    print("Safety goals (fixed for the whole FSC study):")
+    for goal in goals:
+        print(f"  {goal.goal_id}: ≤ {goal.max_frequency}")
+    print()
+
+    # 2-3. Baseline policy: where does the budget go?
+    baseline = nominal_policy()
+    _, _, contributions = analyse(baseline, goals)
+    rows = []
+    for goal in goals:
+        per_scenario = contributions[goal.type_id]
+        expected = sum(per_scenario.values())
+        budget = goal.max_frequency.rate
+        dominant = (max(per_scenario, key=per_scenario.get)
+                    if per_scenario else "—")
+        rows.append([goal.goal_id, f"{expected:.3g}", f"{budget:.3g}",
+                     f"{expected / budget:.1%}" if budget else "n/a",
+                     dominant])
+    print(render_table(
+        ["goal", "expected rate (/h)", "budget (/h)", "consumption",
+         "dominant scenario"],
+        rows, title=f"Budget consumption under policy {baseline.name!r}"))
+    print()
+
+    # 4. The diagnostic points at occluded pedestrian crossings: the
+    #    indicated strategy is more caution near occlusions — modelled as
+    #    a stronger sight-margin + cue investment.
+    improved = baseline.with_proactivity(0.5, 0.9, sight_margin=0.5,
+                                         name="occlusion-aware")
+    _, _, improved_contributions = analyse(improved, goals)
+    rows = []
+    for goal in goals:
+        before = sum(contributions[goal.type_id].values())
+        after = sum(improved_contributions[goal.type_id].values())
+        budget = goal.max_frequency.rate
+        rows.append([goal.goal_id, f"{before:.3g}", f"{after:.3g}",
+                     f"{before / budget:.1%}", f"{after / budget:.1%}"])
+    print(render_table(
+        ["goal", "rate before", "rate after", "consumption before",
+         "consumption after"],
+        rows,
+        title="Effect of the occlusion-aware strategy (goals unchanged)"))
+    print()
+    print("The safety goals never moved; the strategy change shows up "
+          "purely as budget headroom — Sec. IV's separation of problem "
+          "and solution domains.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,185 @@
+"""Architectural elements and requirement allocation.
+
+The solution-domain bookkeeping of Sec. IV–V: a functional safety concept
+allocates refined requirements (with quantitative integrity attributes) to
+logical elements; each element's claims can then be composed back through
+a fault tree and checked against the originating safety goal's budget.
+
+The model is intentionally minimal: elements, subsystems (groups of
+elements), and an :class:`AllocationLedger` asserting that every safety
+goal's budget is covered by some composition over allocated element
+requirements.  The ledger is what a confirmation review walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.quantities import Frequency
+from ..core.safety_goals import SafetyGoal, SafetyGoalSet
+from .fault_tree import FaultTree
+
+__all__ = ["Element", "Subsystem", "AllocatedRequirement",
+           "AllocationLedger", "LedgerEntry"]
+
+
+@dataclass(frozen=True)
+class Element:
+    """One logical element of the architecture (sensor, planner, actuator)."""
+
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("element must be named")
+
+
+@dataclass(frozen=True)
+class Subsystem:
+    """A named group of elements (e.g. 'perception', 'motion control')."""
+
+    name: str
+    elements: Tuple[Element, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("subsystem must be named")
+        if not self.elements:
+            raise ValueError(f"subsystem {self.name!r} has no elements")
+        names = [e.name for e in self.elements]
+        if len(set(names)) != len(names):
+            raise ValueError(f"subsystem {self.name!r} has duplicate elements")
+
+    def element_names(self) -> Tuple[str, ...]:
+        return tuple(e.name for e in self.elements)
+
+
+@dataclass(frozen=True)
+class AllocatedRequirement:
+    """A refined safety requirement allocated to one element.
+
+    The quantitative analogue of a functional safety requirement: the
+    element must not violate ``statement`` more often than ``max_rate``.
+    """
+
+    requirement_id: str
+    element: str
+    statement: str
+    max_rate: Frequency
+    derived_from: str
+    """The safety-goal id this requirement refines."""
+
+    def __post_init__(self) -> None:
+        if not self.requirement_id:
+            raise ValueError("requirement must have an id")
+        if not self.statement:
+            raise ValueError(
+                f"requirement {self.requirement_id}: empty statement")
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One safety goal's refinement record: requirements + composition."""
+
+    goal: SafetyGoal
+    requirements: Tuple[AllocatedRequirement, ...]
+    composition: Optional[FaultTree]
+    """How the element requirements compose to the goal's violation; when
+    present, its top-event rate must fit the goal's budget."""
+
+    def composed_rate(self) -> Optional[Frequency]:
+        if self.composition is None:
+            return None
+        return self.composition.top_event_rate()
+
+    def is_covered(self) -> bool:
+        """Whether this goal's budget is demonstrably met by the composition."""
+        if self.composition is None:
+            return False
+        return self.composition.meets(self.goal.max_frequency)
+
+
+class AllocationLedger:
+    """Refinement records for a whole safety-goal set."""
+
+    def __init__(self, goals: SafetyGoalSet,
+                 elements: Sequence[Element]):
+        names = [e.name for e in elements]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate element names")
+        self.goals = goals
+        self._elements: Dict[str, Element] = {e.name: e for e in elements}
+        self._entries: Dict[str, LedgerEntry] = {}
+
+    @property
+    def element_names(self) -> Tuple[str, ...]:
+        return tuple(self._elements)
+
+    def allocate(self, goal_id: str,
+                 requirements: Sequence[AllocatedRequirement],
+                 composition: Optional[FaultTree] = None) -> LedgerEntry:
+        """Record one goal's refinement.
+
+        Validates that every requirement names a known element, derives
+        from this goal, and has a unique id; re-allocating a goal replaces
+        its entry (refinement iterations are normal).
+        """
+        goal = self.goals[goal_id]
+        ids = [r.requirement_id for r in requirements]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate requirement ids for goal {goal_id}")
+        for requirement in requirements:
+            if requirement.element not in self._elements:
+                raise KeyError(
+                    f"requirement {requirement.requirement_id} allocated to "
+                    f"unknown element {requirement.element!r}")
+            if requirement.derived_from != goal_id:
+                raise ValueError(
+                    f"requirement {requirement.requirement_id} derives from "
+                    f"{requirement.derived_from!r}, not {goal_id!r}")
+        entry = LedgerEntry(goal, tuple(requirements), composition)
+        self._entries[goal_id] = entry
+        return entry
+
+    def entry(self, goal_id: str) -> LedgerEntry:
+        try:
+            return self._entries[goal_id]
+        except KeyError:
+            raise KeyError(
+                f"goal {goal_id!r} has no allocation entry") from None
+
+    def unallocated_goals(self) -> Tuple[str, ...]:
+        """Goals with no refinement record — open safety-case holes."""
+        return tuple(g.goal_id for g in self.goals
+                     if g.goal_id not in self._entries)
+
+    def uncovered_goals(self) -> Tuple[str, ...]:
+        """Allocated goals whose composition misses the budget (or is absent)."""
+        return tuple(goal_id for goal_id, entry in self._entries.items()
+                     if not entry.is_covered())
+
+    def is_complete(self) -> bool:
+        """Every goal allocated and every composition within budget."""
+        return not self.unallocated_goals() and not self.uncovered_goals()
+
+    def requirements_for_element(self, element: str) -> List[AllocatedRequirement]:
+        """All requirements an element must satisfy across goals."""
+        if element not in self._elements:
+            raise KeyError(f"unknown element {element!r}")
+        return [r for entry in self._entries.values()
+                for r in entry.requirements if r.element == element]
+
+    def summary(self) -> str:
+        lines = [f"Allocation ledger: {len(self._entries)}/"
+                 f"{len(self.goals)} goals allocated"]
+        for goal_id, entry in sorted(self._entries.items()):
+            rate = entry.composed_rate()
+            status = ("no composition" if rate is None else
+                      f"composed {rate} vs budget {entry.goal.max_frequency} "
+                      f"→ {'OK' if entry.is_covered() else 'EXCEEDED'}")
+            lines.append(f"  {goal_id}: {len(entry.requirements)} reqs, {status}")
+        for goal_id in self.unallocated_goals():
+            lines.append(f"  {goal_id}: UNALLOCATED")
+        return "\n".join(lines)

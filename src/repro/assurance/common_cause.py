@@ -1,0 +1,142 @@
+"""Common-cause failures: stress-testing Sec. V's independence assumption.
+
+The drivable-area argument hands redundant channels QM-range budgets
+*because* their violations are assumed independent ("sufficiently
+independent" in ISO 26262-9's words).  Real redundant perception channels
+share causes — weather, sun glare, a common map error — and the standard
+β-factor model captures this: a fraction ``β`` of each channel's
+violation rate is common-cause (hits all channels at once), the rest is
+independent.
+
+The composed violation rate of an n-redundant group becomes::
+
+    f ≈ n · τ^(n-1) · Π((1-β)·λ_i)  +  β · min_i λ_i
+
+(the independent coincidence of the diversified parts, plus the common
+part — bounded by the smallest channel's rate, since a cause common to
+all channels cannot strike more often than any one of them violates).
+
+:func:`max_tolerable_beta` inverts the model: given a vehicle budget and
+channel rates, how much common cause can the architecture tolerate?  The
+answer is the quantitative content of the "sufficiently independent"
+obligation — and it is *small* whenever the channels run at QM-range
+rates, which is the honest footnote to the paper's headline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.quantities import Frequency
+from ..core.refinement import RefinementError, combine_and
+
+__all__ = ["combine_and_with_common_cause", "max_tolerable_beta",
+           "CommonCauseAnalysis", "analyse_common_cause"]
+
+
+def combine_and_with_common_cause(rates: Sequence[Frequency],
+                                  exposure_window: float,
+                                  beta: float) -> Frequency:
+    """Redundancy composition under the β-factor model.
+
+    ``beta = 0`` reduces exactly to
+    :func:`repro.core.refinement.combine_and`; ``beta = 1`` degenerates
+    to the weakest channel alone (redundancy buys nothing).
+    """
+    if not (0.0 <= beta <= 1.0):
+        raise RefinementError(f"beta must be in [0, 1], got {beta}")
+    if len(rates) < 2:
+        raise RefinementError("redundancy needs at least two channels")
+    unit = rates[0].unit
+    independent_parts = [rate * (1.0 - beta) for rate in rates]
+    if beta >= 1.0:
+        independent = Frequency.zero(unit)
+    else:
+        independent = combine_and(independent_parts, exposure_window)
+    common = min(rates, key=lambda rate: rate.rate) * beta
+    return independent + common
+
+
+def max_tolerable_beta(vehicle_budget: Frequency,
+                       channel_rates: Sequence[Frequency],
+                       exposure_window: float,
+                       *, tolerance: float = 1e-9) -> float:
+    """The largest β at which the composed rate still meets the budget.
+
+    Returns 0.0 when even full independence misses the budget, and 1.0
+    when even total common cause fits (channels individually below the
+    budget).  Solved by bisection — the composed rate is monotone
+    non-decreasing in β for channel rates above the budget.
+    """
+    def composed(beta: float) -> float:
+        return combine_and_with_common_cause(channel_rates, exposure_window,
+                                             beta).rate
+
+    if composed(0.0) > vehicle_budget.rate * (1 + 1e-9):
+        return 0.0
+    if composed(1.0) <= vehicle_budget.rate * (1 + 1e-9):
+        return 1.0
+    low, high = 0.0, 1.0
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if composed(mid) <= vehicle_budget.rate:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+@dataclass(frozen=True)
+class CommonCauseAnalysis:
+    """The independence obligation for one redundant architecture."""
+
+    vehicle_budget: Frequency
+    channel_rate: Frequency
+    redundancy: int
+    exposure_window: float
+    max_beta: float
+    composed_at_max_beta: Frequency
+
+    def independence_decades(self) -> float:
+        """How many decades below the channel rate the common part must
+        stay (``-log10(max_beta)``); ``inf`` when any β is tolerable."""
+        if self.max_beta >= 1.0:
+            return 0.0
+        if self.max_beta <= 0.0:
+            return math.inf
+        return -math.log10(self.max_beta)
+
+
+def analyse_common_cause(vehicle_budget: Frequency, redundancy: int,
+                         exposure_window: float,
+                         channel_rate: Optional[Frequency] = None,
+                         *, derating: float = 2.0) -> CommonCauseAnalysis:
+    """Quantify the independence obligation of a Sec. V architecture.
+
+    With no explicit ``channel_rate`` the channels are given the maximum
+    rate a β=0 analysis would allow
+    (:func:`repro.core.refinement.required_leaf_rate_and`), derated by
+    ``derating`` — running channels *at* the β=0 maximum leaves zero
+    tolerance for common cause (``max_beta = 0``), so a real architecture
+    must derate, and the analysis answers how much β the derating buys.
+    """
+    from ..core.refinement import required_leaf_rate_and
+
+    if derating < 1.0:
+        raise RefinementError("derating must be >= 1")
+    if channel_rate is None:
+        channel_rate = required_leaf_rate_and(
+            vehicle_budget, redundancy, exposure_window) * (1.0 / derating)
+    rates = [channel_rate] * redundancy
+    beta = max_tolerable_beta(vehicle_budget, rates, exposure_window)
+    return CommonCauseAnalysis(
+        vehicle_budget=vehicle_budget,
+        channel_rate=channel_rate,
+        redundancy=redundancy,
+        exposure_window=exposure_window,
+        max_beta=beta,
+        composed_at_max_beta=combine_and_with_common_cause(
+            rates, exposure_window, beta),
+    )

@@ -1,0 +1,152 @@
+"""Quantitative vs. ASIL-based assurance on the same architecture.
+
+Executable form of the paper's Sec. V contrasts:
+
+* :func:`compare_redundancy` — the drivable-area argument: given a
+  vehicle-level budget and an n-channel redundant architecture, what does
+  each channel need under (a) quantitative composition and (b) ASIL
+  decomposition?  The quantitative path hands each channel a rate "that in
+  traditionally ISO 26262 only would be in the QM range"; the ASIL path is
+  limited to the standard's decomposition schemes, which bottom out far
+  above.
+* :func:`compare_inheritance` — the many-elements argument: ASIL
+  inheritance keeps claiming the goal's level no matter how many elements
+  contribute, while the quantitative framework simply divides the budget;
+  the comparison reports the element count at which inheritance becomes
+  unsound and what the per-element quantitative budget is at that size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.quantities import Frequency
+from ..core.refinement import required_leaf_rate_and
+from ..hara.asil import Asil, asil_rate_band, frequency_to_asil_band
+from ..hara.decomposition import (DECOMPOSITION_SCHEMES, analyse_inheritance)
+
+__all__ = ["RedundancyComparison", "compare_redundancy",
+           "InheritanceComparison", "compare_inheritance"]
+
+
+@dataclass(frozen=True)
+class RedundancyComparison:
+    """Both assurance framings of one redundant architecture."""
+
+    vehicle_budget: Frequency
+    redundancy: int
+    exposure_window_h: float
+
+    quantitative_per_channel: Frequency
+    """Max per-channel violation rate under coincidence composition."""
+
+    quantitative_channel_band: Asil
+    """Which ASIL band that per-channel rate would conventionally sit in."""
+
+    vehicle_level_required: Asil
+    """The level the vehicle budget corresponds to."""
+
+    asil_decomposition_floor: Optional[Asil]
+    """The lowest per-channel level any permitted decomposition chain of
+    the vehicle level reaches (None when the level admits none)."""
+
+    def quantitative_advantage_decades(self) -> float:
+        """Decades of per-channel relief the quantitative path provides.
+
+        Relative to the rate band of the ASIL-decomposition floor; ``inf``
+        when decomposition is not applicable at all.
+        """
+        if self.asil_decomposition_floor is None:
+            return math.inf
+        floor_band = asil_rate_band(self.asil_decomposition_floor)
+        if math.isinf(floor_band):
+            return 0.0
+        return math.log10(self.quantitative_per_channel.rate / floor_band)
+
+
+def _decomposition_floor(level: Asil) -> Optional[Asil]:
+    """Lowest level reachable for *every* element via permitted schemes.
+
+    A scheme splits a requirement in two; applied recursively, the floor
+    is the lowest level such that some decomposition tree has all leaves
+    at or below it... except the schemes always keep one leg high
+    (D→D+QM) or split symmetrically (D→B+B).  The meaningful figure for
+    an n-way redundancy is the lowest level of the *highest* leg over all
+    schemes — every channel must carry its leg's level.
+    """
+    schemes = DECOMPOSITION_SCHEMES[level]
+    if not schemes:
+        return None
+    best: Optional[Asil] = None
+    for pair in schemes:
+        worst_leg = max(pair)
+        if worst_leg >= level:
+            # Non-reducing scheme (e.g. D→D+QM): one leg keeps the level.
+            candidate = worst_leg
+        else:
+            deeper = _decomposition_floor(worst_leg)
+            candidate = deeper if deeper is not None else worst_leg
+        if best is None or candidate < best:
+            best = candidate
+    return best
+
+
+def compare_redundancy(vehicle_budget: Frequency, redundancy: int,
+                       exposure_window_h: float) -> RedundancyComparison:
+    """Run both framings for an n-channel redundant requirement."""
+    per_channel = required_leaf_rate_and(vehicle_budget, redundancy,
+                                         exposure_window_h)
+    vehicle_level = frequency_to_asil_band(vehicle_budget.rate)
+    return RedundancyComparison(
+        vehicle_budget=vehicle_budget,
+        redundancy=redundancy,
+        exposure_window_h=exposure_window_h,
+        quantitative_per_channel=per_channel,
+        quantitative_channel_band=frequency_to_asil_band(per_channel.rate),
+        vehicle_level_required=vehicle_level,
+        asil_decomposition_floor=_decomposition_floor(vehicle_level),
+    )
+
+
+@dataclass(frozen=True)
+class InheritanceComparison:
+    """Inheritance vs. budget-division at one design size."""
+
+    claimed_level: Asil
+    n_elements: int
+    inheritance_effective_rate: float
+    inheritance_achieved_level: Asil
+    inheritance_sound: bool
+    quantitative_per_element: Frequency
+    """Budget each element gets when the goal budget is simply divided —
+    always sound by construction, just increasingly strict."""
+
+
+def compare_inheritance(claimed_level: Asil, n_elements: int,
+                        goal_budget: Optional[Frequency] = None,
+                        ) -> InheritanceComparison:
+    """Contrast ASIL inheritance with quantitative budget division.
+
+    ``goal_budget`` defaults to the claimed level's band edge.  The
+    quantitative column divides it equally over the contributing elements
+    (series composition ⇒ rates add ⇒ division is exact, not a heuristic).
+    """
+    if n_elements < 1:
+        raise ValueError("need at least one element")
+    analysis = analyse_inheritance(claimed_level, n_elements)
+    if goal_budget is None:
+        band = asil_rate_band(claimed_level)
+        if math.isinf(band):
+            raise ValueError(
+                f"{claimed_level} has no numeric band; pass goal_budget")
+        goal_budget = Frequency.per_hour(band)
+    return InheritanceComparison(
+        claimed_level=claimed_level,
+        n_elements=n_elements,
+        inheritance_effective_rate=analysis.effective_rate,
+        inheritance_achieved_level=analysis.achieved_level,
+        inheritance_sound=analysis.is_sound,
+        quantitative_per_element=goal_budget * (1.0 / n_elements),
+    )

@@ -1,0 +1,286 @@
+"""Safety-case trees: claims, arguments, evidence.
+
+The QRN "defines what is regarded 'sufficiently safe' in the design-time
+safety case top claim" (Sec. III-A).  This module provides a small
+GSN-flavoured claim/argument/evidence structure with mechanical roll-up
+(a claim is supported when its strategy's children are all supported, or
+when direct evidence is attached), plus a builder that assembles the
+paper's safety-case shape from the repository's artefacts:
+
+    top claim: the ADS is sufficiently safe, i.e. the QRN is met
+      ├─ strategy: argue per consequence class (Eq. 1)
+      │    └─ per class: Σ contributions ≤ budget   [allocation feasibility]
+      ├─ strategy: argue per safety goal
+      │    └─ per SG: violation rate ≤ f_I          [verification verdicts]
+      └─ claim: the SG set is complete               [MECE certificate]
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.safety_goals import SafetyGoalSet
+from ..core.verification import VerificationReport, Verdict
+
+__all__ = ["NodeKind", "CaseNode", "SafetyCase", "build_qrn_safety_case"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a safety-case node: CLAIM, STRATEGY, or EVIDENCE."""
+
+    CLAIM = "claim"
+    STRATEGY = "strategy"
+    EVIDENCE = "evidence"
+
+
+@dataclass
+class CaseNode:
+    """One node of the safety case.
+
+    Evidence nodes carry ``supported`` directly (did the check pass);
+    claims and strategies roll up from their children.  A claim with
+    neither children nor evidence is *undeveloped* and counts as
+    unsupported — honest defaults matter in a safety argument.
+    """
+
+    node_id: str
+    kind: NodeKind
+    text: str
+    children: List["CaseNode"] = field(default_factory=list)
+    supported: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ValueError("case node must have an id")
+        if not self.text:
+            raise ValueError(f"case node {self.node_id}: empty text")
+        if self.kind is NodeKind.EVIDENCE:
+            if self.children:
+                raise ValueError(
+                    f"evidence node {self.node_id} cannot have children")
+            if self.supported is None:
+                raise ValueError(
+                    f"evidence node {self.node_id} must state its outcome")
+        elif self.supported is not None:
+            raise ValueError(
+                f"{self.kind.value} node {self.node_id} must roll up, not "
+                "assert, support")
+
+    def is_supported(self) -> bool:
+        if self.kind is NodeKind.EVIDENCE:
+            return bool(self.supported)
+        if not self.children:
+            return False  # undeveloped claim/strategy
+        return all(child.is_supported() for child in self.children)
+
+    def add(self, child: "CaseNode") -> "CaseNode":
+        self.children.append(child)
+        return child
+
+
+class SafetyCase:
+    """A rooted claim tree with validation and reporting."""
+
+    def __init__(self, root: CaseNode):
+        if root.kind is not NodeKind.CLAIM:
+            raise ValueError("safety case root must be a claim")
+        ids: List[str] = []
+        self._collect(root, ids)
+        duplicates = sorted({i for i in ids if ids.count(i) > 1})
+        if duplicates:
+            raise ValueError(f"duplicate node ids: {duplicates}")
+        self.root = root
+
+    def _collect(self, node: CaseNode, ids: List[str]) -> None:
+        ids.append(node.node_id)
+        for child in node.children:
+            self._collect(child, ids)
+
+    def is_supported(self) -> bool:
+        """Whether the top claim holds with the attached evidence."""
+        return self.root.is_supported()
+
+    def undeveloped(self) -> List[str]:
+        """Claims/strategies with no children — open argument branches."""
+        out: List[str] = []
+        self._find_undeveloped(self.root, out)
+        return out
+
+    def _find_undeveloped(self, node: CaseNode, out: List[str]) -> None:
+        if node.kind is not NodeKind.EVIDENCE and not node.children:
+            out.append(node.node_id)
+        for child in node.children:
+            self._find_undeveloped(child, out)
+
+    def failing_evidence(self) -> List[str]:
+        out: List[str] = []
+        self._find_failing(self.root, out)
+        return out
+
+    def _find_failing(self, node: CaseNode, out: List[str]) -> None:
+        if node.kind is NodeKind.EVIDENCE and not node.supported:
+            out.append(node.node_id)
+        for child in node.children:
+            self._find_failing(child, out)
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form of the whole argument, for CM storage/diffing.
+
+        Roll-up state is *not* stored — support is recomputed from the
+        evidence on load, so a stored case can never claim more than its
+        evidence does.
+        """
+        return {"root": _node_to_dict(self.root)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SafetyCase":
+        return cls(_node_from_dict(data["root"]))
+
+    def diff(self, other: "SafetyCase") -> List[str]:
+        """Human-readable differences against another revision.
+
+        Reports added/removed nodes and evidence whose outcome changed —
+        the review focus list between two safety-case versions.
+        """
+        mine = _flatten(self.root)
+        theirs = _flatten(other.root)
+        changes: List[str] = []
+        for node_id in sorted(set(mine) - set(theirs)):
+            changes.append(f"removed in other: {node_id}")
+        for node_id in sorted(set(theirs) - set(mine)):
+            changes.append(f"added in other: {node_id}")
+        for node_id in sorted(set(mine) & set(theirs)):
+            before, after = mine[node_id], theirs[node_id]
+            if before.kind is not after.kind:
+                changes.append(
+                    f"{node_id}: kind {before.kind.value} → {after.kind.value}")
+            elif (before.kind is NodeKind.EVIDENCE
+                  and before.supported != after.supported):
+                changes.append(
+                    f"{node_id}: evidence outcome {before.supported} → "
+                    f"{after.supported}")
+            elif before.text != after.text:
+                changes.append(f"{node_id}: text changed")
+        return changes
+
+    def render(self) -> str:
+        lines: List[str] = []
+        self._render(self.root, lines, prefix="")
+        return "\n".join(lines)
+
+    def _render(self, node: CaseNode, lines: List[str], prefix: str) -> None:
+        mark = "✓" if node.is_supported() else "✗"
+        lines.append(f"{prefix}[{node.kind.value}] {node.node_id} {mark}: "
+                     f"{node.text}")
+        for child in node.children:
+            self._render(child, lines, prefix + "  ")
+
+
+def _node_to_dict(node: CaseNode) -> dict:
+    data: dict = {
+        "node_id": node.node_id,
+        "kind": node.kind.value,
+        "text": node.text,
+    }
+    if node.kind is NodeKind.EVIDENCE:
+        data["supported"] = bool(node.supported)
+    else:
+        data["children"] = [_node_to_dict(child) for child in node.children]
+    return data
+
+
+def _node_from_dict(data: dict) -> CaseNode:
+    kind = NodeKind(str(data["kind"]))
+    if kind is NodeKind.EVIDENCE:
+        return CaseNode(str(data["node_id"]), kind, str(data["text"]),
+                        supported=bool(data["supported"]))
+    node = CaseNode(str(data["node_id"]), kind, str(data["text"]))
+    for child_data in data.get("children", []):
+        node.add(_node_from_dict(child_data))
+    return node
+
+
+def _flatten(node: CaseNode) -> dict:
+    out = {node.node_id: node}
+    for child in node.children:
+        out.update(_flatten(child))
+    return out
+
+
+def build_qrn_safety_case(goals: SafetyGoalSet,
+                          report: Optional[VerificationReport] = None,
+                          ) -> SafetyCase:
+    """Assemble the paper-shaped safety case from repository artefacts.
+
+    Without a verification report the per-goal branch is left undeveloped
+    (design-time case); with one, goal and class claims get evidence nodes
+    whose outcome is the statistical verdict (only ``DEMONSTRATED``
+    counts as supporting — inconclusive evidence does not support a
+    safety claim).
+    """
+    norm = goals.norm
+    root = CaseNode(
+        node_id="G0",
+        kind=NodeKind.CLAIM,
+        text=f"The ADS is sufficiently safe: risk norm {norm.name!r} is met "
+             "throughout the ODD",
+    )
+
+    completeness = root.add(CaseNode(
+        node_id="G-complete",
+        kind=NodeKind.CLAIM,
+        text="The safety-goal set covers every conceivable incident",
+    ))
+    if goals.certificate is not None:
+        completeness.add(CaseNode(
+            node_id="E-mece",
+            kind=NodeKind.EVIDENCE,
+            text=goals.certificate.summary(),
+            supported=goals.certificate.is_mece,
+        ))
+
+    allocation_strategy = root.add(CaseNode(
+        node_id="S-classes",
+        kind=NodeKind.STRATEGY,
+        text="Argue per consequence class: allocated contributions respect "
+             "every class budget (Eq. 1)",
+    ))
+    for class_id in norm.class_ids:
+        load = goals.allocation.class_load(class_id)
+        budget = norm.budget(class_id)
+        allocation_strategy.add(CaseNode(
+            node_id=f"E-alloc-{class_id}",
+            kind=NodeKind.EVIDENCE,
+            text=f"{class_id}: allocated load {load} ≤ budget {budget}",
+            supported=load.within(budget),
+        ))
+
+    goal_strategy = root.add(CaseNode(
+        node_id="S-goals",
+        kind=NodeKind.STRATEGY,
+        text="Argue per safety goal: each incident type stays below its "
+             "allocated frequency",
+    ))
+    for goal in goals:
+        claim = goal_strategy.add(CaseNode(
+            node_id=f"G-{goal.goal_id}",
+            kind=NodeKind.CLAIM,
+            text=f"{goal.goal_id}: rate of {goal.incident_type.describe()} "
+                 f"stays below {goal.max_frequency}",
+        ))
+        if report is not None:
+            verdict = report.goal(goal.goal_id)
+            claim.add(CaseNode(
+                node_id=f"E-{goal.goal_id}",
+                kind=NodeKind.EVIDENCE,
+                text=f"{verdict.observed_count} events over "
+                     f"{verdict.exposure:g} h; UCB {verdict.upper_bound:.3g} "
+                     f"vs budget {goal.max_frequency} → "
+                     f"{verdict.verdict.value}",
+                supported=verdict.verdict is Verdict.DEMONSTRATED,
+            ))
+    return SafetyCase(root)

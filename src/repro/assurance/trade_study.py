@@ -1,0 +1,191 @@
+"""The Sec. IV safety-strategy trade space.
+
+"This way of working gives considerable freedom to define a safety
+strategy using trade-offs between performance of sensors/actuators (e.g.
+range, or performance in different environment conditions), driving style
+(e.g. cautionary vs. performance) and verification effort (e.g. adjusting
+critical ODD parameters to ease difficult verification tasks)."
+
+A :class:`TradeStudy` enumerates combinations of options along named axes
+(driving style, sensor grade, ODD restriction, …), evaluates each
+combination's achieved per-goal incident rates through a caller-supplied
+evaluator (typically wrapping the traffic simulator), and reports which
+combinations *fulfil every safety goal*, which is cheapest, and the
+cost-vs-margin Pareto front.
+
+The study is deliberately agnostic about what an option *is* — it only
+needs a cost and a contribution to the evaluation context — so the same
+engine serves simulator-backed studies and analytic ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.quantities import Frequency
+from ..core.safety_goals import SafetyGoalSet
+
+__all__ = ["TradeOption", "TradeAxis", "CandidateResult", "TradeStudy"]
+
+
+@dataclass(frozen=True)
+class TradeOption:
+    """One selectable option on one axis, with its cost.
+
+    ``payload`` is handed to the evaluator verbatim (a policy object, a
+    perception model, an ODD restriction — whatever the evaluator wants).
+    Cost units are the caller's (money, verification effort, performance
+    loss) — only their ordering matters here.
+    """
+
+    name: str
+    cost: float
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("trade option must be named")
+        if self.cost < 0 or not math.isfinite(self.cost):
+            raise ValueError(f"option {self.name!r}: cost must be finite >= 0")
+
+
+@dataclass(frozen=True)
+class TradeAxis:
+    """A named axis with its mutually exclusive options."""
+
+    name: str
+    options: Tuple[TradeOption, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("trade axis must be named")
+        if not self.options:
+            raise ValueError(f"axis {self.name!r} has no options")
+        names = [option.name for option in self.options]
+        if len(set(names)) != len(names):
+            raise ValueError(f"axis {self.name!r} has duplicate option names")
+
+
+Evaluator = Callable[[Mapping[str, TradeOption]], Mapping[str, Frequency]]
+"""Maps a combination {axis -> chosen option} to achieved per-goal rates."""
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """One evaluated combination."""
+
+    combination: Tuple[Tuple[str, str], ...]
+    """((axis, option name), ...) in axis order."""
+    cost: float
+    achieved: Mapping[str, Frequency]
+    fulfils_all: bool
+    worst_margin_decades: float
+    """log10(budget / achieved) minimised over goals; negative = violation."""
+
+    def label(self) -> str:
+        return " + ".join(f"{axis}={option}"
+                          for axis, option in self.combination)
+
+
+class TradeStudy:
+    """Exhaustive evaluation of a discrete safety-strategy trade space."""
+
+    def __init__(self, goals: SafetyGoalSet, axes: Sequence[TradeAxis],
+                 evaluator: Evaluator):
+        if not axes:
+            raise ValueError("a trade study needs at least one axis")
+        names = [axis.name for axis in axes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate axis names")
+        self.goals = goals
+        self.axes: Tuple[TradeAxis, ...] = tuple(axes)
+        self.evaluator = evaluator
+
+    def combination_count(self) -> int:
+        product = 1
+        for axis in self.axes:
+            product *= len(axis.options)
+        return product
+
+    def evaluate_all(self) -> List[CandidateResult]:
+        """Evaluate every combination; results sorted by (fulfils, cost)."""
+        results: List[CandidateResult] = []
+        for chosen in itertools.product(*(axis.options for axis in self.axes)):
+            selection = {axis.name: option
+                         for axis, option in zip(self.axes, chosen)}
+            achieved = dict(self.evaluator(selection))
+            missing = {goal.goal_id for goal in self.goals} - set(achieved)
+            if missing:
+                raise ValueError(
+                    f"evaluator omitted goals {sorted(missing)} for "
+                    f"combination {selection}")
+            margins: List[float] = []
+            fulfils = True
+            for goal in self.goals:
+                rate = achieved[goal.goal_id]
+                if not rate.unit.compatible_with(goal.max_frequency.unit):
+                    raise ValueError(
+                        f"evaluator returned {rate.unit} for goal "
+                        f"{goal.goal_id} with budget {goal.max_frequency.unit}")
+                if rate.is_zero():
+                    margins.append(math.inf)
+                else:
+                    margins.append(
+                        math.log10(goal.max_frequency.rate / rate.rate))
+                if not goal.is_satisfied_by(rate):
+                    fulfils = False
+            results.append(CandidateResult(
+                combination=tuple(
+                    (axis.name, option.name)
+                    for axis, option in zip(self.axes, chosen)),
+                cost=sum(option.cost for option in chosen),
+                achieved=achieved,
+                fulfils_all=fulfils,
+                worst_margin_decades=min(margins),
+            ))
+        results.sort(key=lambda r: (not r.fulfils_all, r.cost,
+                                    -r.worst_margin_decades))
+        return results
+
+    def cheapest_fulfilling(self) -> Optional[CandidateResult]:
+        """The minimum-cost combination meeting every safety goal."""
+        for result in self.evaluate_all():
+            if result.fulfils_all:
+                return result
+        return None
+
+    def pareto_front(self) -> List[CandidateResult]:
+        """Fulfilling combinations not dominated in (cost, margin).
+
+        A combination is dominated when another fulfils, costs no more,
+        and has at least the margin (strictly better in one).
+        """
+        fulfilling = [r for r in self.evaluate_all() if r.fulfils_all]
+        front: List[CandidateResult] = []
+        for candidate in fulfilling:
+            dominated = any(
+                other.cost <= candidate.cost
+                and other.worst_margin_decades >= candidate.worst_margin_decades
+                and (other.cost < candidate.cost
+                     or other.worst_margin_decades
+                     > candidate.worst_margin_decades)
+                for other in fulfilling)
+            if not dominated:
+                front.append(candidate)
+        front.sort(key=lambda r: r.cost)
+        return front
+
+    def report(self) -> str:
+        results = self.evaluate_all()
+        lines = [f"Trade study over {self.combination_count()} combinations "
+                 f"({len([r for r in results if r.fulfils_all])} fulfil all "
+                 f"{len(self.goals)} goals):"]
+        for result in results:
+            verdict = "OK " if result.fulfils_all else "-- "
+            lines.append(
+                f"  {verdict} cost {result.cost:g}: {result.label()} "
+                f"(worst margin {result.worst_margin_decades:+.2f} dec)")
+        return "\n".join(lines)

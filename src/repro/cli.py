@@ -1,0 +1,249 @@
+"""Command-line interface.
+
+Five subcommands cover the workflows a user reaches for before writing
+Python:
+
+* ``repro figures [--out DIR]`` — regenerate every paper figure as text;
+* ``repro goals [--improvement X] [--json PATH]`` — derive the example
+  safety-goal set (optionally calibrated against the human baseline) and
+  print/serialise it;
+* ``repro verify GOALS.json --counts '{"I1": 3}' --exposure 2e5`` —
+  statistical verdicts for a stored goal set against observed counts;
+* ``repro review GOALS.json [--counts ... --exposure ...]`` — the
+  automated confirmation review (exit 1 on blockers);
+* ``repro dossier [--hours H] [--seed S] [--out PATH]`` — run a simulated
+  campaign and emit the full safety-case dossier.
+
+The module is import-safe (no work at import time) and `main` takes an
+argv list, so tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The Quantitative Risk Norm (Warg et al., DSN-W 2020) "
+                    "— reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser(
+        "figures", help="regenerate the paper's figures as text")
+    figures.add_argument("--out", type=Path, default=None,
+                         help="directory to write one file per figure "
+                              "(default: print to stdout)")
+
+    goals = sub.add_parser(
+        "goals", help="derive the example safety-goal set")
+    goals.add_argument("--improvement", type=float, default=None,
+                       help="calibrate the norm as this many times safer "
+                            "than the human-driver baseline (default: use "
+                            "the Fig. 3 example norm)")
+    goals.add_argument("--objective", choices=["max-total", "max-min"],
+                       default="max-min", help="LP allocation objective")
+    goals.add_argument("--json", type=Path, default=None,
+                       help="also write the goal set as JSON here")
+
+    verify = sub.add_parser(
+        "verify", help="verify a stored goal set against observed counts")
+    verify.add_argument("goals_json", type=Path,
+                        help="goal set JSON produced by 'repro goals --json'")
+    verify.add_argument("--counts", required=True,
+                        help="JSON object of observed counts per incident "
+                             "type, e.g. '{\"I1\": 3}'")
+    verify.add_argument("--exposure", type=float, required=True,
+                        help="exposure over which the counts were observed "
+                             "(norm units, typically hours)")
+    verify.add_argument("--confidence", type=float, default=0.95)
+
+    review = sub.add_parser(
+        "review", help="run the automated confirmation review on a stored "
+                       "goal set")
+    review.add_argument("goals_json", type=Path)
+    review.add_argument("--counts", default=None,
+                        help="optional JSON object of observed counts")
+    review.add_argument("--exposure", type=float, default=None,
+                        help="exposure for the counts (required with "
+                             "--counts)")
+
+    dossier = sub.add_parser(
+        "dossier", help="simulate a campaign and emit the full dossier")
+    dossier.add_argument("--hours", type=float, default=5000.0)
+    dossier.add_argument("--seed", type=int, default=2020)
+    dossier.add_argument("--scale", type=float, default=1e4,
+                         help="norm relaxation factor so the simulated "
+                              "campaign can reach verdicts (default 1e4)")
+    dossier.add_argument("--out", type=Path, default=None,
+                         help="write the dossier here (default: stdout)")
+
+    return parser
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.core import (allocate_lp, derive_safety_goals, example_norm,
+                            figure4_taxonomy, figure5_incident_types)
+    from repro.core.severity import IsoSeverity
+    from repro.hara.asil import risk_reduction_waterfall
+    from repro.hara.controllability import ControllabilityClass
+    from repro.hara.exposure import ExposureClass
+    from repro.reporting import (figure1_waterfall, figure2_unified_axis,
+                                 figure3_risk_norm, figure4_tree,
+                                 figure5_assignment)
+
+    norm = example_norm()
+    allocation = allocate_lp(norm, list(figure5_incident_types()),
+                             objective="max-min")
+    goals = derive_safety_goals(allocation)
+    waterfalls = [risk_reduction_waterfall(severity, ExposureClass.E4,
+                                           ControllabilityClass.C3)
+                  for severity in IsoSeverity]
+    rendered = {
+        "fig1": figure1_waterfall(waterfalls),
+        "fig2": figure2_unified_axis(norm),
+        "fig3": figure3_risk_norm(allocation),
+        "fig4": figure4_tree(figure4_taxonomy()),
+        "fig5": figure5_assignment(goals),
+    }
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        for name, text in rendered.items():
+            (args.out / f"{name}.txt").write_text(text + "\n")
+        print(f"wrote {len(rendered)} figures to {args.out}")
+    else:
+        for name, text in rendered.items():
+            print(text)
+            print()
+    return 0
+
+
+def _build_goals(improvement: Optional[float], objective: str):
+    from repro.core import (allocate_lp, derive_safety_goals, example_norm,
+                            figure4_taxonomy, figure5_incident_types,
+                            norm_from_human_baseline)
+
+    if improvement is not None:
+        norm = norm_from_human_baseline(
+            f"{improvement:g}x-human QRN", improvement)
+    else:
+        norm = example_norm()
+    allocation = allocate_lp(norm, list(figure5_incident_types()),
+                             objective=objective)
+    return derive_safety_goals(allocation, taxonomy=figure4_taxonomy())
+
+
+def _cmd_goals(args: argparse.Namespace) -> int:
+    from repro.core import goal_set_to_dict
+
+    goals = _build_goals(args.improvement, args.objective)
+    print(goals.render_all())
+    print()
+    print(goals.completeness_argument())
+    if args.json is not None:
+        args.json.write_text(json.dumps(goal_set_to_dict(goals), indent=2))
+        print(f"\ngoal set written to {args.json}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core import goal_set_from_dict
+    from repro.core.verification import verify_against_counts
+
+    data = json.loads(args.goals_json.read_text())
+    goals = goal_set_from_dict(data)
+    counts = json.loads(args.counts)
+    if not isinstance(counts, dict):
+        print("--counts must be a JSON object", file=sys.stderr)
+        return 2
+    report = verify_against_counts(goals, {str(k): int(v)
+                                           for k, v in counts.items()},
+                                   args.exposure,
+                                   confidence=args.confidence)
+    print(report.summary())
+    return 0 if not report.any_violated else 1
+
+
+def _cmd_dossier(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core import (allocate_lp, derive_safety_goals, example_norm,
+                            figure4_taxonomy, figure5_incident_types)
+    from repro.core.verification import verify_against_counts
+    from repro.reporting import build_dossier
+    from repro.traffic import (BrakingSystem, EncounterGenerator,
+                               cautious_policy, default_context_profiles,
+                               default_perception, simulate_mix,
+                               type_counts)
+
+    norm = example_norm().tightened(args.scale, name="sim-scale QRN")
+    types = list(figure5_incident_types())
+    allocation = allocate_lp(norm, types, objective="max-min")
+    goals = derive_safety_goals(allocation, taxonomy=figure4_taxonomy())
+
+    world = EncounterGenerator(default_context_profiles())
+    campaign = simulate_mix(
+        cautious_policy(), world, default_perception(), BrakingSystem(),
+        {"urban": 0.5, "suburban": 0.2, "rural": 0.2, "highway": 0.1},
+        args.hours, np.random.default_rng(args.seed))
+    counts, _ = type_counts(campaign, types)
+    report = verify_against_counts(goals, counts, campaign.hours)
+    text = build_dossier(goals, report)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+        print(f"dossier written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_review(args: argparse.Namespace) -> int:
+    from repro.core import goal_set_from_dict
+    from repro.core.review import Severity, confirmation_review
+    from repro.core.verification import verify_against_counts
+
+    goals = goal_set_from_dict(json.loads(args.goals_json.read_text()))
+    report = None
+    if args.counts is not None:
+        if args.exposure is None:
+            print("--exposure is required with --counts", file=sys.stderr)
+            return 2
+        counts = {str(k): int(v)
+                  for k, v in json.loads(args.counts).items()}
+        report = verify_against_counts(goals, counts, args.exposure)
+    findings = confirmation_review(goals, report)
+    if not findings:
+        print("confirmation review: no mechanical findings")
+        return 0
+    for finding in findings:
+        print(finding.render())
+    blockers = sum(1 for f in findings if f.severity is Severity.BLOCKER)
+    print(f"\n{len(findings)} finding(s), {blockers} blocker(s)")
+    return 1 if blockers else 0
+
+
+_COMMANDS = {
+    "figures": _cmd_figures,
+    "goals": _cmd_goals,
+    "verify": _cmd_verify,
+    "review": _cmd_review,
+    "dossier": _cmd_dossier,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,247 @@
+"""Consequence classes — the building blocks of a risk norm.
+
+Implements Sec. III-A / Fig. 3: "the severity/criticality dimension is
+divided into a manageable number of discrete levels, or consequence
+classes, where each class receives a total norm frequency telling how
+often, at most, this kind of consequence is allowed to occur."
+
+A :class:`ConsequenceClass` pairs a severity level with an acceptable
+frequency budget.  A :class:`ConsequenceScale` is the ordered, validated
+collection of classes forming the x-axis of Fig. 3 (``v_Q1 … v_S3`` in the
+paper's notation).  The paper does not fix the number of classes ("it can
+be defined as deemed appropriate"), so the scale is fully caller-defined;
+:func:`example_scale` reconstructs the 3 quality + 3 safety example of
+Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .quantities import Frequency, FrequencyUnit, PER_HOUR
+from .severity import SeverityDomain, UnifiedSeverity
+
+__all__ = [
+    "ConsequenceClass",
+    "ConsequenceScale",
+    "example_scale",
+    "QUALITY_CLASS_IDS",
+    "SAFETY_CLASS_IDS",
+]
+
+QUALITY_CLASS_IDS: Tuple[str, ...] = ("vQ1", "vQ2", "vQ3")
+SAFETY_CLASS_IDS: Tuple[str, ...] = ("vS1", "vS2", "vS3")
+
+
+@dataclass(frozen=True)
+class ConsequenceClass:
+    """One discrete consequence level ``v`` with its acceptable budget.
+
+    Attributes
+    ----------
+    class_id:
+        Short stable identifier, e.g. ``"vS2"``.  Used as the key in
+        allocations and verification reports.
+    severity:
+        Position on the unified severity axis (Fig. 2).
+    budget:
+        ``f_v^(acceptable)`` — the strict upper limit on the total
+        frequency of consequences of this class (Eq. 1 right-hand side).
+    description:
+        Human-readable elaboration for safety-case documents.
+    """
+
+    class_id: str
+    severity: UnifiedSeverity
+    budget: Frequency
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.class_id or not self.class_id.strip():
+            raise ValueError("class_id must be non-empty")
+
+    @property
+    def domain(self) -> SeverityDomain:
+        """Quality or safety — inherited from the severity level."""
+        return self.severity.domain
+
+    def with_budget(self, budget: Frequency) -> "ConsequenceClass":
+        """A copy of this class with a different acceptable frequency."""
+        return ConsequenceClass(self.class_id, self.severity, budget, self.description)
+
+    def __str__(self) -> str:
+        return f"{self.class_id}[{self.severity.name}] ≤ {self.budget}"
+
+
+class ConsequenceScale:
+    """An ordered set of consequence classes — the x-axis of Fig. 3.
+
+    Invariants enforced at construction:
+
+    * class ids are unique;
+    * classes are ordered by strictly non-decreasing severity;
+    * budgets are *monotonically non-increasing* with severity — a norm
+      that tolerated fatal outcomes more often than scratches would be
+      incoherent (Fig. 2: acceptable frequency falls as severity rises);
+    * all budgets share one exposure base.
+    """
+
+    def __init__(self, classes: Sequence[ConsequenceClass]):
+        if not classes:
+            raise ValueError("a consequence scale needs at least one class")
+        ids = [c.class_id for c in classes]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate consequence class ids: {dupes}")
+        ordered = sorted(classes, key=lambda c: (c.severity, c.class_id))
+        unit = ordered[0].budget.unit
+        for cls in ordered[1:]:
+            if not cls.budget.unit.compatible_with(unit):
+                raise ValueError(
+                    f"class {cls.class_id} budget unit {cls.budget.unit} differs "
+                    f"from scale unit {unit}"
+                )
+        for lower, higher in zip(ordered, ordered[1:]):
+            if higher.severity > lower.severity and higher.budget > lower.budget:
+                raise ValueError(
+                    "budgets must not increase with severity: "
+                    f"{higher.class_id} ({higher.budget}) exceeds "
+                    f"{lower.class_id} ({lower.budget})"
+                )
+        self._classes: Tuple[ConsequenceClass, ...] = tuple(ordered)
+        self._by_id: Dict[str, ConsequenceClass] = {c.class_id: c for c in ordered}
+        self._unit = FrequencyUnit(unit.base)
+
+    # -- container protocol ------------------------------------------------
+
+    def __iter__(self) -> Iterator[ConsequenceClass]:
+        return iter(self._classes)
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __contains__(self, class_id: object) -> bool:
+        return class_id in self._by_id
+
+    def __getitem__(self, class_id: str) -> ConsequenceClass:
+        try:
+            return self._by_id[class_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown consequence class {class_id!r}; "
+                f"known: {sorted(self._by_id)}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConsequenceScale):
+            return NotImplemented
+        return self._classes == other._classes
+
+    def __repr__(self) -> str:
+        return f"ConsequenceScale({list(self._classes)!r})"
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def unit(self) -> FrequencyUnit:
+        """The shared exposure unit of all budgets."""
+        return self._unit
+
+    @property
+    def class_ids(self) -> Tuple[str, ...]:
+        return tuple(c.class_id for c in self._classes)
+
+    def budget(self, class_id: str) -> Frequency:
+        """``f_v^(acceptable)`` for the named class."""
+        return self[class_id].budget
+
+    def budgets(self) -> Dict[str, Frequency]:
+        """All budgets keyed by class id."""
+        return {c.class_id: c.budget for c in self._classes}
+
+    def quality_classes(self) -> Tuple[ConsequenceClass, ...]:
+        """The quality (left) half of the axis."""
+        return tuple(c for c in self._classes if c.domain is SeverityDomain.QUALITY)
+
+    def safety_classes(self) -> Tuple[ConsequenceClass, ...]:
+        """The safety (right) half of the axis."""
+        return tuple(c for c in self._classes if c.domain is SeverityDomain.SAFETY)
+
+    def by_severity(self, severity: UnifiedSeverity) -> Tuple[ConsequenceClass, ...]:
+        """All classes at exactly the given severity level."""
+        return tuple(c for c in self._classes if c.severity is severity)
+
+    def most_severe(self) -> ConsequenceClass:
+        return self._classes[-1]
+
+    def least_severe(self) -> ConsequenceClass:
+        return self._classes[0]
+
+    # -- derivation ----------------------------------------------------------
+
+    def scaled(self, factor: float) -> "ConsequenceScale":
+        """A uniformly tightened (factor < 1) or relaxed (> 1) scale.
+
+        Used for sensitivity sweeps: "what if society demands 10× stricter
+        norms" is ``scale.scaled(0.1)``.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return ConsequenceScale([c.with_budget(c.budget * factor) for c in self._classes])
+
+    def with_budgets(self, budgets: Mapping[str, Frequency]) -> "ConsequenceScale":
+        """A copy with the given classes' budgets replaced."""
+        unknown = set(budgets) - set(self._by_id)
+        if unknown:
+            raise KeyError(f"unknown consequence class ids: {sorted(unknown)}")
+        return ConsequenceScale([
+            c.with_budget(budgets[c.class_id]) if c.class_id in budgets else c
+            for c in self._classes
+        ])
+
+
+def example_scale(unit: Optional[FrequencyUnit] = None,
+                  anchor: Optional[Frequency] = None,
+                  decades_per_class: float = 1.0) -> ConsequenceScale:
+    """The 3-quality + 3-safety example scale of Fig. 3.
+
+    Budgets descend geometrically from ``anchor`` (the most tolerable,
+    quality-only class ``vQ1``) by ``decades_per_class`` per step.  All
+    numbers are synthetic — the paper's footnote 3 insists its examples
+    "should not be used in a real safety case", and so do we.
+
+    Parameters
+    ----------
+    unit:
+        Exposure base of the budgets (default: per operating hour).
+    anchor:
+        Budget of ``vQ1``.  Default: 1e-2 per hour — a mildly scary moment
+        roughly once per hundred operating hours.
+    decades_per_class:
+        Order-of-magnitude drop per severity step.
+    """
+    if unit is None:
+        unit = PER_HOUR
+    if anchor is None:
+        anchor = Frequency(1e-2, unit)
+    severities = [
+        UnifiedSeverity.PERCEIVED_SAFETY,
+        UnifiedSeverity.EMERGENCY_MANOEUVRE,
+        UnifiedSeverity.MATERIAL_DAMAGE,
+        UnifiedSeverity.LIGHT_INJURY,
+        UnifiedSeverity.SEVERE_INJURY,
+        UnifiedSeverity.LIFE_THREATENING,
+    ]
+    ids = list(QUALITY_CLASS_IDS + SAFETY_CLASS_IDS)
+    classes: List[ConsequenceClass] = []
+    rate = anchor.rate
+    for class_id, severity in zip(ids, severities):
+        classes.append(ConsequenceClass(
+            class_id=class_id,
+            severity=severity,
+            budget=Frequency(rate, unit),
+            description=severity.example,
+        ))
+        rate *= 10.0 ** (-decades_per_class)
+    return ConsequenceScale(classes)

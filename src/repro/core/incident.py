@@ -1,0 +1,349 @@
+"""Incident types, tolerance margins, and contribution splits.
+
+Implements Sec. III-B / Fig. 5.  An *incident type* ``I`` is the unit to
+which the QRN allocates a frequency budget and from which one safety goal
+is generated.  The paper suggests most types take the shape
+
+    interaction between ego vehicle and <object_type>
+    within <tolerance_margin>
+
+where the tolerance margin is an impact-speed band for accidents, or a
+distance + relative-speed limit for quality-related incidents.  Each type
+carries a :class:`ContributionSplit`: the fractions of its occurrences
+that land in each consequence class (e.g. 70 % of I₂ collisions cause
+light injuries, 30 % moderate).
+
+:func:`figure5_incident_types` reconstructs the paper's I₁/I₂/I₃ Ego↔VRU
+elaboration exactly as drawn.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from .consequence import ConsequenceScale
+from .taxonomy import ActorClass
+
+__all__ = [
+    "SpeedBand",
+    "ProximityMargin",
+    "ToleranceMargin",
+    "ContributionSplit",
+    "IncidentType",
+    "IncidentRecord",
+    "figure5_incident_types",
+    "induced_follower_type",
+]
+
+
+@dataclass(frozen=True)
+class SpeedBand:
+    """A collision impact-speed band ``low < Δv ≤ high`` in km/h.
+
+    The paper writes I₂ as ``0 < Δv_collision ≤ 10 km/h`` and I₃ as
+    ``10 < Δv_collision ≤ 70 km/h`` — open below, closed above — so bands
+    here follow that convention and adjacent bands tile without overlap.
+    """
+
+    low_kmh: float
+    high_kmh: float
+
+    def __post_init__(self) -> None:
+        if self.low_kmh < 0:
+            raise ValueError("speed band lower bound must be >= 0")
+        if self.high_kmh <= self.low_kmh:
+            raise ValueError(
+                f"empty speed band ({self.low_kmh}, {self.high_kmh}]"
+            )
+
+    def contains(self, delta_v_kmh: float) -> bool:
+        return self.low_kmh < delta_v_kmh <= self.high_kmh
+
+    def overlaps(self, other: "SpeedBand") -> bool:
+        return self.low_kmh < other.high_kmh and other.low_kmh < self.high_kmh
+
+    def describe(self) -> str:
+        return f"{self.low_kmh:g} < Δv ≤ {self.high_kmh:g} km/h"
+
+
+@dataclass(frozen=True)
+class ProximityMargin:
+    """A quality-incident margin: closer than a distance at/above a speed.
+
+    The paper's I₁ is "Ego approaches the VRU with > 10 km/h when closer
+    than 1 m (i.e. not a collision)".
+    """
+
+    max_distance_m: float
+    min_approach_speed_kmh: float
+
+    def __post_init__(self) -> None:
+        if self.max_distance_m <= 0:
+            raise ValueError("proximity distance must be positive")
+        if self.min_approach_speed_kmh < 0:
+            raise ValueError("approach speed threshold must be >= 0")
+
+    def contains(self, distance_m: float, approach_speed_kmh: float) -> bool:
+        return (0.0 < distance_m < self.max_distance_m
+                and approach_speed_kmh > self.min_approach_speed_kmh)
+
+    def describe(self) -> str:
+        return (f"0 < d < {self.max_distance_m:g} m "
+                f"& Δv > {self.min_approach_speed_kmh:g} km/h")
+
+
+ToleranceMargin = "SpeedBand | ProximityMargin"
+
+
+class ContributionSplit:
+    """Fractions of an incident type's occurrences per consequence class.
+
+    ``f_{v_j, I_k} = split[v_j] * f_{I_k}`` — the per-term quantity in
+    Eq. 1.  Fractions must be in (0, 1] each and sum to at most 1; a sum
+    below 1 means some occurrences of the type have consequences below the
+    least severe modelled class (e.g. a near-miss nobody noticed).
+    """
+
+    def __init__(self, fractions: Mapping[str, float]):
+        cleaned: Dict[str, float] = {}
+        for class_id, fraction in fractions.items():
+            if not (isinstance(fraction, (int, float)) and math.isfinite(fraction)):
+                raise ValueError(f"fraction for {class_id!r} must be finite")
+            if fraction <= 0.0 or fraction > 1.0:
+                raise ValueError(
+                    f"fraction for {class_id!r} must be in (0, 1], got {fraction}"
+                )
+            cleaned[class_id] = float(fraction)
+        if not cleaned:
+            raise ValueError("a contribution split must touch at least one class")
+        total = sum(cleaned.values())
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"contribution fractions sum to {total} > 1")
+        self._fractions = cleaned
+
+    @property
+    def class_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._fractions))
+
+    def fraction(self, class_id: str) -> float:
+        """Fraction contributed to ``class_id`` (0 if untouched)."""
+        return self._fractions.get(class_id, 0.0)
+
+    def items(self) -> Iterable[Tuple[str, float]]:
+        return sorted(self._fractions.items())
+
+    def total(self) -> float:
+        return sum(self._fractions.values())
+
+    def validate_against(self, scale: ConsequenceScale) -> None:
+        """Check every referenced class exists in the norm's scale."""
+        unknown = set(self._fractions) - set(scale.class_ids)
+        if unknown:
+            raise ValueError(
+                f"contribution split references unknown classes {sorted(unknown)}; "
+                f"scale has {list(scale.class_ids)}"
+            )
+
+    def rebalanced(self, class_id: str, fraction: float) -> "ContributionSplit":
+        """A copy with one class's fraction replaced (others untouched)."""
+        updated = dict(self._fractions)
+        if fraction <= 0:
+            updated.pop(class_id, None)
+        else:
+            updated[class_id] = fraction
+        return ContributionSplit(updated)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ContributionSplit):
+            return NotImplemented
+        return self._fractions == other._fractions
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{cid}: {frac:.2f}" for cid, frac in self.items())
+        return f"ContributionSplit({{{inner}}})"
+
+
+@dataclass(frozen=True)
+class IncidentType:
+    """One incident type ``I`` of the QRN (Sec. III-B).
+
+    The two definitional criteria from the paper are represented directly:
+
+    * "show the contribution to each consequence class" → ``split``;
+    * "provide meaningful input to refined safety requirements" → the
+      structured ``actor_pair`` + ``margin`` shape, which downstream
+      perception/prediction requirements can be phrased against.
+
+    The frequency *budget* is not stored here — budgets are the output of
+    the allocation process (:mod:`repro.core.allocation`) and live in an
+    :class:`~repro.core.allocation.Allocation`.
+    """
+
+    type_id: str
+    ego: ActorClass
+    counterpart: ActorClass
+    margin: "SpeedBand | ProximityMargin"
+    split: ContributionSplit
+    description: str = ""
+    taxonomy_leaf: Optional[str] = None
+    """Name of the taxonomy leaf this type refines, if tied to a tree."""
+    induced: bool = False
+    """Fig. 4's lower half: the ego is a *causing factor* in an incident
+    among other road users rather than a party to it.  For induced types
+    ``counterpart`` names the affected actor and the ``ego`` field keeps
+    the causal attribution.  Induced and direct records never cross-match."""
+
+    def __post_init__(self) -> None:
+        if not self.type_id or not self.type_id.strip():
+            raise ValueError("type_id must be non-empty")
+        if not isinstance(self.margin, (SpeedBand, ProximityMargin)):
+            raise TypeError(
+                "margin must be a SpeedBand (accident) or ProximityMargin "
+                f"(quality incident), got {type(self.margin).__name__}"
+            )
+
+    @property
+    def is_collision_type(self) -> bool:
+        return isinstance(self.margin, SpeedBand)
+
+    def actor_pair_label(self) -> str:
+        return f"{self.ego.value.capitalize()}<->{self.counterpart.value.upper() if self.counterpart is ActorClass.VRU else self.counterpart.value.capitalize()}"
+
+    def describe(self) -> str:
+        return f"[{self.type_id}] {self.actor_pair_label()} | {self.margin.describe()}"
+
+    def matches(self, record: "IncidentRecord") -> bool:
+        """Whether an observed incident instance belongs to this type."""
+        if record.induced != self.induced:
+            return False
+        if record.counterpart is not self.counterpart:
+            return False
+        if isinstance(self.margin, SpeedBand):
+            return record.is_collision and self.margin.contains(record.delta_v_kmh)
+        return (not record.is_collision
+                and self.margin.contains(record.min_distance_m,
+                                         record.approach_speed_kmh))
+
+
+@dataclass(frozen=True)
+class IncidentRecord:
+    """One observed incident instance, e.g. from the traffic simulator.
+
+    ``delta_v_kmh`` is the collision impact speed (0 for non-collisions);
+    ``min_distance_m`` the closest separation (0 for collisions);
+    ``approach_speed_kmh`` the relative speed at closest approach.
+    """
+
+    counterpart: ActorClass
+    is_collision: bool
+    delta_v_kmh: float = 0.0
+    min_distance_m: float = 0.0
+    approach_speed_kmh: float = 0.0
+    time_h: float = 0.0
+    context: str = ""
+    induced: bool = False
+    """True when the ego merely *caused* this incident between third
+    parties (Fig. 4's lower half) — e.g. a hard ego stop forcing the
+    follower into an emergency manoeuvre."""
+
+    def __post_init__(self) -> None:
+        if self.is_collision and self.delta_v_kmh <= 0.0:
+            raise ValueError("a collision record needs a positive delta_v")
+        if not self.is_collision and self.min_distance_m <= 0.0:
+            raise ValueError("a non-collision record needs a positive distance")
+
+
+def classify_records(records: Iterable[IncidentRecord],
+                     types: Sequence[IncidentType]) -> Dict[str, list]:
+    """Bucket observed incidents by incident type.
+
+    Returns a mapping ``type_id -> [records]``; records matching no type go
+    under the pseudo-id ``"<unclassified>"``.  If the types were derived
+    from a MECE taxonomy over the record space, that bucket stays empty —
+    tests assert exactly this.  A record matching multiple types indicates
+    the types are not mutually exclusive and raises ``ValueError``.
+    """
+    buckets: Dict[str, list] = {t.type_id: [] for t in types}
+    buckets["<unclassified>"] = []
+    for record in records:
+        owners = [t.type_id for t in types if t.matches(record)]
+        if len(owners) > 1:
+            raise ValueError(
+                f"record {record} matches multiple incident types {owners}; "
+                "types must be mutually exclusive"
+            )
+        buckets[owners[0] if owners else "<unclassified>"].append(record)
+    return buckets
+
+
+def induced_follower_type(*, split: Optional[ContributionSplit] = None,
+                          ) -> IncidentType:
+    """The canonical induced incident type: ego forces a follower reaction.
+
+    The paper's Fig. 2 places "causing evasive manoeuvre for other RU"
+    on the quality axis, and Fig. 4's lower half owns such incidents;
+    this type is their refinement: the ego's hard stop compels the
+    following car into an emergency manoeuvre (or worse).  Default split:
+    mostly induced emergency manoeuvres (vQ2), a sliver of material
+    damage (vQ3) for the rear-end taps.
+    """
+    return IncidentType(
+        type_id="IND1",
+        ego=ActorClass.EGO,
+        counterpart=ActorClass.CAR,
+        margin=ProximityMargin(max_distance_m=5.0,
+                               min_approach_speed_kmh=5.0),
+        split=split if split is not None else
+        ContributionSplit({"vQ2": 0.85, "vQ3": 0.05}),
+        description="Ego hard stop forces follower emergency manoeuvre",
+        taxonomy_leaf="Induced:Car<->Car",
+        induced=True,
+    )
+
+
+def figure5_incident_types() -> Tuple[IncidentType, IncidentType, IncidentType]:
+    """The paper's Fig. 5 Ego↔VRU elaboration, verbatim.
+
+    * I₁ — near-miss: ego approaches the VRU at > 10 km/h within 1 m;
+      contributes to quality classes (scared VRU ``vQ1``, induced
+      emergency action ``vQ2``).
+    * I₂ — collision with 0 < Δv ≤ 10 km/h; light (``vS1``) or moderate
+      (counted as ``vS2`` here) injuries, with the 70/30 split the paper
+      uses in its reallocation discussion.
+    * I₃ — collision with 10 < Δv ≤ 70 km/h; severe injuries and
+      fatalities (``vS1``/``vS2``/``vS3``).
+
+    The split numbers are the paper's illustrative ones where given, and
+    synthetic where the paper leaves them unstated (its own footnote 3
+    marks all such numbers as made up).
+    """
+    i1 = IncidentType(
+        type_id="I1",
+        ego=ActorClass.EGO,
+        counterpart=ActorClass.VRU,
+        margin=ProximityMargin(max_distance_m=1.0, min_approach_speed_kmh=10.0),
+        split=ContributionSplit({"vQ1": 0.8, "vQ2": 0.2}),
+        description="Ego approaches VRU at >10 km/h closer than 1 m (no collision)",
+        taxonomy_leaf="Ego<->VRU",
+    )
+    i2 = IncidentType(
+        type_id="I2",
+        ego=ActorClass.EGO,
+        counterpart=ActorClass.VRU,
+        margin=SpeedBand(0.0, 10.0),
+        split=ContributionSplit({"vS1": 0.7, "vS2": 0.3}),
+        description="Collision Ego<->VRU with 0 < Δv ≤ 10 km/h",
+        taxonomy_leaf="Ego<->VRU",
+    )
+    i3 = IncidentType(
+        type_id="I3",
+        ego=ActorClass.EGO,
+        counterpart=ActorClass.VRU,
+        margin=SpeedBand(10.0, 70.0),
+        split=ContributionSplit({"vS1": 0.15, "vS2": 0.45, "vS3": 0.40}),
+        description="Collision Ego<->VRU with 10 < Δv ≤ 70 km/h",
+        taxonomy_leaf="Ego<->VRU",
+    )
+    return i1, i2, i3

@@ -1,0 +1,148 @@
+"""Product-line variability under one shared risk norm.
+
+Implements the Sec. VII observation: "since the risk norm is decoupled from
+the implementation the approach is advantageous for handling variability
+(e.g. in product lines) since the same risk norm can be used for many
+variants.  I.e., while there may be some variability in the frequency
+allocation for each incident type (as solutions for variants may have
+different characteristics) the total acceptable risk for each consequence
+class will be the same."
+
+A :class:`ProductLine` holds one :class:`QuantitativeRiskNorm` and many
+:class:`Variant`\\ s, each with its own incident types and allocation.  The
+conformance check asserts exactly the paper's invariant: every variant's
+allocation satisfies Eq. 1 against the *shared* norm, even though the
+allocations (and even the incident-type sets) differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from .allocation import Allocation
+from .quantities import Frequency
+from .risk_norm import QuantitativeRiskNorm
+from .safety_goals import SafetyGoalSet, derive_safety_goals
+from .taxonomy import IncidentTaxonomy
+
+__all__ = ["Variant", "ProductLine", "VariantConformance"]
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One product variant: a name, its allocation, optional taxonomy.
+
+    The allocation's norm must be the product line's shared norm — enforced
+    when the variant is registered, not here, because a variant object may
+    be built before the line exists.
+    """
+
+    name: str
+    allocation: Allocation
+    taxonomy: Optional[IncidentTaxonomy] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variant must be named")
+
+    def safety_goals(self) -> SafetyGoalSet:
+        """The variant's SG set (with completeness evidence if a taxonomy is attached)."""
+        return derive_safety_goals(self.allocation, taxonomy=self.taxonomy)
+
+
+@dataclass(frozen=True)
+class VariantConformance:
+    """Per-variant verdict of the cross-line conformance check."""
+
+    variant: str
+    feasible: bool
+    class_loads: Mapping[str, Frequency]
+    violations: Mapping[str, Frequency]
+
+    @property
+    def ok(self) -> bool:
+        return self.feasible
+
+
+class ProductLine:
+    """Many ADS variants assured against one quantitative risk norm."""
+
+    def __init__(self, name: str, norm: QuantitativeRiskNorm):
+        if not name:
+            raise ValueError("product line must be named")
+        self.name = name
+        self.norm = norm
+        self._variants: Dict[str, Variant] = {}
+
+    def add_variant(self, variant: Variant) -> None:
+        """Register a variant; its allocation must target the shared norm."""
+        if variant.name in self._variants:
+            raise ValueError(f"variant {variant.name!r} already registered")
+        if variant.allocation.norm is not self.norm and \
+                variant.allocation.norm != self.norm:
+            raise ValueError(
+                f"variant {variant.name!r} is allocated against norm "
+                f"{variant.allocation.norm.name!r}, not the line's "
+                f"{self.norm.name!r} — product-line reuse requires one norm")
+        self._variants[variant.name] = variant
+
+    def __len__(self) -> int:
+        return len(self._variants)
+
+    def __iter__(self) -> Iterator[Variant]:
+        return iter(self._variants.values())
+
+    def variant(self, name: str) -> Variant:
+        try:
+            return self._variants[name]
+        except KeyError:
+            raise KeyError(f"unknown variant {name!r}; "
+                           f"known: {sorted(self._variants)}") from None
+
+    @property
+    def variant_names(self) -> Tuple[str, ...]:
+        return tuple(self._variants)
+
+    # -- the Sec. VII invariant -------------------------------------------------
+
+    def check_conformance(self) -> List[VariantConformance]:
+        """Eq. 1 per variant against the shared norm."""
+        results = []
+        for variant in self._variants.values():
+            allocation = variant.allocation
+            results.append(VariantConformance(
+                variant=variant.name,
+                feasible=allocation.is_feasible(),
+                class_loads=allocation.class_loads(),
+                violations=allocation.violations(),
+            ))
+        return results
+
+    def all_conformant(self) -> bool:
+        return all(result.ok for result in self.check_conformance())
+
+    def class_load_spread(self) -> Dict[str, Tuple[Frequency, Frequency]]:
+        """(min, max) class load across variants per consequence class.
+
+        Shows the paper's point quantitatively: loads vary by variant, the
+        budget they must fit under does not.
+        """
+        if not self._variants:
+            raise ValueError("product line has no variants")
+        spread: Dict[str, Tuple[Frequency, Frequency]] = {}
+        for class_id in self.norm.class_ids:
+            loads = [variant.allocation.class_load(class_id)
+                     for variant in self._variants.values()]
+            spread[class_id] = (min(loads), max(loads))
+        return spread
+
+    def summary(self) -> str:
+        lines = [f"Product line {self.name!r} under norm {self.norm.name!r}: "
+                 f"{len(self._variants)} variant(s)"]
+        for result in self.check_conformance():
+            verdict = "conformant" if result.ok else \
+                f"VIOLATES {sorted(result.violations)}"
+            lines.append(f"  {result.variant}: {verdict}")
+        return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Automated confirmation review.
+
+ISO 26262 demands "a work product arguing for the completeness and
+consistency of the SGs ... subject of a confirmation review with the
+standard's highest defined degree of independence" (paper Sec. II-A).
+Under the QRN, most of what that reviewer checks is mechanical — and a
+mechanical check should be a function, not a meeting.
+
+:func:`confirmation_review` runs every machine check the library offers
+over a safety-goal set and its companion artefacts, and returns a ranked
+findings list:
+
+* BLOCKER — the safety case is wrong as it stands (Eq. 1 violated,
+  missing/failed MECE certificate, measured violations, ethical
+  constraint breaches);
+* OPEN — work outstanding but nothing contradicted (inconclusive
+  verification, unallocated goals in the ledger, undeveloped case
+  branches);
+* NOTE — observations a human reviewer would raise (a goal with zero
+  budget, a class with no contributors, heavy budget concentration).
+
+An empty findings list is not "safe" — it is "nothing mechanical left to
+object to", which is exactly the state a human review should start from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .ethics import EthicalConstraint, audit_allocation
+from .safety_goals import SafetyGoalSet
+from .verification import Verdict, VerificationReport
+
+__all__ = ["Severity", "Finding", "confirmation_review"]
+
+
+class Severity(enum.Enum):
+    """Finding severity: BLOCKER (case wrong), OPEN (work left), NOTE."""
+
+    BLOCKER = "blocker"
+    OPEN = "open"
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One review finding."""
+
+    severity: Severity
+    check: str
+    detail: str
+
+    def render(self) -> str:
+        return f"[{self.severity.value.upper():7s}] {self.check}: {self.detail}"
+
+
+def confirmation_review(goals: SafetyGoalSet,
+                        report: Optional[VerificationReport] = None,
+                        *, constraints: Sequence[EthicalConstraint] = (),
+                        ledger=None,
+                        concentration_note_share: float = 0.9,
+                        ) -> List[Finding]:
+    """Run every mechanical completeness/consistency check.
+
+    ``ledger`` may be an :class:`repro.assurance.architecture.
+    AllocationLedger` for the refinement-coverage checks; ``constraints``
+    are re-audited directly (independent of whatever optimiser produced
+    the allocation).  Findings are returned most severe first.
+    """
+    findings: List[Finding] = []
+    allocation = goals.allocation
+    norm = goals.norm
+
+    # -- completeness -----------------------------------------------------
+    if goals.certificate is None:
+        findings.append(Finding(
+            Severity.BLOCKER, "mece-certificate",
+            "no MECE certificate attached — collective exhaustiveness of "
+            "the incident classification is unestablished"))
+    elif not goals.certificate.is_mece:
+        findings.append(Finding(
+            Severity.BLOCKER, "mece-certificate",
+            f"certificate records {len(goals.certificate.violations)} "
+            "violation(s) — the classification is not MECE"))
+
+    # -- Eq. 1 -------------------------------------------------------------
+    for class_id, excess in allocation.violations().items():
+        findings.append(Finding(
+            Severity.BLOCKER, "eq1-feasibility",
+            f"class {class_id} overcommitted by {excess} — the allocated "
+            "budgets do not respect the norm"))
+
+    # -- ethics --------------------------------------------------------------
+    for violation in audit_allocation(allocation.budgets(),
+                                      list(allocation.types),
+                                      constraints, norm.budgets()):
+        findings.append(Finding(
+            Severity.BLOCKER, "ethical-constraints",
+            f"{violation.constraint}: {violation.detail}"))
+
+    # -- verification -----------------------------------------------------------
+    if report is None:
+        findings.append(Finding(
+            Severity.OPEN, "verification",
+            "no verification report — every safety goal is an open claim"))
+    else:
+        for verdict in report.goal_verdicts:
+            if verdict.verdict is Verdict.VIOLATED:
+                findings.append(Finding(
+                    Severity.BLOCKER, "verification",
+                    f"{verdict.goal_id} measured above its budget "
+                    f"(rate {verdict.point_rate:.3g} vs {verdict.budget})"))
+            elif verdict.verdict is Verdict.INCONCLUSIVE:
+                findings.append(Finding(
+                    Severity.OPEN, "verification",
+                    f"{verdict.goal_id} inconclusive; needs "
+                    f"~{verdict.additional_exposure_needed():.3g} more "
+                    "clean exposure"))
+        for verdict in report.class_verdicts:
+            if verdict.verdict is Verdict.VIOLATED:
+                findings.append(Finding(
+                    Severity.BLOCKER, "verification",
+                    f"class {verdict.class_id} measured above its budget"))
+
+    # -- refinement coverage -------------------------------------------------------
+    if ledger is not None:
+        for goal_id in ledger.unallocated_goals():
+            findings.append(Finding(
+                Severity.OPEN, "refinement",
+                f"{goal_id} has no allocated requirements in the ledger"))
+        for goal_id in ledger.uncovered_goals():
+            findings.append(Finding(
+                Severity.OPEN, "refinement",
+                f"{goal_id} allocated but its composition misses (or lacks) "
+                "a budget-meeting argument"))
+
+    # -- notes ------------------------------------------------------------------
+    for itype in allocation.types:
+        if allocation.budget(itype.type_id).is_zero():
+            findings.append(Finding(
+                Severity.NOTE, "zero-budget",
+                f"{itype.type_id} is budgeted at zero — its safety goal is "
+                "unfulfillable by any real implementation; add a floor or "
+                "re-weight the allocation"))
+    for class_id in norm.class_ids:
+        contributors = [
+            itype.type_id for itype in allocation.types
+            if itype.split.fraction(class_id) > 0]
+        if not contributors:
+            findings.append(Finding(
+                Severity.NOTE, "uncovered-class",
+                f"no incident type contributes to {class_id} — either the "
+                "taxonomy genuinely excludes such consequences or a split "
+                "is missing"))
+            continue
+        load = allocation.class_load(class_id)
+        if load.is_zero():
+            continue
+        for itype in allocation.types:
+            share = allocation.contribution(class_id, itype.type_id) / load
+            if share > concentration_note_share:
+                findings.append(Finding(
+                    Severity.NOTE, "budget-concentration",
+                    f"{itype.type_id} carries {share:.0%} of {class_id} — "
+                    "check the ethical acceptability of the concentration "
+                    "(cf. the paper's Ego<->Child discussion)"))
+
+    order = {Severity.BLOCKER: 0, Severity.OPEN: 1, Severity.NOTE: 2}
+    findings.sort(key=lambda finding: (order[finding.severity],
+                                       finding.check, finding.detail))
+    return findings

@@ -1,0 +1,309 @@
+"""The quantitative risk norm object.
+
+Implements Sec. III-A.  A :class:`QuantitativeRiskNorm` is "essentially a
+budget of acceptable frequencies of incidents (including accidents)
+assigned to a number of consequence classes with different severity, where
+the frequency budget for each consequence class has a strict limit".
+
+The norm is the *problem-domain* artefact: it defines 'sufficiently safe'
+for the design-time safety-case top claim, is valid across the entire ODD
+("we use the same risk norm for the entire safety case"), and is shared
+across product variants (Sec. VII).  What the norm's numbers should be is
+a political/societal question the paper deliberately leaves open; the
+module therefore provides construction *helpers* — notably calibration
+against a human-driver baseline with an improvement factor — but no
+hard-coded acceptance criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from .consequence import ConsequenceClass, ConsequenceScale, example_scale
+from .quantities import Frequency, FrequencyBand, FrequencyUnit, PER_HOUR
+from .severity import SeverityDomain, UnifiedSeverity
+
+__all__ = [
+    "QuantitativeRiskNorm",
+    "AcceptanceCorridor",
+    "human_driver_baseline",
+    "norm_from_human_baseline",
+    "example_norm",
+    "societal_impact",
+]
+
+
+@dataclass(frozen=True)
+class AcceptanceCorridor:
+    """The societal acceptance corridor for one consequence class.
+
+    Sec. III-A: what is safe enough "will be a political upper limit of
+    acceptance from the society and customers; and on the other hand, it
+    should not contradict the lower claim limits understood as the state of
+    the art".  A corridor records both; a valid norm budget must lie within
+    it.
+    """
+
+    class_id: str
+    political_upper: Frequency
+    state_of_art_lower: Frequency
+
+    def __post_init__(self) -> None:
+        if self.state_of_art_lower > self.political_upper:
+            raise ValueError(
+                f"corridor for {self.class_id}: state-of-art lower claim "
+                f"{self.state_of_art_lower} exceeds political upper limit "
+                f"{self.political_upper} — no admissible norm exists"
+            )
+
+    @property
+    def band(self) -> FrequencyBand:
+        return FrequencyBand(self.state_of_art_lower, self.political_upper)
+
+    def admits(self, budget: Frequency) -> bool:
+        return self.state_of_art_lower <= budget <= self.political_upper
+
+
+class QuantitativeRiskNorm:
+    """A complete QRN: named, documented, validated consequence budgets.
+
+    The norm wraps a :class:`ConsequenceScale` and adds identity, rationale
+    and (optionally) the acceptance corridors justifying each budget.  It
+    is immutable; tightening or re-deriving produces a new norm, keeping
+    safety-case versions distinct.
+    """
+
+    def __init__(self, name: str, scale: ConsequenceScale, *,
+                 rationale: str = "",
+                 corridors: Optional[Mapping[str, AcceptanceCorridor]] = None):
+        if not name or not name.strip():
+            raise ValueError("a risk norm must be named")
+        self.name = name
+        self.scale = scale
+        self.rationale = rationale
+        self._corridors: Dict[str, AcceptanceCorridor] = dict(corridors or {})
+        for class_id, corridor in self._corridors.items():
+            if class_id not in scale:
+                raise KeyError(f"corridor for unknown class {class_id!r}")
+            if corridor.class_id != class_id:
+                raise ValueError(
+                    f"corridor keyed {class_id!r} but labelled {corridor.class_id!r}"
+                )
+            budget = scale.budget(class_id)
+            if not corridor.admits(budget):
+                raise ValueError(
+                    f"budget {budget} for {class_id} lies outside its acceptance "
+                    f"corridor [{corridor.state_of_art_lower}, {corridor.political_upper}]"
+                )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def unit(self) -> FrequencyUnit:
+        return self.scale.unit
+
+    @property
+    def class_ids(self) -> Tuple[str, ...]:
+        return self.scale.class_ids
+
+    def budget(self, class_id: str) -> Frequency:
+        """``f_v^(acceptable)`` for a class — the Eq. 1 right-hand side."""
+        return self.scale.budget(class_id)
+
+    def budgets(self) -> Dict[str, Frequency]:
+        return self.scale.budgets()
+
+    def corridor(self, class_id: str) -> Optional[AcceptanceCorridor]:
+        return self._corridors.get(class_id)
+
+    def classes(self) -> Tuple[ConsequenceClass, ...]:
+        return tuple(self.scale)
+
+    def safety_budget_total(self) -> Frequency:
+        """Combined budget over the safety (injury) classes."""
+        total = Frequency.zero(self.unit)
+        for cls in self.scale.safety_classes():
+            total = total + cls.budget
+        return total
+
+    def quality_budget_total(self) -> Frequency:
+        """Combined budget over the quality classes."""
+        total = Frequency.zero(self.unit)
+        for cls in self.scale.quality_classes():
+            total = total + cls.budget
+        return total
+
+    # -- derivation ----------------------------------------------------------
+
+    def tightened(self, factor: float, *, name: Optional[str] = None) -> "QuantitativeRiskNorm":
+        """A uniformly stricter norm (``factor`` < 1 shrinks every budget).
+
+        Corridors are dropped: a rescaled budget needs re-justification.
+        """
+        if not (0 < factor):
+            raise ValueError("factor must be positive")
+        new_name = name if name is not None else f"{self.name} ×{factor:g}"
+        return QuantitativeRiskNorm(new_name, self.scale.scaled(factor),
+                                    rationale=self.rationale)
+
+    def with_budgets(self, budgets: Mapping[str, Frequency], *,
+                     name: Optional[str] = None) -> "QuantitativeRiskNorm":
+        """A copy with selected class budgets replaced."""
+        new_name = name if name is not None else self.name
+        return QuantitativeRiskNorm(new_name, self.scale.with_budgets(budgets),
+                                    rationale=self.rationale)
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form for storage in a safety-case repository."""
+        return {
+            "name": self.name,
+            "rationale": self.rationale,
+            "unit": self.unit.base.value,
+            "classes": [
+                {
+                    "class_id": cls.class_id,
+                    "severity": cls.severity.name,
+                    "budget_rate": cls.budget.rate,
+                    "description": cls.description,
+                }
+                for cls in self.scale
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "QuantitativeRiskNorm":
+        from .quantities import ExposureBase
+
+        unit = FrequencyUnit(ExposureBase(str(data["unit"])))
+        classes = [
+            ConsequenceClass(
+                class_id=str(entry["class_id"]),
+                severity=UnifiedSeverity[str(entry["severity"])],
+                budget=Frequency(float(entry["budget_rate"]), unit),
+                description=str(entry.get("description", "")),
+            )
+            for entry in data["classes"]  # type: ignore[union-attr]
+        ]
+        return cls(str(data["name"]), ConsequenceScale(classes),
+                   rationale=str(data.get("rationale", "")))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantitativeRiskNorm):
+            return NotImplemented
+        return self.name == other.name and self.scale == other.scale
+
+    def __repr__(self) -> str:
+        return f"QuantitativeRiskNorm({self.name!r}, {len(self.scale)} classes)"
+
+
+def human_driver_baseline(unit: FrequencyUnit = PER_HOUR) -> Dict[UnifiedSeverity, Frequency]:
+    """Synthetic per-severity incident rates for human-driven traffic.
+
+    Used to anchor norm calibration the way a real programme would use
+    national statistics (the paper cites the Swedish Trafikanalys annual
+    report).  The *shape* is realistic — orders of magnitude apart per
+    severity step, fatalities around 1e-6/h — but the numbers are
+    synthetic, consistent with the paper's footnote 3.
+    """
+    rates = {
+        UnifiedSeverity.PERCEIVED_SAFETY: 5e-2,
+        UnifiedSeverity.EMERGENCY_MANOEUVRE: 1e-2,
+        UnifiedSeverity.MATERIAL_DAMAGE: 1e-3,
+        UnifiedSeverity.LIGHT_INJURY: 1e-4,
+        UnifiedSeverity.SEVERE_INJURY: 5e-6,
+        UnifiedSeverity.LIFE_THREATENING: 1e-6,
+    }
+    return {sev: Frequency(rate, unit) for sev, rate in rates.items()}
+
+
+def norm_from_human_baseline(name: str,
+                             improvement_factor: float,
+                             *,
+                             baseline: Optional[Mapping[UnifiedSeverity, Frequency]] = None,
+                             unit: FrequencyUnit = PER_HOUR,
+                             safety_extra_factor: float = 1.0,
+                             rationale: str = "") -> QuantitativeRiskNorm:
+    """Calibrate a norm as "``improvement_factor``× safer than human driving".
+
+    A common societal-acceptance position for ADS is a required improvement
+    over the human-driver status quo (e.g. 10×).  ``safety_extra_factor``
+    optionally tightens only the injury classes further, reflecting that
+    society weighs harm to humans above quality nuisances.
+
+    Corridors are attached: political upper = the baseline itself (an ADS
+    must at minimum not be worse than humans), state-of-art lower = 100×
+    below the chosen budget.
+    """
+    if improvement_factor < 1.0:
+        raise ValueError("improvement factor must be >= 1 (not worse than humans)")
+    if safety_extra_factor < 1.0:
+        raise ValueError("safety_extra_factor must be >= 1")
+    base = dict(baseline) if baseline is not None else human_driver_baseline(unit)
+    ordered = sorted(base, key=int)
+    classes = []
+    corridors: Dict[str, AcceptanceCorridor] = {}
+    for index, severity in enumerate(ordered, start=1):
+        domain_tag = "Q" if severity.domain is SeverityDomain.QUALITY else "S"
+        rank = sum(1 for s in ordered[:ordered.index(severity) + 1]
+                   if s.domain is severity.domain)
+        class_id = f"v{domain_tag}{rank}"
+        divisor = improvement_factor
+        if severity.domain is SeverityDomain.SAFETY:
+            divisor *= safety_extra_factor
+        budget = base[severity] * (1.0 / divisor)
+        classes.append(ConsequenceClass(class_id, severity, budget,
+                                        description=severity.example))
+        corridors[class_id] = AcceptanceCorridor(
+            class_id=class_id,
+            political_upper=base[severity],
+            state_of_art_lower=budget * 1e-2,
+        )
+    return QuantitativeRiskNorm(name, ConsequenceScale(classes),
+                                rationale=rationale or (
+                                    f"{improvement_factor:g}x improvement over "
+                                    "human-driver baseline"),
+                                corridors=corridors)
+
+
+def example_norm(name: str = "Example QRN (Fig. 3)") -> QuantitativeRiskNorm:
+    """The Fig. 3 example norm: 3 quality + 3 safety classes."""
+    return QuantitativeRiskNorm(
+        name,
+        example_scale(),
+        rationale="Illustrative norm mirroring Fig. 3 of the paper; "
+                  "synthetic budgets (paper footnote 3).",
+    )
+
+
+def societal_impact(norm: QuantitativeRiskNorm, fleet_size: int,
+                    hours_per_vehicle_year: float) -> Dict[str, float]:
+    """Expected incidents per year, per consequence class, fleet-wide.
+
+    The paper's conclusions face the controversy head-on: a QRN
+    "explicitly set[s] goals on the frequencies of accidents of different
+    severity (essentially saying we're allowed to kill and injure these
+    many persons per operational hour)".  This helper computes exactly
+    that number for a deployment, because the honest form of the debate
+    is over *these* figures, not over the per-hour abstractions:
+    ``budget × fleet × hours/vehicle/year`` events per year per class.
+
+    Requires a per-operating-hour norm — per-km or per-mission norms need
+    an explicit :class:`~repro.core.quantities.ExposureProfile` conversion
+    first (fleet exposure is stated in hours here).
+    """
+    from .quantities import ExposureBase
+
+    if fleet_size < 1:
+        raise ValueError("fleet size must be >= 1")
+    if hours_per_vehicle_year <= 0:
+        raise ValueError("hours per vehicle-year must be positive")
+    if norm.unit.base is not ExposureBase.OPERATING_HOUR:
+        raise ValueError(
+            f"societal impact needs a per-hour norm, got {norm.unit}; "
+            "convert via ExposureProfile first")
+    fleet_hours = fleet_size * hours_per_vehicle_year
+    return {class_id: budget.rate * fleet_hours
+            for class_id, budget in norm.budgets().items()}

@@ -1,0 +1,194 @@
+"""Safety-goal synthesis from an allocation.
+
+Implements the output side of Sec. III: "each defined incident type will
+result in one SG", each carrying "an integrity attribute in the form of a
+guaranteed frequency".  The canonical rendering follows the paper's worked
+example::
+
+    SG-I2:
+    Avoid collision Ego<->VRU,
+    with 0 < Δv_collision ≤ 10 km/h, to below f_I2 = 2e-05 /h.
+
+A :class:`SafetyGoalSet` bundles the goals with the two completeness
+artefacts the paper demands of a HARA replacement: the MECE certificate of
+the underlying taxonomy (every conceivable incident has an owning type) and
+the Eq. 1 feasibility check (the goals jointly respect the norm).  The
+``completeness_argument`` method produces the confirmation-review document
+ISO 26262 asks for, now machine-checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+from .allocation import Allocation
+from .incident import IncidentType, SpeedBand
+from .quantities import Frequency
+from .risk_norm import QuantitativeRiskNorm
+from .taxonomy import IncidentTaxonomy, MeceCertificate
+
+__all__ = ["SafetyGoal", "SafetyGoalSet", "derive_safety_goals"]
+
+
+@dataclass(frozen=True)
+class SafetyGoal:
+    """One top-level safety requirement with a quantitative integrity attribute.
+
+    Unlike an ISO 26262 SG, whose integrity attribute is a discrete ASIL,
+    the QRN SG carries the allocated maximum frequency directly — "what is
+    the maximum tolerated occurrence of violating this SG" (Sec. III).
+    """
+
+    goal_id: str
+    incident_type: IncidentType
+    max_frequency: Frequency
+
+    def __post_init__(self) -> None:
+        if not self.goal_id:
+            raise ValueError("goal_id must be non-empty")
+
+    @property
+    def type_id(self) -> str:
+        return self.incident_type.type_id
+
+    def render(self) -> str:
+        """The paper's SG text format (cf. SG-I2 in Sec. III-B)."""
+        itype = self.incident_type
+        pair = itype.actor_pair_label()
+        if isinstance(itype.margin, SpeedBand):
+            action = f"Avoid collision {pair},"
+            margin = (f"with {itype.margin.low_kmh:g} < Δv_collision ≤ "
+                      f"{itype.margin.high_kmh:g} km/h,")
+        else:
+            action = f"Avoid near-miss {pair},"
+            margin = (f"with 0 < d < {itype.margin.max_distance_m:g} m and "
+                      f"Δv > {itype.margin.min_approach_speed_kmh:g} km/h,")
+        return (f"{self.goal_id}:\n{action}\n{margin} "
+                f"to below f_{itype.type_id} = {self.max_frequency}.")
+
+    def is_satisfied_by(self, achieved: Frequency, *, rel_tol: float = 1e-9) -> bool:
+        """Whether a demonstrated rate fulfils this goal."""
+        return achieved.within(self.max_frequency, rel_tol=rel_tol)
+
+
+class SafetyGoalSet:
+    """The complete set of SGs for one item, with completeness evidence."""
+
+    def __init__(self, goals: Sequence[SafetyGoal],
+                 norm: QuantitativeRiskNorm,
+                 allocation: Allocation,
+                 certificate: Optional[MeceCertificate] = None):
+        if not goals:
+            raise ValueError("a safety-goal set must be non-empty")
+        ids = [g.goal_id for g in goals]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate safety-goal ids: {dupes}")
+        type_ids = [g.type_id for g in goals]
+        if len(set(type_ids)) != len(type_ids):
+            raise ValueError("multiple goals for one incident type")
+        for goal in goals:
+            allocated = allocation.budget(goal.type_id)
+            if goal.max_frequency != allocated:
+                raise ValueError(
+                    f"goal {goal.goal_id} frequency {goal.max_frequency} "
+                    f"disagrees with allocation {allocated}")
+        self._goals: Tuple[SafetyGoal, ...] = tuple(goals)
+        self.norm = norm
+        self.allocation = allocation
+        self.certificate = certificate
+
+    def __iter__(self) -> Iterator[SafetyGoal]:
+        return iter(self._goals)
+
+    def __len__(self) -> int:
+        return len(self._goals)
+
+    def __getitem__(self, goal_id: str) -> SafetyGoal:
+        for goal in self._goals:
+            if goal.goal_id == goal_id:
+                return goal
+        raise KeyError(f"unknown safety goal {goal_id!r}; "
+                       f"known: {[g.goal_id for g in self._goals]}")
+
+    @property
+    def goal_ids(self) -> Tuple[str, ...]:
+        return tuple(g.goal_id for g in self._goals)
+
+    def goal_for_type(self, type_id: str) -> SafetyGoal:
+        for goal in self._goals:
+            if goal.type_id == type_id:
+                return goal
+        raise KeyError(f"no goal for incident type {type_id!r}")
+
+    # -- completeness & consistency -------------------------------------------
+
+    def is_complete(self) -> bool:
+        """Complete iff the taxonomy is MECE and Eq. 1 holds.
+
+        This is the property ISO 26262 asks its confirmation review to
+        establish; under the QRN both halves are machine-checked.
+        """
+        mece_ok = self.certificate.is_mece if self.certificate is not None else False
+        return mece_ok and self.allocation.is_feasible()
+
+    def completeness_argument(self) -> str:
+        """The confirmation-review document: evidence for completeness."""
+        lines = [
+            f"Completeness & consistency argument for {len(self._goals)} "
+            f"safety goals under norm {self.norm.name!r}",
+            "",
+            "1. Collective exhaustiveness (any conceivable incident has an "
+            "owning type):",
+        ]
+        if self.certificate is None:
+            lines.append("   NOT ESTABLISHED — no MECE certificate attached.")
+        else:
+            lines.append(f"   {self.certificate.summary()}")
+        lines.append("")
+        lines.append("2. Norm fulfilment (Eq. 1 per consequence class):")
+        for class_id in self.norm.class_ids:
+            load = self.allocation.class_load(class_id)
+            budget = self.norm.budget(class_id)
+            verdict = "OK" if load.within(budget) else "VIOLATED"
+            lines.append(f"   {class_id}: Σ f_(v,I) = {load} ≤ {budget}  [{verdict}]")
+        lines.append("")
+        verdict = "COMPLETE" if self.is_complete() else "INCOMPLETE"
+        lines.append(f"Verdict: safety-goal set is {verdict}.")
+        return "\n".join(lines)
+
+    def render_all(self) -> str:
+        return "\n\n".join(goal.render() for goal in self._goals)
+
+
+def derive_safety_goals(allocation: Allocation,
+                        *, taxonomy: Optional[IncidentTaxonomy] = None,
+                        certificate: Optional[MeceCertificate] = None,
+                        ) -> SafetyGoalSet:
+    """One SG per incident type, integrity attribute = allocated budget.
+
+    If a ``taxonomy`` is supplied (and no pre-computed ``certificate``),
+    its MECE certificate is computed and attached as the completeness
+    evidence.  Incident types referencing a taxonomy leaf that does not
+    exist fail fast — a goal claiming to refine a non-existent class is a
+    completeness hole.
+    """
+    if certificate is None and taxonomy is not None:
+        certificate = taxonomy.mece_certificate()
+    if taxonomy is not None:
+        known = set(taxonomy.leaf_names)
+        for itype in allocation.types:
+            if itype.taxonomy_leaf is not None and itype.taxonomy_leaf not in known:
+                raise ValueError(
+                    f"incident type {itype.type_id} refines unknown taxonomy "
+                    f"leaf {itype.taxonomy_leaf!r}")
+    goals = [
+        SafetyGoal(
+            goal_id=f"SG-{itype.type_id}",
+            incident_type=itype,
+            max_frequency=allocation.budget(itype.type_id),
+        )
+        for itype in allocation.types
+    ]
+    return SafetyGoalSet(goals, allocation.norm, allocation, certificate)

@@ -1,0 +1,179 @@
+"""Plain-data serialisation of QRN artefacts.
+
+A safety case is a configuration-managed document set: norms, incident
+types, allocations and goals must round-trip through plain data (JSON,
+YAML, a database) without loss, so that a design revision can be diffed
+and an auditor can reconstruct exactly what was claimed.
+
+Everything here is dict-in/dict-out with only JSON-safe values; the norm
+itself already round-trips via
+:meth:`~repro.core.risk_norm.QuantitativeRiskNorm.to_dict`.  Goal sets
+serialise their completeness evidence as a *record* (the certificate's
+findings), not as a live certificate — reloading a safety case does not
+re-run the MECE check, it documents the one that ran, which is how audit
+trails work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from .allocation import Allocation
+from .incident import (ContributionSplit, IncidentType, ProximityMargin,
+                       SpeedBand)
+from .quantities import Frequency
+from .risk_norm import QuantitativeRiskNorm
+from .safety_goals import SafetyGoal, SafetyGoalSet
+from .taxonomy import ActorClass, MeceCertificate, MeceViolation
+
+__all__ = [
+    "incident_type_to_dict",
+    "incident_type_from_dict",
+    "allocation_to_dict",
+    "allocation_from_dict",
+    "certificate_to_dict",
+    "certificate_from_dict",
+    "goal_set_to_dict",
+    "goal_set_from_dict",
+]
+
+
+def incident_type_to_dict(itype: IncidentType) -> Dict[str, Any]:
+    """One incident type as plain data."""
+    if isinstance(itype.margin, SpeedBand):
+        margin: Dict[str, Any] = {
+            "kind": "speed_band",
+            "low_kmh": itype.margin.low_kmh,
+            "high_kmh": itype.margin.high_kmh,
+        }
+    else:
+        margin = {
+            "kind": "proximity",
+            "max_distance_m": itype.margin.max_distance_m,
+            "min_approach_speed_kmh": itype.margin.min_approach_speed_kmh,
+        }
+    return {
+        "type_id": itype.type_id,
+        "ego": itype.ego.value,
+        "counterpart": itype.counterpart.value,
+        "margin": margin,
+        "split": {class_id: fraction
+                  for class_id, fraction in itype.split.items()},
+        "description": itype.description,
+        "taxonomy_leaf": itype.taxonomy_leaf,
+        "induced": itype.induced,
+    }
+
+
+def incident_type_from_dict(data: Mapping[str, Any]) -> IncidentType:
+    """Rebuild an incident type; unknown margin kinds fail loudly."""
+    margin_data = data["margin"]
+    kind = margin_data["kind"]
+    if kind == "speed_band":
+        margin: "SpeedBand | ProximityMargin" = SpeedBand(
+            float(margin_data["low_kmh"]), float(margin_data["high_kmh"]))
+    elif kind == "proximity":
+        margin = ProximityMargin(
+            float(margin_data["max_distance_m"]),
+            float(margin_data["min_approach_speed_kmh"]))
+    else:
+        raise ValueError(f"unknown tolerance-margin kind {kind!r}")
+    return IncidentType(
+        type_id=str(data["type_id"]),
+        ego=ActorClass(str(data["ego"])),
+        counterpart=ActorClass(str(data["counterpart"])),
+        margin=margin,
+        split=ContributionSplit({str(k): float(v)
+                                 for k, v in data["split"].items()}),
+        description=str(data.get("description", "")),
+        taxonomy_leaf=(str(data["taxonomy_leaf"])
+                       if data.get("taxonomy_leaf") is not None else None),
+        induced=bool(data.get("induced", False)),
+    )
+
+
+def allocation_to_dict(allocation: Allocation) -> Dict[str, Any]:
+    """A full allocation: norm + types + budgets + strategy provenance."""
+    return {
+        "norm": allocation.norm.to_dict(),
+        "types": [incident_type_to_dict(t) for t in allocation.types],
+        "budgets": {type_id: budget.rate
+                    for type_id, budget in allocation.budgets().items()},
+        "strategy": allocation.strategy,
+    }
+
+
+def allocation_from_dict(data: Mapping[str, Any]) -> Allocation:
+    """Rebuild an allocation (norm + types + budgets) from plain data."""
+    norm = QuantitativeRiskNorm.from_dict(data["norm"])
+    types = [incident_type_from_dict(entry) for entry in data["types"]]
+    budgets = {str(type_id): Frequency(float(rate), norm.unit)
+               for type_id, rate in data["budgets"].items()}
+    return Allocation(norm, types, budgets,
+                      strategy=str(data.get("strategy", "deserialised")))
+
+
+def certificate_to_dict(certificate: MeceCertificate) -> Dict[str, Any]:
+    """A MECE certificate as an audit record (findings, counts, name)."""
+    return {
+        "taxonomy_name": certificate.taxonomy_name,
+        "leaf_names": list(certificate.leaf_names),
+        "structural_checks": certificate.structural_checks,
+        "points_checked": certificate.points_checked,
+        "violations": [
+            {"kind": v.kind, "detail": v.detail,
+             "point": dict(v.point) if v.point is not None else None}
+            for v in certificate.violations
+        ],
+    }
+
+
+def certificate_from_dict(data: Mapping[str, Any]) -> MeceCertificate:
+    """Rebuild a stored MECE certificate record (no re-checking occurs)."""
+    return MeceCertificate(
+        taxonomy_name=str(data["taxonomy_name"]),
+        leaf_names=tuple(str(n) for n in data["leaf_names"]),
+        structural_checks=int(data["structural_checks"]),
+        points_checked=int(data["points_checked"]),
+        violations=tuple(
+            MeceViolation(kind=str(v["kind"]), detail=str(v["detail"]),
+                          point=v.get("point"))
+            for v in data["violations"]
+        ),
+    )
+
+
+def goal_set_to_dict(goals: SafetyGoalSet) -> Dict[str, Any]:
+    """A complete goal set including its allocation and evidence record."""
+    return {
+        "allocation": allocation_to_dict(goals.allocation),
+        "goals": [
+            {"goal_id": goal.goal_id, "type_id": goal.type_id,
+             "max_frequency_rate": goal.max_frequency.rate}
+            for goal in goals
+        ],
+        "certificate": (certificate_to_dict(goals.certificate)
+                        if goals.certificate is not None else None),
+    }
+
+
+def goal_set_from_dict(data: Mapping[str, Any]) -> SafetyGoalSet:
+    """Rebuild a goal set; goals must reference types in the allocation."""
+    allocation = allocation_from_dict(data["allocation"])
+    by_type = {t.type_id: t for t in allocation.types}
+    goals: List[SafetyGoal] = []
+    for entry in data["goals"]:
+        type_id = str(entry["type_id"])
+        if type_id not in by_type:
+            raise ValueError(
+                f"goal {entry['goal_id']!r} references unknown incident "
+                f"type {type_id!r}")
+        goals.append(SafetyGoal(
+            goal_id=str(entry["goal_id"]),
+            incident_type=by_type[type_id],
+            max_frequency=Frequency(float(entry["max_frequency_rate"]),
+                                    allocation.norm.unit),
+        ))
+    certificate = (certificate_from_dict(data["certificate"])
+                   if data.get("certificate") is not None else None)
+    return SafetyGoalSet(goals, allocation.norm, allocation, certificate)

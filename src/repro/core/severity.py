@@ -1,0 +1,177 @@
+"""Severity scales for the unified quality + safety axis.
+
+Implements the x-axis of Figs. 1 and 2 of the paper.  ISO 26262 grades only
+injury outcomes (S0–S3).  The QRN proposal widens the axis to the left with
+*quality* consequences — perceived safety, induced emergency manoeuvres,
+material damage — so that "light rear-end collisions resulting in bodywork
+damage, or careless driving causing other road users to perform emergency
+manoeuvres" live in the same risk framework as injuries (Sec. III-A,
+Fig. 2).
+
+Two scales are provided:
+
+* :class:`IsoSeverity` — the standard's S0–S3 classes, used by the HARA
+  baseline in :mod:`repro.hara`.
+* :class:`UnifiedSeverity` — the paper's widened ordering, used by the QRN.
+
+plus explicit, documented mappings between them.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional
+
+__all__ = [
+    "SeverityDomain",
+    "IsoSeverity",
+    "UnifiedSeverity",
+    "unified_to_iso",
+    "iso_to_unified",
+]
+
+
+import enum
+
+
+class SeverityDomain(enum.Enum):
+    """Which half of Fig. 2 a severity level belongs to.
+
+    Quality consequences are "economic harm / harm to brand"; safety
+    consequences are "harm of injury to humans".
+    """
+
+    QUALITY = "quality"
+    SAFETY = "safety"
+
+
+class IsoSeverity(IntEnum):
+    """ISO 26262 severity classes (S-factor).
+
+    The integer value is the standard's ordinal; ordering is meaningful
+    (``S3 > S1``).
+    """
+
+    S0 = 0  #: no injuries
+    S1 = 1  #: light to moderate injuries
+    S2 = 2  #: severe injuries (survival probable)
+    S3 = 3  #: life-threatening or fatal injuries
+
+    @property
+    def description(self) -> str:
+        return _ISO_DESCRIPTIONS[self]
+
+
+_ISO_DESCRIPTIONS = {
+    IsoSeverity.S0: "no injuries",
+    IsoSeverity.S1: "light to moderate injuries",
+    IsoSeverity.S2: "severe injuries, survival probable",
+    IsoSeverity.S3: "life-threatening or fatal injuries",
+}
+
+
+class UnifiedSeverity(IntEnum):
+    """The widened severity axis of Fig. 2, least to most severe.
+
+    The three left-most levels are quality consequences, the three
+    right-most are safety consequences.  The integer value orders the axis;
+    crossing from ``MATERIAL_DAMAGE`` to ``LIGHT_INJURY`` is the
+    quality→safety boundary (the blue/red split in Fig. 2).
+    """
+
+    PERCEIVED_SAFETY = 0
+    """E.g. causing a scared pedestrian or passenger."""
+
+    EMERGENCY_MANOEUVRE = 1
+    """E.g. causing an evasive manoeuvre for another road user."""
+
+    MATERIAL_DAMAGE = 2
+    """E.g. collision resulting in bodywork damage, no injuries."""
+
+    LIGHT_INJURY = 3
+    """Light to moderate injuries, e.g. low-speed car collision."""
+
+    SEVERE_INJURY = 4
+    """Severe injuries, e.g. medium-speed car collision."""
+
+    LIFE_THREATENING = 5
+    """Life-threatening/fatal, e.g. high-speed or pedestrian collision."""
+
+    @property
+    def domain(self) -> SeverityDomain:
+        """Quality for the three low levels, safety for the three high."""
+        if self <= UnifiedSeverity.MATERIAL_DAMAGE:
+            return SeverityDomain.QUALITY
+        return SeverityDomain.SAFETY
+
+    @property
+    def description(self) -> str:
+        return _UNIFIED_DESCRIPTIONS[self]
+
+    @property
+    def example(self) -> str:
+        """The illustrative incident the paper's Fig. 2 places at this level."""
+        return _UNIFIED_EXAMPLES[self]
+
+
+_UNIFIED_DESCRIPTIONS = {
+    UnifiedSeverity.PERCEIVED_SAFETY: "perceived safety degradation",
+    UnifiedSeverity.EMERGENCY_MANOEUVRE: "induced emergency manoeuvre",
+    UnifiedSeverity.MATERIAL_DAMAGE: "material damage only",
+    UnifiedSeverity.LIGHT_INJURY: "light to moderate injuries",
+    UnifiedSeverity.SEVERE_INJURY: "severe injuries",
+    UnifiedSeverity.LIFE_THREATENING: "life-threatening or fatal injuries",
+}
+
+_UNIFIED_EXAMPLES = {
+    UnifiedSeverity.PERCEIVED_SAFETY: "causing scared pedestrian or passenger",
+    UnifiedSeverity.EMERGENCY_MANOEUVRE: "causing evasive manoeuvre for other road user",
+    UnifiedSeverity.MATERIAL_DAMAGE: "collision resulting in bodywork damage",
+    UnifiedSeverity.LIGHT_INJURY: "collision with other car at low speed",
+    UnifiedSeverity.SEVERE_INJURY: "collision with other car at medium speed",
+    UnifiedSeverity.LIFE_THREATENING: "collision with car at high speed or with pedestrian",
+}
+
+
+def unified_to_iso(severity: UnifiedSeverity) -> IsoSeverity:
+    """Project the unified axis onto ISO S0–S3.
+
+    All quality levels collapse onto S0 — ISO 26262 is scoped to injuries
+    only (Fig. 1: "Scope of ISO 26262"), which is precisely the gap the
+    unified axis fills.
+    """
+    mapping = {
+        UnifiedSeverity.PERCEIVED_SAFETY: IsoSeverity.S0,
+        UnifiedSeverity.EMERGENCY_MANOEUVRE: IsoSeverity.S0,
+        UnifiedSeverity.MATERIAL_DAMAGE: IsoSeverity.S0,
+        UnifiedSeverity.LIGHT_INJURY: IsoSeverity.S1,
+        UnifiedSeverity.SEVERE_INJURY: IsoSeverity.S2,
+        UnifiedSeverity.LIFE_THREATENING: IsoSeverity.S3,
+    }
+    return mapping[severity]
+
+
+def iso_to_unified(severity: IsoSeverity, *,
+                   quality_detail: Optional[UnifiedSeverity] = None) -> UnifiedSeverity:
+    """Lift an ISO severity onto the unified axis.
+
+    ``S0`` is ambiguous on the wider axis (it could be any quality level);
+    the caller must disambiguate via ``quality_detail`` when lifting S0, and
+    must not pass it otherwise.
+    """
+    if severity is IsoSeverity.S0:
+        if quality_detail is None:
+            raise ValueError(
+                "ISO S0 spans all quality levels; pass quality_detail to disambiguate"
+            )
+        if quality_detail.domain is not SeverityDomain.QUALITY:
+            raise ValueError(f"{quality_detail.name} is not a quality level")
+        return quality_detail
+    if quality_detail is not None:
+        raise ValueError("quality_detail is only meaningful for S0")
+    mapping = {
+        IsoSeverity.S1: UnifiedSeverity.LIGHT_INJURY,
+        IsoSeverity.S2: UnifiedSeverity.SEVERE_INJURY,
+        IsoSeverity.S3: UnifiedSeverity.LIFE_THREATENING,
+    }
+    return mapping[severity]

@@ -1,0 +1,48 @@
+"""ISO 26262:2018 HARA baseline — the method the QRN tailors away.
+
+Implemented faithfully so the paper's critiques (Sec. II-B) and the
+quantitative-vs-ASIL comparison (Sec. V) can be demonstrated against a
+real implementation rather than a straw man: S/E/C rating classes, the
+ASIL determination table, HAZOP hazard derivation, cross-product situation
+enumeration, the full study pipeline, and the decomposition/inheritance
+rules including their large-design breakdown.
+"""
+
+from .asil import (Asil, RiskReductionWaterfall, asil_rate_band,
+                   determine_asil, determine_asil_sum_rule,
+                   frequency_to_asil_band, risk_reduction_waterfall)
+from .controllability import (ControllabilityClass, ads_controllability,
+                              controllability_from_probability)
+from .decomposition import (DECOMPOSITION_SCHEMES, DecomposedRequirement,
+                            DecompositionError, InheritanceAnalysis,
+                            analyse_inheritance, decompose,
+                            inheritance_effective_rate,
+                            is_valid_decomposition, valid_decompositions)
+from .exposure import (ExposureClass, exposure_from_fraction,
+                       exposure_from_rate_per_hour)
+from .hara import HaraStudy, RatingModel, run_hara
+from .iterative import (IterationRound, IterativeHaraResult,
+                        asil_threshold_assessor, run_iterative_hara)
+from .hazard import GuideWord, Hazard, VehicleFunction, derive_hazards
+from .hazardous_event import HazardousEvent, IsoSafetyGoal, SecRating
+from .situation import (OperationalSituation, SituationCatalog,
+                        SituationDimension, standard_dimensions)
+
+__all__ = [
+    "Asil", "determine_asil", "determine_asil_sum_rule", "asil_rate_band",
+    "frequency_to_asil_band", "RiskReductionWaterfall",
+    "risk_reduction_waterfall",
+    "ExposureClass", "exposure_from_fraction", "exposure_from_rate_per_hour",
+    "ControllabilityClass", "controllability_from_probability",
+    "ads_controllability",
+    "GuideWord", "VehicleFunction", "Hazard", "derive_hazards",
+    "SecRating", "HazardousEvent", "IsoSafetyGoal",
+    "SituationDimension", "OperationalSituation", "SituationCatalog",
+    "standard_dimensions",
+    "RatingModel", "HaraStudy", "run_hara",
+    "DECOMPOSITION_SCHEMES", "valid_decompositions", "is_valid_decomposition",
+    "DecompositionError", "decompose", "DecomposedRequirement",
+    "inheritance_effective_rate", "InheritanceAnalysis", "analyse_inheritance",
+    "IterationRound", "IterativeHaraResult", "asil_threshold_assessor",
+    "run_iterative_hara",
+]

@@ -1,0 +1,86 @@
+"""ISO 26262 controllability classes (C-factor).
+
+Controllability rates the ability of the driver (or other persons at risk)
+to avoid the harm once the hazardous event occurs.  For an ADS this factor
+is structurally problematic — there is no attentive human driver, which is
+one of the standard critiques the paper cites ([2], [11], [12] in its
+related work): "human passengers would not be ready and able to mitigate a
+failure".  :func:`ads_controllability` encodes the resulting convention of
+rating ADS hazardous events C3 unless an *independent* mitigation exists.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["ControllabilityClass", "controllability_from_probability",
+           "ads_controllability"]
+
+
+class ControllabilityClass(IntEnum):
+    """C0 (controllable in general) to C3 (difficult or uncontrollable)."""
+
+    C0 = 0  #: controllable in general
+    C1 = 1  #: simply controllable (>= 99% of drivers)
+    C2 = 2  #: normally controllable (>= 90% of drivers)
+    C3 = 3  #: difficult to control or uncontrollable (< 90%)
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+    @property
+    def min_control_probability(self) -> float:
+        """Lower edge of the avoid-harm probability band for this class."""
+        return _PROB_LOWER[self]
+
+
+_DESCRIPTIONS = {
+    ControllabilityClass.C0: "controllable in general",
+    ControllabilityClass.C1: "simply controllable (>=99% of average drivers)",
+    ControllabilityClass.C2: "normally controllable (>=90% of average drivers)",
+    ControllabilityClass.C3: "difficult to control or uncontrollable",
+}
+
+_PROB_LOWER = {
+    ControllabilityClass.C0: 1.0,
+    ControllabilityClass.C1: 0.99,
+    ControllabilityClass.C2: 0.90,
+    ControllabilityClass.C3: 0.0,
+}
+
+
+def controllability_from_probability(avoid_probability: float) -> ControllabilityClass:
+    """Classify from the probability an average driver avoids the harm.
+
+    C1 at ≥ 99 %, C2 at ≥ 90 %, else C3.  C0 is reserved for hazards
+    controllable in general (probability exactly 1 with margin), per the
+    standard's examples (e.g. unexpected radio volume increase).
+    """
+    if not (0.0 <= avoid_probability <= 1.0):
+        raise ValueError(
+            f"avoid probability must be in [0, 1], got {avoid_probability}")
+    if avoid_probability >= 1.0:
+        return ControllabilityClass.C0
+    if avoid_probability >= 0.99:
+        return ControllabilityClass.C1
+    if avoid_probability >= 0.90:
+        return ControllabilityClass.C2
+    return ControllabilityClass.C3
+
+
+def ads_controllability(independent_mitigation: bool = False,
+                        mitigation_effectiveness: float = 0.0,
+                        ) -> ControllabilityClass:
+    """Controllability for an ADS hazardous event (no attentive driver).
+
+    Without an independent mitigation (e.g. a mechanically separate
+    emergency braking path, infrastructure interlock) the passengers
+    cannot be credited with controlling anything: C3.  With one, the
+    mitigation's effectiveness is classified like a driver's avoidance
+    probability — but it must be genuinely independent of the failed
+    function, which the caller asserts by passing the flag.
+    """
+    if not independent_mitigation:
+        return ControllabilityClass.C3
+    return controllability_from_probability(mitigation_effectiveness)

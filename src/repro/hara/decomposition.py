@@ -1,0 +1,159 @@
+"""ASIL decomposition and inheritance — including where they break.
+
+Implements the ISO 26262-9 rules the paper's Sec. V interrogates:
+
+* **Decomposition** (ISO 26262-9 §5): a requirement at one ASIL may be
+  split over *sufficiently independent* redundant elements at lower
+  ASILs, per the standard's permitted schemes (D→C+A, D→B+B, D→D+QM, …).
+* **Inheritance**: every requirement refined from a safety goal inherits
+  the goal's ASIL, regardless of how many elements end up contributing.
+
+The paper's argument is that inheritance carries an *implicit* assumption
+— "the total complexity of the design contributing to one safety goal is
+limited" — which ADS architectures violate.
+:func:`inheritance_effective_rate` quantifies the breakdown: with ``n``
+elements each individually meeting the rate band of the inherited ASIL,
+the composed vehicle-level violation rate is ``n`` times the band edge,
+and for large ``n`` the actually-achieved level is far below the claimed
+one.  Benchmark E9 sweeps ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .asil import Asil, asil_rate_band, frequency_to_asil_band
+
+__all__ = [
+    "DECOMPOSITION_SCHEMES",
+    "valid_decompositions",
+    "is_valid_decomposition",
+    "DecompositionError",
+    "decompose",
+    "DecomposedRequirement",
+    "inheritance_effective_rate",
+    "InheritanceAnalysis",
+    "analyse_inheritance",
+]
+
+
+class DecompositionError(ValueError):
+    """Raised for decompositions the standard does not permit."""
+
+
+# ISO 26262-9:2018 Figure 2 — the permitted decomposition schemes.
+DECOMPOSITION_SCHEMES: Dict[Asil, Tuple[Tuple[Asil, Asil], ...]] = {
+    Asil.D: ((Asil.C, Asil.A), (Asil.B, Asil.B), (Asil.D, Asil.QM)),
+    Asil.C: ((Asil.B, Asil.A), (Asil.C, Asil.QM)),
+    Asil.B: ((Asil.A, Asil.A), (Asil.B, Asil.QM)),
+    Asil.A: ((Asil.A, Asil.QM),),
+    Asil.QM: (),
+}
+
+
+def valid_decompositions(level: Asil) -> Tuple[Tuple[Asil, Asil], ...]:
+    """The permitted two-way splits of a requirement at ``level``."""
+    return DECOMPOSITION_SCHEMES[level]
+
+
+def is_valid_decomposition(level: Asil, parts: Sequence[Asil]) -> bool:
+    """Whether a two-way split is one of the standard's schemes.
+
+    Order-insensitive; only two-way splits are defined by the standard
+    (deeper splits are applied recursively).
+    """
+    if len(parts) != 2:
+        return False
+    pair = tuple(sorted(parts, reverse=True))
+    return any(tuple(sorted(scheme, reverse=True)) == pair
+               for scheme in DECOMPOSITION_SCHEMES[level])
+
+
+@dataclass(frozen=True)
+class DecomposedRequirement:
+    """One element requirement produced by decomposition.
+
+    The ``(X)`` notation of the standard — e.g. "ASIL B(D)" — is preserved
+    via ``decomposed_from``: the element is developed at ``level`` but the
+    original goal's ASIL still governs e.g. confirmation-measure rigour.
+    """
+
+    name: str
+    level: Asil
+    decomposed_from: Asil
+
+    def notation(self) -> str:
+        if self.level is Asil.QM:
+            return f"QM({self.decomposed_from.name})"
+        return f"ASIL {self.level.name}({self.decomposed_from.name})"
+
+
+def decompose(level: Asil, parts: Sequence[Asil],
+              names: Sequence[str]) -> List[DecomposedRequirement]:
+    """Apply one decomposition step, validating against the schemes.
+
+    The standard additionally requires the elements to be *sufficiently
+    independent*; that is an architectural property this function cannot
+    check — callers assert it, and :mod:`repro.assurance` models the
+    common-cause consequences when it fails.
+    """
+    if len(names) != len(parts):
+        raise DecompositionError("one name per decomposition part required")
+    if not is_valid_decomposition(level, parts):
+        allowed = ", ".join(
+            f"{a.name}+{b.name}" for a, b in DECOMPOSITION_SCHEMES[level])
+        raise DecompositionError(
+            f"{'+'.join(p.name for p in parts)} is not a permitted "
+            f"decomposition of {level} (allowed: {allowed or 'none'})")
+    return [DecomposedRequirement(name, part, level)
+            for name, part in zip(names, parts)]
+
+
+def inheritance_effective_rate(n_elements: int, inherited_level: Asil) -> float:
+    """Vehicle-level violation rate when ``n`` inherited elements contribute.
+
+    Each element individually sits at the edge of its inherited level's
+    rate band; the contributions are independent failure causes, so rates
+    add (series composition).  The result is the paper's Sec. V point:
+    "we can still claim ASIL A for the SG, despite having thousands of
+    potential contributing ASIL A fault causes".
+    """
+    if n_elements < 1:
+        raise ValueError("need at least one element")
+    band = asil_rate_band(inherited_level)
+    if math.isinf(band):
+        raise ValueError(
+            f"{inherited_level} has no numeric rate band to aggregate")
+    return n_elements * band
+
+
+@dataclass(frozen=True)
+class InheritanceAnalysis:
+    """The claimed-vs-achieved gap for one inheritance scenario."""
+
+    claimed_level: Asil
+    n_elements: int
+    effective_rate: float
+    achieved_level: Asil
+
+    @property
+    def is_sound(self) -> bool:
+        """Whether the composed rate still honours the claimed level."""
+        return self.achieved_level >= self.claimed_level
+
+    def gap_levels(self) -> int:
+        """How many integrity levels the claim overstates (0 when sound)."""
+        return max(0, int(self.claimed_level) - int(self.achieved_level))
+
+
+def analyse_inheritance(claimed_level: Asil, n_elements: int) -> InheritanceAnalysis:
+    """Quantify whether ASIL inheritance is sound at a given design size."""
+    rate = inheritance_effective_rate(n_elements, claimed_level)
+    return InheritanceAnalysis(
+        claimed_level=claimed_level,
+        n_elements=n_elements,
+        effective_rate=rate,
+        achieved_level=frequency_to_asil_band(rate),
+    )

@@ -1,0 +1,91 @@
+"""ISO 26262 exposure classes (E-factor).
+
+Exposure rates the probability of being in the operational situation in
+which a hazard would be dangerous.  Classes E0–E4 follow the standard's
+duration-based guidance (ISO 26262-3, Annex B): the fraction of overall
+operating time spent in the situation.
+
+The paper's Sec. II-B-2 critique lives here too: for an ADS the exposure is
+*not* exogenous — "what situations the ADS will be exposed to will depend
+on its decisions in previous situations".  :func:`exposure_from_fraction`
+is therefore exactly the kind of design-time hard-coding the QRN avoids;
+benchmark E7 shows the same physical situation flipping exposure class as
+the tactical policy changes.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["ExposureClass", "exposure_from_fraction", "exposure_from_rate_per_hour"]
+
+
+class ExposureClass(IntEnum):
+    """E0 (incredible) to E4 (high probability)."""
+
+    E0 = 0  #: incredible
+    E1 = 1  #: very low probability
+    E2 = 2  #: low probability
+    E3 = 3  #: medium probability
+    E4 = 4  #: high probability
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+    @property
+    def max_time_fraction(self) -> float:
+        """Upper edge of the operating-time fraction band for this class."""
+        return _FRACTION_UPPER[self]
+
+
+_DESCRIPTIONS = {
+    ExposureClass.E0: "incredible",
+    ExposureClass.E1: "very low probability",
+    ExposureClass.E2: "low probability (<1% of operating time)",
+    ExposureClass.E3: "medium probability (1-10% of operating time)",
+    ExposureClass.E4: "high probability (>10% of operating time)",
+}
+
+# Duration-based class edges (fraction of operating time), following the
+# standard's Annex B informative tables.
+_FRACTION_UPPER = {
+    ExposureClass.E0: 0.0,
+    ExposureClass.E1: 0.001,
+    ExposureClass.E2: 0.01,
+    ExposureClass.E3: 0.10,
+    ExposureClass.E4: 1.0,
+}
+
+
+def exposure_from_fraction(time_fraction: float) -> ExposureClass:
+    """Classify exposure from the fraction of operating time in the situation.
+
+    Follows the duration guidance: E1 below 0.1 %, E2 below 1 %, E3 below
+    10 %, E4 above.  A strictly zero fraction is E0 (incredible).
+    """
+    if not (0.0 <= time_fraction <= 1.0):
+        raise ValueError(f"time fraction must be in [0, 1], got {time_fraction}")
+    if time_fraction == 0.0:
+        return ExposureClass.E0
+    if time_fraction < _FRACTION_UPPER[ExposureClass.E1]:
+        return ExposureClass.E1
+    if time_fraction < _FRACTION_UPPER[ExposureClass.E2]:
+        return ExposureClass.E2
+    if time_fraction < _FRACTION_UPPER[ExposureClass.E3]:
+        return ExposureClass.E3
+    return ExposureClass.E4
+
+
+def exposure_from_rate_per_hour(rate_per_hour: float,
+                                mean_duration_h: float) -> ExposureClass:
+    """Classify exposure from a situation's occurrence rate and duration.
+
+    Converts to an operating-time fraction ``rate × duration`` (occupancy)
+    and classifies; occupancy above 1 saturates at E4.
+    """
+    if rate_per_hour < 0:
+        raise ValueError("rate must be >= 0")
+    if mean_duration_h <= 0:
+        raise ValueError("mean duration must be positive")
+    return exposure_from_fraction(min(rate_per_hour * mean_duration_h, 1.0))

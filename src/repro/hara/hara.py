@@ -1,0 +1,178 @@
+"""The full ISO 26262:2018 HARA pipeline (the paper's baseline).
+
+Runs the conventional study end to end:
+
+1. HAZOP over the item's vehicle-level functions → hazards;
+2. cross with the operational-situation catalog → candidate hazardous
+   events;
+3. rate each HE (severity / exposure / controllability) via caller-supplied
+   rating functions — in a real study this is expert judgement, here it is
+   a pluggable model;
+4. determine ASILs and emit one qualitative safety goal per HE above QM.
+
+The study object reports the statistics the paper's critique turns on: how
+many situations were enumerated, how many HEs were rated, and — crucially
+— that the completeness of the result rests on the *assumption* that the
+situation catalog was exhaustive (:meth:`HaraStudy.completeness_argument`
+can only ever state that assumption, unlike the QRN's machine-checked MECE
+certificate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.severity import IsoSeverity
+from .asil import Asil
+from .controllability import ControllabilityClass
+from .exposure import exposure_from_fraction
+from .hazard import Hazard, VehicleFunction, derive_hazards
+from .hazardous_event import HazardousEvent, IsoSafetyGoal, SecRating
+from .situation import OperationalSituation, SituationCatalog
+
+__all__ = ["RatingModel", "HaraStudy", "run_hara"]
+
+
+RatingFn = Callable[[Hazard, OperationalSituation], Optional[SecRating]]
+
+
+@dataclass(frozen=True)
+class RatingModel:
+    """Pluggable stand-in for the expert judgement of a rating workshop.
+
+    ``severity`` and ``controllability`` map (hazard, situation) to their
+    classes; ``relevant`` may veto combinations that make no physical
+    sense (a braking hazard in a parked situation).  Exposure is derived
+    from the catalog's operating-time fractions — the design-time
+    hard-coding of exposure that Sec. II-B-2 criticises is thereby
+    explicit in the baseline's structure.
+    """
+
+    severity: Callable[[Hazard, OperationalSituation], IsoSeverity]
+    controllability: Callable[[Hazard, OperationalSituation], ControllabilityClass]
+    relevant: Callable[[Hazard, OperationalSituation], bool] = lambda h, s: True
+
+
+class HaraStudy:
+    """The output of a conventional HARA: rated HEs and ISO safety goals."""
+
+    def __init__(self, events: Sequence[HazardousEvent],
+                 situations_considered: int,
+                 hazards_considered: int):
+        self._events: Tuple[HazardousEvent, ...] = tuple(events)
+        ids = [e.event_id for e in self._events]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate hazardous-event ids")
+        self.situations_considered = situations_considered
+        self.hazards_considered = hazards_considered
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[HazardousEvent]:
+        return iter(self._events)
+
+    def events_by_asil(self) -> Dict[Asil, List[HazardousEvent]]:
+        buckets: Dict[Asil, List[HazardousEvent]] = {level: [] for level in Asil}
+        for event in self._events:
+            buckets[event.asil].append(event)
+        return buckets
+
+    def highest_asil(self) -> Asil:
+        if not self._events:
+            return Asil.QM
+        return max(event.asil for event in self._events)
+
+    def safety_goals(self) -> List[IsoSafetyGoal]:
+        """One ASIL-attributed goal per HE above QM.
+
+        Real studies merge HEs sharing a hazard into one goal at the max
+        ASIL; we emit per-event goals first and merging is a separate,
+        testable step (:meth:`merged_safety_goals`).
+        """
+        return [
+            IsoSafetyGoal(
+                goal_id=f"SG-{event.event_id}",
+                statement=f"Prevent: {event.hazard.statement} "
+                          f"(in {event.situation.label()})",
+                asil=event.asil,
+                covers_event=event.event_id,
+            )
+            for event in self._events if event.needs_safety_goal()
+        ]
+
+    def merged_safety_goals(self) -> List[IsoSafetyGoal]:
+        """One goal per *hazard*, at the maximum ASIL over its events.
+
+        The conventional consolidation: the SG must hold in every
+        situation, so it inherits the worst rating.
+        """
+        worst: Dict[str, HazardousEvent] = {}
+        for event in self._events:
+            if not event.needs_safety_goal():
+                continue
+            current = worst.get(event.hazard.hazard_id)
+            if current is None or event.asil > current.asil:
+                worst[event.hazard.hazard_id] = event
+        return [
+            IsoSafetyGoal(
+                goal_id=f"SG-{hazard_id}",
+                statement=f"Prevent: {event.hazard.statement}",
+                asil=event.asil,
+                covers_event=event.event_id,
+            )
+            for hazard_id, event in sorted(worst.items())
+        ]
+
+    def completeness_argument(self) -> str:
+        """The best completeness claim a conventional HARA can make.
+
+        Note the contrast with
+        :meth:`repro.core.safety_goals.SafetyGoalSet.completeness_argument`:
+        here the load-bearing sentence is an *assumption* about the
+        situation catalog, not a checked property.
+        """
+        return (
+            f"HARA considered {self.hazards_considered} hazards x "
+            f"{self.situations_considered} operational situations = "
+            f"{self.hazards_considered * self.situations_considered} candidate "
+            f"combinations, rating {len(self._events)} as relevant hazardous "
+            "events.\n"
+            "Completeness rests on the ASSUMPTION that the situation catalog "
+            "covers all relevant operational situations and the hazard list "
+            "all malfunctioning behaviours; neither is machine-checkable "
+            "(cf. paper Sec. II-B-1)."
+        )
+
+
+def run_hara(functions: Sequence[VehicleFunction],
+             catalog: SituationCatalog,
+             model: RatingModel) -> HaraStudy:
+    """Execute the conventional HARA pipeline.
+
+    Exposure for each situation comes from the catalog's operating-time
+    fractions via :func:`~repro.hara.exposure.exposure_from_fraction`.
+    Combinations the model marks irrelevant are dropped (but still counted
+    in the considered totals — the effort of dismissing them is part of
+    the method's cost).
+    """
+    hazards = derive_hazards(functions)
+    events: List[HazardousEvent] = []
+    situations = list(catalog.enumerate_situations())
+    for hazard in hazards:
+        for index, situation in enumerate(situations):
+            if not model.relevant(hazard, situation):
+                continue
+            severity = model.severity(hazard, situation)
+            exposure = exposure_from_fraction(catalog.time_fraction(situation))
+            controllability = model.controllability(hazard, situation)
+            rating = SecRating(severity, exposure, controllability)
+            events.append(HazardousEvent(
+                event_id=f"HE-{hazard.hazard_id}-S{index:04d}",
+                hazard=hazard,
+                situation=situation,
+                rating=rating,
+            ))
+    return HaraStudy(events, situations_considered=len(situations),
+                     hazards_considered=len(hazards))

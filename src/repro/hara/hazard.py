@@ -1,0 +1,104 @@
+"""Hazards and HAZOP-style hazard derivation.
+
+ISO 26262 defines a hazard as a "potential source of harm caused by
+malfunctioning behaviour of the item".  Conventional practice derives
+hazards by applying HAZOP guidewords (IEC 61882) to each vehicle-level
+function: *no* braking when requested, *more* steering than commanded,
+*unintended* acceleration, and so on.  The paper's Sec. II-B-3 argues this
+framing fits driver-assisting functions (whose promise is a well-defined
+capability the driver relies on) but not an ADS (whose promise is "drive
+safely from A to B") — the baseline is implemented faithfully so the
+contrast can be shown, not because it is endorsed for ADS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Sequence, Tuple
+
+__all__ = ["GuideWord", "VehicleFunction", "Hazard", "derive_hazards"]
+
+
+class GuideWord(Enum):
+    """IEC 61882 guidewords as conventionally specialised for E/E functions."""
+
+    NO = "no"                    #: function not delivered when demanded
+    MORE = "more"                #: quantitatively too much
+    LESS = "less"                #: quantitatively too little
+    REVERSE = "reverse"          #: opposite of the intent
+    EARLY = "early"              #: correct but too soon
+    LATE = "late"                #: correct but too late
+    UNINTENDED = "unintended"    #: delivered without demand
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class VehicleFunction:
+    """A vehicle-level function a HAZOP pass iterates over.
+
+    ``applicable_guidewords`` lets a function exclude physically
+    meaningless deviations (there is no *reverse* of 'provide ambient
+    lighting'); default is all guidewords.
+    """
+
+    name: str
+    description: str = ""
+    applicable_guidewords: Tuple[GuideWord, ...] = tuple(GuideWord)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("function must be named")
+        if not self.applicable_guidewords:
+            raise ValueError(
+                f"function {self.name!r} admits no guidewords — nothing to analyse")
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One malfunctioning behaviour: a (function, guideword) deviation."""
+
+    hazard_id: str
+    function: VehicleFunction
+    guideword: GuideWord
+    statement: str
+
+    def __post_init__(self) -> None:
+        if not self.hazard_id:
+            raise ValueError("hazard_id must be non-empty")
+
+
+_STATEMENTS = {
+    GuideWord.NO: "{fn} is not delivered when demanded",
+    GuideWord.MORE: "{fn} is delivered with excessive magnitude",
+    GuideWord.LESS: "{fn} is delivered with insufficient magnitude",
+    GuideWord.REVERSE: "{fn} acts opposite to the demand",
+    GuideWord.EARLY: "{fn} is delivered before it is demanded",
+    GuideWord.LATE: "{fn} is delivered too late after the demand",
+    GuideWord.UNINTENDED: "{fn} is delivered although not demanded",
+}
+
+
+def derive_hazards(functions: Sequence[VehicleFunction]) -> List[Hazard]:
+    """The HAZOP pass: every function × its applicable guidewords.
+
+    Hazard ids are deterministic (``H-<function>-<guideword>``) so repeated
+    derivations are stable across study revisions.
+    """
+    if not functions:
+        raise ValueError("HAZOP needs at least one function")
+    names = [f.name for f in functions]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate function names")
+    hazards: List[Hazard] = []
+    for function in functions:
+        for guideword in function.applicable_guidewords:
+            hazards.append(Hazard(
+                hazard_id=f"H-{function.name}-{guideword.value}",
+                function=function,
+                guideword=guideword,
+                statement=_STATEMENTS[guideword].format(fn=function.name),
+            ))
+    return hazards

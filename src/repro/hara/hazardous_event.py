@@ -1,0 +1,86 @@
+"""Hazardous events: hazard × operational situation, S/E/C rated.
+
+The ISO 26262 HARA's unit of analysis — "a risk assessment is made for
+each combination of hazard and operational situation, called hazardous
+event" — with its rating and the qualitative safety goal it produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.severity import IsoSeverity
+from .asil import Asil, determine_asil
+from .controllability import ControllabilityClass
+from .exposure import ExposureClass
+from .hazard import Hazard
+from .situation import OperationalSituation
+
+__all__ = ["SecRating", "HazardousEvent", "IsoSafetyGoal"]
+
+
+@dataclass(frozen=True)
+class SecRating:
+    """A severity / exposure / controllability triple."""
+
+    severity: IsoSeverity
+    exposure: ExposureClass
+    controllability: ControllabilityClass
+
+    @property
+    def asil(self) -> Asil:
+        return determine_asil(self.severity, self.exposure, self.controllability)
+
+
+@dataclass(frozen=True)
+class HazardousEvent:
+    """One rated hazard-in-situation combination."""
+
+    event_id: str
+    hazard: Hazard
+    situation: OperationalSituation
+    rating: SecRating
+
+    def __post_init__(self) -> None:
+        if not self.event_id:
+            raise ValueError("event_id must be non-empty")
+
+    @property
+    def asil(self) -> Asil:
+        return self.rating.asil
+
+    def needs_safety_goal(self) -> bool:
+        """Only HEs rated above QM require an SG (and an ASIL attribute)."""
+        return self.asil is not Asil.QM
+
+    def describe(self) -> str:
+        return (f"{self.event_id}: {self.hazard.statement} | "
+                f"{self.situation.label()} | "
+                f"S{int(self.rating.severity)}/E{int(self.rating.exposure)}/"
+                f"C{int(self.rating.controllability)} → {self.asil}")
+
+
+@dataclass(frozen=True)
+class IsoSafetyGoal:
+    """A conventional ISO 26262 safety goal with a discrete ASIL attribute.
+
+    Contrast with :class:`repro.core.safety_goals.SafetyGoal`: the
+    integrity attribute here is a level, not a frequency, and the goal
+    text refers to a hazard, not an incident type.
+    """
+
+    goal_id: str
+    statement: str
+    asil: Asil
+    covers_event: str
+    """The hazardous-event id this SG addresses."""
+
+    def __post_init__(self) -> None:
+        if not self.goal_id:
+            raise ValueError("goal_id must be non-empty")
+        if self.asil is Asil.QM:
+            raise ValueError(
+                f"goal {self.goal_id}: QM-rated events carry no safety goal")
+
+    def render(self) -> str:
+        return f"{self.goal_id} [{self.asil}]: {self.statement}"

@@ -1,0 +1,206 @@
+"""Iterative predetermined HARA — the related-work baseline of [12].
+
+The paper's related work (Sec. VI) discusses Warg et al. 2016: "an
+iterative approach to predetermined hazard analysis ... combinations from
+situation and hazard classification trees are used to elicit HEs,
+followed by function refinement to redefine the scope of the function if
+the realization task is determined to be too difficult.  This is repeated
+until a stable set of HEs is obtained.  However, this method does not
+effectively address the problem of completeness of situations."
+
+This module implements that loop so the QRN can be compared against it:
+
+1. run the conventional HARA over the current situation catalog;
+2. ask a difficulty assessor which hazardous events are too hard to
+   realise at their assigned ASIL;
+3. if none — stable, stop; otherwise *refine the function* by restricting
+   the catalog (dropping the situation value most implicated in the hard
+   events) and repeat.
+
+The result records what the iteration costs: every round shrinks the
+feature's scope (coverage of the original operating demand), and the
+final completeness claim still rests on the situation catalog being
+exhaustive — the two structural criticisms the paper levels at
+predetermined approaches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .hara import HaraStudy, RatingModel, run_hara
+from .hazard import VehicleFunction
+from .hazardous_event import HazardousEvent
+from .situation import SituationCatalog
+
+__all__ = ["IterationRound", "IterativeHaraResult", "run_iterative_hara",
+           "asil_threshold_assessor"]
+
+
+DifficultyAssessor = Callable[[HazardousEvent], bool]
+"""Returns True when realising the mitigation for this HE is too hard."""
+
+
+def asil_threshold_assessor(threshold) -> DifficultyAssessor:
+    """Too hard iff the HE's ASIL is at or above ``threshold``.
+
+    The common proxy: the team cannot (affordably) realise requirements
+    above a certain integrity level with the chosen architecture.
+    """
+
+    def assess(event: HazardousEvent) -> bool:
+        return event.asil >= threshold
+
+    return assess
+
+
+@dataclass(frozen=True)
+class IterationRound:
+    """Bookkeeping for one elicit-assess-refine round."""
+
+    round_index: int
+    situations: int
+    hazardous_events: int
+    too_hard: int
+    restriction: Optional[Tuple[str, str]]
+    """(dimension, dropped value) applied after this round, if any."""
+    coverage: float
+    """Share of the original operating demand still inside scope."""
+
+
+@dataclass(frozen=True)
+class IterativeHaraResult:
+    """Outcome of the iterative loop."""
+
+    rounds: Tuple[IterationRound, ...]
+    final_study: HaraStudy
+    final_catalog: SituationCatalog
+    converged: bool
+    final_coverage: float
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def scope_cost(self) -> float:
+        """Fraction of the original operating demand refined away."""
+        return 1.0 - self.final_coverage
+
+    def summary(self) -> str:
+        lines = [f"Iterative HARA: {self.n_rounds} round(s), "
+                 f"{'converged' if self.converged else 'DID NOT CONVERGE'}"]
+        for r in self.rounds:
+            restriction = (f"drop {r.restriction[0]}={r.restriction[1]}"
+                           if r.restriction else "stable")
+            lines.append(
+                f"  round {r.round_index}: {r.situations} situations, "
+                f"{r.hazardous_events} HEs, {r.too_hard} too hard → "
+                f"{restriction} (coverage {r.coverage:.0%})")
+        lines.append(
+            "Completeness still rests on the situation catalog being "
+            "exhaustive (cf. paper Sec. VI).")
+        return "\n".join(lines)
+
+
+def _pick_restriction(catalog: SituationCatalog,
+                      hard_events: Sequence[HazardousEvent],
+                      ) -> Optional[Tuple[str, str]]:
+    """The (dimension, value) most implicated in the too-hard events.
+
+    Only values whose dimension would retain at least one other value are
+    candidates — the function cannot restrict a dimension away entirely.
+    Ties on implication count are broken towards the value whose removal
+    costs the least operating coverage: restricting away 'snow' (20 % of
+    time) beats restricting away 'urban' (70 %) when both appear in every
+    hard event.
+    """
+    votes: Counter = Counter()
+    for event in hard_events:
+        for name, value in event.situation.assignment:
+            dimension = next(d for d in catalog.dimensions if d.name == name)
+            if len(dimension.values) > 1:
+                votes[(name, value)] += 1
+    if not votes:
+        return None
+
+    def coverage_loss(candidate: Tuple[str, str]) -> float:
+        name, value = candidate
+        dimension = next(d for d in catalog.dimensions if d.name == name)
+        if dimension.fractions is not None:
+            return dimension.fraction_of(value)
+        return 1.0 / len(dimension.values)
+
+    return min(votes, key=lambda cand: (-votes[cand], coverage_loss(cand),
+                                        cand))
+
+
+def run_iterative_hara(functions: Sequence[VehicleFunction],
+                       catalog: SituationCatalog,
+                       model: RatingModel,
+                       assessor: DifficultyAssessor,
+                       *, max_rounds: int = 20) -> IterativeHaraResult:
+    """The elicit → assess → refine loop of [12].
+
+    Coverage is tracked as the product of the operating-time fractions of
+    the values retained at each restriction (requires fraction-annotated
+    dimensions).  Raises if a round finds hard events but no legal
+    restriction remains — the method's dead end: the feature cannot be
+    refined into feasibility.
+    """
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+    rounds: List[IterationRound] = []
+    current = catalog
+    coverage = 1.0
+    study = run_hara(functions, current, model)
+    for round_index in range(1, max_rounds + 1):
+        hard = [event for event in study if assessor(event)]
+        if not hard:
+            rounds.append(IterationRound(
+                round_index=round_index,
+                situations=current.count(),
+                hazardous_events=len(study),
+                too_hard=0,
+                restriction=None,
+                coverage=coverage,
+            ))
+            return IterativeHaraResult(
+                rounds=tuple(rounds), final_study=study,
+                final_catalog=current, converged=True,
+                final_coverage=coverage)
+        restriction = _pick_restriction(current, hard)
+        if restriction is None:
+            rounds.append(IterationRound(
+                round_index=round_index,
+                situations=current.count(),
+                hazardous_events=len(study),
+                too_hard=len(hard),
+                restriction=None,
+                coverage=coverage,
+            ))
+            return IterativeHaraResult(
+                rounds=tuple(rounds), final_study=study,
+                final_catalog=current, converged=False,
+                final_coverage=coverage)
+        dimension_name, dropped_value = restriction
+        dimension = next(d for d in current.dimensions
+                         if d.name == dimension_name)
+        kept = [value for value in dimension.values if value != dropped_value]
+        if dimension.fractions is not None:
+            kept_fraction = sum(dimension.fraction_of(v) for v in kept)
+            coverage *= kept_fraction
+        rounds.append(IterationRound(
+            round_index=round_index,
+            situations=current.count(),
+            hazardous_events=len(study),
+            too_hard=len(hard),
+            restriction=restriction,
+            coverage=coverage,
+        ))
+        current = current.restricted({dimension_name: kept})
+        study = run_hara(functions, current, model)
+    return IterativeHaraResult(
+        rounds=tuple(rounds), final_study=study, final_catalog=current,
+        converged=False, final_coverage=coverage)

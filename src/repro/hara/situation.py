@@ -1,0 +1,223 @@
+"""Operational situations and their combinatorial enumeration.
+
+ISO 26262's HARA assumes "all relevant situations shall be considered" —
+the analysis input is the cross product of situational dimensions (road
+type × weather × lighting × traffic × ...).  The paper's Sec. II-B-1
+argues this is intractable for an ADS: "the number of situations to
+consider is virtually infinite, unless the feature has a very limited
+ODD".
+
+This module makes the argument measurable.  A :class:`SituationCatalog`
+declares dimensions; :meth:`~SituationCatalog.count` is the product of the
+dimension sizes and :meth:`~SituationCatalog.enumerate_situations` yields
+them lazily (so benchmarks can demonstrate the explosion without
+materialising it).  Benchmark E8 plots HE count against ODD richness —
+exponential for the HARA, constant for the QRN's taxonomy leaves.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["SituationDimension", "OperationalSituation", "SituationCatalog",
+           "standard_dimensions"]
+
+
+@dataclass(frozen=True)
+class SituationDimension:
+    """One axis of the operational-situation space.
+
+    ``fractions`` optionally records the operating-time share of each
+    value (summing to 1); when present they feed exposure ratings of
+    situations via independence (product of the member fractions) — the
+    very "globally valid frequencies" assumption Sec. II-B-4 criticises.
+    """
+
+    name: str
+    values: Tuple[str, ...]
+    fractions: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dimension must be named")
+        if len(self.values) < 1:
+            raise ValueError(f"dimension {self.name!r} needs at least one value")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"dimension {self.name!r} has duplicate values")
+        if self.fractions is not None:
+            if len(self.fractions) != len(self.values):
+                raise ValueError(
+                    f"dimension {self.name!r}: {len(self.fractions)} fractions "
+                    f"for {len(self.values)} values")
+            if any(f < 0 for f in self.fractions):
+                raise ValueError(f"dimension {self.name!r}: negative fraction")
+            total = sum(self.fractions)
+            if not math.isclose(total, 1.0, rel_tol=1e-9):
+                raise ValueError(
+                    f"dimension {self.name!r}: fractions sum to {total}, not 1")
+
+    def fraction_of(self, value: str) -> float:
+        """Operating-time share of one value (requires fractions)."""
+        if self.fractions is None:
+            raise ValueError(f"dimension {self.name!r} carries no fractions")
+        try:
+            index = self.values.index(value)
+        except ValueError:
+            raise KeyError(
+                f"{value!r} not in dimension {self.name!r}") from None
+        return self.fractions[index]
+
+
+@dataclass(frozen=True)
+class OperationalSituation:
+    """One fully specified operational situation (a point in the product)."""
+
+    assignment: Tuple[Tuple[str, str], ...]
+
+    def value(self, dimension: str) -> str:
+        for name, value in self.assignment:
+            if name == dimension:
+                return value
+        raise KeyError(f"situation has no dimension {dimension!r}")
+
+    def label(self) -> str:
+        return " / ".join(value for _, value in self.assignment)
+
+
+class SituationCatalog:
+    """The cross-product situation space of a conventional HARA."""
+
+    def __init__(self, dimensions: Sequence[SituationDimension]):
+        if not dimensions:
+            raise ValueError("catalog needs at least one dimension")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate dimension names")
+        self.dimensions: Tuple[SituationDimension, ...] = tuple(dimensions)
+
+    @property
+    def dimension_names(self) -> Tuple[str, ...]:
+        return tuple(d.name for d in self.dimensions)
+
+    def count(self) -> int:
+        """Number of distinct operational situations (the explosion)."""
+        product = 1
+        for dimension in self.dimensions:
+            product *= len(dimension.values)
+        return product
+
+    def enumerate_situations(self) -> Iterator[OperationalSituation]:
+        """Yield every situation lazily, in deterministic order."""
+        names = self.dimension_names
+        for combo in itertools.product(*(d.values for d in self.dimensions)):
+            yield OperationalSituation(tuple(zip(names, combo)))
+
+    def time_fraction(self, situation: OperationalSituation) -> float:
+        """Operating-time share of a situation, assuming independent dims.
+
+        This is precisely the Sec. II-B-4 modelling step the QRN rejects
+        for design-time use: real dimension values correlate strongly
+        (snow and season, pedestrians and urban roads).  It is provided
+        because the HARA baseline needs it; the traffic substrate's
+        contextual model shows how far off it can be.
+        """
+        fraction = 1.0
+        for name, value in situation.assignment:
+            dimension = self._dimension(name)
+            fraction *= dimension.fraction_of(value)
+        return fraction
+
+    def restricted(self, keep: Mapping[str, Sequence[str]]) -> "SituationCatalog":
+        """An ODD-restricted catalog: only the listed values survive.
+
+        Restriction is the standard lever for making a HARA tractable —
+        and the paper's point is that it trades away the feature's scope
+        rather than solving the completeness problem.
+        """
+        dimensions: List[SituationDimension] = []
+        for dimension in self.dimensions:
+            if dimension.name not in keep:
+                dimensions.append(dimension)
+                continue
+            wanted = list(keep[dimension.name])
+            unknown = set(wanted) - set(dimension.values)
+            if unknown:
+                raise KeyError(
+                    f"restriction on {dimension.name!r} references unknown "
+                    f"values {sorted(unknown)}")
+            if not wanted:
+                raise ValueError(
+                    f"restriction on {dimension.name!r} keeps no values")
+            if dimension.fractions is not None:
+                kept = [dimension.fraction_of(v) for v in wanted]
+                total = sum(kept)
+                fractions: Optional[Tuple[float, ...]] = (
+                    tuple(f / total for f in kept) if total > 0 else None)
+            else:
+                fractions = None
+            dimensions.append(SituationDimension(
+                dimension.name, tuple(wanted), fractions))
+        return SituationCatalog(dimensions)
+
+    def _dimension(self, name: str) -> SituationDimension:
+        for dimension in self.dimensions:
+            if dimension.name == name:
+                return dimension
+        raise KeyError(f"unknown dimension {name!r}")
+
+
+def standard_dimensions(detail: int = 1) -> List[SituationDimension]:
+    """A representative situational-dimension set at growing detail levels.
+
+    ``detail`` scales how finely each axis is discretised (1–4); the
+    returned catalog's :meth:`~SituationCatalog.count` grows roughly
+    exponentially in detail, which is the E8 benchmark's x-axis.  Values
+    and fractions are synthetic but shaped like published ODD taxonomies.
+    """
+    if not (1 <= detail <= 4):
+        raise ValueError("detail must be in 1..4")
+
+    def dim(name: str, values: Sequence[Tuple[str, float]], n: int) -> SituationDimension:
+        chosen = list(values[:n])
+        total = sum(f for _, f in chosen)
+        return SituationDimension(
+            name,
+            tuple(v for v, _ in chosen),
+            tuple(f / total for _, f in chosen),
+        )
+
+    road = [("urban", 0.4), ("rural", 0.3), ("highway", 0.2),
+            ("residential", 0.05), ("parking", 0.03), ("roundabout", 0.01),
+            ("tunnel", 0.005), ("bridge", 0.005)]
+    weather = [("clear", 0.6), ("rain", 0.2), ("snow", 0.1), ("fog", 0.05),
+               ("hail", 0.03), ("strong_wind", 0.02)]
+    lighting = [("day", 0.6), ("night", 0.25), ("dusk", 0.1), ("dawn", 0.05)]
+    traffic = [("light", 0.4), ("medium", 0.35), ("heavy", 0.2), ("jam", 0.05)]
+    surface = [("dry", 0.6), ("wet", 0.25), ("icy", 0.1), ("gravel", 0.05)]
+    actors = [("none", 0.5), ("pedestrians", 0.2), ("cyclists", 0.15),
+              ("animals", 0.1), ("children_playing", 0.05)]
+    speed = [("0-30", 0.3), ("30-50", 0.3), ("50-70", 0.2), ("70-100", 0.15),
+             ("100-130", 0.05)]
+    geometry = [("straight", 0.5), ("curve", 0.25), ("intersection", 0.15),
+                ("merge", 0.1)]
+
+    per_detail = {1: (3, 2, 2, 2), 2: (4, 3, 3, 3), 3: (6, 4, 4, 4),
+                  4: (8, 6, 4, 4)}
+    n_big, n_mid, n_small, n_tiny = per_detail[detail]
+    dimensions = [
+        dim("road_type", road, n_big),
+        dim("weather", weather, n_mid),
+        dim("lighting", lighting, n_small),
+        dim("traffic_density", traffic, n_tiny),
+    ]
+    if detail >= 2:
+        dimensions.append(dim("surface", surface, n_mid))
+    if detail >= 3:
+        dimensions.append(dim("special_actors", actors, n_mid))
+        dimensions.append(dim("speed_band", speed, n_small))
+    if detail >= 4:
+        dimensions.append(dim("geometry", geometry, n_tiny))
+    return dimensions

@@ -1,0 +1,226 @@
+"""Injury-severity risk curves: P(severity | collision Δv).
+
+The QRN's contribution splits — "it has been determined 70 % of f_I2 will
+contribute to v_S1 and 30 % to v_S2" (Sec. III-B) — must come from injury
+statistics in a real programme (the paper points at national traffic
+databases).  This substrate provides the parametric stand-in: logistic
+dose–response curves for the probability that a collision at impact speed
+Δv produces an injury at or above each severity level, per actor pairing.
+
+The logistic family matches the published shape of pedestrian-injury risk
+curves (risk rises steeply through a characteristic speed band), and the
+default parameters place the steep rise for VRUs around 10 km/h-scale
+thresholds precisely so the paper's "two incident types for collision
+speeds below or above 10 km/h may be appropriate if the likelihood of
+severe injuries rises quickly above this limit" can be exercised and
+swept.  All numbers are synthetic (paper footnote 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..core.severity import UnifiedSeverity
+from ..core.taxonomy import ActorClass
+
+__all__ = [
+    "LogisticCurve",
+    "InjuryRiskModel",
+    "default_risk_model",
+    "severity_distribution",
+]
+
+
+@dataclass(frozen=True)
+class LogisticCurve:
+    """``P(x) = 1 / (1 + exp(-(x - midpoint) / scale))`` on Δv in km/h.
+
+    ``midpoint`` is the speed at 50 % risk; ``scale`` the spread (smaller
+    = steeper).  Monotone non-decreasing in Δv, which tests assert.
+    """
+
+    midpoint_kmh: float
+    scale_kmh: float
+
+    def __post_init__(self) -> None:
+        if self.scale_kmh <= 0:
+            raise ValueError("scale must be positive")
+
+    def __call__(self, delta_v_kmh: float) -> float:
+        if delta_v_kmh < 0:
+            raise ValueError("delta_v must be >= 0")
+        z = (delta_v_kmh - self.midpoint_kmh) / self.scale_kmh
+        # Clamp to avoid overflow for extreme arguments.
+        if z < -60.0:
+            return 0.0
+        if z > 60.0:
+            return 1.0
+        return 1.0 / (1.0 + math.exp(-z))
+
+    def speed_at_risk(self, probability: float) -> float:
+        """Inverse: Δv at which the curve reaches ``probability``.
+
+        Clamped at 0 (the curve may already exceed ``probability`` at
+        standstill for aggressive parameters).
+        """
+        if not (0.0 < probability < 1.0):
+            raise ValueError("probability must be in (0, 1)")
+        return max(0.0, self.midpoint_kmh
+                   + self.scale_kmh * math.log(probability / (1.0 - probability)))
+
+
+# The injury ladder, least to most severe, used for exceedance curves.
+_INJURY_LEVELS: Tuple[UnifiedSeverity, ...] = (
+    UnifiedSeverity.LIGHT_INJURY,
+    UnifiedSeverity.SEVERE_INJURY,
+    UnifiedSeverity.LIFE_THREATENING,
+)
+
+
+class InjuryRiskModel:
+    """Per-counterpart exceedance curves P(injury ≥ level | Δv).
+
+    For each counterpart actor class, three stochastically ordered
+    logistic curves (light ≤ severe ≤ fatal midpoints) give the
+    probability a collision at Δv causes an injury at least that severe.
+    Ordering is validated: an exceedance family must be monotone in the
+    severity level at every speed.
+    """
+
+    def __init__(self, curves: Mapping[ActorClass,
+                                       Mapping[UnifiedSeverity, LogisticCurve]]):
+        if not curves:
+            raise ValueError("risk model needs at least one counterpart")
+        self._curves: Dict[ActorClass, Dict[UnifiedSeverity, LogisticCurve]] = {}
+        for counterpart, family in curves.items():
+            missing = set(_INJURY_LEVELS) - set(family)
+            if missing:
+                raise ValueError(
+                    f"{counterpart}: curves missing for {sorted(m.name for m in missing)}")
+            for probe in (1.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0):
+                values = [family[level](probe) for level in _INJURY_LEVELS]
+                if not all(a >= b - 1e-12 for a, b in zip(values, values[1:])):
+                    raise ValueError(
+                        f"{counterpart}: exceedance curves not ordered at "
+                        f"Δv={probe} km/h (got {values})")
+            self._curves[counterpart] = dict(family)
+
+    @property
+    def counterparts(self) -> Tuple[ActorClass, ...]:
+        return tuple(self._curves)
+
+    def exceedance(self, counterpart: ActorClass, level: UnifiedSeverity,
+                   delta_v_kmh: float) -> float:
+        """P(injury at least ``level`` | collision with ``counterpart`` at Δv)."""
+        family = self._family(counterpart)
+        if level not in family:
+            raise KeyError(f"{level.name} is not an injury level")
+        return family[level](delta_v_kmh)
+
+    def severity_probabilities(self, counterpart: ActorClass,
+                               delta_v_kmh: float) -> Dict[UnifiedSeverity, float]:
+        """Exact-level probabilities, including MATERIAL_DAMAGE as remainder.
+
+        Differences of the exceedance ladder: P(exactly light) =
+        P(≥light) − P(≥severe), etc.; whatever probability is left below
+        'light' is a damage-only outcome.
+        """
+        family = self._family(counterpart)
+        at_least = {level: family[level](delta_v_kmh) for level in _INJURY_LEVELS}
+        exact: Dict[UnifiedSeverity, float] = {}
+        exact[UnifiedSeverity.MATERIAL_DAMAGE] = max(
+            0.0, 1.0 - at_least[UnifiedSeverity.LIGHT_INJURY])
+        exact[UnifiedSeverity.LIGHT_INJURY] = max(
+            0.0, at_least[UnifiedSeverity.LIGHT_INJURY]
+            - at_least[UnifiedSeverity.SEVERE_INJURY])
+        exact[UnifiedSeverity.SEVERE_INJURY] = max(
+            0.0, at_least[UnifiedSeverity.SEVERE_INJURY]
+            - at_least[UnifiedSeverity.LIFE_THREATENING])
+        exact[UnifiedSeverity.LIFE_THREATENING] = at_least[
+            UnifiedSeverity.LIFE_THREATENING]
+        return exact
+
+    def natural_band_boundary(self, counterpart: ActorClass,
+                              level: UnifiedSeverity,
+                              risk_threshold: float = 0.5) -> float:
+        """The Δv where P(≥ level) crosses ``risk_threshold``.
+
+        This is the paper's 10 km/h argument operationalised: a speed-band
+        boundary between incident types is well-chosen where the severe-
+        injury risk "rises quickly above this limit".
+        """
+        family = self._family(counterpart)
+        if level not in family:
+            raise KeyError(f"{level.name} is not an injury level")
+        return family[level].speed_at_risk(risk_threshold)
+
+    def _family(self, counterpart: ActorClass) -> Dict[UnifiedSeverity, LogisticCurve]:
+        try:
+            return self._curves[counterpart]
+        except KeyError:
+            raise KeyError(
+                f"no curves for counterpart {counterpart}; "
+                f"known: {[c.value for c in self._curves]}") from None
+
+
+def default_risk_model() -> InjuryRiskModel:
+    """Synthetic curves shaped like the published literature.
+
+    VRUs are unprotected: risk rises at far lower Δv than for car
+    occupants; trucks protect their occupants but their collision partners
+    follow the car curves of the *other* party — here curves are from the
+    ego's collision-partner perspective (who gets hurt in an Ego↔X crash,
+    taking the worst-off party).  Animals and static objects threaten only
+    the ego occupants, so their curves sit near the car occupant family.
+    """
+    vru = {
+        UnifiedSeverity.LIGHT_INJURY: LogisticCurve(8.0, 3.0),
+        UnifiedSeverity.SEVERE_INJURY: LogisticCurve(25.0, 7.0),
+        UnifiedSeverity.LIFE_THREATENING: LogisticCurve(50.0, 9.0),
+    }
+    car = {
+        UnifiedSeverity.LIGHT_INJURY: LogisticCurve(20.0, 6.0),
+        UnifiedSeverity.SEVERE_INJURY: LogisticCurve(55.0, 10.0),
+        UnifiedSeverity.LIFE_THREATENING: LogisticCurve(85.0, 12.0),
+    }
+    truck = {
+        UnifiedSeverity.LIGHT_INJURY: LogisticCurve(15.0, 5.0),
+        UnifiedSeverity.SEVERE_INJURY: LogisticCurve(45.0, 9.0),
+        UnifiedSeverity.LIFE_THREATENING: LogisticCurve(70.0, 11.0),
+    }
+    occupant_only = {
+        UnifiedSeverity.LIGHT_INJURY: LogisticCurve(30.0, 8.0),
+        UnifiedSeverity.SEVERE_INJURY: LogisticCurve(70.0, 12.0),
+        UnifiedSeverity.LIFE_THREATENING: LogisticCurve(100.0, 14.0),
+    }
+    return InjuryRiskModel({
+        ActorClass.VRU: vru,
+        ActorClass.CAR: car,
+        ActorClass.TRUCK: truck,
+        ActorClass.ANIMAL: occupant_only,
+        ActorClass.STATIC_OBJECT: occupant_only,
+        ActorClass.OTHER: car,
+    })
+
+
+def severity_distribution(model: InjuryRiskModel, counterpart: ActorClass,
+                          delta_v_samples: Sequence[float],
+                          ) -> Dict[UnifiedSeverity, float]:
+    """Average exact-level probabilities over a sample of impact speeds.
+
+    Given Δv samples for one incident type (e.g. from simulation, or a
+    band midpoint grid), returns the empirical severity distribution —
+    the raw material of a :class:`~repro.core.incident.ContributionSplit`.
+    """
+    if not delta_v_samples:
+        raise ValueError("need at least one delta_v sample")
+    totals = {level: 0.0 for level in (UnifiedSeverity.MATERIAL_DAMAGE,
+                                       *_INJURY_LEVELS)}
+    for delta_v in delta_v_samples:
+        for level, probability in model.severity_probabilities(
+                counterpart, delta_v).items():
+            totals[level] += probability
+    n = len(delta_v_samples)
+    return {level: total / n for level, total in totals.items()}

@@ -1,0 +1,28 @@
+"""Operational design domain: definitions, contextual exposure, restriction.
+
+The ODD bounds where the QRN safety case must hold (Sec. III-A); the
+contextual exposure model carries the Sec. II-B-4 argument that situation
+frequencies are time/place-dependent; restriction quantifies the Sec. IV
+trade between feature coverage and verification burden.
+"""
+
+from .definition import (CategoricalOddParameter, OddParameter,
+                         OperationalDesignDomain, RangeOddParameter)
+from .exposure import ContextDimension, ExposureModel, default_exposure_model
+from .monitor import Excursion, OddMonitor
+from .restriction import RestrictionEffect, coverage_of, evaluate_restriction
+
+__all__ = [
+    "OperationalDesignDomain",
+    "OddParameter",
+    "CategoricalOddParameter",
+    "RangeOddParameter",
+    "ContextDimension",
+    "ExposureModel",
+    "default_exposure_model",
+    "RestrictionEffect",
+    "coverage_of",
+    "evaluate_restriction",
+    "Excursion",
+    "OddMonitor",
+]

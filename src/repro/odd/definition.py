@@ -1,0 +1,172 @@
+"""Operational design domain (ODD) definitions.
+
+The ODD is the QRN's partner artefact: "we do not restrict the use of the
+ADS other than the ODD limits, the safety case needs to be valid inside
+the entire ODD regardless of where, when, and how the feature is used"
+(Sec. III-A).  The paper defers the ODD's role in the safety argument to
+Gyllenhammar et al. [5]; here we model the minimum the QRN workflow needs:
+
+* a named set of parameter ranges/value sets the feature claims to cover;
+* membership tests for concrete operating conditions;
+* containment/restriction algebra — a restricted ODD is the standard
+  lever for trading verification effort against feature scope (Sec. IV:
+  "adjusting critical ODD parameters to ease difficult verification
+  tasks").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = ["OddParameter", "CategoricalOddParameter", "RangeOddParameter",
+           "OperationalDesignDomain"]
+
+
+@dataclass(frozen=True)
+class CategoricalOddParameter:
+    """An ODD axis with a discrete set of covered values."""
+
+    name: str
+    covered: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("ODD parameter must be named")
+        if not self.covered:
+            raise ValueError(f"ODD parameter {self.name!r} covers nothing")
+
+    def admits(self, value: object) -> bool:
+        return value in self.covered
+
+    def is_subset_of(self, other: "CategoricalOddParameter") -> bool:
+        return self.covered <= other.covered
+
+    def describe(self) -> str:
+        return f"{self.name} ∈ {{{', '.join(sorted(self.covered))}}}"
+
+
+@dataclass(frozen=True)
+class RangeOddParameter:
+    """An ODD axis with a covered closed interval ``[low, high]``."""
+
+    name: str
+    low: float
+    high: float
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("ODD parameter must be named")
+        if not (math.isfinite(self.low) and math.isfinite(self.high)):
+            raise ValueError(f"ODD parameter {self.name!r} bounds must be finite")
+        if self.low > self.high:
+            raise ValueError(
+                f"ODD parameter {self.name!r}: low {self.low} > high {self.high}")
+
+    def admits(self, value: object) -> bool:
+        return isinstance(value, (int, float)) and self.low <= float(value) <= self.high
+
+    def is_subset_of(self, other: "RangeOddParameter") -> bool:
+        return self.low >= other.low and self.high <= other.high
+
+    def describe(self) -> str:
+        unit = f" {self.unit}" if self.unit else ""
+        return f"{self.name} ∈ [{self.low:g}, {self.high:g}]{unit}"
+
+
+OddParameter = Union[CategoricalOddParameter, RangeOddParameter]
+
+
+class OperationalDesignDomain:
+    """A named set of ODD parameters with membership and containment."""
+
+    def __init__(self, name: str, parameters: Sequence[OddParameter]):
+        if not name:
+            raise ValueError("ODD must be named")
+        if not parameters:
+            raise ValueError("ODD needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate ODD parameter names")
+        self.name = name
+        self._parameters: Dict[str, OddParameter] = {p.name: p for p in parameters}
+
+    @property
+    def parameter_names(self) -> Tuple[str, ...]:
+        return tuple(self._parameters)
+
+    def parameter(self, name: str) -> OddParameter:
+        try:
+            return self._parameters[name]
+        except KeyError:
+            raise KeyError(f"unknown ODD parameter {name!r}; "
+                           f"known: {sorted(self._parameters)}") from None
+
+    def contains(self, conditions: Mapping[str, object]) -> bool:
+        """Whether concrete operating conditions lie inside the ODD.
+
+        Conditions must cover every ODD parameter — an unstated axis is an
+        unverified claim, so missing keys raise rather than default.
+        """
+        missing = set(self._parameters) - set(conditions)
+        if missing:
+            raise KeyError(f"conditions missing ODD parameters: {sorted(missing)}")
+        return all(parameter.admits(conditions[name])
+                   for name, parameter in self._parameters.items())
+
+    def violated_parameters(self, conditions: Mapping[str, object]) -> Tuple[str, ...]:
+        """Which parameters the conditions fall outside (empty = inside)."""
+        missing = set(self._parameters) - set(conditions)
+        if missing:
+            raise KeyError(f"conditions missing ODD parameters: {sorted(missing)}")
+        return tuple(name for name, parameter in self._parameters.items()
+                     if not parameter.admits(conditions[name]))
+
+    def is_subset_of(self, other: "OperationalDesignDomain") -> bool:
+        """Whether this ODD is entirely contained in ``other``.
+
+        Axes the wider ODD does not mention are unconstrained there;
+        axes this ODD does not mention but ``other`` constrains make the
+        answer False (we claim conditions the other excludes).
+        """
+        for name, their_parameter in other._parameters.items():
+            ours = self._parameters.get(name)
+            if ours is None:
+                return False
+            if type(ours) is not type(their_parameter):
+                raise ValueError(
+                    f"ODD parameter {name!r} is categorical in one ODD and "
+                    "a range in the other — not comparable")
+            if not ours.is_subset_of(their_parameter):  # type: ignore[arg-type]
+                return False
+        return True
+
+    def restricted(self, name: str, parameter: OddParameter,
+                   *, new_name: Optional[str] = None) -> "OperationalDesignDomain":
+        """A tighter ODD with one parameter replaced.
+
+        The replacement must be a subset of the original — restriction
+        only ever narrows (Sec. IV's verification-effort lever).
+        """
+        original = self.parameter(name)
+        if parameter.name != name:
+            raise ValueError(
+                f"replacement parameter is named {parameter.name!r}, not {name!r}")
+        if type(parameter) is not type(original):
+            raise ValueError(f"cannot change the kind of parameter {name!r}")
+        if not parameter.is_subset_of(original):  # type: ignore[arg-type]
+            raise ValueError(
+                f"replacement for {name!r} is not a subset of the original "
+                "— restriction must narrow the ODD")
+        parameters = [parameter if p.name == name else p
+                      for p in self._parameters.values()]
+        return OperationalDesignDomain(
+            new_name if new_name is not None else f"{self.name} (restricted)",
+            parameters)
+
+    def describe(self) -> str:
+        lines = [f"ODD {self.name!r}:"]
+        lines.extend(f"  {p.describe()}" for p in self._parameters.values())
+        return "\n".join(lines)

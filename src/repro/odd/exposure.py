@@ -1,0 +1,210 @@
+"""Contextual exposure: time-and-place-dependent situational frequencies.
+
+Implements the Sec. II-B-4 observation: "the frequency of many situational
+conditions of the real world are very dependent on time and place.  For
+example the exposure to snow on the road is typically dependent on the
+season, and the frequency of pedestrians running across a street is most
+likely something that varies in time and space.  It would be natural to
+allow the ADS to get applicable data for its current context, rather than
+statically do such coding in a HARA."
+
+An :class:`ExposureModel` holds a base encounter rate per phenomenon and
+multiplicative modulators per context dimension (season, locality, time of
+day).  Querying it for a concrete context is the run-time adaptation the
+paper advocates; :meth:`ExposureModel.global_average` is the design-time
+flattening a conventional HARA performs — benchmark E7/E8 material shows
+how far the two diverge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..core.quantities import Frequency, FrequencyUnit, PER_HOUR
+
+__all__ = ["ContextDimension", "ExposureModel", "default_exposure_model"]
+
+
+@dataclass(frozen=True)
+class ContextDimension:
+    """One context axis with multiplicative rate modulators per value.
+
+    ``weights`` gives the long-run share of operating time per value
+    (summing to 1); ``modulators`` the factor applied to a phenomenon's
+    base rate when the context holds.  E.g. season=winter may modulate
+    'snow_on_road' by 12× while summer modulates it by 0.
+    """
+
+    name: str
+    weights: Mapping[str, float]
+    modulators: Mapping[str, Mapping[str, float]]
+    """phenomenon -> {value -> factor}; missing values default to 1."""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("context dimension must be named")
+        if not self.weights:
+            raise ValueError(f"dimension {self.name!r} has no values")
+        total = sum(self.weights.values())
+        if not math.isclose(total, 1.0, rel_tol=1e-9):
+            raise ValueError(
+                f"dimension {self.name!r}: weights sum to {total}, not 1")
+        if any(w < 0 for w in self.weights.values()):
+            raise ValueError(f"dimension {self.name!r}: negative weight")
+        for phenomenon, factors in self.modulators.items():
+            unknown = set(factors) - set(self.weights)
+            if unknown:
+                raise ValueError(
+                    f"dimension {self.name!r}: modulators for {phenomenon!r} "
+                    f"reference unknown values {sorted(unknown)}")
+            if any(f < 0 for f in factors.values()):
+                raise ValueError(
+                    f"dimension {self.name!r}: negative modulator for "
+                    f"{phenomenon!r}")
+
+    @property
+    def values(self) -> Tuple[str, ...]:
+        return tuple(self.weights)
+
+    def modulator(self, phenomenon: str, value: str) -> float:
+        if value not in self.weights:
+            raise KeyError(
+                f"{value!r} not a value of dimension {self.name!r}")
+        return self.modulators.get(phenomenon, {}).get(value, 1.0)
+
+    def average_modulator(self, phenomenon: str) -> float:
+        """Time-weighted mean factor — the design-time flattening."""
+        return sum(self.weights[value] * self.modulator(phenomenon, value)
+                   for value in self.weights)
+
+
+class ExposureModel:
+    """Base phenomenon rates modulated by operating context."""
+
+    def __init__(self, base_rates: Mapping[str, Frequency],
+                 dimensions: Sequence[ContextDimension]):
+        if not base_rates:
+            raise ValueError("exposure model needs at least one phenomenon")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate context dimension names")
+        unit = next(iter(base_rates.values())).unit
+        for phenomenon, rate in base_rates.items():
+            if not rate.unit.compatible_with(unit):
+                raise ValueError(
+                    f"base rate for {phenomenon!r} has unit {rate.unit}, "
+                    f"expected {unit}")
+        self._base: Dict[str, Frequency] = dict(base_rates)
+        self._dimensions: Dict[str, ContextDimension] = {d.name: d for d in dimensions}
+
+    @property
+    def phenomena(self) -> Tuple[str, ...]:
+        return tuple(self._base)
+
+    @property
+    def dimension_names(self) -> Tuple[str, ...]:
+        return tuple(self._dimensions)
+
+    def rate_in_context(self, phenomenon: str,
+                        context: Mapping[str, str]) -> Frequency:
+        """The phenomenon's encounter rate under concrete context values.
+
+        Context must state every dimension — partial contexts silently
+        defaulting would reintroduce the global-average fallacy.
+        """
+        base = self._base_rate(phenomenon)
+        missing = set(self._dimensions) - set(context)
+        if missing:
+            raise KeyError(f"context missing dimensions: {sorted(missing)}")
+        factor = 1.0
+        for name, dimension in self._dimensions.items():
+            factor *= dimension.modulator(phenomenon, context[name])
+        return base * factor
+
+    def global_average(self, phenomenon: str) -> Frequency:
+        """The one-number design-time rate a conventional HARA would use.
+
+        Time-weighted over all dimensions assuming independence — both
+        flattenings (averaging, independence) are exactly what Sec. II-B-4
+        warns about.
+        """
+        base = self._base_rate(phenomenon)
+        factor = 1.0
+        for dimension in self._dimensions.values():
+            factor *= dimension.average_modulator(phenomenon)
+        return base * factor
+
+    def peak_to_average(self, phenomenon: str) -> float:
+        """Worst-context rate over the global average.
+
+        A large ratio is the quantitative form of the paper's argument:
+        designing for the global average under-protects the peak context,
+        designing for the peak over-constrains everywhere else.
+        """
+        average = self.global_average(phenomenon)
+        if average.is_zero():
+            return math.inf
+        worst = max(
+            (self.rate_in_context(phenomenon, dict(zip(self._dimensions, combo)))
+             for combo in _product_values(self._dimensions.values())),
+            key=lambda rate: rate.rate)
+        return worst / average
+
+    def _base_rate(self, phenomenon: str) -> Frequency:
+        try:
+            return self._base[phenomenon]
+        except KeyError:
+            raise KeyError(f"unknown phenomenon {phenomenon!r}; "
+                           f"known: {sorted(self._base)}") from None
+
+
+def _product_values(dimensions) -> Tuple[Tuple[str, ...], ...]:
+    import itertools
+    return tuple(itertools.product(*(d.values for d in dimensions)))
+
+
+def default_exposure_model(unit: Optional[FrequencyUnit] = None) -> ExposureModel:
+    """A synthetic but realistically shaped contextual exposure model.
+
+    Phenomena: VRU crossings, hard-braking demands, snow on road, animal
+    crossings.  Context: season, locality, time of day.  Modulator shapes
+    follow common sense (snow in winter, VRUs in urban daytime, animals on
+    rural roads at night); magnitudes are synthetic.
+    """
+    if unit is None:
+        unit = PER_HOUR
+    base = {
+        "vru_crossing": Frequency(2.0, unit),
+        "hard_braking_demand": Frequency(0.05, unit),
+        "snow_on_road": Frequency(0.02, unit),
+        "animal_crossing": Frequency(0.01, unit),
+    }
+    season = ContextDimension(
+        name="season",
+        weights={"winter": 0.25, "spring": 0.25, "summer": 0.25, "autumn": 0.25},
+        modulators={
+            "snow_on_road": {"winter": 3.6, "spring": 0.3, "summer": 0.0,
+                             "autumn": 0.1},
+            "animal_crossing": {"autumn": 2.0, "spring": 1.2},
+        },
+    )
+    locality = ContextDimension(
+        name="locality",
+        weights={"urban": 0.5, "suburban": 0.3, "rural": 0.2},
+        modulators={
+            "vru_crossing": {"urban": 1.8, "suburban": 0.4, "rural": 0.05},
+            "animal_crossing": {"urban": 0.05, "suburban": 0.5, "rural": 4.0},
+            "hard_braking_demand": {"urban": 1.5, "rural": 0.6},
+        },
+    )
+    time_of_day = ContextDimension(
+        name="time_of_day",
+        weights={"day": 0.6, "evening": 0.25, "night": 0.15},
+        modulators={
+            "vru_crossing": {"day": 1.4, "evening": 0.8, "night": 0.15},
+            "animal_crossing": {"night": 3.0, "evening": 1.5, "day": 0.4},
+        },
+    )
+    return ExposureModel(base, [season, locality, time_of_day])

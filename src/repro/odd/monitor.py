@@ -1,0 +1,165 @@
+"""Runtime ODD monitoring.
+
+The norm is only claimed *inside* the ODD (Sec. III-A), so a deployed ADS
+must know, moment to moment, whether it is still inside — and leave
+(or hand over) within a bounded time when it is not.  The monitor here
+consumes a stream of condition samples against an
+:class:`~repro.odd.definition.OperationalDesignDomain`, tracks
+transitions, and audits the exit-handling guarantee:
+
+* every excursion (contiguous out-of-ODD interval) is recorded with its
+  duration and the parameters violated;
+* :meth:`OddMonitor.unhandled_excursions` lists excursions longer than
+  the declared grace period — each one is operating time the safety case
+  does not cover, which the verification layer must treat as uncovered
+  exposure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
+
+from .definition import OperationalDesignDomain
+
+__all__ = ["Excursion", "OddMonitor"]
+
+
+@dataclass(frozen=True)
+class Excursion:
+    """One contiguous out-of-ODD interval."""
+
+    start: float
+    end: float
+    violated: Tuple[str, ...]
+    """ODD parameters violated at any point during the excursion."""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class OddMonitor:
+    """Streams condition samples and accounts for in/out-of-ODD time.
+
+    Samples must arrive in strictly increasing time order; each sample is
+    taken to describe conditions from its timestamp until the next one
+    (step-function semantics), so the final sample needs a closing call
+    to :meth:`finish`.
+    """
+
+    def __init__(self, odd: OperationalDesignDomain,
+                 grace_period: float):
+        if grace_period <= 0 or not math.isfinite(grace_period):
+            raise ValueError("grace period must be positive and finite")
+        self.odd = odd
+        self.grace_period = grace_period
+        self._last_time: Optional[float] = None
+        self._last_inside: Optional[bool] = None
+        self._current_violations: set = set()
+        self._excursion_start: Optional[float] = None
+        self._excursions: List[Excursion] = []
+        self._time_inside = 0.0
+        self._time_outside = 0.0
+        self._finished = False
+
+    def observe(self, time: float, conditions: Mapping[str, object]) -> bool:
+        """Feed one sample; returns whether conditions are inside the ODD."""
+        if self._finished:
+            raise RuntimeError("monitor already finished")
+        if self._last_time is not None and time <= self._last_time:
+            raise ValueError(
+                f"samples must be strictly increasing in time "
+                f"({time} after {self._last_time})")
+        violated = self.odd.violated_parameters(conditions)
+        inside = not violated
+        if self._last_time is not None:
+            self._credit_interval(self._last_time, time)
+        if not inside:
+            if self._excursion_start is None:
+                self._excursion_start = time
+            self._current_violations |= set(violated)
+        else:
+            self._close_excursion(time)
+        self._last_time = time
+        self._last_inside = inside
+        return inside
+
+    def _credit_interval(self, start: float, end: float) -> None:
+        span = end - start
+        if self._last_inside:
+            self._time_inside += span
+        else:
+            self._time_outside += span
+
+    def _close_excursion(self, time: float) -> None:
+        if self._excursion_start is not None:
+            self._excursions.append(Excursion(
+                start=self._excursion_start,
+                end=time,
+                violated=tuple(sorted(self._current_violations)),
+            ))
+            self._excursion_start = None
+            self._current_violations = set()
+
+    def finish(self, time: float) -> None:
+        """Close the stream at ``time``; open excursions end here."""
+        if self._finished:
+            raise RuntimeError("monitor already finished")
+        if self._last_time is None:
+            raise RuntimeError("cannot finish a monitor that saw no samples")
+        if time < self._last_time:
+            raise ValueError("finish time precedes the last sample")
+        if time > self._last_time:
+            self._credit_interval(self._last_time, time)
+        self._close_excursion(time)
+        self._finished = True
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def time_inside(self) -> float:
+        return self._time_inside
+
+    @property
+    def time_outside(self) -> float:
+        return self._time_outside
+
+    @property
+    def excursions(self) -> Tuple[Excursion, ...]:
+        return tuple(self._excursions)
+
+    def availability(self) -> float:
+        """Share of monitored time spent inside the ODD."""
+        total = self._time_inside + self._time_outside
+        if total == 0:
+            raise ValueError("no monitored time accumulated")
+        return self._time_inside / total
+
+    def unhandled_excursions(self) -> List[Excursion]:
+        """Excursions exceeding the grace period — uncovered exposure.
+
+        The safety case's claims hold inside the ODD; an excursion longer
+        than the handover/stop grace period means the vehicle operated
+        outside its assured envelope.
+        """
+        return [e for e in self._excursions if e.duration > self.grace_period]
+
+    def covered_exposure(self) -> float:
+        """Exposure the norm's claims actually cover.
+
+        Inside time plus excursions within grace (the declared, assured
+        handover behaviour), minus nothing else — time in unhandled
+        excursions is excluded.
+        """
+        handled_outside = sum(min(e.duration, self.grace_period)
+                              for e in self._excursions)
+        return self._time_inside + handled_outside
+
+    def summary(self) -> str:
+        unhandled = self.unhandled_excursions()
+        return (f"ODD monitor [{self.odd.name}]: "
+                f"{self._time_inside:g} in / {self._time_outside:g} out, "
+                f"{len(self._excursions)} excursion(s), "
+                f"{len(unhandled)} unhandled (grace {self.grace_period:g})")

@@ -1,0 +1,89 @@
+"""ODD restriction as a safety-strategy lever.
+
+Sec. IV: the QRN gives "considerable freedom to define a safety strategy
+using trade-offs between performance of sensors/actuators ..., driving
+style ... and verification effort (e.g. adjusting critical ODD parameters
+to ease difficult verification tasks)".  This module quantifies the ODD
+side of that trade: restricting the ODD removes exposure to contexts,
+which lowers induced incident rates, which relaxes what the realization
+must achieve per operating hour — at the price of feature coverage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.quantities import Frequency
+
+__all__ = ["RestrictionEffect", "evaluate_restriction", "coverage_of"]
+
+
+@dataclass(frozen=True)
+class RestrictionEffect:
+    """Outcome of restricting operation to a subset of contexts.
+
+    ``coverage`` is the retained share of operating demand (1 = no
+    restriction); ``rate_before``/``rate_after`` the exposure-weighted
+    incident-relevant rate over the full vs. restricted context mix.
+    """
+
+    coverage: float
+    rate_before: Frequency
+    rate_after: Frequency
+
+    @property
+    def rate_reduction_factor(self) -> float:
+        """How many times lower the rate is inside the restricted ODD."""
+        if self.rate_after.is_zero():
+            return math.inf
+        return self.rate_before / self.rate_after
+
+    def worthwhile(self, min_factor: float = 2.0,
+                   min_coverage: float = 0.5) -> bool:
+        """A crude decision rule: big rate win at acceptable coverage loss."""
+        return (self.rate_reduction_factor >= min_factor
+                and self.coverage >= min_coverage)
+
+
+def coverage_of(weights: Mapping[str, float], kept: Sequence[str]) -> float:
+    """Retained operating-demand share when only ``kept`` contexts remain."""
+    unknown = set(kept) - set(weights)
+    if unknown:
+        raise KeyError(f"kept contexts not in mix: {sorted(unknown)}")
+    if not kept:
+        raise ValueError("restriction keeps no contexts")
+    return sum(weights[context] for context in set(kept))
+
+
+def evaluate_restriction(context_rates: Mapping[str, Frequency],
+                         weights: Mapping[str, float],
+                         kept: Sequence[str]) -> RestrictionEffect:
+    """Effect of dropping contexts from the ODD.
+
+    ``context_rates`` are per-context incident-relevant rates (e.g. from
+    stratified simulation); ``weights`` the unrestricted operating mix
+    (summing to 1).  The post-restriction rate reweights the kept contexts
+    to a proper mix — the vehicle still drives full hours, just only in
+    the kept contexts.
+    """
+    if set(context_rates) != set(weights):
+        raise ValueError(
+            f"context sets differ: rates {sorted(context_rates)} vs "
+            f"weights {sorted(weights)}")
+    total = sum(weights.values())
+    if not math.isclose(total, 1.0, rel_tol=1e-9):
+        raise ValueError(f"weights must sum to 1, got {total}")
+    coverage = coverage_of(weights, kept)
+    unit = next(iter(context_rates.values())).unit
+    before = Frequency.zero(unit)
+    for context, rate in context_rates.items():
+        before = before + rate * weights[context]
+    kept_set = set(kept)
+    after = Frequency.zero(unit)
+    if coverage > 0:
+        for context in kept_set:
+            after = after + context_rates[context] * (weights[context] / coverage)
+    return RestrictionEffect(coverage=coverage, rate_before=before,
+                             rate_after=after)

@@ -1,0 +1,144 @@
+"""Text renderings of the paper's figures from live library objects.
+
+Each ``figure*`` function regenerates the *content* of the corresponding
+paper figure from the data structures that now implement it, as aligned
+text (log-scale bars for the frequency axes).  Benchmarks call these so
+`pytest benchmarks/ --benchmark-only` output visibly reproduces the paper;
+EXPERIMENTS.md embeds the same renderings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from ..core.allocation import Allocation
+from ..core.risk_norm import QuantitativeRiskNorm
+from ..core.safety_goals import SafetyGoalSet
+from ..core.severity import SeverityDomain
+from ..core.taxonomy import IncidentTaxonomy
+from ..hara.asil import RiskReductionWaterfall
+from .tables import format_rate, render_table
+
+__all__ = [
+    "log_bar",
+    "figure1_waterfall",
+    "figure2_unified_axis",
+    "figure3_risk_norm",
+    "figure4_tree",
+    "figure5_assignment",
+]
+
+
+def log_bar(rate: float, *, floor: float = 1e-10, ceiling: float = 1.0,
+            width: int = 40) -> str:
+    """A log-scale bar: longer = more frequent (the Fig. 2/3 y-axis).
+
+    Rates at or below ``floor`` render empty; the scale spans
+    ``log10(ceiling/floor)`` decades over ``width`` characters.
+    """
+    if floor <= 0 or ceiling <= floor:
+        raise ValueError("need 0 < floor < ceiling")
+    if rate <= floor:
+        return "·" * width
+    position = math.log10(min(rate, ceiling) / floor) / math.log10(ceiling / floor)
+    filled = max(1, round(width * position))
+    return "█" * filled + "·" * (width - filled)
+
+
+def figure1_waterfall(waterfalls: Sequence[RiskReductionWaterfall]) -> str:
+    """Fig. 1: acceptable risk vs severity with per-HE risk-reduction stacks."""
+    rows = []
+    for waterfall in waterfalls:
+        rows.append([
+            f"S{int(waterfall.severity)}",
+            format_rate(waterfall.raw_frequency),
+            format_rate(waterfall.acceptable_frequency),
+            f"{waterfall.exposure_reduction:.1f}",
+            f"{waterfall.controllability_reduction:.1f}",
+            f"{waterfall.required_ee_reduction:.1f}",
+            str(waterfall.asil),
+        ])
+    return render_table(
+        ["severity", "raw f (/h)", "acceptable f (/h)",
+         "exposure cut (dec)", "controllability cut (dec)",
+         "E/E reduction needed (dec)", "ASIL (Table 4)"],
+        rows,
+        title="Fig. 1 — ISO 26262 risk model: reductions stack from raw "
+              "frequency down to acceptance",
+    )
+
+
+def figure2_unified_axis(norm: QuantitativeRiskNorm) -> str:
+    """Fig. 2: the unified quality+safety acceptance curve."""
+    lines = ["Fig. 2 — acceptable frequency vs severity "
+             "(quality left, safety right)", ""]
+    for cls in norm.classes():
+        domain = "QUALITY" if cls.domain is SeverityDomain.QUALITY else "SAFETY "
+        lines.append(
+            f"{cls.class_id:>4} {domain} {log_bar(cls.budget.rate)} "
+            f"{format_rate(cls.budget.rate)} /h  — {cls.severity.example}")
+    return "\n".join(lines)
+
+
+def figure3_risk_norm(allocation: Allocation) -> str:
+    """Fig. 3: per-class budgets with stacked incident-type contributions."""
+    norm = allocation.norm
+    lines = [f"Fig. 3 — risk norm {norm.name!r}: consequence-class budgets "
+             "and incident contributions", ""]
+    for class_id in norm.class_ids:
+        budget = norm.budget(class_id)
+        load = allocation.class_load(class_id)
+        lines.append(f"{class_id}: budget {format_rate(budget.rate)} /h, "
+                     f"allocated {format_rate(load.rate)} /h "
+                     f"({allocation.utilisation(class_id):.0%})")
+        lines.append(f"     {log_bar(budget.rate)}  (budget)")
+        lines.append(f"     {log_bar(load.rate)}  (allocated)")
+        for itype in allocation.types:
+            contribution = allocation.contribution(class_id, itype.type_id)
+            if contribution.is_zero():
+                continue
+            lines.append(
+                f"       {itype.type_id}: {format_rate(contribution.rate)} /h "
+                f"({itype.split.fraction(class_id):.0%} of f_{itype.type_id})")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def figure4_tree(taxonomy: IncidentTaxonomy) -> str:
+    """Fig. 4: the MECE classification tree plus its certificate."""
+    certificate = taxonomy.mece_certificate()
+    return "\n".join([
+        "Fig. 4 — incident classification",
+        "",
+        taxonomy.render(),
+        "",
+        certificate.summary(),
+    ])
+
+
+def figure5_assignment(goals: SafetyGoalSet) -> str:
+    """Fig. 5: incident-frequency assignment matrix plus the SG texts."""
+    allocation = goals.allocation
+    matrix, class_ids, type_ids = allocation.contribution_matrix()
+    rows = []
+    for k, type_id in enumerate(type_ids):
+        row: List[str] = [type_id,
+                          format_rate(allocation.budget(type_id).rate)]
+        for j in range(len(class_ids)):
+            row.append(format_rate(matrix[j, k]) if matrix[j, k] > 0 else "–")
+        rows.append(row)
+    total_row = ["Σ (class load)", ""]
+    budget_row = ["class budget", ""]
+    for j, class_id in enumerate(class_ids):
+        total_row.append(format_rate(allocation.class_load(class_id).rate))
+        budget_row.append(format_rate(allocation.norm.budget(class_id).rate))
+    rows.append(total_row)
+    rows.append(budget_row)
+    table = render_table(
+        ["incident type", "f_I (/h)", *class_ids],
+        rows,
+        title="Fig. 5 — assignment of incident frequencies to consequence "
+              "classes",
+    )
+    return table + "\n\n" + goals.render_all()

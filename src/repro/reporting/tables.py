@@ -1,0 +1,55 @@
+"""Plain-text table rendering shared by benchmarks and examples.
+
+No third-party table dependency: benchmarks must run in a bare
+environment, and the output format (GitHub-flavoured markdown pipes)
+drops straight into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table", "render_bar", "format_rate"]
+
+
+def format_rate(rate: float, *, digits: int = 3) -> str:
+    """Scientific notation tuned for frequency budgets (1e-7-style)."""
+    if rate == 0.0:
+        return "0"
+    return f"{rate:.{digits}g}"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 *, title: Optional[str] = None) -> str:
+    """A markdown pipe table with aligned columns."""
+    if not headers:
+        raise ValueError("table needs headers")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells for {len(headers)} headers")
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "| " + " | ".join(
+        cell.ljust(width) for cell, width in zip(cells[0], widths)) + " |"
+    separator = "|" + "|".join("-" * (width + 2) for width in widths) + "|"
+    lines.append(header_line)
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append("| " + " | ".join(
+            cell.ljust(width) for cell, width in zip(row, widths)) + " |")
+    return "\n".join(lines)
+
+
+def render_bar(value: float, maximum: float, *, width: int = 40,
+               fill: str = "█", empty: str = "·") -> str:
+    """A proportional ASCII bar (used for budget-utilisation displays)."""
+    if maximum <= 0:
+        raise ValueError("maximum must be positive")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    filled = round(width * min(max(value / maximum, 0.0), 1.0))
+    return fill * filled + empty * (width - filled)

@@ -1,0 +1,53 @@
+"""Statistical substrate: Poisson inference, counting logs, Monte Carlo.
+
+The QRN's "quantitative" is carried by this package — rate estimation with
+exact confidence bounds (:mod:`.poisson`), event logs over exposure
+(:mod:`.counting`), reproducible Monte-Carlo harnesses (:mod:`.montecarlo`)
+and stratified rare-event estimation (:mod:`.rare_event`).
+"""
+
+from .counting import CountedEvent, CountingLog
+from .montecarlo import (BatchMeans, MonteCarloResult, estimate_mean,
+                         estimate_probability, run_until_precision,
+                         spawn_generators)
+from .poisson import (RateEstimate, demonstration_power,
+                      exposure_to_demonstrate, max_acceptable_count,
+                      rate_confidence_interval, rate_lower_bound, rate_mle,
+                      rate_upper_bound)
+from .bayes import (JEFFREYS, GammaRatePrior,
+                    field_exposure_to_demonstrate, prior_from_simulation)
+from .sequential import (SprtDecision, SprtPlan, SprtState,
+                         expected_acceptance_exposure)
+from .rare_event import (StratifiedEstimate, StratumEstimate,
+                         optimal_replication_split, stratified_rate)
+
+__all__ = [
+    "CountedEvent",
+    "CountingLog",
+    "BatchMeans",
+    "MonteCarloResult",
+    "estimate_mean",
+    "estimate_probability",
+    "run_until_precision",
+    "spawn_generators",
+    "RateEstimate",
+    "demonstration_power",
+    "exposure_to_demonstrate",
+    "max_acceptable_count",
+    "rate_confidence_interval",
+    "rate_lower_bound",
+    "rate_mle",
+    "rate_upper_bound",
+    "StratifiedEstimate",
+    "StratumEstimate",
+    "optimal_replication_split",
+    "stratified_rate",
+    "SprtDecision",
+    "SprtPlan",
+    "SprtState",
+    "expected_acceptance_exposure",
+    "GammaRatePrior",
+    "JEFFREYS",
+    "prior_from_simulation",
+    "field_exposure_to_demonstrate",
+]

@@ -1,0 +1,142 @@
+"""Event-counting processes over operating exposure.
+
+Thin substrate shared by the traffic simulator and the verification layer:
+a :class:`CountingLog` accumulates timestamped events per category over a
+known exposure, and converts to rate estimates.  Keeping the log as a
+first-class object (instead of bare dicts) gives merging, windowing and
+stratification by context — all needed for the contextual-exposure
+arguments of Sec. II-B-4.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from .poisson import RateEstimate, rate_confidence_interval
+
+__all__ = ["CountedEvent", "CountingLog"]
+
+
+@dataclass(frozen=True)
+class CountedEvent:
+    """One timestamped categorised event (time in exposure units)."""
+
+    category: str
+    time: float
+    context: str = ""
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or not math.isfinite(self.time):
+            raise ValueError(f"event time must be finite and >= 0, got {self.time}")
+        if not self.category:
+            raise ValueError("event category must be non-empty")
+
+
+class CountingLog:
+    """Events over a fixed total exposure, queryable by category/context."""
+
+    def __init__(self, exposure: float,
+                 events: Iterable[CountedEvent] = ()):
+        if not (exposure > 0 and math.isfinite(exposure)):
+            raise ValueError(f"exposure must be positive and finite, got {exposure}")
+        self.exposure = exposure
+        self._events: List[CountedEvent] = []
+        for event in events:
+            self.record(event)
+
+    def record(self, event: CountedEvent) -> None:
+        if event.time > self.exposure:
+            raise ValueError(
+                f"event at {event.time} beyond log exposure {self.exposure}")
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[CountedEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> Tuple[CountedEvent, ...]:
+        return tuple(self._events)
+
+    def count(self, category: Optional[str] = None, *,
+              context: Optional[str] = None) -> int:
+        """Events matching the given category and/or context filters."""
+        return sum(
+            1 for e in self._events
+            if (category is None or e.category == category)
+            and (context is None or e.context == context)
+        )
+
+    def counts_by_category(self) -> Dict[str, int]:
+        return dict(Counter(e.category for e in self._events))
+
+    def categories(self) -> Tuple[str, ...]:
+        return tuple(sorted({e.category for e in self._events}))
+
+    def contexts(self) -> Tuple[str, ...]:
+        return tuple(sorted({e.context for e in self._events}))
+
+    def rate(self, category: str, confidence: float = 0.95) -> RateEstimate:
+        """Exact rate estimate for one category over the full exposure."""
+        return rate_confidence_interval(self.count(category), self.exposure,
+                                        confidence)
+
+    def rates(self, confidence: float = 0.95) -> Dict[str, RateEstimate]:
+        return {cat: self.rate(cat, confidence) for cat in self.categories()}
+
+    def merged(self, other: "CountingLog") -> "CountingLog":
+        """Pool two independent campaigns (exposures add, events offset).
+
+        Event times of ``other`` are shifted by this log's exposure so the
+        merged log remains a valid single timeline.
+        """
+        merged = CountingLog(self.exposure + other.exposure)
+        for event in self._events:
+            merged.record(event)
+        for event in other._events:
+            merged.record(CountedEvent(event.category,
+                                       event.time + self.exposure,
+                                       event.context))
+        return merged
+
+    def window(self, start: float, end: float) -> "CountingLog":
+        """The sub-log over exposure window ``[start, end)``."""
+        if not (0 <= start < end <= self.exposure):
+            raise ValueError(
+                f"window [{start}, {end}) outside exposure [0, {self.exposure}]")
+        sub = CountingLog(end - start)
+        for event in self._events:
+            if start <= event.time < end:
+                sub.record(CountedEvent(event.category, event.time - start,
+                                        event.context))
+        return sub
+
+    def stratify_by_context(self, context_exposures: Mapping[str, float],
+                            ) -> Dict[str, "CountingLog"]:
+        """Split the log per context with caller-declared exposure shares.
+
+        ``context_exposures`` must sum to the total exposure — the caller
+        (typically the simulator) knows how operating time divided across
+        contexts; the log only knows event stamps.
+        """
+        total = sum(context_exposures.values())
+        if not math.isclose(total, self.exposure, rel_tol=1e-9):
+            raise ValueError(
+                f"context exposures sum to {total}, log exposure is {self.exposure}")
+        strata: Dict[str, CountingLog] = {
+            ctx: CountingLog(exp) for ctx, exp in context_exposures.items() if exp > 0}
+        for event in self._events:
+            if event.context not in strata:
+                raise ValueError(
+                    f"event context {event.context!r} has no declared exposure")
+            log = strata[event.context]
+            # Times are re-stamped sequentially within the stratum.
+            log.record(CountedEvent(event.category,
+                                    min(event.time, log.exposure),
+                                    event.context))
+        return strata

@@ -1,0 +1,205 @@
+"""Sequential demonstration of frequency budgets (Wald SPRT).
+
+The fixed-exposure demonstration of :mod:`repro.stats.poisson` needs the
+whole campaign planned up front (≈ 3/budget hours for a clean record).
+A sequential probability ratio test decides *during* the campaign: accept
+the safety claim, reject it, or keep driving.  Unlike the fixed plan — which
+can only ever succeed or remain inconclusive — the SPRT also *rejects* bad
+systems early, with both error rates bounded.  Directly relevant to the
+paper's quantitative framework, where every safety goal is a rate claim
+awaiting demonstration.
+
+The test contrasts::
+
+    H1 (claim):   λ ≤ budget / margin      (comfortably compliant)
+    H0 (reject):  λ ≥ budget               (at or above the budget)
+
+For a Poisson process observed over exposure ``t`` with ``n`` events, the
+log-likelihood ratio is ``n·ln(λ1/λ0) − (λ1 − λ0)·t``.  Wald's bounds
+``ln(β/(1−α))`` and ``ln((1−β)/α)`` give error rates ≤ (α, β) up to the
+usual overshoot slack.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SprtDecision", "SprtPlan", "SprtState", "expected_acceptance_exposure"]
+
+
+class SprtDecision(enum.Enum):
+    """Outcome of a sequential check."""
+
+    ACCEPT = "accept"          #: claim demonstrated (λ ≤ budget/margin)
+    REJECT = "reject"          #: claim rejected (λ ≥ budget)
+    CONTINUE = "continue"      #: keep observing
+
+
+@dataclass(frozen=True)
+class SprtPlan:
+    """A configured sequential test for one budget claim.
+
+    ``budget_rate`` is the H0 (reject) rate; ``margin`` > 1 sets the H1
+    (accept) rate at ``budget_rate / margin``.  ``alpha`` bounds the
+    probability of accepting a system that is actually at the budget;
+    ``beta`` bounds rejecting a system that is actually ``margin``×
+    better.
+    """
+
+    budget_rate: float
+    margin: float = 2.0
+    alpha: float = 0.05
+    beta: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.budget_rate <= 0 or not math.isfinite(self.budget_rate):
+            raise ValueError("budget rate must be positive and finite")
+        if self.margin <= 1.0:
+            raise ValueError("margin must exceed 1 (H1 strictly below H0)")
+        if not (0 < self.alpha < 0.5 and 0 < self.beta < 0.5):
+            raise ValueError("alpha and beta must be in (0, 0.5)")
+
+    @property
+    def lambda0(self) -> float:
+        """The reject-hypothesis rate (the budget itself)."""
+        return self.budget_rate
+
+    @property
+    def lambda1(self) -> float:
+        """The accept-hypothesis rate (comfortably compliant)."""
+        return self.budget_rate / self.margin
+
+    @property
+    def lower_bound(self) -> float:
+        """Accept H1 when the LLR falls to/below this (Wald's A)."""
+        return math.log(self.beta / (1.0 - self.alpha))
+
+    @property
+    def upper_bound(self) -> float:
+        """Reject (accept H0) when the LLR rises to/above this (Wald's B)."""
+        return math.log((1.0 - self.beta) / self.alpha)
+
+    def log_likelihood_ratio(self, events: int, exposure: float) -> float:
+        """LLR of H0 vs H1 after ``events`` over ``exposure``.
+
+        Positive values favour H0 (the system is at the budget);
+        incident-free exposure drives the LLR down towards acceptance.
+        """
+        if events < 0:
+            raise ValueError("events must be >= 0")
+        if exposure < 0:
+            raise ValueError("exposure must be >= 0")
+        return (events * math.log(self.lambda0 / self.lambda1)
+                - (self.lambda0 - self.lambda1) * exposure)
+
+    def decide(self, events: int, exposure: float) -> SprtDecision:
+        llr = self.log_likelihood_ratio(events, exposure)
+        if llr <= self.lower_bound:
+            return SprtDecision.ACCEPT
+        if llr >= self.upper_bound:
+            return SprtDecision.REJECT
+        return SprtDecision.CONTINUE
+
+    def acceptance_exposure_clean(self) -> float:
+        """Exposure at which an incident-free campaign accepts.
+
+        Solving ``-(λ0−λ1)·t = ln(β/(1−α))``.  Note this is *longer* than
+        the fixed plan's ≈ 3/budget clean run: the SPRT buys a stronger
+        conclusion (discriminating budget/margin from budget with bounded
+        β) plus the ability to reject a bad system early — the fixed plan
+        can only ever fail to conclude.
+        """
+        return -self.lower_bound / (self.lambda0 - self.lambda1)
+
+    def state(self) -> "SprtState":
+        return SprtState(self)
+
+
+class SprtState:
+    """Mutable accumulator for one running sequential test."""
+
+    def __init__(self, plan: SprtPlan):
+        self.plan = plan
+        self._events = 0
+        self._exposure = 0.0
+        self._decision = SprtDecision.CONTINUE
+
+    @property
+    def events(self) -> int:
+        return self._events
+
+    @property
+    def exposure(self) -> float:
+        return self._exposure
+
+    @property
+    def decision(self) -> SprtDecision:
+        return self._decision
+
+    def observe(self, events: int, exposure: float) -> SprtDecision:
+        """Fold in a new observation window; returns the updated decision.
+
+        Once a terminal decision is reached further observations are
+        rejected — a sequential test must stop at its boundary or its
+        error guarantees are void.
+        """
+        if self._decision is not SprtDecision.CONTINUE:
+            raise RuntimeError(
+                f"test already decided: {self._decision.value}")
+        if events < 0:
+            raise ValueError("events must be >= 0")
+        if exposure <= 0:
+            raise ValueError("exposure must be positive")
+        self._events += events
+        self._exposure += exposure
+        self._decision = self.plan.decide(self._events, self._exposure)
+        return self._decision
+
+
+def expected_acceptance_exposure(plan: SprtPlan, true_rate: float,
+                                 *, seed: int = 0,
+                                 replications: int = 200,
+                                 step_exposure: Optional[float] = None,
+                                 max_steps: int = 100_000,
+                                 ) -> Tuple[float, float, float]:
+    """Monte-Carlo expected decision exposure and acceptance probability.
+
+    Simulates the sequential test against a true Poisson rate; returns
+    ``(mean decision exposure, acceptance probability, mean events)``.
+    ``step_exposure`` defaults to 1 % of the clean acceptance exposure.
+    Runs hitting ``max_steps`` are counted as (censored) continues and
+    excluded from the exposure mean.
+    """
+    if true_rate < 0:
+        raise ValueError("true rate must be >= 0")
+    if replications < 1:
+        raise ValueError("replications must be >= 1")
+    step = (step_exposure if step_exposure is not None
+            else plan.acceptance_exposure_clean() / 100.0)
+    rng = np.random.default_rng(seed)
+    exposures: List[float] = []
+    accepted = 0
+    events_total = 0
+    decided = 0
+    for _ in range(replications):
+        state = plan.state()
+        for _ in range(max_steps):
+            events = int(rng.poisson(true_rate * step))
+            decision = state.observe(events, step)
+            if decision is not SprtDecision.CONTINUE:
+                exposures.append(state.exposure)
+                events_total += state.events
+                decided += 1
+                if decision is SprtDecision.ACCEPT:
+                    accepted += 1
+                break
+    if decided == 0:
+        raise RuntimeError("no replication reached a decision; "
+                           "raise max_steps or step_exposure")
+    return (sum(exposures) / decided, accepted / decided,
+            events_total / decided)

@@ -1,0 +1,48 @@
+"""Traffic substrate: the Monte-Carlo driving world standing in for fleet data.
+
+Encounters arrive per context (:mod:`.encounters`), the tactical policy
+shapes the speed they are met at (:mod:`.policy` — the paper's
+exposure-is-a-design-choice), perception decides when they are seen
+(:mod:`.perception`), kinematics resolves the outcome (:mod:`.dynamics`,
+including degraded braking from :mod:`.faults`), and the simulator
+(:mod:`.simulator`) records incidents that :mod:`.incidents` turns into
+QRN inputs: per-type rates and empirical contribution splits.
+"""
+
+from .dynamics import (KMH_PER_MS, BrakingOutcome, impact_speed, kmh_to_ms,
+                       ms_to_kmh, required_deceleration, resolve_braking,
+                       stopping_distance)
+from .encounters import (ContextProfile, Encounter, EncounterGenerator,
+                         default_context_profiles)
+from .faults import BrakingSystem
+from .incidents import (TypeRates, empirical_splits, estimate_type_rates,
+                        type_counts)
+from .perception import (PerceptionModel, default_perception,
+                         degraded_perception)
+from .policy import (TacticalPolicy, aggressive_policy, cautious_policy,
+                     nominal_policy)
+from .scenarios import (AnimalRunOut, CrossingPedestrian, CutIn,
+                        LeadVehicleBraking, ObstacleBehindCurve,
+                        Scenario, ScenarioOutcome, ScenarioStatistics,
+                        ScenarioSuite, incident_rate_contributions,
+                        run_scenario)
+from .simulator import (SimulationConfig, SimulationResult, simulate,
+                        simulate_mix)
+
+__all__ = [
+    "KMH_PER_MS", "kmh_to_ms", "ms_to_kmh", "stopping_distance",
+    "required_deceleration", "impact_speed", "BrakingOutcome",
+    "resolve_braking",
+    "TacticalPolicy", "cautious_policy", "nominal_policy",
+    "aggressive_policy",
+    "PerceptionModel", "default_perception", "degraded_perception",
+    "BrakingSystem",
+    "Encounter", "ContextProfile", "EncounterGenerator",
+    "default_context_profiles",
+    "SimulationConfig", "SimulationResult", "simulate", "simulate_mix",
+    "TypeRates", "estimate_type_rates", "empirical_splits", "type_counts",
+    "Scenario", "ScenarioOutcome", "ScenarioStatistics", "ScenarioSuite",
+    "CrossingPedestrian", "LeadVehicleBraking", "CutIn",
+    "ObstacleBehindCurve", "AnimalRunOut", "run_scenario",
+    "incident_rate_contributions",
+]

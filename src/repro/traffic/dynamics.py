@@ -1,0 +1,158 @@
+"""Longitudinal kinematics: braking, stopping, impact speeds.
+
+The physics under every encounter outcome in the simulator, and under the
+paper's Sec. II-B-3 worked example: "a vehicle-internal fault leading to a
+reduced braking capacity of only 4 m/s² on dry asphalt" and the question
+"how often there is a situation in which the driver needs to brake
+significantly harder than 4 m/s² to avoid an accident".
+
+All speeds here are in m/s and distances in metres (the incident layer
+converts to km/h at its boundary); deceleration is positive m/s².
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "KMH_PER_MS",
+    "kmh_to_ms",
+    "ms_to_kmh",
+    "stopping_distance",
+    "required_deceleration",
+    "impact_speed",
+    "BrakingOutcome",
+    "resolve_braking",
+]
+
+KMH_PER_MS = 3.6
+
+
+def kmh_to_ms(speed_kmh: float) -> float:
+    """Convert km/h to m/s."""
+    return speed_kmh / KMH_PER_MS
+
+
+def ms_to_kmh(speed_ms: float) -> float:
+    """Convert m/s to km/h."""
+    return speed_ms * KMH_PER_MS
+
+
+def stopping_distance(speed_ms: float, deceleration: float,
+                      reaction_time_s: float = 0.0) -> float:
+    """Distance to standstill: reaction roll-out plus braking distance."""
+    if speed_ms < 0:
+        raise ValueError("speed must be >= 0")
+    if deceleration <= 0:
+        raise ValueError("deceleration must be positive")
+    if reaction_time_s < 0:
+        raise ValueError("reaction time must be >= 0")
+    return speed_ms * reaction_time_s + speed_ms ** 2 / (2.0 * deceleration)
+
+
+def required_deceleration(speed_ms: float, distance_m: float,
+                          reaction_time_s: float = 0.0) -> float:
+    """Constant deceleration needed to stop within ``distance_m``.
+
+    Returns ``inf`` when the reaction roll-out alone consumes the distance
+    (no finite braking avoids impact) and 0 for zero speed.
+    """
+    if speed_ms < 0:
+        raise ValueError("speed must be >= 0")
+    if distance_m < 0:
+        raise ValueError("distance must be >= 0")
+    if reaction_time_s < 0:
+        raise ValueError("reaction time must be >= 0")
+    if speed_ms == 0.0:
+        return 0.0
+    braking_distance = distance_m - speed_ms * reaction_time_s
+    if braking_distance <= 0.0:
+        return math.inf
+    return speed_ms ** 2 / (2.0 * braking_distance)
+
+
+def impact_speed(speed_ms: float, deceleration: float, distance_m: float,
+                 reaction_time_s: float = 0.0) -> float:
+    """Speed at the obstacle after reaction + braking over ``distance_m``.
+
+    Zero when the vehicle stops short.  The obstacle is treated as
+    stationary relative to the conflict point; the caller folds in
+    counterpart motion by adjusting the effective distance or speed.
+    """
+    if speed_ms < 0:
+        raise ValueError("speed must be >= 0")
+    if deceleration <= 0:
+        raise ValueError("deceleration must be positive")
+    if distance_m < 0:
+        raise ValueError("distance must be >= 0")
+    if reaction_time_s < 0:
+        raise ValueError("reaction time must be >= 0")
+    braking_distance = distance_m - speed_ms * reaction_time_s
+    if braking_distance <= 0.0:
+        return speed_ms
+    residual_sq = speed_ms ** 2 - 2.0 * deceleration * braking_distance
+    if residual_sq <= 0.0:
+        return 0.0
+    return math.sqrt(residual_sq)
+
+
+@dataclass(frozen=True)
+class BrakingOutcome:
+    """Resolution of one braking episode.
+
+    ``impact_speed_ms`` is 0 for successful stops; ``stop_margin_m`` is
+    the gap left to the obstacle when stopping short (0 on impact);
+    ``peak_deceleration`` the deceleration actually used; and
+    ``demanded_deceleration`` what avoiding impact would have required —
+    the Sec. II-B-3 observable, recorded even when the episode ends well.
+    """
+
+    impact_speed_ms: float
+    stop_margin_m: float
+    peak_deceleration: float
+    demanded_deceleration: float
+
+    @property
+    def collided(self) -> bool:
+        return self.impact_speed_ms > 0.0
+
+
+def resolve_braking(speed_ms: float, distance_m: float,
+                    comfort_deceleration: float,
+                    max_deceleration: float,
+                    reaction_time_s: float) -> BrakingOutcome:
+    """Resolve an obstacle-ahead episode with a two-stage braking policy.
+
+    The ego prefers comfort braking (the paper's "braking harder than
+    3 m/s² is considered uncomfortable"); when comfort braking cannot
+    stop in time it escalates to its full current capability.  Whatever it
+    uses, ``demanded_deceleration`` records the physical requirement, so
+    the caller can count how often demand exceeded any given threshold.
+    """
+    if comfort_deceleration <= 0 or max_deceleration <= 0:
+        raise ValueError("decelerations must be positive")
+    if comfort_deceleration > max_deceleration:
+        raise ValueError(
+            f"comfort deceleration {comfort_deceleration} exceeds capability "
+            f"{max_deceleration}")
+    demanded = required_deceleration(speed_ms, distance_m, reaction_time_s)
+    if demanded <= comfort_deceleration:
+        used = comfort_deceleration
+    else:
+        used = max_deceleration
+    speed_at_obstacle = impact_speed(speed_ms, used, distance_m, reaction_time_s)
+    if speed_at_obstacle > 0.0:
+        return BrakingOutcome(
+            impact_speed_ms=speed_at_obstacle,
+            stop_margin_m=0.0,
+            peak_deceleration=used,
+            demanded_deceleration=demanded,
+        )
+    margin = distance_m - stopping_distance(speed_ms, used, reaction_time_s)
+    return BrakingOutcome(
+        impact_speed_ms=0.0,
+        stop_margin_m=max(margin, 0.0),
+        peak_deceleration=used,
+        demanded_deceleration=demanded,
+    )

@@ -1,0 +1,251 @@
+"""Stochastic encounter generation per operating context.
+
+An *encounter* is one potential conflict between the ego and another
+actor: a pedestrian stepping towards the roadway, a car braking ahead, an
+elk on a rural road.  Encounters arrive as a Poisson process whose rate
+and composition depend on the operating context — this is where the
+Sec. II-B-4 contextual variation lives in the substrate.
+
+The generator produces geometry only (who, how far, what sight line);
+resolution into incidents is the simulator's job, because the *outcome*
+depends on the tactical policy — which is precisely the paper's
+exposure-is-a-design-choice point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from ..core.taxonomy import ActorClass
+
+__all__ = ["Encounter", "ContextProfile", "EncounterGenerator",
+           "default_context_profiles"]
+
+
+@dataclass(frozen=True)
+class Encounter:
+    """One potential conflict, before tactical resolution.
+
+    ``sight_distance_m`` is the geometric distance at which the conflict
+    is first observable; ``counterpart_speed_kmh`` the counterpart's speed
+    along the conflict course (0 for static objects);  ``cue_available``
+    whether an early-warning cue preceded the encounter (usable by
+    proactive policies); ``time_h`` the arrival stamp within the simulated
+    exposure.
+    """
+
+    counterpart: ActorClass
+    context: str
+    sight_distance_m: float
+    counterpart_speed_kmh: float
+    cue_available: bool
+    time_h: float
+
+    def __post_init__(self) -> None:
+        if self.counterpart is ActorClass.EGO:
+            raise ValueError("ego cannot encounter itself")
+        if self.sight_distance_m <= 0:
+            raise ValueError("sight distance must be positive")
+        if self.counterpart_speed_kmh < 0:
+            raise ValueError("counterpart speed must be >= 0")
+        if self.time_h < 0:
+            raise ValueError("time stamp must be >= 0")
+
+
+@dataclass(frozen=True)
+class ContextProfile:
+    """Encounter statistics for one operating context.
+
+    ``encounter_rates`` are conflict arrivals per hour per counterpart
+    class; ``sight_distance_m`` gives (mean, std) of the lognormal sight
+    distance; ``counterpart_speed_kmh`` (mean, std) of the counterpart's
+    conflict-course speed.  All synthetic, shaped per context (urban:
+    frequent close VRU conflicts; highway: rare but fast car conflicts).
+    """
+
+    name: str
+    encounter_rates: Mapping[ActorClass, float]
+    sight_distance_m: Mapping[ActorClass, Tuple[float, float]]
+    counterpart_speed_kmh: Mapping[ActorClass, Tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("context profile must be named")
+        if not self.encounter_rates:
+            raise ValueError(f"context {self.name!r} generates no encounters")
+        for counterpart, rate in self.encounter_rates.items():
+            if rate < 0 or not math.isfinite(rate):
+                raise ValueError(
+                    f"context {self.name!r}: rate for {counterpart} must be "
+                    f"finite and >= 0")
+            if counterpart not in self.sight_distance_m:
+                raise ValueError(
+                    f"context {self.name!r}: no sight-distance parameters "
+                    f"for {counterpart}")
+            if counterpart not in self.counterpart_speed_kmh:
+                raise ValueError(
+                    f"context {self.name!r}: no speed parameters for "
+                    f"{counterpart}")
+
+    def total_rate(self) -> float:
+        """Total conflict arrivals per hour in this context."""
+        return sum(self.encounter_rates.values())
+
+
+class EncounterGenerator:
+    """Samples encounter streams from context profiles."""
+
+    def __init__(self, profiles: Mapping[str, ContextProfile]):
+        if not profiles:
+            raise ValueError("generator needs at least one context profile")
+        for name, profile in profiles.items():
+            if profile.name != name:
+                raise ValueError(
+                    f"profile keyed {name!r} is named {profile.name!r}")
+        self._profiles: Dict[str, ContextProfile] = dict(profiles)
+
+    @property
+    def contexts(self) -> Tuple[str, ...]:
+        return tuple(self._profiles)
+
+    def profile(self, context: str) -> ContextProfile:
+        try:
+            return self._profiles[context]
+        except KeyError:
+            raise KeyError(f"unknown context {context!r}; "
+                           f"known: {sorted(self._profiles)}") from None
+
+    def generate(self, context: str, hours: float, cue_probability: float,
+                 rng: np.random.Generator) -> List[Encounter]:
+        """Sample all encounters over ``hours`` of driving in ``context``.
+
+        Arrivals per counterpart class are independent Poisson processes;
+        sight distances are lognormal (strictly positive, right-skewed —
+        occluded conflicts are the short left tail); speeds are truncated
+        normal at 0.
+        """
+        if hours <= 0 or not math.isfinite(hours):
+            raise ValueError(f"hours must be positive and finite, got {hours}")
+        if not (0.0 <= cue_probability <= 1.0):
+            raise ValueError("cue probability must be in [0, 1]")
+        profile = self.profile(context)
+        encounters: List[Encounter] = []
+        for counterpart, rate in profile.encounter_rates.items():
+            if rate == 0.0:
+                continue
+            count = int(rng.poisson(rate * hours))
+            if count == 0:
+                continue
+            times = np.sort(rng.uniform(0.0, hours, size=count))
+            mean_d, std_d = profile.sight_distance_m[counterpart]
+            mean_v, std_v = profile.counterpart_speed_kmh[counterpart]
+            sigma = math.sqrt(math.log(1.0 + (std_d / mean_d) ** 2))
+            mu = math.log(mean_d) - sigma ** 2 / 2.0
+            distances = rng.lognormal(mu, sigma, size=count)
+            speeds = np.maximum(rng.normal(mean_v, std_v, size=count), 0.0)
+            cues = rng.uniform(size=count) < cue_probability
+            for i in range(count):
+                encounters.append(Encounter(
+                    counterpart=counterpart,
+                    context=context,
+                    sight_distance_m=float(max(distances[i], 1.0)),
+                    counterpart_speed_kmh=float(speeds[i]),
+                    cue_available=bool(cues[i]),
+                    time_h=float(times[i]),
+                ))
+        encounters.sort(key=lambda e: e.time_h)
+        return encounters
+
+
+def default_context_profiles() -> Dict[str, ContextProfile]:
+    """Synthetic but realistically shaped profiles for four contexts."""
+    urban = ContextProfile(
+        name="urban",
+        encounter_rates={
+            ActorClass.VRU: 6.0,
+            ActorClass.CAR: 8.0,
+            ActorClass.STATIC_OBJECT: 0.5,
+            ActorClass.TRUCK: 0.8,
+        },
+        sight_distance_m={
+            ActorClass.VRU: (35.0, 18.0),
+            ActorClass.CAR: (50.0, 20.0),
+            ActorClass.STATIC_OBJECT: (60.0, 25.0),
+            ActorClass.TRUCK: (55.0, 20.0),
+        },
+        counterpart_speed_kmh={
+            ActorClass.VRU: (5.0, 2.0),
+            ActorClass.CAR: (30.0, 10.0),
+            ActorClass.STATIC_OBJECT: (0.0, 0.0),
+            ActorClass.TRUCK: (25.0, 8.0),
+        },
+    )
+    suburban = ContextProfile(
+        name="suburban",
+        encounter_rates={
+            ActorClass.VRU: 2.0,
+            ActorClass.CAR: 5.0,
+            ActorClass.STATIC_OBJECT: 0.3,
+            ActorClass.TRUCK: 0.6,
+        },
+        sight_distance_m={
+            ActorClass.VRU: (55.0, 22.0),
+            ActorClass.CAR: (80.0, 30.0),
+            ActorClass.STATIC_OBJECT: (90.0, 30.0),
+            ActorClass.TRUCK: (85.0, 30.0),
+        },
+        counterpart_speed_kmh={
+            ActorClass.VRU: (6.0, 3.0),
+            ActorClass.CAR: (45.0, 12.0),
+            ActorClass.STATIC_OBJECT: (0.0, 0.0),
+            ActorClass.TRUCK: (40.0, 10.0),
+        },
+    )
+    rural = ContextProfile(
+        name="rural",
+        encounter_rates={
+            ActorClass.VRU: 0.3,
+            ActorClass.CAR: 3.0,
+            ActorClass.ANIMAL: 0.8,
+            ActorClass.STATIC_OBJECT: 0.2,
+            ActorClass.TRUCK: 0.8,
+        },
+        sight_distance_m={
+            ActorClass.VRU: (80.0, 30.0),
+            ActorClass.CAR: (120.0, 45.0),
+            ActorClass.ANIMAL: (60.0, 30.0),
+            ActorClass.STATIC_OBJECT: (120.0, 40.0),
+            ActorClass.TRUCK: (120.0, 40.0),
+        },
+        counterpart_speed_kmh={
+            ActorClass.VRU: (6.0, 3.0),
+            ActorClass.CAR: (70.0, 15.0),
+            ActorClass.ANIMAL: (15.0, 8.0),
+            ActorClass.STATIC_OBJECT: (0.0, 0.0),
+            ActorClass.TRUCK: (65.0, 12.0),
+        },
+    )
+    highway = ContextProfile(
+        name="highway",
+        encounter_rates={
+            ActorClass.CAR: 4.0,
+            ActorClass.TRUCK: 1.5,
+            ActorClass.STATIC_OBJECT: 0.1,
+        },
+        sight_distance_m={
+            ActorClass.CAR: (180.0, 60.0),
+            ActorClass.TRUCK: (180.0, 60.0),
+            ActorClass.STATIC_OBJECT: (150.0, 50.0),
+        },
+        counterpart_speed_kmh={
+            ActorClass.CAR: (95.0, 15.0),
+            ActorClass.TRUCK: (80.0, 10.0),
+            ActorClass.STATIC_OBJECT: (0.0, 0.0),
+        },
+    )
+    return {"urban": urban, "suburban": suburban, "rural": rural,
+            "highway": highway}

@@ -1,0 +1,464 @@
+"""Concrete scenario analysis — the solution-domain tool of Sec. IV.
+
+The QRN banishes situation/scenario enumeration from the *problem* domain
+(goal derivation), but the paper is explicit that it comes back in the
+*solution* domain: "strategies how to adapt to different
+situations/scenarios will likely play an important role; however, now
+with the purpose of fulfilling the risk norm rather than defining the
+risks" (Sec. IV).
+
+This module provides that tool: a library of parameterised conflict
+scenarios (the standard longitudinal ADS cases), each resolvable against
+a tactical policy into an outcome, plus the bridge back to the QRN —
+:func:`incident_rate_contributions` converts per-scenario encounter rates
+and Monte-Carlo outcome statistics into per-incident-type rates, i.e.
+*which scenario consumes how much of which safety-goal budget*.  That is
+the FSC-level diagnostic the paper sketches: if SG-I3's budget is eaten
+by occluded pedestrian crossings, the strategy work goes there.
+
+Scenarios implemented:
+
+* :class:`CrossingPedestrian` — a pedestrian emerges from occlusion and
+  crosses; the ego may also clear the conflict point first.
+* :class:`LeadVehicleBraking` — the lead car brakes hard to a stop from
+  a time-headway gap.
+* :class:`CutIn` — a slower vehicle inserts at a short gap.
+* :class:`ObstacleBehindCurve` — a stationary obstacle at the limit of
+  curve sight distance.
+* :class:`AnimalRunOut` — the paper's elk: fast lateral intrusion on a
+  rural road at generous but dark sight lines.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.incident import IncidentRecord, IncidentType
+from ..core.quantities import Frequency
+from ..core.taxonomy import ActorClass
+from .dynamics import kmh_to_ms, ms_to_kmh, resolve_braking
+from .faults import BrakingSystem
+from .policy import TacticalPolicy
+
+__all__ = [
+    "ScenarioOutcome",
+    "Scenario",
+    "CrossingPedestrian",
+    "LeadVehicleBraking",
+    "CutIn",
+    "ObstacleBehindCurve",
+    "AnimalRunOut",
+    "ScenarioStatistics",
+    "run_scenario",
+    "ScenarioSuite",
+    "incident_rate_contributions",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Resolution of one scenario instance.
+
+    ``conflict`` is False when the geometry dissolved (the pedestrian
+    never reached the lane, the lead car was never closed on); such
+    instances carry no incident potential at all.
+    """
+
+    conflict: bool
+    collided: bool
+    impact_speed_kmh: float
+    min_gap_m: float
+    approach_speed_kmh: float
+    demanded_decel_ms2: float
+    counterpart: ActorClass
+
+    def to_record(self, time_h: float, context: str) -> Optional[IncidentRecord]:
+        """The incident record this outcome produces, if any.
+
+        Collisions always produce one; non-collision conflicts produce a
+        near-miss record (margin + approach speed), which the incident
+        types' tolerance margins then accept or ignore.  Non-conflicts
+        produce nothing.
+        """
+        if not self.conflict:
+            return None
+        if self.collided:
+            return IncidentRecord(
+                counterpart=self.counterpart, is_collision=True,
+                delta_v_kmh=max(self.impact_speed_kmh, 1e-6),
+                approach_speed_kmh=self.approach_speed_kmh,
+                time_h=time_h, context=context)
+        return IncidentRecord(
+            counterpart=self.counterpart, is_collision=False,
+            min_distance_m=max(self.min_gap_m, 1e-3),
+            approach_speed_kmh=self.approach_speed_kmh,
+            time_h=time_h, context=context)
+
+
+class Scenario(abc.ABC):
+    """One parameterised conflict scenario."""
+
+    name: str
+    context: str
+    counterpart: ActorClass
+
+    @abc.abstractmethod
+    def resolve(self, policy: TacticalPolicy, braking: BrakingSystem,
+                rng: np.random.Generator) -> ScenarioOutcome:
+        """Sample one instance and resolve it against the policy."""
+
+    def _capabilities(self, braking: BrakingSystem,
+                      rng: np.random.Generator) -> Tuple[float, float]:
+        actual = braking.sample_capability(rng)
+        return actual, braking.known_capability(actual)
+
+
+@dataclass(frozen=True)
+class CrossingPedestrian(Scenario):
+    """A pedestrian steps out from occlusion and crosses the ego lane.
+
+    The risk mechanism: the ego chooses speed from the *road* sight
+    distance (generous — it cannot see behind the parked cars), but the
+    pedestrian becomes visible only at the much shorter ``occlusion_m``.
+    Walking at ``ped_speed_kmh`` across ``lateral_offset_m`` of clearance
+    before entering the lane, the pedestrian may also arrive after the
+    ego has cleared the conflict point, dissolving the conflict.
+    """
+
+    name: str = "crossing-pedestrian"
+    context: str = "urban"
+    counterpart: ActorClass = ActorClass.VRU
+    road_sight_mean_m: float = 90.0
+    occlusion_mean_m: float = 25.0
+    occlusion_std_m: float = 10.0
+    ped_speed_kmh: float = 5.5
+    lateral_offset_m: float = 2.0
+
+    def resolve(self, policy, braking, rng):
+        actual, known = self._capabilities(braking, rng)
+        sigma = math.sqrt(math.log(
+            1.0 + (self.occlusion_std_m / self.occlusion_mean_m) ** 2))
+        mu = math.log(self.occlusion_mean_m) - sigma ** 2 / 2.0
+        occlusion = max(float(rng.lognormal(mu, sigma)), 2.0)
+        road_sight = max(float(rng.normal(self.road_sight_mean_m,
+                                          self.road_sight_mean_m * 0.3)),
+                         occlusion)
+        cued = rng.uniform() < policy.cue_probability
+        speed = policy.encounter_speed_ms(self.context, cued, road_sight,
+                                          known, braking.nominal_ms2)
+        ped_speed = kmh_to_ms(self.ped_speed_kmh * float(rng.uniform(0.6, 1.4)))
+        time_to_lane = self.lateral_offset_m / max(ped_speed, 0.1)
+        time_to_clear = occlusion / max(speed, 0.1)
+        if time_to_clear < time_to_lane * 0.8:
+            # Ego passes the conflict point well before the pedestrian.
+            return ScenarioOutcome(
+                conflict=False, collided=False, impact_speed_kmh=0.0,
+                min_gap_m=occlusion, approach_speed_kmh=ms_to_kmh(speed),
+                demanded_decel_ms2=0.0, counterpart=self.counterpart)
+        outcome = resolve_braking(speed, occlusion,
+                                  min(policy.comfort_braking_ms2, actual),
+                                  actual, policy.reaction_time_s)
+        return ScenarioOutcome(
+            conflict=True, collided=outcome.collided,
+            impact_speed_kmh=ms_to_kmh(outcome.impact_speed_ms),
+            min_gap_m=outcome.stop_margin_m,
+            approach_speed_kmh=ms_to_kmh(speed),
+            demanded_decel_ms2=outcome.demanded_deceleration,
+            counterpart=self.counterpart)
+
+
+@dataclass(frozen=True)
+class LeadVehicleBraking(Scenario):
+    """The lead vehicle brakes to a standstill from a time-headway gap.
+
+    Both vehicles end at rest; collision iff the ego's stopping distance
+    (with reaction roll-out) exceeds the initial gap plus the lead's
+    stopping distance.  The margin/impact speed follow from the distance
+    bookkeeping of the two stopping curves.
+    """
+
+    name: str = "lead-vehicle-braking"
+    context: str = "highway"
+    counterpart: ActorClass = ActorClass.CAR
+    headway_mean_s: float = 1.6
+    headway_std_s: float = 0.5
+    lead_decel_ms2: float = 7.0
+    late_detection_probability: float = 0.04
+    late_extra_s: float = 1.5
+    """Occasional perception lag — brake lights missed for a moment —
+    modelled as extra reaction time.  Rear-end risk lives in this tail."""
+
+    def resolve(self, policy, braking, rng):
+        actual, known = self._capabilities(braking, rng)
+        speed = policy.approach_speed_ms(self.context, False, known,
+                                         braking.nominal_ms2)
+        headway = max(float(rng.normal(self.headway_mean_s,
+                                       self.headway_std_s)), 0.3)
+        gap = speed * headway
+        lead_stop = speed ** 2 / (2.0 * self.lead_decel_ms2)
+        available = gap + lead_stop
+        reaction = policy.reaction_time_s
+        if rng.uniform() < self.late_detection_probability:
+            reaction += float(rng.uniform(0.3, self.late_extra_s))
+        outcome = resolve_braking(speed, available,
+                                  min(policy.comfort_braking_ms2, actual),
+                                  actual, reaction)
+        return ScenarioOutcome(
+            conflict=True, collided=outcome.collided,
+            impact_speed_kmh=ms_to_kmh(outcome.impact_speed_ms),
+            min_gap_m=outcome.stop_margin_m,
+            approach_speed_kmh=ms_to_kmh(speed),
+            demanded_decel_ms2=outcome.demanded_deceleration,
+            counterpart=self.counterpart)
+
+
+@dataclass(frozen=True)
+class CutIn(Scenario):
+    """A slower vehicle inserts ahead at a short gap.
+
+    The conflict is the closing-speed problem: the ego approaches the
+    cut-in vehicle at the speed difference over the insertion gap.  A
+    non-positive speed difference dissolves the conflict.
+    """
+
+    name: str = "cut-in"
+    context: str = "highway"
+    counterpart: ActorClass = ActorClass.CAR
+    gap_mean_m: float = 18.0
+    gap_std_m: float = 8.0
+    speed_deficit_mean_kmh: float = 25.0
+    speed_deficit_std_kmh: float = 10.0
+
+    def resolve(self, policy, braking, rng):
+        actual, known = self._capabilities(braking, rng)
+        deficit = kmh_to_ms(float(rng.normal(self.speed_deficit_mean_kmh,
+                                             self.speed_deficit_std_kmh)))
+        gap = max(float(rng.normal(self.gap_mean_m, self.gap_std_m)), 2.0)
+        ego_speed = policy.approach_speed_ms(self.context, False, known,
+                                             braking.nominal_ms2)
+        if deficit <= 0.0:
+            return ScenarioOutcome(
+                conflict=False, collided=False, impact_speed_kmh=0.0,
+                min_gap_m=gap, approach_speed_kmh=ms_to_kmh(ego_speed),
+                demanded_decel_ms2=0.0, counterpart=self.counterpart)
+        closing = min(deficit, ego_speed)
+        outcome = resolve_braking(closing, gap,
+                                  min(policy.comfort_braking_ms2, actual),
+                                  actual, policy.reaction_time_s)
+        return ScenarioOutcome(
+            conflict=True, collided=outcome.collided,
+            impact_speed_kmh=ms_to_kmh(outcome.impact_speed_ms),
+            min_gap_m=outcome.stop_margin_m,
+            approach_speed_kmh=ms_to_kmh(closing),
+            demanded_decel_ms2=outcome.demanded_deceleration,
+            counterpart=self.counterpart)
+
+
+@dataclass(frozen=True)
+class ObstacleBehindCurve(Scenario):
+    """A stationary obstacle at the limit of curve sight distance."""
+
+    name: str = "obstacle-behind-curve"
+    context: str = "rural"
+    counterpart: ActorClass = ActorClass.STATIC_OBJECT
+    sight_mean_m: float = 70.0
+    sight_std_m: float = 25.0
+    detection_fraction_mean: float = 0.85
+    detection_fraction_std: float = 0.12
+    miss_probability: float = 2e-3
+    late_fraction: float = 0.3
+    """The obstacle is usually recognised near the geometric sight limit,
+    occasionally much later (low-contrast debris)."""
+
+    def resolve(self, policy, braking, rng):
+        actual, known = self._capabilities(braking, rng)
+        sight = max(float(rng.normal(self.sight_mean_m, self.sight_std_m)),
+                    10.0)
+        speed = policy.encounter_speed_ms(self.context, False, sight, known,
+                                          braking.nominal_ms2)
+        if rng.uniform() < self.miss_probability:
+            fraction = self.late_fraction
+        else:
+            fraction = float(rng.normal(self.detection_fraction_mean,
+                                        self.detection_fraction_std))
+        fraction = min(max(fraction, 0.05), 1.0)
+        detected_at = sight * fraction
+        outcome = resolve_braking(speed, detected_at,
+                                  min(policy.comfort_braking_ms2, actual),
+                                  actual, policy.reaction_time_s)
+        return ScenarioOutcome(
+            conflict=True, collided=outcome.collided,
+            impact_speed_kmh=ms_to_kmh(outcome.impact_speed_ms),
+            min_gap_m=outcome.stop_margin_m,
+            approach_speed_kmh=ms_to_kmh(speed),
+            demanded_decel_ms2=outcome.demanded_deceleration,
+            counterpart=self.counterpart)
+
+
+@dataclass(frozen=True)
+class AnimalRunOut(Scenario):
+    """The paper's elk: a large animal intrudes fast on a rural road.
+
+    Like the pedestrian case but faster, with longer nominal sight that
+    a darkness factor erodes.
+    """
+
+    name: str = "animal-run-out"
+    context: str = "rural"
+    counterpart: ActorClass = ActorClass.ANIMAL
+    sight_mean_m: float = 90.0
+    sight_std_m: float = 35.0
+    darkness_probability: float = 0.35
+    darkness_factor: float = 0.5
+    clear_probability: float = 0.65
+    """Most animals turn back or clear the lane before the ego arrives."""
+
+    def resolve(self, policy, braking, rng):
+        actual, known = self._capabilities(braking, rng)
+        sight = max(float(rng.normal(self.sight_mean_m, self.sight_std_m)),
+                    10.0)
+        if rng.uniform() < self.darkness_probability:
+            sight *= self.darkness_factor
+        speed = policy.encounter_speed_ms(self.context, False, sight, known,
+                                          braking.nominal_ms2)
+        if rng.uniform() < self.clear_probability:
+            return ScenarioOutcome(
+                conflict=False, collided=False, impact_speed_kmh=0.0,
+                min_gap_m=sight, approach_speed_kmh=ms_to_kmh(speed),
+                demanded_decel_ms2=0.0, counterpart=self.counterpart)
+        # The animal commits: the conflict point is where its path meets
+        # the lane, reached in a short intrusion time.
+        intrusion_time = float(rng.uniform(0.8, 3.0))
+        usable = min(sight, speed * intrusion_time + 0.1)
+        outcome = resolve_braking(speed, usable,
+                                  min(policy.comfort_braking_ms2, actual),
+                                  actual, policy.reaction_time_s)
+        return ScenarioOutcome(
+            conflict=True, collided=outcome.collided,
+            impact_speed_kmh=ms_to_kmh(outcome.impact_speed_ms),
+            min_gap_m=outcome.stop_margin_m,
+            approach_speed_kmh=ms_to_kmh(speed),
+            demanded_decel_ms2=outcome.demanded_deceleration,
+            counterpart=self.counterpart)
+
+
+@dataclass(frozen=True)
+class ScenarioStatistics:
+    """Monte-Carlo outcome statistics for one scenario × one policy."""
+
+    scenario: str
+    replications: int
+    conflict_probability: float
+    collision_probability: float
+    """P(collision | encounter) — includes dissolved conflicts in the
+    denominator, because encounter rates count all instances."""
+    mean_impact_speed_kmh: float
+    """Mean Δv over collisions (0 when none occurred)."""
+    near_miss_probability: float
+    hard_braking_probability: float
+
+    def describe(self) -> str:
+        return (f"{self.scenario}: P(collision)={self.collision_probability:.4f}, "
+                f"mean Δv={self.mean_impact_speed_kmh:.1f} km/h, "
+                f"P(near conflict)={self.conflict_probability:.3f}")
+
+
+def run_scenario(scenario: Scenario, policy: TacticalPolicy,
+                 braking: BrakingSystem, rng: np.random.Generator,
+                 *, replications: int = 1000,
+                 near_miss_distance_m: float = 2.0,
+                 hard_braking_threshold_ms2: float = 4.0,
+                 ) -> Tuple[ScenarioStatistics, List[ScenarioOutcome]]:
+    """Monte-Carlo one scenario against one policy."""
+    if replications < 1:
+        raise ValueError("replications must be >= 1")
+    outcomes = [scenario.resolve(policy, braking, rng)
+                for _ in range(replications)]
+    conflicts = [o for o in outcomes if o.conflict]
+    collisions = [o for o in conflicts if o.collided]
+    near_misses = [o for o in conflicts
+                   if not o.collided and o.min_gap_m < near_miss_distance_m]
+    hard = [o for o in conflicts
+            if (math.isinf(o.demanded_decel_ms2)
+                or o.demanded_decel_ms2 > hard_braking_threshold_ms2)]
+    stats = ScenarioStatistics(
+        scenario=scenario.name,
+        replications=replications,
+        conflict_probability=len(conflicts) / replications,
+        collision_probability=len(collisions) / replications,
+        mean_impact_speed_kmh=(
+            sum(o.impact_speed_kmh for o in collisions) / len(collisions)
+            if collisions else 0.0),
+        near_miss_probability=len(near_misses) / replications,
+        hard_braking_probability=len(hard) / replications,
+    )
+    return stats, outcomes
+
+
+class ScenarioSuite:
+    """A set of scenarios with per-scenario encounter rates.
+
+    The rates say how often each scenario arises per operating hour in
+    the feature's ODD mix; the suite then answers the Sec. IV question:
+    which scenario drives which incident-type rate.
+    """
+
+    def __init__(self, scenarios: Mapping[Scenario, Frequency]):
+        if not scenarios:
+            raise ValueError("suite needs at least one scenario")
+        names = [scenario.name for scenario in scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate scenario names")
+        self._scenarios: Dict[Scenario, Frequency] = dict(scenarios)
+
+    @property
+    def scenarios(self) -> Tuple[Scenario, ...]:
+        return tuple(self._scenarios)
+
+    def encounter_rate(self, scenario: Scenario) -> Frequency:
+        return self._scenarios[scenario]
+
+    def evaluate(self, policy: TacticalPolicy, braking: BrakingSystem,
+                 rng: np.random.Generator, *, replications: int = 1000,
+                 ) -> Dict[str, Tuple[ScenarioStatistics, List[ScenarioOutcome]]]:
+        """Run every scenario; returns name → (stats, outcomes)."""
+        return {scenario.name: run_scenario(scenario, policy, braking, rng,
+                                            replications=replications)
+                for scenario in self._scenarios}
+
+
+def incident_rate_contributions(
+        suite: ScenarioSuite,
+        evaluation: Mapping[str, Tuple[ScenarioStatistics,
+                                       List[ScenarioOutcome]]],
+        types: Sequence[IncidentType],
+) -> Dict[str, Dict[str, float]]:
+    """Per-incident-type rate, broken down by contributing scenario.
+
+    ``result[type_id][scenario_name]`` = encounter_rate(scenario) ×
+    P(outcome matches the type | encounter), estimated from the
+    evaluation's outcomes.  Summing over scenarios gives the total
+    expected rate for each safety goal — and the breakdown says where
+    the FSC's strategy effort buys the most budget headroom.
+    """
+    contributions: Dict[str, Dict[str, float]] = {
+        itype.type_id: {} for itype in types}
+    for scenario in suite.scenarios:
+        stats, outcomes = evaluation[scenario.name]
+        rate = suite.encounter_rate(scenario).rate
+        n = len(outcomes)
+        for itype in types:
+            matched = 0
+            for outcome in outcomes:
+                record = outcome.to_record(0.0, scenario.context)
+                if record is not None and itype.matches(record):
+                    matched += 1
+            if matched:
+                contributions[itype.type_id][scenario.name] = \
+                    rate * matched / n
+    return contributions

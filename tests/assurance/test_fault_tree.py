@@ -1,0 +1,134 @@
+"""Tests for fault trees over violation frequencies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.quantities import Frequency
+from repro.assurance.fault_tree import (BasicEvent, CutSet, FaultTree,
+                                        FaultTreeError, Gate, GateKind)
+
+
+def f(rate):
+    return Frequency.per_hour(rate)
+
+
+def event(name, rate):
+    return BasicEvent(name, f(rate))
+
+
+@pytest.fixture
+def redundant_tree():
+    """OR(planner, AND(cam, lidar)) — one single point + one pair."""
+    return FaultTree(Gate(
+        "top", GateKind.OR, (
+            event("planner", 1e-8),
+            Gate("perception", GateKind.AND,
+                 (event("cam", 1e-2), event("lidar", 1e-2)),
+                 exposure_window=1 / 3600),
+        )))
+
+
+class TestEvaluation:
+    def test_or_adds(self):
+        tree = FaultTree(Gate("top", GateKind.OR,
+                              (event("a", 1e-5), event("b", 2e-5))))
+        assert tree.top_event_rate().rate == pytest.approx(3e-5)
+
+    def test_and_coincidence(self):
+        tree = FaultTree(Gate("top", GateKind.AND,
+                              (event("a", 1e-2), event("b", 1e-3)),
+                              exposure_window=0.5))
+        assert tree.top_event_rate().rate == pytest.approx(2 * 0.5 * 1e-5)
+
+    def test_mixed_tree(self, redundant_tree):
+        expected = 1e-8 + 2 * (1 / 3600) * 1e-4
+        assert redundant_tree.top_event_rate().rate == \
+            pytest.approx(expected)
+
+    def test_kofn(self):
+        tree = FaultTree(Gate("top", GateKind.KOFN,
+                              (event("a", 1e-3), event("b", 1e-3),
+                               event("c", 1e-3)),
+                              exposure_window=1.0, k=2))
+        # 2oo3: any pair failing → 3 pairs × 2τλ².
+        assert tree.top_event_rate().rate == pytest.approx(6e-6)
+
+    def test_meets_budget(self, redundant_tree):
+        assert redundant_tree.meets(f(1e-7))
+        assert not redundant_tree.meets(f(1e-9))
+
+
+class TestValidation:
+    def test_or_with_window_rejected(self):
+        with pytest.raises(FaultTreeError, match="no window"):
+            Gate("g", GateKind.OR, (event("a", 1e-5),), exposure_window=1.0)
+
+    def test_and_without_window_rejected(self):
+        with pytest.raises(FaultTreeError, match="window"):
+            Gate("g", GateKind.AND, (event("a", 1e-5), event("b", 1e-5)))
+
+    def test_kofn_without_k_rejected(self):
+        with pytest.raises(FaultTreeError, match="k must be"):
+            Gate("g", GateKind.KOFN, (event("a", 1e-5), event("b", 1e-5)),
+                 exposure_window=1.0)
+
+    def test_and_single_child_rejected(self):
+        with pytest.raises(FaultTreeError, match="two children"):
+            Gate("g", GateKind.AND, (event("a", 1e-5),),
+                 exposure_window=1.0)
+
+    def test_duplicate_event_names_rejected(self):
+        with pytest.raises(FaultTreeError, match="duplicate"):
+            FaultTree(Gate("top", GateKind.OR,
+                           (event("a", 1e-5), event("a", 1e-5))))
+
+    def test_empty_gate_rejected(self):
+        with pytest.raises(FaultTreeError, match="no children"):
+            Gate("g", GateKind.OR, ())
+
+
+class TestCutSets:
+    def test_minimal_cut_sets(self, redundant_tree):
+        cut_sets = redundant_tree.minimal_cut_sets()
+        as_sets = {cs.events for cs in cut_sets}
+        assert frozenset({"planner"}) in as_sets
+        assert frozenset({"cam", "lidar"}) in as_sets
+        assert len(cut_sets) == 2
+
+    def test_cut_set_rates_sum_to_top_event(self, redundant_tree):
+        cut_sets = redundant_tree.minimal_cut_sets()
+        total = sum(cs.rate.rate for cs in cut_sets)
+        assert total == pytest.approx(redundant_tree.top_event_rate().rate)
+
+    def test_sorted_by_contribution(self, redundant_tree):
+        cut_sets = redundant_tree.minimal_cut_sets()
+        rates = [cs.rate.rate for cs in cut_sets]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_single_point_causes(self, redundant_tree):
+        assert redundant_tree.single_point_causes() == ["planner"]
+
+    def test_kofn_cut_sets(self):
+        tree = FaultTree(Gate("top", GateKind.KOFN,
+                              (event("a", 1e-3), event("b", 1e-3),
+                               event("c", 1e-3)),
+                              exposure_window=1.0, k=2))
+        as_sets = {cs.events for cs in tree.minimal_cut_sets()}
+        assert as_sets == {frozenset({"a", "b"}), frozenset({"a", "c"}),
+                           frozenset({"b", "c"})}
+
+    def test_cut_set_order(self):
+        cut = CutSet(frozenset({"a", "b"}), f(1e-9))
+        assert cut.order() == 2
+
+
+class TestRender:
+    def test_render_mentions_structure(self, redundant_tree):
+        text = redundant_tree.render(budget=f(1e-7))
+        assert "planner" in text and "cam" in text
+        assert "top event rate" in text
+        assert "OK" in text
+
+    def test_render_exceeded(self, redundant_tree):
+        assert "EXCEEDED" in redundant_tree.render(budget=f(1e-10))

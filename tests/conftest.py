@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (allocate_proportional, example_norm,
+                        figure4_taxonomy, figure5_incident_types)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; tests needing another stream spawn it."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def norm():
+    """The Fig. 3 example norm."""
+    return example_norm()
+
+
+@pytest.fixture
+def fig5_types():
+    """The paper's I1/I2/I3 Ego<->VRU incident types."""
+    return list(figure5_incident_types())
+
+
+@pytest.fixture
+def fig4_taxonomy():
+    """The Fig. 4 example classification tree."""
+    return figure4_taxonomy()
+
+
+@pytest.fixture
+def allocation(norm, fig5_types):
+    """A feasible proportional allocation of the example problem."""
+    return allocate_proportional(norm, fig5_types)

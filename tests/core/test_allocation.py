@@ -1,0 +1,249 @@
+"""Tests for the budget-allocation engine (Eq. 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocation import (Allocation, AllocationError,
+                                   InfeasibleAllocationError, LpObjective,
+                                   allocate_lp, allocate_proportional,
+                                   allocate_uniform_scaling)
+from repro.core.consequence import ConsequenceClass, ConsequenceScale
+from repro.core.ethics import BudgetCeiling, BudgetFloor
+from repro.core.incident import ContributionSplit, IncidentType, SpeedBand
+from repro.core.quantities import Frequency
+from repro.core.risk_norm import QuantitativeRiskNorm
+from repro.core.severity import UnifiedSeverity
+from repro.core.taxonomy import ActorClass
+
+
+def make_type(type_id, fractions, low=0.0, high=10.0):
+    return IncidentType(type_id, ActorClass.EGO, ActorClass.VRU,
+                        margin=SpeedBand(low, high),
+                        split=ContributionSplit(fractions))
+
+
+class TestAllocationObject:
+    def test_class_load_is_split_weighted_sum(self, norm, fig5_types):
+        budgets = {"I1": Frequency.per_hour(1e-3),
+                   "I2": Frequency.per_hour(1e-6),
+                   "I3": Frequency.per_hour(1e-7)}
+        allocation = Allocation(norm, fig5_types, budgets)
+        expected = 0.7 * 1e-6 + 0.15 * 1e-7
+        assert allocation.class_load("vS1").rate == pytest.approx(expected)
+
+    def test_missing_budget_rejected(self, norm, fig5_types):
+        with pytest.raises(AllocationError, match="missing"):
+            Allocation(norm, fig5_types, {"I1": Frequency.per_hour(1e-3)})
+
+    def test_unknown_budget_rejected(self, norm, fig5_types):
+        budgets = {t.type_id: Frequency.per_hour(1e-6) for t in fig5_types}
+        budgets["IX"] = Frequency.per_hour(1.0)
+        with pytest.raises(AllocationError, match="unknown"):
+            Allocation(norm, fig5_types, budgets)
+
+    def test_duplicate_types_rejected(self, norm, fig5_types):
+        with pytest.raises(AllocationError, match="duplicate"):
+            Allocation(norm, fig5_types + [fig5_types[0]],
+                       {t.type_id: Frequency.per_hour(0) for t in fig5_types})
+
+    def test_wrong_unit_rejected(self, norm, fig5_types):
+        budgets = {t.type_id: Frequency.per_hour(1e-6) for t in fig5_types}
+        budgets["I1"] = Frequency.per_km(1e-6)
+        with pytest.raises(AllocationError, match="/km"):
+            Allocation(norm, fig5_types, budgets)
+
+    def test_violations_detected(self, norm, fig5_types):
+        budgets = {"I1": Frequency.per_hour(1e-3),
+                   "I2": Frequency.per_hour(1.0),  # blows vS1/vS2
+                   "I3": Frequency.per_hour(0.0)}
+        allocation = Allocation(norm, fig5_types, budgets)
+        violations = allocation.violations()
+        assert "vS1" in violations and "vS2" in violations
+        assert not allocation.is_feasible()
+
+    def test_utilisation_and_slack(self, allocation):
+        for class_id in allocation.norm.class_ids:
+            utilisation = allocation.utilisation(class_id)
+            assert 0.0 <= utilisation <= 1.0 + 1e-9
+            slack = allocation.slack(class_id)
+            load = allocation.class_load(class_id)
+            budget = allocation.norm.budget(class_id)
+            assert (slack + load).rate == pytest.approx(budget.rate)
+
+    def test_contribution_matrix_shape(self, allocation):
+        matrix, class_ids, type_ids = allocation.contribution_matrix()
+        assert matrix.shape == (len(class_ids), len(type_ids))
+        # Column sums over fractions <= budget
+        for k, type_id in enumerate(type_ids):
+            assert matrix[:, k].sum() <= \
+                allocation.budget(type_id).rate * (1 + 1e-9)
+
+    def test_describe_mentions_everything(self, allocation):
+        text = allocation.describe()
+        for type_id in allocation.type_ids:
+            assert type_id in text
+        for class_id in allocation.norm.class_ids:
+            assert class_id in text
+
+
+class TestUniformScaling:
+    def test_feasible_and_saturates_one_class(self, norm, fig5_types):
+        allocation = allocate_uniform_scaling(norm, fig5_types)
+        assert allocation.is_feasible()
+        utilisations = [allocation.utilisation(cid)
+                        for cid in norm.class_ids]
+        assert max(utilisations) == pytest.approx(1.0)
+
+    def test_budgets_follow_weights(self, norm, fig5_types):
+        weights = {"I1": 4.0, "I2": 2.0, "I3": 1.0}
+        allocation = allocate_uniform_scaling(norm, fig5_types,
+                                              weights=weights)
+        assert allocation.budget("I1").rate == pytest.approx(
+            2.0 * allocation.budget("I2").rate)
+        assert allocation.budget("I2").rate == pytest.approx(
+            2.0 * allocation.budget("I3").rate)
+
+    def test_missing_weight_rejected(self, norm, fig5_types):
+        with pytest.raises(AllocationError, match="weight missing"):
+            allocate_uniform_scaling(norm, fig5_types, weights={"I1": 1.0})
+
+    def test_empty_types_rejected(self, norm):
+        with pytest.raises(AllocationError):
+            allocate_uniform_scaling(norm, [])
+
+
+class TestProportional:
+    def test_feasible(self, norm, fig5_types):
+        allocation = allocate_proportional(norm, fig5_types)
+        assert allocation.is_feasible()
+
+    def test_independent_saturation_beats_uniform(self, norm, fig5_types):
+        """Proportional lets quality and safety saturate independently,
+        so total budget is at least the uniform-scaling total."""
+        uniform = allocate_uniform_scaling(norm, fig5_types)
+        proportional = allocate_proportional(norm, fig5_types)
+        assert proportional.total_budget().rate >= \
+            uniform.total_budget().rate * (1 - 1e-9)
+
+    def test_single_type_gets_tightest_class(self, norm):
+        itype = make_type("only", {"vS1": 0.5, "vS3": 0.5})
+        allocation = allocate_proportional(norm, [itype])
+        # vS3 budget 1e-7 at fraction 0.5 implies 2e-7; vS1 implies 2e-5.
+        assert allocation.budget("only").rate == pytest.approx(2e-7)
+
+
+class TestLp:
+    def test_max_total_feasible_and_dominates(self, norm, fig5_types):
+        lp = allocate_lp(norm, fig5_types)
+        proportional = allocate_proportional(norm, fig5_types)
+        assert lp.is_feasible()
+        assert lp.total_budget().rate >= \
+            proportional.total_budget().rate * (1 - 1e-9)
+
+    def test_max_min_is_feasible_and_egalitarian(self, norm, fig5_types):
+        lp = allocate_lp(norm, fig5_types, objective=LpObjective.MAX_MIN)
+        assert lp.is_feasible()
+        budgets = [lp.budget(t).rate for t in lp.type_ids]
+        assert min(budgets) > 0.0
+
+    def test_max_min_exceeds_max_total_minimum(self, norm, fig5_types):
+        """max-total may starve a type (observed: I3 → 0); max-min won't."""
+        max_total = allocate_lp(norm, fig5_types,
+                                objective=LpObjective.MAX_TOTAL)
+        max_min = allocate_lp(norm, fig5_types, objective=LpObjective.MAX_MIN)
+        floor_total = min(max_total.budget(t).rate for t in max_total.type_ids)
+        floor_min = min(max_min.budget(t).rate for t in max_min.type_ids)
+        assert floor_min >= floor_total
+
+    def test_unknown_objective_rejected(self, norm, fig5_types):
+        with pytest.raises(AllocationError, match="objective"):
+            allocate_lp(norm, fig5_types, objective="maximin-ish")
+
+    def test_constraints_respected(self, norm, fig5_types):
+        floor = BudgetFloor("I3", Frequency.per_hour(1e-8))
+        ceiling = BudgetCeiling("I1", Frequency.per_hour(1e-4))
+        allocation = allocate_lp(norm, fig5_types,
+                                 constraints=[floor, ceiling])
+        assert allocation.is_feasible()
+        assert allocation.budget("I3").rate >= 1e-8 * (1 - 1e-6)
+        assert allocation.budget("I1").rate <= 1e-4 * (1 + 1e-6)
+
+    def test_infeasible_floors_diagnosed(self, norm, fig5_types):
+        # I3 touches vS3 (budget 1e-7) with fraction 0.4: a floor of 1e-5
+        # forces load 4e-6 >> 1e-7.
+        floor = BudgetFloor("I3", Frequency.per_hour(1e-5))
+        with pytest.raises(InfeasibleAllocationError) as excinfo:
+            allocate_lp(norm, fig5_types, constraints=[floor])
+        assert any("vS3" in note for note in excinfo.value.diagnosis)
+
+
+class TestReallocation:
+    def test_improvement_tightens_goal_and_frees_budget(self, norm, fig5_types):
+        """The Fig. 5 experiment: improving I2 frees vS1/vS2 headroom."""
+        before = allocate_lp(norm, fig5_types,
+                             objective=LpObjective.MAX_MIN)
+        improved_budget = before.budget("I2") * 0.1
+        after = before.with_improved_type("I2", improved_budget)
+        assert after.is_feasible()
+        assert after.budget("I2") == improved_budget
+        # The freed budget goes to other contributors of vS1/vS2 (I3).
+        assert after.budget("I3").rate >= before.budget("I3").rate * (1 - 1e-9)
+
+    def test_relaxing_via_improvement_rejected(self, allocation):
+        with pytest.raises(AllocationError, match="tighten"):
+            allocation.with_improved_type(
+                "I2", allocation.budget("I2") * 2.0)
+
+    def test_no_redistribution_keeps_others(self, allocation):
+        tightened = allocation.with_improved_type(
+            "I2", allocation.budget("I2") * 0.5, redistribute=False)
+        assert tightened.budget("I1") == allocation.budget("I1")
+        assert tightened.budget("I3") == allocation.budget("I3")
+
+
+@st.composite
+def random_problems(draw):
+    """Random norms + incident types with random splits."""
+    n_classes = draw(st.integers(min_value=2, max_value=4))
+    severities = list(UnifiedSeverity)[:n_classes]
+    rate = draw(st.floats(min_value=1e-6, max_value=1e-2))
+    classes = []
+    for i, severity in enumerate(severities):
+        classes.append(ConsequenceClass(
+            f"v{i}", severity, Frequency.per_hour(rate)))
+        rate *= draw(st.floats(min_value=0.05, max_value=1.0))
+    norm = QuantitativeRiskNorm("random", ConsequenceScale(classes))
+    n_types = draw(st.integers(min_value=1, max_value=5))
+    types = []
+    for k in range(n_types):
+        touched = draw(st.lists(st.sampled_from([c.class_id for c in classes]),
+                                min_size=1, max_size=n_classes, unique=True))
+        fractions = {}
+        remaining = 1.0
+        for class_id in touched:
+            fraction = draw(st.floats(min_value=0.05, max_value=0.9))
+            fraction = min(fraction, remaining * 0.9)
+            if fraction <= 0.0:
+                continue
+            fractions[class_id] = fraction
+            remaining -= fraction
+        if not fractions:
+            fractions = {touched[0]: 0.1}
+        types.append(make_type(f"T{k}", fractions, low=float(k),
+                               high=float(k) + 1.0))
+    return norm, types
+
+
+class TestAllocationProperties:
+    @given(problem=random_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_every_strategy_yields_feasible_allocations(self, problem):
+        """Eq. 1 holds for every strategy on every random problem."""
+        norm, types = problem
+        for strategy in (allocate_uniform_scaling, allocate_proportional,
+                         allocate_lp):
+            allocation = strategy(norm, types)
+            assert allocation.is_feasible(rel_tol=1e-6), \
+                f"{strategy.__name__} violated Eq. 1"

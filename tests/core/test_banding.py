@@ -1,0 +1,119 @@
+"""Tests for tolerance-margin (speed-band) selection."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.banding import (band_dispersion, bands_to_incident_types,
+                                distinguishability, granularity_tradeoff,
+                                propose_bands)
+from repro.core.incident import SpeedBand
+from repro.core.risk_norm import example_norm
+from repro.core.taxonomy import ActorClass
+from repro.injury.risk_curves import default_risk_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    return default_risk_model()
+
+
+class TestDispersion:
+    def test_narrow_band_is_homogeneous(self, model):
+        narrow = band_dispersion(model, ActorClass.VRU, SpeedBand(17.0, 19.0))
+        wide = band_dispersion(model, ActorClass.VRU, SpeedBand(1.0, 69.0))
+        assert narrow < wide
+
+    def test_nonnegative(self, model):
+        for band in (SpeedBand(0, 10), SpeedBand(10, 70), SpeedBand(5, 6)):
+            assert band_dispersion(model, ActorClass.VRU, band) >= 0.0
+
+
+class TestProposeBands:
+    def test_bands_tile_the_range(self, model):
+        result = propose_bands(model, ActorClass.VRU, 70.0, 3)
+        assert result.bands[0].low_kmh == 0.0
+        assert result.bands[-1].high_kmh == 70.0
+        for left, right in zip(result.bands, result.bands[1:]):
+            assert left.high_kmh == right.low_kmh
+            assert not left.overlaps(right)
+
+    def test_single_band_is_whole_range(self, model):
+        result = propose_bands(model, ActorClass.VRU, 70.0, 1)
+        assert len(result.bands) == 1
+        assert result.bands[0].low_kmh == 0.0
+        assert result.bands[0].high_kmh == 70.0
+
+    def test_more_bands_never_increase_dispersion(self, model):
+        """Refinement can only improve within-band homogeneity."""
+        dispersions = [propose_bands(model, ActorClass.VRU, 70.0, k,
+                                     resolution=32).total_dispersion
+                       for k in (1, 2, 3, 5)]
+        assert dispersions == sorted(dispersions, reverse=True)
+
+    def test_two_band_cut_lands_in_the_injury_rise(self, model):
+        """The paper's 10 km/h argument: the optimal single cut for VRUs
+        sits where injury likelihood rises quickly — the low tens."""
+        result = propose_bands(model, ActorClass.VRU, 70.0, 2)
+        cut = result.bands[0].high_kmh
+        assert 5.0 < cut < 35.0
+
+    def test_invalid_args(self, model):
+        with pytest.raises(ValueError):
+            propose_bands(model, ActorClass.VRU, 70.0, 0)
+        with pytest.raises(ValueError):
+            propose_bands(model, ActorClass.VRU, 0.0, 2)
+        with pytest.raises(ValueError):
+            propose_bands(model, ActorClass.VRU, 70.0, 100, resolution=10)
+
+
+class TestDistinguishability:
+    def test_17_vs_19_is_too_fine(self, model):
+        """The paper's explicit example scores near zero."""
+        fine = distinguishability(model, ActorClass.VRU,
+                                  [SpeedBand(17, 19), SpeedBand(19, 21)])
+        natural = distinguishability(model, ActorClass.VRU,
+                                     [SpeedBand(0, 10), SpeedBand(10, 70)])
+        assert fine < 0.1
+        assert natural > 0.3
+        assert natural > 5 * fine
+
+    def test_single_band_trivially_distinct(self, model):
+        assert math.isinf(
+            distinguishability(model, ActorClass.VRU, [SpeedBand(0, 70)]))
+
+
+class TestBandsToTypes:
+    def test_types_from_proposed_bands(self, model):
+        norm = example_norm()
+        result = propose_bands(model, ActorClass.VRU, 70.0, 3)
+        types = bands_to_incident_types(result.bands, model, ActorClass.VRU,
+                                        norm.scale)
+        assert len(types) == 3
+        for itype in types:
+            itype.split.validate_against(norm.scale)
+            assert itype.counterpart is ActorClass.VRU
+        # Severity monotonicity across bands: fatal share grows.
+        fatal = [t.split.fraction("vS3") for t in types]
+        assert fatal == sorted(fatal)
+
+
+class TestGranularityTradeoff:
+    def test_budget_grows_with_bands_distinguishability_shrinks(self, model):
+        """The end-to-end Sec. III-B trade: finer attribution buys
+        budget; the marginal value of a split collapses as bands become
+        indistinguishable."""
+        points = granularity_tradeoff(example_norm(), model, ActorClass.VRU,
+                                      70.0, ks=[1, 2, 4, 8], resolution=32)
+        budgets = [p.total_budget_rate for p in points]
+        distinctness = [p.min_distinguishability for p in points[1:]]
+        assert budgets == sorted(budgets)          # monotone gain
+        assert budgets[-1] > 5 * budgets[0]        # and a big one
+        assert distinctness == sorted(distinctness, reverse=True)
+
+    def test_goal_count_tracks_k(self, model):
+        points = granularity_tradeoff(example_norm(), model, ActorClass.VRU,
+                                      70.0, ks=[2, 3], resolution=24)
+        assert [p.n_safety_goals for p in points] == [2, 3]

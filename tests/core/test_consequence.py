@@ -1,0 +1,145 @@
+"""Tests for consequence classes and scales (Fig. 3 x-axis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.consequence import (ConsequenceClass, ConsequenceScale,
+                                    example_scale)
+from repro.core.quantities import PER_KM, Frequency
+from repro.core.severity import SeverityDomain, UnifiedSeverity
+
+
+def cls(class_id, severity, rate):
+    return ConsequenceClass(class_id, severity, Frequency.per_hour(rate))
+
+
+class TestConsequenceClass:
+    def test_domain_derived_from_severity(self):
+        quality = cls("vQ1", UnifiedSeverity.PERCEIVED_SAFETY, 1e-2)
+        safety = cls("vS3", UnifiedSeverity.LIFE_THREATENING, 1e-7)
+        assert quality.domain is SeverityDomain.QUALITY
+        assert safety.domain is SeverityDomain.SAFETY
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            cls("  ", UnifiedSeverity.LIGHT_INJURY, 1e-5)
+
+    def test_with_budget(self):
+        original = cls("vS1", UnifiedSeverity.LIGHT_INJURY, 1e-5)
+        updated = original.with_budget(Frequency.per_hour(1e-6))
+        assert updated.budget.rate == 1e-6
+        assert updated.class_id == original.class_id
+        assert original.budget.rate == 1e-5  # immutable
+
+
+class TestScaleValidation:
+    def test_example_scale_shape(self):
+        scale = example_scale()
+        assert len(scale) == 6
+        assert len(scale.quality_classes()) == 3
+        assert len(scale.safety_classes()) == 3
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ConsequenceScale([
+                cls("v1", UnifiedSeverity.LIGHT_INJURY, 1e-5),
+                cls("v1", UnifiedSeverity.SEVERE_INJURY, 1e-6),
+            ])
+
+    def test_budget_increasing_with_severity_rejected(self):
+        """A norm tolerating fatalities more than scratches is incoherent."""
+        with pytest.raises(ValueError, match="must not increase"):
+            ConsequenceScale([
+                cls("vS1", UnifiedSeverity.LIGHT_INJURY, 1e-7),
+                cls("vS3", UnifiedSeverity.LIFE_THREATENING, 1e-5),
+            ])
+
+    def test_equal_budgets_at_different_severities_allowed(self):
+        scale = ConsequenceScale([
+            cls("vS1", UnifiedSeverity.LIGHT_INJURY, 1e-6),
+            cls("vS3", UnifiedSeverity.LIFE_THREATENING, 1e-6),
+        ])
+        assert len(scale) == 2
+
+    def test_mixed_units_rejected(self):
+        with pytest.raises(ValueError, match="unit"):
+            ConsequenceScale([
+                cls("vS1", UnifiedSeverity.LIGHT_INJURY, 1e-5),
+                ConsequenceClass("vS3", UnifiedSeverity.LIFE_THREATENING,
+                                 Frequency(1e-7, PER_KM)),
+            ])
+
+    def test_empty_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ConsequenceScale([])
+
+    def test_classes_sorted_by_severity(self):
+        scale = ConsequenceScale([
+            cls("vS3", UnifiedSeverity.LIFE_THREATENING, 1e-7),
+            cls("vQ1", UnifiedSeverity.PERCEIVED_SAFETY, 1e-2),
+        ])
+        assert scale.class_ids == ("vQ1", "vS3")
+        assert scale.least_severe().class_id == "vQ1"
+        assert scale.most_severe().class_id == "vS3"
+
+
+class TestScaleQueries:
+    def test_lookup(self):
+        scale = example_scale()
+        assert scale["vS3"].severity is UnifiedSeverity.LIFE_THREATENING
+        assert "vS3" in scale
+        assert "nope" not in scale
+
+    def test_unknown_lookup_raises_with_known_ids(self):
+        with pytest.raises(KeyError, match="vQ1"):
+            example_scale()["bogus"]
+
+    def test_budget_and_budgets(self):
+        scale = example_scale()
+        assert scale.budget("vQ1") == scale["vQ1"].budget
+        assert set(scale.budgets()) == set(scale.class_ids)
+
+    def test_by_severity(self):
+        scale = example_scale()
+        found = scale.by_severity(UnifiedSeverity.SEVERE_INJURY)
+        assert len(found) == 1
+        assert found[0].class_id == "vS2"
+
+    def test_example_budgets_descend_by_decade(self):
+        scale = example_scale()
+        budgets = [c.budget.rate for c in scale]
+        for higher, lower in zip(budgets, budgets[1:]):
+            assert higher / lower == pytest.approx(10.0)
+
+
+class TestScaleDerivation:
+    def test_scaled(self):
+        scale = example_scale().scaled(0.1)
+        assert scale.budget("vQ1").rate == pytest.approx(1e-3)
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValueError):
+            example_scale().scaled(0.0)
+
+    def test_with_budgets(self):
+        scale = example_scale()
+        updated = scale.with_budgets({"vS3": Frequency.per_hour(1e-8)})
+        assert updated.budget("vS3").rate == 1e-8
+        assert updated.budget("vS2") == scale.budget("vS2")
+
+    def test_with_budgets_unknown_class(self):
+        with pytest.raises(KeyError):
+            example_scale().with_budgets({"vX9": Frequency.per_hour(1.0)})
+
+    def test_with_budgets_must_stay_monotone(self):
+        with pytest.raises(ValueError, match="must not increase"):
+            example_scale().with_budgets({"vS3": Frequency.per_hour(1.0)})
+
+    @given(factor=st.floats(min_value=1e-6, max_value=1e3,
+                            allow_nan=False, allow_infinity=False))
+    def test_scaling_preserves_monotonicity(self, factor):
+        scale = example_scale().scaled(factor)
+        budgets = [c.budget.rate for c in scale]
+        assert all(a >= b for a, b in zip(budgets, budgets[1:]))

@@ -1,0 +1,167 @@
+"""Tests for ethical allocation constraints (Sec. III-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import allocate_lp
+from repro.core.consequence import ConsequenceClass, ConsequenceScale
+from repro.core.ethics import (BudgetCeiling, BudgetFloor, GroupShareCap,
+                               RiskParity, audit_allocation)
+from repro.core.incident import ContributionSplit, IncidentType, SpeedBand
+from repro.core.quantities import Frequency
+from repro.core.risk_norm import QuantitativeRiskNorm
+from repro.core.severity import UnifiedSeverity
+from repro.core.taxonomy import ActorClass
+
+
+@pytest.fixture
+def child_adult_problem():
+    """The paper's Ego<->Child example: one fatality class, two types.
+
+    Children are harder to avoid (their encounters end badly more often),
+    so an unconstrained optimiser over-assigns them fatality budget.
+    """
+    norm = QuantitativeRiskNorm("fatalities-only", ConsequenceScale([
+        ConsequenceClass("vS3", UnifiedSeverity.LIFE_THREATENING,
+                         Frequency.per_hour(1e-7)),
+    ]))
+    adult = IncidentType("Ego<->Adult", ActorClass.EGO, ActorClass.VRU,
+                         margin=SpeedBand(0.0, 70.0),
+                         split=ContributionSplit({"vS3": 0.5}))
+    child = IncidentType("Ego<->Child", ActorClass.EGO, ActorClass.VRU,
+                         margin=SpeedBand(70.0, 120.0),
+                         split=ContributionSplit({"vS3": 0.25}))
+    return norm, [adult, child]
+
+
+class TestBudgetFloorCeiling:
+    def test_floor_enforced_in_lp(self, norm, fig5_types):
+        floor = BudgetFloor("I3", Frequency.per_hour(5e-8))
+        allocation = allocate_lp(norm, fig5_types, constraints=[floor])
+        assert allocation.budget("I3").rate >= 5e-8 * (1 - 1e-6)
+
+    def test_ceiling_enforced_in_lp(self, norm, fig5_types):
+        ceiling = BudgetCeiling("I1", Frequency.per_hour(1e-5))
+        allocation = allocate_lp(norm, fig5_types, constraints=[ceiling])
+        assert allocation.budget("I1").rate <= 1e-5 * (1 + 1e-6)
+
+    def test_floor_check_direct(self, norm, fig5_types):
+        floor = BudgetFloor("I3", Frequency.per_hour(1e-6))
+        violations = floor.check({"I3": Frequency.per_hour(1e-7)},
+                                 {t.type_id: t for t in fig5_types}, {})
+        assert len(violations) == 1
+        assert "below floor" in violations[0].detail
+
+    def test_floor_absent_type_flagged(self, fig5_types):
+        floor = BudgetFloor("IX", Frequency.per_hour(1e-6))
+        violations = floor.check({}, {t.type_id: t for t in fig5_types}, {})
+        assert violations
+
+    def test_ceiling_check_direct(self):
+        ceiling = BudgetCeiling("I1", Frequency.per_hour(1e-6))
+        assert ceiling.check({"I1": Frequency.per_hour(1e-5)}, {}, {})
+        assert not ceiling.check({"I1": Frequency.per_hour(1e-7)}, {}, {})
+
+    def test_unknown_type_in_lp_rows_raises(self):
+        floor = BudgetFloor("IX", Frequency.per_hour(1e-6))
+        with pytest.raises(KeyError, match="IX"):
+            floor.lp_rows(["I1", "I2"], {}, {})
+
+
+class TestRiskParity:
+    def test_unconstrained_lp_dumps_risk_on_cheap_type(self, child_adult_problem):
+        """Reproduce the failure mode the paper warns about."""
+        norm, types = child_adult_problem
+        allocation = allocate_lp(norm, types)
+        # Child split fraction is lower, so per budget unit it costs the
+        # optimiser less: it gets MORE budget despite 10x less exposure.
+        assert allocation.budget("Ego<->Child").rate >= \
+            allocation.budget("Ego<->Adult").rate
+
+    def test_parity_constraint_restores_fairness(self, child_adult_problem):
+        norm, types = child_adult_problem
+        parity = RiskParity(protected_type="Ego<->Child",
+                            reference_type="Ego<->Adult",
+                            protected_exposure=0.1,
+                            reference_exposure=0.9,
+                            max_ratio=1.0)
+        allocation = allocate_lp(norm, types, constraints=[parity])
+        child_rate = allocation.budget("Ego<->Child").rate / 0.1
+        adult_rate = allocation.budget("Ego<->Adult").rate / 0.9
+        assert child_rate <= adult_rate * (1 + 1e-6)
+
+    def test_parity_check_direct(self):
+        parity = RiskParity("a", "b", 0.1, 0.9, max_ratio=1.0)
+        budgets = {"a": Frequency.per_hour(1e-6),
+                   "b": Frequency.per_hour(1e-6)}
+        violations = parity.check(budgets, {}, {})
+        assert violations  # 1e-5 per exposure vs 1.1e-6
+        budgets["a"] = Frequency.per_hour(1e-7)
+        assert not parity.check(budgets, {}, {})
+
+    def test_self_parity_rejected(self):
+        with pytest.raises(ValueError, match="vacuous"):
+            RiskParity("a", "a", 0.5, 0.5)
+
+    def test_invalid_exposures_rejected(self):
+        with pytest.raises(ValueError):
+            RiskParity("a", "b", 0.0, 0.5)
+
+
+class TestGroupShareCap:
+    def test_cap_enforced_in_lp(self, child_adult_problem):
+        norm, types = child_adult_problem
+        cap = GroupShareCap(("Ego<->Child",), "vS3", max_share=0.1)
+        allocation = allocate_lp(norm, types, constraints=[cap])
+        child = allocation.type_by_id("Ego<->Child")
+        consumed = (allocation.budget("Ego<->Child").rate
+                    * child.split.fraction("vS3"))
+        assert consumed <= 0.1 * norm.budget("vS3").rate * (1 + 1e-6)
+
+    def test_check_direct(self, child_adult_problem):
+        norm, types = child_adult_problem
+        cap = GroupShareCap(("Ego<->Child",), "vS3", max_share=0.1)
+        budgets = {"Ego<->Child": Frequency.per_hour(1e-7),
+                   "Ego<->Adult": Frequency.per_hour(0.0)}
+        violations = cap.check(budgets, {t.type_id: t for t in types},
+                               {"vS3": norm.budget("vS3")})
+        assert violations  # 0.25 * 1e-7 = 2.5e-8 > 1e-8 cap
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            GroupShareCap((), "vS3", 0.5)
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ValueError):
+            GroupShareCap(("a",), "vS3", 1.5)
+
+    def test_unknown_class_in_lp_rows(self):
+        cap = GroupShareCap(("a",), "vX", 0.5)
+        with pytest.raises(KeyError, match="vX"):
+            cap.lp_rows(["a"], {"vS3": 1e-7}, {"a": {"vS3": 1.0}})
+
+
+class TestAudit:
+    def test_audit_clean_allocation(self, norm, fig5_types):
+        floor = BudgetFloor("I3", Frequency.per_hour(1e-9))
+        allocation = allocate_lp(norm, fig5_types, constraints=[floor])
+        violations = audit_allocation(allocation.budgets(), fig5_types,
+                                      [floor], norm.budgets())
+        assert violations == []
+
+    def test_audit_catches_hand_edit(self, norm, fig5_types):
+        """A hand-edited allocation gets the same scrutiny as LP output."""
+        floor = BudgetFloor("I3", Frequency.per_hour(1e-8))
+        allocation = allocate_lp(norm, fig5_types, constraints=[floor])
+        edited = allocation.with_budget("I3", Frequency.per_hour(0.0))
+        violations = audit_allocation(edited.budgets(), fig5_types,
+                                      [floor], norm.budgets())
+        assert len(violations) == 1
+        assert "floor" in violations[0].constraint
+
+    def test_describe_strings(self):
+        assert "floor" in BudgetFloor("a", Frequency.per_hour(1e-6)).describe()
+        assert "ceiling" in BudgetCeiling("a", Frequency.per_hour(1e-6)).describe()
+        assert "parity" in RiskParity("a", "b", 0.1, 0.9).describe()
+        assert "share cap" in GroupShareCap(("a",), "v", 0.5).describe()

@@ -1,0 +1,169 @@
+"""Tests for the QuantitativeRiskNorm object and calibration helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.consequence import example_scale
+from repro.core.quantities import Frequency
+from repro.core.risk_norm import (AcceptanceCorridor, QuantitativeRiskNorm,
+                                  example_norm, human_driver_baseline,
+                                  norm_from_human_baseline)
+from repro.core.severity import UnifiedSeverity
+
+
+class TestConstruction:
+    def test_example_norm(self, norm):
+        assert len(norm.classes()) == 6
+        assert norm.budget("vS3").rate == pytest.approx(1e-7)
+
+    def test_unnamed_norm_rejected(self):
+        with pytest.raises(ValueError, match="named"):
+            QuantitativeRiskNorm("", example_scale())
+
+    def test_corridor_for_unknown_class_rejected(self):
+        corridor = AcceptanceCorridor("vX1", Frequency.per_hour(1e-2),
+                                      Frequency.per_hour(1e-6))
+        with pytest.raises(KeyError):
+            QuantitativeRiskNorm("n", example_scale(),
+                                 corridors={"vX1": corridor})
+
+    def test_corridor_key_label_mismatch_rejected(self):
+        corridor = AcceptanceCorridor("vQ2", Frequency.per_hour(1e-1),
+                                      Frequency.per_hour(1e-9))
+        with pytest.raises(ValueError, match="labelled"):
+            QuantitativeRiskNorm("n", example_scale(),
+                                 corridors={"vQ1": corridor})
+
+    def test_budget_outside_corridor_rejected(self):
+        corridor = AcceptanceCorridor("vQ1", Frequency.per_hour(1e-4),
+                                      Frequency.per_hour(1e-6))
+        with pytest.raises(ValueError, match="outside"):
+            # example scale's vQ1 budget is 1e-2 > corridor upper 1e-4
+            QuantitativeRiskNorm("n", example_scale(),
+                                 corridors={"vQ1": corridor})
+
+    def test_inverted_corridor_rejected(self):
+        with pytest.raises(ValueError, match="no admissible norm"):
+            AcceptanceCorridor("v", Frequency.per_hour(1e-8),
+                               Frequency.per_hour(1e-6))
+
+
+class TestQueries:
+    def test_budget_totals_split_by_domain(self, norm):
+        safety = norm.safety_budget_total()
+        quality = norm.quality_budget_total()
+        assert safety.rate == pytest.approx(1e-5 + 1e-6 + 1e-7)
+        assert quality.rate == pytest.approx(1e-2 + 1e-3 + 1e-4)
+        assert quality > safety  # quality sits left in Fig. 2
+
+    def test_class_ids(self, norm):
+        assert norm.class_ids == ("vQ1", "vQ2", "vQ3", "vS1", "vS2", "vS3")
+
+
+class TestDerivation:
+    def test_tightened(self, norm):
+        tighter = norm.tightened(0.1)
+        assert tighter.budget("vS3").rate == pytest.approx(1e-8)
+        assert norm.budget("vS3").rate == pytest.approx(1e-7)  # original kept
+        assert tighter.name != norm.name
+
+    def test_tightened_invalid_factor(self, norm):
+        with pytest.raises(ValueError):
+            norm.tightened(0.0)
+
+    def test_with_budgets(self, norm):
+        updated = norm.with_budgets({"vS3": Frequency.per_hour(1e-8)})
+        assert updated.budget("vS3").rate == 1e-8
+        assert updated.name == norm.name
+
+
+class TestSerialisation:
+    def test_roundtrip(self, norm):
+        data = norm.to_dict()
+        restored = QuantitativeRiskNorm.from_dict(data)
+        assert restored == norm
+
+    def test_roundtrip_preserves_budgets(self, norm):
+        restored = QuantitativeRiskNorm.from_dict(norm.to_dict())
+        for class_id in norm.class_ids:
+            assert restored.budget(class_id) == norm.budget(class_id)
+
+    def test_equality(self, norm):
+        assert norm == example_norm()
+        assert norm != norm.tightened(0.5)
+
+
+class TestHumanBaselineCalibration:
+    def test_baseline_shape(self):
+        baseline = human_driver_baseline()
+        assert (baseline[UnifiedSeverity.LIFE_THREATENING]
+                < baseline[UnifiedSeverity.LIGHT_INJURY]
+                < baseline[UnifiedSeverity.PERCEIVED_SAFETY])
+
+    def test_ten_x_improvement(self):
+        calibrated = norm_from_human_baseline("10x", 10.0)
+        baseline = human_driver_baseline()
+        assert calibrated.budget("vS3").rate == pytest.approx(
+            baseline[UnifiedSeverity.LIFE_THREATENING].rate / 10.0)
+
+    def test_safety_extra_factor_only_hits_safety_classes(self):
+        calibrated = norm_from_human_baseline("strict", 10.0,
+                                              safety_extra_factor=10.0)
+        baseline = human_driver_baseline()
+        assert calibrated.budget("vS3").rate == pytest.approx(
+            baseline[UnifiedSeverity.LIFE_THREATENING].rate / 100.0)
+        assert calibrated.budget("vQ1").rate == pytest.approx(
+            baseline[UnifiedSeverity.PERCEIVED_SAFETY].rate / 10.0)
+
+    def test_corridors_attached_and_satisfied(self):
+        calibrated = norm_from_human_baseline("10x", 10.0)
+        for class_id in calibrated.class_ids:
+            corridor = calibrated.corridor(class_id)
+            assert corridor is not None
+            assert corridor.admits(calibrated.budget(class_id))
+
+    def test_worse_than_human_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            norm_from_human_baseline("worse", 0.5)
+
+    def test_class_ids_follow_domain_rank(self):
+        calibrated = norm_from_human_baseline("10x", 10.0)
+        assert calibrated.class_ids == ("vQ1", "vQ2", "vQ3",
+                                        "vS1", "vS2", "vS3")
+
+
+class TestSocietalImpact:
+    def test_fleet_arithmetic(self, norm):
+        from repro.core.risk_norm import societal_impact
+        impact = societal_impact(norm, fleet_size=100_000,
+                                 hours_per_vehicle_year=400)
+        # 4e7 fleet hours/year x 1e-7/h fatal budget = 4 fatal/year.
+        assert impact["vS3"] == pytest.approx(4.0)
+        assert impact["vQ1"] == pytest.approx(4e5)
+
+    def test_quality_dwarfs_safety(self, norm):
+        """The Fig. 2 shape at societal scale: quality incidents are
+        common, injuries rare — that is what the norm encodes."""
+        from repro.core.risk_norm import societal_impact
+        impact = societal_impact(norm, 10_000, 300)
+        assert impact["vQ1"] > 1e3 * impact["vS3"]
+
+    def test_validation(self, norm):
+        from repro.core.risk_norm import societal_impact
+        with pytest.raises(ValueError):
+            societal_impact(norm, 0, 400)
+        with pytest.raises(ValueError):
+            societal_impact(norm, 100, 0.0)
+
+    def test_non_hour_norm_rejected(self):
+        from repro.core.consequence import ConsequenceClass, ConsequenceScale
+        from repro.core.quantities import PER_KM, Frequency
+        from repro.core.risk_norm import QuantitativeRiskNorm, societal_impact
+        from repro.core.severity import UnifiedSeverity
+        per_km = QuantitativeRiskNorm("km-norm", ConsequenceScale([
+            ConsequenceClass("vS3", UnifiedSeverity.LIFE_THREATENING,
+                             Frequency(1e-9, PER_KM)),
+        ]))
+        with pytest.raises(ValueError, match="per-hour"):
+            societal_impact(per_km, 100, 400)

@@ -1,0 +1,78 @@
+"""Tests for the severity scales and their mappings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.severity import (IsoSeverity, SeverityDomain, UnifiedSeverity,
+                                 iso_to_unified, unified_to_iso)
+
+
+class TestOrdering:
+    def test_iso_ordering(self):
+        assert IsoSeverity.S3 > IsoSeverity.S1
+        assert IsoSeverity.S0 < IsoSeverity.S1
+
+    def test_unified_ordering_spans_domains(self):
+        assert UnifiedSeverity.LIGHT_INJURY > UnifiedSeverity.MATERIAL_DAMAGE
+        assert (UnifiedSeverity.LIFE_THREATENING
+                > UnifiedSeverity.PERCEIVED_SAFETY)
+
+    def test_domain_split(self):
+        quality = [s for s in UnifiedSeverity
+                   if s.domain is SeverityDomain.QUALITY]
+        safety = [s for s in UnifiedSeverity
+                  if s.domain is SeverityDomain.SAFETY]
+        assert len(quality) == 3
+        assert len(safety) == 3
+        assert max(quality) < min(safety)
+
+    def test_descriptions_and_examples_nonempty(self):
+        for severity in UnifiedSeverity:
+            assert severity.description
+            assert severity.example
+        for severity in IsoSeverity:
+            assert severity.description
+
+
+class TestUnifiedToIso:
+    def test_quality_levels_collapse_to_s0(self):
+        for severity in (UnifiedSeverity.PERCEIVED_SAFETY,
+                         UnifiedSeverity.EMERGENCY_MANOEUVRE,
+                         UnifiedSeverity.MATERIAL_DAMAGE):
+            assert unified_to_iso(severity) is IsoSeverity.S0
+
+    def test_injury_levels_map_one_to_one(self):
+        assert unified_to_iso(UnifiedSeverity.LIGHT_INJURY) is IsoSeverity.S1
+        assert unified_to_iso(UnifiedSeverity.SEVERE_INJURY) is IsoSeverity.S2
+        assert unified_to_iso(
+            UnifiedSeverity.LIFE_THREATENING) is IsoSeverity.S3
+
+    def test_mapping_is_monotone(self):
+        projected = [unified_to_iso(s) for s in UnifiedSeverity]
+        assert projected == sorted(projected)
+
+
+class TestIsoToUnified:
+    def test_injury_roundtrip(self):
+        for iso in (IsoSeverity.S1, IsoSeverity.S2, IsoSeverity.S3):
+            assert unified_to_iso(iso_to_unified(iso)) is iso
+
+    def test_s0_requires_disambiguation(self):
+        with pytest.raises(ValueError, match="quality_detail"):
+            iso_to_unified(IsoSeverity.S0)
+
+    def test_s0_with_quality_detail(self):
+        lifted = iso_to_unified(IsoSeverity.S0,
+                                quality_detail=UnifiedSeverity.MATERIAL_DAMAGE)
+        assert lifted is UnifiedSeverity.MATERIAL_DAMAGE
+
+    def test_s0_with_safety_detail_rejected(self):
+        with pytest.raises(ValueError, match="not a quality level"):
+            iso_to_unified(IsoSeverity.S0,
+                           quality_detail=UnifiedSeverity.SEVERE_INJURY)
+
+    def test_detail_on_nonzero_severity_rejected(self):
+        with pytest.raises(ValueError, match="only meaningful for S0"):
+            iso_to_unified(IsoSeverity.S2,
+                           quality_detail=UnifiedSeverity.PERCEIVED_SAFETY)

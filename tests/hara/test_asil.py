@@ -1,0 +1,138 @@
+"""Tests for ASIL determination and the Fig. 1 risk model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.severity import IsoSeverity
+from repro.hara.asil import (Asil, asil_rate_band, determine_asil,
+                             determine_asil_sum_rule, frequency_to_asil_band,
+                             risk_reduction_waterfall)
+from repro.hara.controllability import ControllabilityClass
+from repro.hara.exposure import ExposureClass
+
+
+class TestDeterminationTable:
+    def test_published_anchors(self):
+        """Corner cases from ISO 26262-3 Table 4."""
+        assert determine_asil(IsoSeverity.S3, ExposureClass.E4,
+                              ControllabilityClass.C3) is Asil.D
+        assert determine_asil(IsoSeverity.S3, ExposureClass.E4,
+                              ControllabilityClass.C2) is Asil.C
+        assert determine_asil(IsoSeverity.S3, ExposureClass.E3,
+                              ControllabilityClass.C3) is Asil.C
+        assert determine_asil(IsoSeverity.S1, ExposureClass.E4,
+                              ControllabilityClass.C3) is Asil.B
+        assert determine_asil(IsoSeverity.S2, ExposureClass.E2,
+                              ControllabilityClass.C2) is Asil.QM
+        assert determine_asil(IsoSeverity.S1, ExposureClass.E1,
+                              ControllabilityClass.C1) is Asil.QM
+
+    def test_zero_classes_short_circuit_to_qm(self):
+        assert determine_asil(IsoSeverity.S0, ExposureClass.E4,
+                              ControllabilityClass.C3) is Asil.QM
+        assert determine_asil(IsoSeverity.S3, ExposureClass.E0,
+                              ControllabilityClass.C3) is Asil.QM
+        assert determine_asil(IsoSeverity.S3, ExposureClass.E4,
+                              ControllabilityClass.C0) is Asil.QM
+
+    def test_table_equals_sum_rule_everywhere(self):
+        """The closed form reproduces the full table."""
+        for severity in IsoSeverity:
+            for exposure in ExposureClass:
+                for controllability in ControllabilityClass:
+                    assert determine_asil(severity, exposure,
+                                          controllability) is \
+                        determine_asil_sum_rule(severity, exposure,
+                                                controllability)
+
+    def test_monotone_in_every_factor(self):
+        """Raising any factor never lowers the ASIL."""
+        for severity in (IsoSeverity.S1, IsoSeverity.S2):
+            for exposure in (ExposureClass.E1, ExposureClass.E2,
+                             ExposureClass.E3):
+                for controllability in (ControllabilityClass.C1,
+                                        ControllabilityClass.C2):
+                    base = determine_asil(severity, exposure, controllability)
+                    assert determine_asil(
+                        IsoSeverity(severity + 1), exposure,
+                        controllability) >= base
+                    assert determine_asil(
+                        severity, ExposureClass(exposure + 1),
+                        controllability) >= base
+                    assert determine_asil(
+                        severity, exposure,
+                        ControllabilityClass(controllability + 1)) >= base
+
+
+class TestRateBands:
+    def test_band_edges_descend(self):
+        assert asil_rate_band(Asil.D) < asil_rate_band(Asil.C) \
+            < asil_rate_band(Asil.B) < asil_rate_band(Asil.A)
+        assert math.isinf(asil_rate_band(Asil.QM))
+
+    def test_standard_targets(self):
+        """ASIL D and C edges are the standard's PMHF targets."""
+        assert asil_rate_band(Asil.D) == 1e-8
+        assert asil_rate_band(Asil.C) == 1e-7
+
+    def test_frequency_to_band(self):
+        assert frequency_to_asil_band(5e-9) is Asil.D
+        assert frequency_to_asil_band(5e-8) is Asil.C
+        assert frequency_to_asil_band(5e-7) is Asil.B
+        assert frequency_to_asil_band(5e-6) is Asil.A
+        assert frequency_to_asil_band(0.5) is Asil.QM
+
+    def test_frequency_to_band_invalid(self):
+        with pytest.raises(ValueError):
+            frequency_to_asil_band(-1.0)
+        with pytest.raises(ValueError):
+            frequency_to_asil_band(math.inf)
+
+
+class TestWaterfall:
+    def test_reductions_account_for_everything(self):
+        waterfall = risk_reduction_waterfall(
+            IsoSeverity.S3, ExposureClass.E2, ControllabilityClass.C2)
+        total = (waterfall.exposure_reduction
+                 + waterfall.controllability_reduction
+                 + waterfall.required_ee_reduction)
+        assert total == pytest.approx(waterfall.total_reduction_needed())
+
+    def test_worse_exposure_needs_more_ee_reduction(self):
+        lenient = risk_reduction_waterfall(
+            IsoSeverity.S3, ExposureClass.E1, ControllabilityClass.C3)
+        harsh = risk_reduction_waterfall(
+            IsoSeverity.S3, ExposureClass.E4, ControllabilityClass.C3)
+        assert harsh.required_ee_reduction > lenient.required_ee_reduction
+
+    def test_more_severe_needs_more_total_reduction(self):
+        light = risk_reduction_waterfall(
+            IsoSeverity.S1, ExposureClass.E4, ControllabilityClass.C3)
+        fatal = risk_reduction_waterfall(
+            IsoSeverity.S3, ExposureClass.E4, ControllabilityClass.C3)
+        assert fatal.total_reduction_needed() > light.total_reduction_needed()
+
+    def test_ee_reduction_tracks_table_asil(self):
+        """More required E/E decades ⇒ at least as high a table ASIL."""
+        combos = [
+            (IsoSeverity.S3, ExposureClass.E4, ControllabilityClass.C3),
+            (IsoSeverity.S3, ExposureClass.E2, ControllabilityClass.C3),
+            (IsoSeverity.S2, ExposureClass.E2, ControllabilityClass.C2),
+            (IsoSeverity.S1, ExposureClass.E1, ControllabilityClass.C1),
+        ]
+        waterfalls = [risk_reduction_waterfall(*combo) for combo in combos]
+        reductions = [w.required_ee_reduction for w in waterfalls]
+        asils = [int(w.asil) for w in waterfalls]
+        # Sorted by reduction, the ASILs are sorted too.
+        paired = sorted(zip(reductions, asils))
+        asil_sequence = [asil for _, asil in paired]
+        assert asil_sequence == sorted(asil_sequence)
+
+    def test_invalid_raw_frequency(self):
+        with pytest.raises(ValueError):
+            risk_reduction_waterfall(IsoSeverity.S1, ExposureClass.E1,
+                                     ControllabilityClass.C1,
+                                     raw_frequency_per_hour=0.0)

@@ -1,0 +1,82 @@
+"""Tests for the E and C rating classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hara.controllability import (ControllabilityClass,
+                                        ads_controllability,
+                                        controllability_from_probability)
+from repro.hara.exposure import (ExposureClass, exposure_from_fraction,
+                                 exposure_from_rate_per_hour)
+
+
+class TestExposure:
+    def test_band_edges(self):
+        assert exposure_from_fraction(0.0) is ExposureClass.E0
+        assert exposure_from_fraction(0.0005) is ExposureClass.E1
+        assert exposure_from_fraction(0.005) is ExposureClass.E2
+        assert exposure_from_fraction(0.05) is ExposureClass.E3
+        assert exposure_from_fraction(0.5) is ExposureClass.E4
+
+    def test_exact_boundaries_go_up(self):
+        assert exposure_from_fraction(0.001) is ExposureClass.E2
+        assert exposure_from_fraction(0.01) is ExposureClass.E3
+        assert exposure_from_fraction(0.10) is ExposureClass.E4
+
+    def test_monotone(self):
+        fractions = [0.0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0]
+        classes = [exposure_from_fraction(fr) for fr in fractions]
+        assert classes == sorted(classes)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            exposure_from_fraction(-0.1)
+        with pytest.raises(ValueError):
+            exposure_from_fraction(1.1)
+
+    def test_from_rate_and_duration(self):
+        # 0.5/h situations lasting 36 s each → 0.5% occupancy → E2.
+        assert exposure_from_rate_per_hour(0.5, 0.01) is ExposureClass.E2
+
+    def test_from_rate_saturates(self):
+        assert exposure_from_rate_per_hour(100.0, 1.0) is ExposureClass.E4
+
+    def test_from_rate_invalid(self):
+        with pytest.raises(ValueError):
+            exposure_from_rate_per_hour(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            exposure_from_rate_per_hour(1.0, 0.0)
+
+    def test_descriptions(self):
+        for cls in ExposureClass:
+            assert cls.description
+
+
+class TestControllability:
+    def test_bands(self):
+        assert controllability_from_probability(1.0) is ControllabilityClass.C0
+        assert controllability_from_probability(0.995) is ControllabilityClass.C1
+        assert controllability_from_probability(0.95) is ControllabilityClass.C2
+        assert controllability_from_probability(0.5) is ControllabilityClass.C3
+
+    def test_monotone_inverse(self):
+        probabilities = [0.0, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0]
+        classes = [controllability_from_probability(p) for p in probabilities]
+        assert classes == sorted(classes, reverse=True)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            controllability_from_probability(1.5)
+
+    def test_ads_without_mitigation_is_c3(self):
+        """No attentive driver ⇒ no controllability credit."""
+        assert ads_controllability() is ControllabilityClass.C3
+
+    def test_ads_with_independent_mitigation(self):
+        assert ads_controllability(True, 0.95) is ControllabilityClass.C2
+        assert ads_controllability(True, 0.995) is ControllabilityClass.C1
+
+    def test_descriptions(self):
+        for cls in ControllabilityClass:
+            assert cls.description

@@ -1,0 +1,133 @@
+"""Tests for the iterative HARA baseline ([12] in the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.severity import IsoSeverity
+from repro.hara.asil import Asil
+from repro.hara.controllability import ControllabilityClass
+from repro.hara.hara import RatingModel
+from repro.hara.hazard import GuideWord, VehicleFunction
+from repro.hara.iterative import (asil_threshold_assessor,
+                                  run_iterative_hara)
+from repro.hara.situation import SituationCatalog, SituationDimension
+
+
+@pytest.fixture
+def functions():
+    return [VehicleFunction("braking",
+                            applicable_guidewords=(GuideWord.NO,
+                                                   GuideWord.LESS))]
+
+
+@pytest.fixture
+def catalog():
+    return SituationCatalog([
+        SituationDimension("road", ("urban", "highway"), (0.7, 0.3)),
+        SituationDimension("weather", ("clear", "snow"), (0.8, 0.2)),
+    ])
+
+
+def severity_model(hard_values):
+    """S3 in the named situation values, S1 elsewhere."""
+
+    def severity(hazard, situation):
+        values = {value for _, value in situation.assignment}
+        if values & hard_values:
+            return IsoSeverity.S3
+        return IsoSeverity.S1
+
+    return RatingModel(
+        severity=severity,
+        controllability=lambda hazard, situation: ControllabilityClass.C3,
+    )
+
+
+class TestConvergence:
+    def test_converges_by_dropping_hard_situations(self, functions, catalog):
+        """Snow HEs are ASIL D; the loop drops snow and stabilises."""
+        model = severity_model({"snow"})
+        result = run_iterative_hara(functions, catalog, model,
+                                    asil_threshold_assessor(Asil.D))
+        assert result.converged
+        assert result.n_rounds >= 2
+        weather = next(d for d in result.final_catalog.dimensions
+                       if d.name == "weather")
+        assert weather.values == ("clear",)
+
+    def test_scope_cost_is_tracked(self, functions, catalog):
+        """Convergence is bought with operating coverage (the paper's
+        critique: refinement trades feature scope, not analysis power)."""
+        model = severity_model({"snow"})
+        result = run_iterative_hara(functions, catalog, model,
+                                    asil_threshold_assessor(Asil.D))
+        assert result.final_coverage == pytest.approx(0.8)
+        assert result.scope_cost() == pytest.approx(0.2)
+
+    def test_already_feasible_converges_immediately(self, functions, catalog):
+        model = severity_model(set())  # nothing is S3
+        result = run_iterative_hara(functions, catalog, model,
+                                    asil_threshold_assessor(Asil.D))
+        assert result.converged
+        assert result.n_rounds == 1
+        assert result.final_coverage == 1.0
+        assert result.rounds[0].restriction is None
+
+    def test_multiple_rounds_when_hardness_is_spread(self, functions,
+                                                     catalog):
+        """Both snow and highway are hard: two restrictions needed."""
+        model = severity_model({"snow", "highway"})
+        result = run_iterative_hara(functions, catalog, model,
+                                    asil_threshold_assessor(Asil.D))
+        assert result.converged
+        assert result.n_rounds >= 3
+        assert result.final_coverage == pytest.approx(0.7 * 0.8)
+
+    def test_dead_end_reported_not_hidden(self, functions):
+        """When every situation is hard and dimensions cannot shrink
+        further, the method must admit non-convergence."""
+        tiny = SituationCatalog([
+            SituationDimension("road", ("urban",), (1.0,)),
+        ])
+        model = severity_model({"urban"})
+        result = run_iterative_hara(functions, tiny, model,
+                                    asil_threshold_assessor(Asil.D))
+        assert not result.converged
+        assert result.rounds[-1].too_hard > 0
+
+    def test_max_rounds_cap(self, functions, catalog):
+        # Everything is hard; the loop restricts until it cannot, then
+        # reports non-convergence within the cap.
+        model = severity_model({"urban", "highway", "clear", "snow"})
+        result = run_iterative_hara(functions, catalog, model,
+                                    asil_threshold_assessor(Asil.D),
+                                    max_rounds=3)
+        assert result.n_rounds <= 3
+        assert not result.converged
+
+
+class TestReporting:
+    def test_summary_mentions_rounds_and_completeness_caveat(self, functions,
+                                                             catalog):
+        model = severity_model({"snow"})
+        result = run_iterative_hara(functions, catalog, model,
+                                    asil_threshold_assessor(Asil.D))
+        text = result.summary()
+        assert "round 1" in text
+        assert "Completeness" in text
+        assert "exhaustive" in text
+
+    def test_rounds_record_restrictions(self, functions, catalog):
+        model = severity_model({"snow"})
+        result = run_iterative_hara(functions, catalog, model,
+                                    asil_threshold_assessor(Asil.D))
+        restrictions = [r.restriction for r in result.rounds
+                        if r.restriction is not None]
+        assert ("weather", "snow") in restrictions
+
+    def test_invalid_max_rounds(self, functions, catalog):
+        model = severity_model(set())
+        with pytest.raises(ValueError):
+            run_iterative_hara(functions, catalog, model,
+                               asil_threshold_assessor(Asil.D), max_rounds=0)

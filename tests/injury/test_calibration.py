@@ -1,0 +1,133 @@
+"""Tests for risk-curve fitting from observed outcomes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.severity import UnifiedSeverity
+from repro.core.taxonomy import ActorClass
+from repro.injury.calibration import (fit_exceedance_curve, fit_risk_model,
+                                      sample_outcomes)
+from repro.injury.risk_curves import LogisticCurve, default_risk_model
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return default_risk_model()
+
+
+def synthetic_exceedances(curve, speeds, rng):
+    return [rng.uniform() < curve(float(dv)) for dv in speeds]
+
+
+class TestFitExceedanceCurve:
+    def test_recovers_known_parameters(self):
+        rng = np.random.default_rng(1)
+        truth = LogisticCurve(25.0, 7.0)
+        speeds = rng.uniform(0, 80, 5000)
+        exceeded = synthetic_exceedances(truth, speeds, rng)
+        fit = fit_exceedance_curve(speeds, exceeded)
+        assert fit.curve.midpoint_kmh == pytest.approx(25.0, abs=1.5)
+        assert fit.curve.scale_kmh == pytest.approx(7.0, rel=0.25)
+        assert fit.n_observations == 5000
+
+    def test_more_data_tightens_the_fit(self):
+        truth = LogisticCurve(30.0, 6.0)
+        errors = []
+        for n in (200, 5000):
+            rng = np.random.default_rng(2)
+            speeds = rng.uniform(0, 80, n)
+            exceeded = synthetic_exceedances(truth, speeds, rng)
+            fit = fit_exceedance_curve(speeds, exceeded)
+            errors.append(abs(fit.curve.midpoint_kmh - 30.0))
+        assert errors[1] <= errors[0]
+
+    def test_log_likelihood_is_negative_and_finite(self):
+        rng = np.random.default_rng(3)
+        truth = LogisticCurve(20.0, 5.0)
+        speeds = rng.uniform(0, 60, 500)
+        exceeded = synthetic_exceedances(truth, speeds, rng)
+        fit = fit_exceedance_curve(speeds, exceeded)
+        assert fit.log_likelihood < 0
+        assert fit.mean_log_likelihood() > -1.0  # better than coin flips
+
+    def test_single_class_outcomes_rejected(self):
+        speeds = list(range(20))
+        with pytest.raises(ValueError, match="single-class"):
+            fit_exceedance_curve(speeds, [True] * 20)
+        with pytest.raises(ValueError, match="single-class"):
+            fit_exceedance_curve(speeds, [False] * 20)
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValueError, match="at least 10"):
+            fit_exceedance_curve([1.0, 2.0], [True, False])
+
+    def test_negative_speeds_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            fit_exceedance_curve([-1.0] + [float(i) for i in range(19)],
+                                 [True, False] * 10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            fit_exceedance_curve([1.0] * 12, [True] * 11)
+
+
+class TestFitRiskModel:
+    def test_round_trip_from_default_model(self, truth):
+        """Fitting on samples from the default model reproduces its
+        exceedance probabilities closely — the calibration loop closes."""
+        rng = np.random.default_rng(5)
+        speeds = list(rng.uniform(1, 90, 4000))
+        observations = {
+            ActorClass.VRU: sample_outcomes(truth, ActorClass.VRU, speeds,
+                                            rng)}
+        fitted = fit_risk_model(observations)
+        for level in (UnifiedSeverity.LIGHT_INJURY,
+                      UnifiedSeverity.SEVERE_INJURY,
+                      UnifiedSeverity.LIFE_THREATENING):
+            for dv in (10.0, 30.0, 55.0):
+                assert fitted.exceedance(ActorClass.VRU, level, dv) == \
+                    pytest.approx(truth.exceedance(ActorClass.VRU, level, dv),
+                                  abs=0.05)
+
+    def test_fitted_model_is_drop_in(self, truth):
+        """A fitted model feeds straight into split derivation."""
+        from repro.core.consequence import example_scale
+        from repro.core.incident import SpeedBand
+        from repro.injury.classifier import split_for_speed_band
+
+        rng = np.random.default_rng(6)
+        speeds = list(rng.uniform(1, 90, 3000))
+        fitted = fit_risk_model({
+            ActorClass.VRU: sample_outcomes(truth, ActorClass.VRU, speeds,
+                                            rng)})
+        split = split_for_speed_band(fitted, ActorClass.VRU,
+                                     SpeedBand(10, 70), example_scale())
+        reference = split_for_speed_band(truth, ActorClass.VRU,
+                                         SpeedBand(10, 70), example_scale())
+        assert split.fraction("vS3") == pytest.approx(
+            reference.fraction("vS3"), abs=0.05)
+
+    def test_empty_observations_rejected(self):
+        with pytest.raises(ValueError):
+            fit_risk_model({})
+        with pytest.raises(ValueError, match="no observations"):
+            fit_risk_model({ActorClass.VRU: []})
+
+
+class TestSampleOutcomes:
+    def test_outcomes_cover_levels_at_mixed_speeds(self, truth):
+        rng = np.random.default_rng(7)
+        rows = sample_outcomes(truth, ActorClass.VRU,
+                               [5.0] * 200 + [60.0] * 200, rng)
+        severities = {severity for _, severity in rows}
+        assert UnifiedSeverity.MATERIAL_DAMAGE in severities
+        assert UnifiedSeverity.LIFE_THREATENING in severities
+
+    def test_deterministic_under_seed(self, truth):
+        a = sample_outcomes(truth, ActorClass.VRU, [20.0] * 50,
+                            np.random.default_rng(8))
+        b = sample_outcomes(truth, ActorClass.VRU, [20.0] * 50,
+                            np.random.default_rng(8))
+        assert a == b

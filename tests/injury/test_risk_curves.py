@@ -1,0 +1,139 @@
+"""Tests for injury-severity risk curves."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.severity import UnifiedSeverity
+from repro.core.taxonomy import ActorClass
+from repro.injury.risk_curves import (InjuryRiskModel, LogisticCurve,
+                                      default_risk_model,
+                                      severity_distribution)
+
+speeds = st.floats(min_value=0.0, max_value=150.0, allow_nan=False)
+
+
+class TestLogisticCurve:
+    def test_midpoint_is_half(self):
+        curve = LogisticCurve(10.0, 3.0)
+        assert curve(10.0) == pytest.approx(0.5)
+
+    def test_bounds(self):
+        curve = LogisticCurve(10.0, 3.0)
+        assert curve(0.0) < 0.05
+        assert curve(100.0) > 0.999
+
+    @given(speed=speeds)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone(self, speed):
+        curve = LogisticCurve(20.0, 5.0)
+        assert curve(speed + 1.0) >= curve(speed)
+
+    def test_extreme_arguments_clamped(self):
+        curve = LogisticCurve(10.0, 0.001)
+        assert curve(0.0) == 0.0
+        assert curve(1000.0) == 1.0
+
+    def test_inverse(self):
+        curve = LogisticCurve(25.0, 7.0)
+        for probability in (0.1, 0.5, 0.9):
+            speed = curve.speed_at_risk(probability)
+            assert curve(speed) == pytest.approx(probability, rel=1e-6)
+
+    def test_inverse_clamped_at_zero(self):
+        curve = LogisticCurve(0.5, 5.0)
+        assert curve.speed_at_risk(0.01) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LogisticCurve(10.0, 0.0)
+        with pytest.raises(ValueError):
+            LogisticCurve(10.0, 3.0)(-1.0)
+        with pytest.raises(ValueError):
+            LogisticCurve(10.0, 3.0).speed_at_risk(1.0)
+
+
+class TestInjuryRiskModel:
+    def test_default_model_counterparts(self):
+        model = default_risk_model()
+        assert ActorClass.VRU in model.counterparts
+        assert ActorClass.CAR in model.counterparts
+
+    def test_exceedance_ordering_validated(self):
+        """Fatal risk can never exceed severe-injury risk at any speed."""
+        bad_family = {
+            UnifiedSeverity.LIGHT_INJURY: LogisticCurve(50.0, 5.0),
+            UnifiedSeverity.SEVERE_INJURY: LogisticCurve(20.0, 5.0),
+            UnifiedSeverity.LIFE_THREATENING: LogisticCurve(10.0, 5.0),
+        }
+        with pytest.raises(ValueError, match="not ordered"):
+            InjuryRiskModel({ActorClass.VRU: bad_family})
+
+    def test_missing_level_rejected(self):
+        family = {UnifiedSeverity.LIGHT_INJURY: LogisticCurve(10.0, 3.0)}
+        with pytest.raises(ValueError, match="missing"):
+            InjuryRiskModel({ActorClass.VRU: family})
+
+    def test_vru_more_vulnerable_than_car_occupants(self):
+        model = default_risk_model()
+        for speed in (10.0, 30.0, 50.0):
+            assert model.exceedance(ActorClass.VRU,
+                                    UnifiedSeverity.SEVERE_INJURY, speed) > \
+                model.exceedance(ActorClass.CAR,
+                                 UnifiedSeverity.SEVERE_INJURY, speed)
+
+    def test_exact_probabilities_sum_to_one(self):
+        model = default_risk_model()
+        for speed in (5.0, 20.0, 60.0, 120.0):
+            distribution = model.severity_probabilities(ActorClass.VRU, speed)
+            assert sum(distribution.values()) == pytest.approx(1.0)
+            assert all(p >= 0 for p in distribution.values())
+
+    def test_severity_mass_shifts_with_speed(self):
+        model = default_risk_model()
+        slow = model.severity_probabilities(ActorClass.VRU, 5.0)
+        fast = model.severity_probabilities(ActorClass.VRU, 60.0)
+        assert slow[UnifiedSeverity.MATERIAL_DAMAGE] > \
+            fast[UnifiedSeverity.MATERIAL_DAMAGE]
+        assert fast[UnifiedSeverity.LIFE_THREATENING] > \
+            slow[UnifiedSeverity.LIFE_THREATENING]
+
+    def test_natural_band_boundary_near_10kmh_for_vru(self):
+        """The paper's Sec. III-B argument: ~10 km/h is where VRU injury
+        risk rises quickly — the model is parameterised to honour it."""
+        model = default_risk_model()
+        boundary = model.natural_band_boundary(
+            ActorClass.VRU, UnifiedSeverity.LIGHT_INJURY, 0.5)
+        assert 5.0 < boundary < 15.0
+
+    def test_unknown_counterpart(self):
+        model = default_risk_model()
+        with pytest.raises(KeyError):
+            model.exceedance(ActorClass.EGO, UnifiedSeverity.LIGHT_INJURY,
+                             10.0)
+
+    def test_non_injury_level_rejected(self):
+        model = default_risk_model()
+        with pytest.raises(KeyError):
+            model.exceedance(ActorClass.VRU,
+                             UnifiedSeverity.PERCEIVED_SAFETY, 10.0)
+
+
+class TestSeverityDistribution:
+    def test_average_over_samples(self):
+        model = default_risk_model()
+        distribution = severity_distribution(model, ActorClass.VRU,
+                                             [5.0, 15.0, 40.0])
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            severity_distribution(default_risk_model(), ActorClass.VRU, [])
+
+    def test_faster_samples_more_severe(self):
+        model = default_risk_model()
+        slow = severity_distribution(model, ActorClass.VRU, [3.0, 5.0])
+        fast = severity_distribution(model, ActorClass.VRU, [50.0, 65.0])
+        assert fast[UnifiedSeverity.LIFE_THREATENING] > \
+            slow[UnifiedSeverity.LIFE_THREATENING]

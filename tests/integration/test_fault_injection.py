@@ -1,0 +1,114 @@
+"""Failure-injection integration tests.
+
+Deliberately break parts of the pipeline and assert the breakage is
+*detected by the right guard* — a safety framework earns its keep by the
+failures it refuses to let pass silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (Allocation, ContributionSplit, Frequency,
+                        IncidentType, SpeedBand, allocate_lp,
+                        derive_safety_goals, example_norm,
+                        figure5_incident_types)
+from repro.core.verification import Verdict, verify_against_counts
+from repro.traffic import (BrakingSystem, EncounterGenerator,
+                           default_context_profiles, degraded_perception,
+                           nominal_policy, simulate_mix, type_counts)
+from repro.core.taxonomy import ActorClass
+
+MIX = {"urban": 0.5, "suburban": 0.2, "rural": 0.2, "highway": 0.1}
+
+
+class TestBadSystemIsCaught:
+    def test_degraded_stack_produces_violations(self):
+        """A bad perception stack against tight budgets must end in
+        VIOLATED verdicts, not quiet inconclusiveness."""
+        norm = example_norm().tightened(1e3, name="tight")
+        types = list(figure5_incident_types())
+        goals = derive_safety_goals(allocate_lp(norm, types,
+                                                objective="max-min"))
+        world = EncounterGenerator(default_context_profiles())
+        run = simulate_mix(nominal_policy(), world,
+                           degraded_perception(miss_probability=0.05),
+                           BrakingSystem(), MIX, 3000.0,
+                           np.random.default_rng(1))
+        counts, _ = type_counts(run, types)
+        report = verify_against_counts(goals, counts, run.hours)
+        assert report.any_violated
+
+    def test_violation_propagates_to_class_verdicts(self):
+        norm = example_norm().tightened(1e3, name="tight")
+        types = list(figure5_incident_types())
+        goals = derive_safety_goals(allocate_lp(norm, types,
+                                                objective="max-min"))
+        budget = goals["SG-I3"].max_frequency.rate
+        exposure = 1e5
+        counts = {"I3": int(budget * exposure * 50) + 5}
+        report = verify_against_counts(goals, counts, exposure)
+        assert report.goal("SG-I3").verdict is Verdict.VIOLATED
+        # I3 contributes to vS3; the class must be flagged too.
+        assert report.consequence_class("vS3").verdict is Verdict.VIOLATED
+
+
+class TestBrokenArtefactsAreRejected:
+    def test_overcommitted_manual_allocation_flagged(self, norm, fig5_types):
+        """Hand-built allocations are accepted as objects but fail the
+        feasibility gate and taint completeness."""
+        bloated = Allocation(norm, fig5_types, {
+            "I1": Frequency.per_hour(10.0),
+            "I2": Frequency.per_hour(10.0),
+            "I3": Frequency.per_hour(10.0),
+        })
+        assert not bloated.is_feasible()
+        goals = derive_safety_goals(bloated)
+        assert not goals.is_complete()
+        assert "VIOLATED" in goals.completeness_argument()
+
+    def test_non_mece_type_set_caught_at_classification(self):
+        """Overlapping tolerance margins are caught when data hits them —
+        the record-level mutual-exclusivity guard."""
+        from repro.core.incident import classify_records, IncidentRecord
+        overlapping = [
+            IncidentType("A", ActorClass.EGO, ActorClass.VRU,
+                         SpeedBand(0, 15),
+                         ContributionSplit({"vS1": 1.0})),
+            IncidentType("B", ActorClass.EGO, ActorClass.VRU,
+                         SpeedBand(10, 70),
+                         ContributionSplit({"vS2": 1.0})),
+        ]
+        record = IncidentRecord(ActorClass.VRU, True, delta_v_kmh=12.0)
+        with pytest.raises(ValueError, match="multiple"):
+            classify_records([record], overlapping)
+
+    def test_counts_for_unknown_types_rejected(self, allocation):
+        """Classification drift between pipeline and goal set is an
+        error, not a silent drop."""
+        goals = derive_safety_goals(allocation)
+        with pytest.raises(KeyError, match="I99"):
+            verify_against_counts(goals, {"I99": 3}, exposure=1e4)
+
+
+class TestSimulatorDetectsInjectedFaults:
+    def test_unreported_braking_fault_visible_in_rates(self):
+        """The Sec. II-B-3 fault: a capability-blind policy with frequent
+        degradation shows a measurably worse collision rate than the
+        healthy system — the fault is observable where the QRN looks
+        (incident rates), without naming the fault anywhere."""
+        world = EncounterGenerator(default_context_profiles())
+        healthy = simulate_mix(
+            nominal_policy(), world,
+            degraded_perception(miss_probability=0.02),
+            BrakingSystem(degradation_occupancy=0.0), MIX, 2500.0,
+            np.random.default_rng(3))
+        faulty = simulate_mix(
+            nominal_policy(), world,
+            degraded_perception(miss_probability=0.02),
+            BrakingSystem(degraded_ms2=2.0, degradation_occupancy=0.6,
+                          reports_capability=False), MIX, 2500.0,
+            np.random.default_rng(3))
+        assert faulty.collision_rate_per_hour() > \
+            healthy.collision_rate_per_hour()

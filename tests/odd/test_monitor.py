@@ -1,0 +1,140 @@
+"""Tests for the runtime ODD monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.odd.definition import (CategoricalOddParameter,
+                                  OperationalDesignDomain,
+                                  RangeOddParameter)
+from repro.odd.monitor import OddMonitor
+
+
+@pytest.fixture
+def odd():
+    return OperationalDesignDomain("test-odd", [
+        CategoricalOddParameter("weather", frozenset({"clear", "rain"})),
+        RangeOddParameter("speed_limit", 0.0, 80.0),
+    ])
+
+
+def inside(speed=50.0):
+    return {"weather": "clear", "speed_limit": speed}
+
+
+def outside(**overrides):
+    conditions = {"weather": "snow", "speed_limit": 50.0}
+    conditions.update(overrides)
+    return conditions
+
+
+class TestAccounting:
+    def test_all_inside(self, odd):
+        monitor = OddMonitor(odd, grace_period=0.01)
+        monitor.observe(0.0, inside())
+        monitor.observe(1.0, inside())
+        monitor.finish(2.0)
+        assert monitor.time_inside == pytest.approx(2.0)
+        assert monitor.time_outside == 0.0
+        assert monitor.availability() == 1.0
+        assert monitor.excursions == ()
+
+    def test_excursion_recorded(self, odd):
+        monitor = OddMonitor(odd, grace_period=0.05)
+        monitor.observe(0.0, inside())
+        monitor.observe(1.0, outside())       # out from 1.0
+        monitor.observe(1.5, inside())        # back at 1.5
+        monitor.finish(2.0)
+        assert monitor.time_outside == pytest.approx(0.5)
+        assert len(monitor.excursions) == 1
+        excursion = monitor.excursions[0]
+        assert excursion.start == 1.0
+        assert excursion.end == 1.5
+        assert excursion.duration == pytest.approx(0.5)
+        assert "weather" in excursion.violated
+
+    def test_open_excursion_closed_at_finish(self, odd):
+        monitor = OddMonitor(odd, grace_period=0.05)
+        monitor.observe(0.0, inside())
+        monitor.observe(1.0, outside())
+        monitor.finish(3.0)
+        assert len(monitor.excursions) == 1
+        assert monitor.excursions[0].duration == pytest.approx(2.0)
+
+    def test_violated_parameters_accumulate(self, odd):
+        monitor = OddMonitor(odd, grace_period=1.0)
+        monitor.observe(0.0, outside())                       # weather
+        monitor.observe(0.5, outside(weather="clear",
+                                     speed_limit=120.0))      # speed
+        monitor.finish(1.0)
+        assert set(monitor.excursions[0].violated) == {"weather",
+                                                       "speed_limit"}
+
+
+class TestGuarantee:
+    def test_handled_within_grace(self, odd):
+        monitor = OddMonitor(odd, grace_period=1.0)
+        monitor.observe(0.0, inside())
+        monitor.observe(5.0, outside())
+        monitor.observe(5.5, inside())
+        monitor.finish(10.0)
+        assert monitor.unhandled_excursions() == []
+        assert monitor.covered_exposure() == pytest.approx(10.0)
+
+    def test_unhandled_excursion_detected(self, odd):
+        monitor = OddMonitor(odd, grace_period=0.1)
+        monitor.observe(0.0, inside())
+        monitor.observe(5.0, outside())
+        monitor.observe(7.0, inside())
+        monitor.finish(10.0)
+        unhandled = monitor.unhandled_excursions()
+        assert len(unhandled) == 1
+        # Covered exposure excludes the over-grace part of the excursion.
+        assert monitor.covered_exposure() == pytest.approx(8.0 + 0.1)
+
+    def test_summary(self, odd):
+        monitor = OddMonitor(odd, grace_period=0.1)
+        monitor.observe(0.0, inside())
+        monitor.observe(1.0, outside())
+        monitor.finish(2.0)
+        text = monitor.summary()
+        assert "1 excursion(s)" in text
+        assert "unhandled" in text
+
+
+class TestValidation:
+    def test_out_of_order_samples_rejected(self, odd):
+        monitor = OddMonitor(odd, grace_period=1.0)
+        monitor.observe(1.0, inside())
+        with pytest.raises(ValueError, match="increasing"):
+            monitor.observe(1.0, inside())
+
+    def test_finished_monitor_rejects_samples(self, odd):
+        monitor = OddMonitor(odd, grace_period=1.0)
+        monitor.observe(0.0, inside())
+        monitor.finish(1.0)
+        with pytest.raises(RuntimeError):
+            monitor.observe(2.0, inside())
+        with pytest.raises(RuntimeError):
+            monitor.finish(3.0)
+
+    def test_finish_before_last_sample_rejected(self, odd):
+        monitor = OddMonitor(odd, grace_period=1.0)
+        monitor.observe(5.0, inside())
+        with pytest.raises(ValueError, match="precedes"):
+            monitor.finish(4.0)
+
+    def test_empty_monitor_cannot_finish(self, odd):
+        monitor = OddMonitor(odd, grace_period=1.0)
+        with pytest.raises(RuntimeError, match="no samples"):
+            monitor.finish(1.0)
+
+    def test_invalid_grace(self, odd):
+        with pytest.raises(ValueError):
+            OddMonitor(odd, grace_period=0.0)
+
+    def test_availability_needs_time(self, odd):
+        monitor = OddMonitor(odd, grace_period=1.0)
+        monitor.observe(0.0, inside())
+        with pytest.raises(ValueError, match="no monitored time"):
+            monitor.availability()

@@ -1,0 +1,65 @@
+"""Tests for the safety-case dossier builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.safety_goals import derive_safety_goals
+from repro.core.verification import verify_against_counts
+from repro.reporting.dossier import build_dossier
+
+
+@pytest.fixture
+def goals(allocation, fig4_taxonomy):
+    return derive_safety_goals(allocation, taxonomy=fig4_taxonomy)
+
+
+class TestDesignTimeDossier:
+    def test_contains_all_sections(self, goals):
+        dossier = build_dossier(goals)
+        for heading in ("1. Quantitative risk norm",
+                        "2. Incident classification",
+                        "3. Budget allocation",
+                        "4. Safety goals",
+                        "5. Completeness & consistency argument",
+                        "6. Verification status"):
+            assert heading in dossier
+
+    def test_outstanding_verification_is_explicit(self, goals):
+        dossier = build_dossier(goals)
+        assert "OUTSTANDING" in dossier
+        assert "does not claim achieved rates" in dossier
+
+    def test_goals_and_classes_present(self, goals):
+        dossier = build_dossier(goals)
+        for goal_id in goals.goal_ids:
+            assert goal_id in dossier
+        for class_id in goals.norm.class_ids:
+            assert class_id in dossier
+
+    def test_missing_certificate_flagged(self, allocation):
+        goals = derive_safety_goals(allocation)
+        dossier = build_dossier(goals)
+        assert "NO MECE CERTIFICATE" in dossier
+
+    def test_custom_title(self, goals):
+        dossier = build_dossier(goals, title="ACME Shuttle Safety Case")
+        assert "ACME Shuttle Safety Case" in dossier.splitlines()[1]
+
+
+class TestVerifiedDossier:
+    def test_supported_case(self, goals):
+        report = verify_against_counts(goals, {}, exposure=1e10)
+        dossier = build_dossier(goals, report)
+        assert "Top claim: SUPPORTED." in dossier
+        assert "ALL DEMONSTRATED" in dossier
+
+    def test_unsupported_case_says_so(self, goals):
+        report = verify_against_counts(goals, {}, exposure=1e3)
+        dossier = build_dossier(goals, report)
+        assert "NOT (YET) SUPPORTED" in dossier
+
+    def test_verdicts_embedded(self, goals):
+        report = verify_against_counts(goals, {"I1": 3}, exposure=1e6)
+        dossier = build_dossier(goals, report)
+        assert "3 events" in dossier

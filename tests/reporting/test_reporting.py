@@ -1,0 +1,105 @@
+"""Tests for table and figure rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.safety_goals import derive_safety_goals
+from repro.core.severity import IsoSeverity
+from repro.hara.asil import risk_reduction_waterfall
+from repro.hara.controllability import ControllabilityClass
+from repro.hara.exposure import ExposureClass
+from repro.reporting.figures import (figure1_waterfall, figure2_unified_axis,
+                                     figure3_risk_norm, figure4_tree,
+                                     figure5_assignment, log_bar)
+from repro.reporting.tables import format_rate, render_bar, render_table
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        table = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+        assert lines[0].startswith("| a")
+
+    def test_render_table_title(self):
+        table = render_table(["x"], [["1"]], title="T")
+        assert table.splitlines()[0] == "T"
+
+    def test_cell_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["1"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_format_rate(self):
+        assert format_rate(0.0) == "0"
+        assert format_rate(1e-7) == "1e-07"
+        assert format_rate(0.25) == "0.25"
+
+    def test_render_bar_proportions(self):
+        assert render_bar(0.0, 1.0, width=10) == "·" * 10
+        assert render_bar(1.0, 1.0, width=10) == "█" * 10
+        assert render_bar(0.5, 1.0, width=10).count("█") == 5
+
+    def test_render_bar_clamps(self):
+        assert render_bar(5.0, 1.0, width=4) == "████"
+
+    def test_render_bar_validation(self):
+        with pytest.raises(ValueError):
+            render_bar(1.0, 0.0)
+
+
+class TestLogBar:
+    def test_monotone_in_rate(self):
+        low = log_bar(1e-8).count("█")
+        high = log_bar(1e-2).count("█")
+        assert high > low
+
+    def test_floor_renders_empty(self):
+        assert "█" not in log_bar(1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_bar(1.0, floor=0.0)
+
+
+class TestFigures:
+    def test_figure1(self):
+        waterfalls = [risk_reduction_waterfall(s, ExposureClass.E3,
+                                               ControllabilityClass.C3)
+                      for s in IsoSeverity]
+        text = figure1_waterfall(waterfalls)
+        assert "Fig. 1" in text
+        assert "S3" in text and "ASIL" in text
+
+    def test_figure2(self, norm):
+        text = figure2_unified_axis(norm)
+        assert "Fig. 2" in text
+        assert "QUALITY" in text and "SAFETY" in text
+        for class_id in norm.class_ids:
+            assert class_id in text
+
+    def test_figure3(self, allocation):
+        text = figure3_risk_norm(allocation)
+        assert "Fig. 3" in text
+        for class_id in allocation.norm.class_ids:
+            assert class_id in text
+        assert "budget" in text
+
+    def test_figure4(self, fig4_taxonomy):
+        text = figure4_tree(fig4_taxonomy)
+        assert "Fig. 4" in text
+        assert "MECE" in text
+        assert "Ego<->VRU" in text
+
+    def test_figure5(self, allocation):
+        goals = derive_safety_goals(allocation)
+        text = figure5_assignment(goals)
+        assert "Fig. 5" in text
+        assert "SG-I2" in text
+        assert "class budget" in text
+        # the contribution matrix shows the 70/30 structure via columns
+        assert "vS1" in text and "vS2" in text

@@ -1,0 +1,108 @@
+"""Tests for event-counting logs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats.counting import CountedEvent, CountingLog
+
+
+@pytest.fixture
+def log():
+    events = [
+        CountedEvent("I1", 1.0, "urban"),
+        CountedEvent("I1", 2.5, "urban"),
+        CountedEvent("I2", 3.0, "rural"),
+        CountedEvent("I1", 7.5, "rural"),
+    ]
+    return CountingLog(10.0, events)
+
+
+class TestBasics:
+    def test_counts(self, log):
+        assert len(log) == 4
+        assert log.count("I1") == 3
+        assert log.count("I2") == 1
+        assert log.count("I3") == 0
+        assert log.count("I1", context="urban") == 2
+        assert log.count(context="rural") == 2
+
+    def test_counts_by_category(self, log):
+        assert log.counts_by_category() == {"I1": 3, "I2": 1}
+
+    def test_categories_and_contexts(self, log):
+        assert log.categories() == ("I1", "I2")
+        assert log.contexts() == ("rural", "urban")
+
+    def test_event_beyond_exposure_rejected(self, log):
+        with pytest.raises(ValueError, match="beyond"):
+            log.record(CountedEvent("I1", 11.0))
+
+    def test_invalid_exposure(self):
+        with pytest.raises(ValueError):
+            CountingLog(0.0)
+
+    def test_invalid_event(self):
+        with pytest.raises(ValueError):
+            CountedEvent("", 1.0)
+        with pytest.raises(ValueError):
+            CountedEvent("I1", -1.0)
+
+
+class TestRates:
+    def test_rate_point_estimate(self, log):
+        estimate = log.rate("I1")
+        assert estimate.point == pytest.approx(0.3)
+        assert estimate.count == 3
+        assert estimate.exposure == 10.0
+
+    def test_rates_cover_all_categories(self, log):
+        rates = log.rates()
+        assert set(rates) == {"I1", "I2"}
+
+
+class TestMergeWindow:
+    def test_merged_exposures_add(self, log):
+        other = CountingLog(5.0, [CountedEvent("I3", 1.0)])
+        merged = log.merged(other)
+        assert merged.exposure == 15.0
+        assert merged.count("I3") == 1
+        assert merged.count("I1") == 3
+
+    def test_merged_offsets_times(self, log):
+        other = CountingLog(5.0, [CountedEvent("I3", 1.0)])
+        merged = log.merged(other)
+        i3_events = [e for e in merged if e.category == "I3"]
+        assert i3_events[0].time == pytest.approx(11.0)
+
+    def test_window(self, log):
+        window = log.window(0.0, 5.0)
+        assert window.exposure == 5.0
+        assert window.count("I1") == 2
+        assert window.count("I2") == 1
+
+    def test_window_rebases_times(self, log):
+        window = log.window(2.0, 8.0)
+        assert all(0 <= e.time < 6.0 for e in window)
+
+    def test_invalid_window(self, log):
+        with pytest.raises(ValueError):
+            log.window(5.0, 3.0)
+        with pytest.raises(ValueError):
+            log.window(0.0, 20.0)
+
+
+class TestStratification:
+    def test_stratify(self, log):
+        strata = log.stratify_by_context({"urban": 6.0, "rural": 4.0})
+        assert strata["urban"].exposure == 6.0
+        assert strata["urban"].count("I1") == 2
+        assert strata["rural"].count("I2") == 1
+
+    def test_stratify_exposures_must_sum(self, log):
+        with pytest.raises(ValueError, match="sum"):
+            log.stratify_by_context({"urban": 6.0, "rural": 1.0})
+
+    def test_stratify_undeclared_context_rejected(self, log):
+        with pytest.raises(ValueError, match="no declared exposure"):
+            log.stratify_by_context({"urban": 10.0})

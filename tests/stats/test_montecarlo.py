@@ -1,0 +1,115 @@
+"""Tests for the Monte-Carlo estimation harness."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.montecarlo import (BatchMeans, estimate_mean,
+                                    estimate_probability,
+                                    run_until_precision, spawn_generators)
+
+
+class TestSpawnGenerators:
+    def test_reproducible(self):
+        a = spawn_generators(42, 3)
+        b = spawn_generators(42, 3)
+        for gen_a, gen_b in zip(a, b):
+            assert gen_a.uniform() == gen_b.uniform()
+
+    def test_independent_streams(self):
+        gens = spawn_generators(42, 2)
+        assert gens[0].uniform() != gens[1].uniform()
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            spawn_generators(42, 0)
+
+
+class TestBatchMeans:
+    def test_matches_numpy(self):
+        values = [1.0, 2.0, 3.5, -1.0, 0.25]
+        acc = BatchMeans()
+        acc.extend(values)
+        assert acc.mean == pytest.approx(np.mean(values))
+        assert acc.variance == pytest.approx(np.var(values, ddof=1))
+
+    def test_result_std_error(self):
+        values = list(range(10))
+        acc = BatchMeans()
+        acc.extend([float(v) for v in values])
+        result = acc.result()
+        assert result.std_error == pytest.approx(
+            np.std(values, ddof=1) / math.sqrt(len(values)))
+
+    def test_needs_two_batches(self):
+        acc = BatchMeans()
+        acc.add(1.0)
+        with pytest.raises(ValueError):
+            acc.result()
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ValueError):
+            BatchMeans().mean
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            BatchMeans().add(math.nan)
+
+    def test_numerical_stability_large_offset(self):
+        """Welford survives a large common offset."""
+        acc = BatchMeans()
+        offset = 1e12
+        acc.extend([offset + v for v in (1.0, 2.0, 3.0)])
+        assert acc.variance == pytest.approx(1.0)
+
+
+class TestEstimators:
+    def test_estimate_mean_recovers_expectation(self):
+        result = estimate_mean(lambda rng: rng.normal(5.0, 1.0),
+                               seed=1, replications=400)
+        low, high = result.ci()
+        assert low < 5.0 < high
+        assert result.replications == 400
+
+    def test_estimate_probability(self):
+        result = estimate_probability(lambda rng: rng.uniform() < 0.3,
+                                      seed=2, replications=2000)
+        assert result.mean == pytest.approx(0.3, abs=0.05)
+        assert 0 < result.std_error < 0.02
+
+    def test_too_few_replications_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_mean(lambda rng: 0.0, seed=1, replications=1)
+
+    def test_deterministic_under_seed(self):
+        a = estimate_mean(lambda rng: rng.uniform(), seed=3, replications=50)
+        b = estimate_mean(lambda rng: rng.uniform(), seed=3, replications=50)
+        assert a.mean == b.mean
+
+    def test_relative_error_zero_mean(self):
+        result = estimate_mean(lambda rng: 0.0, seed=1, replications=10)
+        assert math.isinf(result.relative_error())
+
+
+class TestRunUntilPrecision:
+    def test_stops_at_target(self):
+        result = run_until_precision(lambda rng: rng.normal(10.0, 1.0),
+                                     seed=4, target_relative_error=0.01,
+                                     min_replications=16,
+                                     max_replications=50_000)
+        assert result.relative_error() <= 0.01
+
+    def test_respects_max_replications(self):
+        result = run_until_precision(lambda rng: rng.normal(0.0, 100.0),
+                                     seed=5, target_relative_error=1e-6,
+                                     min_replications=16,
+                                     max_replications=64)
+        assert result.replications == 64
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            run_until_precision(lambda rng: 1.0, seed=1,
+                                target_relative_error=2.0)

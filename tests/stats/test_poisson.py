@@ -1,0 +1,127 @@
+"""Tests for Poisson rate inference and demonstration planning."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.poisson import (demonstration_power, exposure_to_demonstrate,
+                                 max_acceptable_count,
+                                 rate_confidence_interval, rate_lower_bound,
+                                 rate_mle, rate_upper_bound)
+
+
+class TestPointEstimates:
+    def test_mle(self):
+        assert rate_mle(10, 100.0) == 0.1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            rate_mle(-1, 100.0)
+        with pytest.raises(ValueError):
+            rate_mle(1, 0.0)
+
+
+class TestBounds:
+    def test_rule_of_three(self):
+        """Zero events at 95%: UCB ≈ 3 / exposure (-ln 0.05 exactly)."""
+        assert rate_upper_bound(0, 1000.0, 0.95) * 1000.0 == \
+            pytest.approx(-math.log(0.05), rel=1e-9)
+        assert rate_upper_bound(0, 1000.0, 0.95) * 1000.0 == \
+            pytest.approx(2.9957, rel=1e-3)
+
+    def test_lower_bound_zero_events(self):
+        assert rate_lower_bound(0, 1000.0) == 0.0
+
+    def test_bounds_bracket_mle(self):
+        for count in (1, 5, 50):
+            estimate = rate_confidence_interval(count, 100.0)
+            assert estimate.lower <= estimate.point <= estimate.upper
+
+    def test_interval_narrows_with_counts(self):
+        wide = rate_confidence_interval(2, 100.0)
+        narrow = rate_confidence_interval(200, 10000.0)
+        assert narrow.width_decades() < wide.width_decades()
+
+    def test_zero_count_width_infinite(self):
+        assert math.isinf(rate_confidence_interval(0, 100.0).width_decades())
+
+    def test_higher_confidence_wider_upper(self):
+        assert rate_upper_bound(3, 100.0, 0.99) > \
+            rate_upper_bound(3, 100.0, 0.90)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            rate_upper_bound(1, 100.0, 1.0)
+        with pytest.raises(ValueError):
+            rate_lower_bound(1, 100.0, 0.0)
+
+    @given(count=st.integers(min_value=0, max_value=200),
+           exposure=st.floats(min_value=1.0, max_value=1e6))
+    @settings(max_examples=60, deadline=None)
+    def test_upper_bound_above_mle(self, count, exposure):
+        assert rate_upper_bound(count, exposure) >= count / exposure
+
+    def test_coverage_monte_carlo(self):
+        """Empirical coverage of the one-sided 90% bound is >= 90%."""
+        rng = np.random.default_rng(7)
+        true_rate, exposure = 0.02, 500.0
+        covered = 0
+        trials = 2000
+        for _ in range(trials):
+            count = rng.poisson(true_rate * exposure)
+            if rate_upper_bound(int(count), exposure, 0.90) >= true_rate:
+                covered += 1
+        assert covered / trials >= 0.89
+
+
+class TestDemonstrationPlanning:
+    def test_exposure_to_demonstrate_zero_events(self):
+        exposure = exposure_to_demonstrate(1e-8, 0.95)
+        assert exposure == pytest.approx(2.9957e8, rel=1e-3)
+
+    def test_exposure_grows_with_observed_events(self):
+        clean = exposure_to_demonstrate(1e-6, 0.95, observed_count=0)
+        dirty = exposure_to_demonstrate(1e-6, 0.95, observed_count=3)
+        assert dirty > clean
+
+    def test_exposure_invalid_budget(self):
+        with pytest.raises(ValueError):
+            exposure_to_demonstrate(0.0)
+
+    def test_max_acceptable_count_consistency(self):
+        """The returned n* is exactly the cutoff: n* passes, n*+1 fails."""
+        budget, exposure = 1e-3, 1e5
+        cutoff = max_acceptable_count(budget, exposure)
+        assert cutoff >= 0
+        assert rate_upper_bound(cutoff, exposure) <= budget
+        assert rate_upper_bound(cutoff + 1, exposure) > budget
+
+    def test_max_acceptable_count_too_short_campaign(self):
+        assert max_acceptable_count(1e-8, 10.0) == -1
+
+    def test_power_increases_with_exposure(self):
+        budget, true_rate = 1e-4, 1e-5
+        powers = [demonstration_power(true_rate, budget, exposure)
+                  for exposure in (1e4, 1e5, 1e6)]
+        assert powers == sorted(powers)
+        assert powers[-1] > 0.99
+
+    def test_power_decreases_with_true_rate(self):
+        budget, exposure = 1e-4, 1e6
+        strong = demonstration_power(1e-6, budget, exposure)
+        weak = demonstration_power(9e-5, budget, exposure)
+        assert strong > weak
+
+    def test_power_zero_when_campaign_too_short(self):
+        assert demonstration_power(0.0, 1e-8, 10.0) == 0.0
+
+    def test_power_with_zero_true_rate_reaches_one(self):
+        assert demonstration_power(0.0, 1e-4, 1e6) == pytest.approx(1.0)
+
+    def test_power_invalid_rate(self):
+        with pytest.raises(ValueError):
+            demonstration_power(-1.0, 1e-4, 1e6)

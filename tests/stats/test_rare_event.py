@@ -1,0 +1,137 @@
+"""Tests for stratified rare-event estimation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.stats.rare_event import (StratifiedEstimate,
+                                    optimal_replication_split,
+                                    stratified_rate)
+
+
+def simulate(context, rng):
+    """Per-context synthetic rates: urban is 10x rural."""
+    base = {"urban": 1.0, "rural": 0.1, "highway": 0.01}[context]
+    return base * rng.lognormal(0.0, 0.1)
+
+
+WEIGHTS = {"urban": 0.5, "rural": 0.3, "highway": 0.2}
+
+
+class TestStratifiedRate:
+    def test_combined_mean_is_weighted(self):
+        estimate = stratified_rate(simulate, WEIGHTS, seed=1,
+                                   replications_per_stratum=128)
+        expected = sum(WEIGHTS[c] * {"urban": 1.0, "rural": 0.1,
+                                     "highway": 0.01}[c] for c in WEIGHTS)
+        # lognormal(0, 0.1) has mean exp(0.005) ≈ 1.005
+        assert estimate.mean == pytest.approx(expected, rel=0.05)
+
+    def test_zero_weight_contexts_skipped(self):
+        calls = []
+
+        def tracking(context, rng):
+            calls.append(context)
+            return 1.0
+
+        stratified_rate(tracking, {"urban": 1.0, "rural": 0.0}, seed=1,
+                        replications_per_stratum=4)
+        assert set(calls) == {"urban"}
+
+    def test_deterministic(self):
+        a = stratified_rate(simulate, WEIGHTS, seed=9,
+                            replications_per_stratum=16)
+        b = stratified_rate(simulate, WEIGHTS, seed=9,
+                            replications_per_stratum=16)
+        assert a.mean == b.mean
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            stratified_rate(simulate, {"urban": 0.5}, seed=1)
+
+    def test_per_stratum_replication_map(self):
+        estimate = stratified_rate(
+            simulate, WEIGHTS, seed=1,
+            replications_per_stratum={"urban": 64, "rural": 16,
+                                      "highway": 8})
+        by_context = {s.context: s.result.replications
+                      for s in estimate.strata}
+        assert by_context == {"urban": 64, "rural": 16, "highway": 8}
+
+    def test_too_few_replications_rejected(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            stratified_rate(simulate, WEIGHTS, seed=1,
+                            replications_per_stratum=1)
+
+    def test_dominant_context(self):
+        estimate = stratified_rate(simulate, WEIGHTS, seed=1,
+                                   replications_per_stratum=32)
+        assert estimate.dominant_context() == "urban"
+
+    def test_std_error_combines_quadratically(self):
+        estimate = stratified_rate(simulate, WEIGHTS, seed=1,
+                                   replications_per_stratum=32)
+        manual = math.sqrt(sum((s.weight * s.result.std_error) ** 2
+                               for s in estimate.strata))
+        assert estimate.std_error == pytest.approx(manual)
+
+
+class TestReweighting:
+    def test_reweighting_changes_mean_without_resimulation(self):
+        """The Sec. II-B-4 point: a new ODD mix needs no new simulation."""
+        estimate = stratified_rate(simulate, WEIGHTS, seed=1,
+                                   replications_per_stratum=64)
+        rural_heavy = estimate.reweighted(
+            {"urban": 0.1, "rural": 0.7, "highway": 0.2})
+        assert rural_heavy.mean < estimate.mean
+        # The per-stratum results are identical objects — no new sampling.
+        for before, after in zip(estimate.strata, rural_heavy.strata):
+            assert before.result is after.result
+
+    def test_reweighting_validates(self):
+        estimate = stratified_rate(simulate, WEIGHTS, seed=1,
+                                   replications_per_stratum=16)
+        with pytest.raises(ValueError):
+            estimate.reweighted({"urban": 0.5, "rural": 0.5, "highway": 0.5})
+        with pytest.raises(KeyError):
+            estimate.reweighted({"urban": 1.0})
+
+
+class TestNeymanSplit:
+    def test_noisy_heavy_strata_get_more(self):
+        split = optimal_replication_split(
+            WEIGHTS, {"urban": 1.0, "rural": 0.1, "highway": 0.1},
+            total_replications=120)
+        assert split["urban"] > split["rural"]
+        assert split["urban"] > split["highway"]
+
+    def test_total_not_exceeded(self):
+        split = optimal_replication_split(
+            WEIGHTS, {"urban": 1.0, "rural": 0.5, "highway": 0.2},
+            total_replications=100)
+        assert sum(split.values()) <= 100
+
+    def test_every_stratum_gets_at_least_two(self):
+        split = optimal_replication_split(
+            WEIGHTS, {"urban": 100.0, "rural": 0.0, "highway": 0.0},
+            total_replications=50)
+        assert all(count >= 2 for count in split.values())
+
+    def test_degenerate_pilot_splits_evenly(self):
+        split = optimal_replication_split(
+            WEIGHTS, {"urban": 0.0, "rural": 0.0, "highway": 0.0},
+            total_replications=30)
+        assert len(set(split.values())) == 1
+
+    def test_missing_pilot_rejected(self):
+        with pytest.raises(KeyError):
+            optimal_replication_split(WEIGHTS, {"urban": 1.0},
+                                      total_replications=30)
+
+    def test_too_few_total_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_replication_split(WEIGHTS, {"urban": 1.0, "rural": 1.0,
+                                                "highway": 1.0},
+                                      total_replications=4)

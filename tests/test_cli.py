@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestFigures:
+    def test_stdout(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Fig. 1", "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5"):
+            assert marker in out
+
+    def test_to_directory(self, tmp_path, capsys):
+        out_dir = tmp_path / "figs"
+        assert main(["figures", "--out", str(out_dir)]) == 0
+        names = {p.name for p in out_dir.iterdir()}
+        assert names == {"fig1.txt", "fig2.txt", "fig3.txt", "fig4.txt",
+                         "fig5.txt"}
+
+
+class TestGoals:
+    def test_default_norm(self, capsys):
+        assert main(["goals"]) == 0
+        out = capsys.readouterr().out
+        assert "SG-I2:" in out
+        assert "COMPLETE" in out
+
+    def test_calibrated_norm(self, capsys):
+        assert main(["goals", "--improvement", "10"]) == 0
+        assert "SG-I1" in capsys.readouterr().out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "goals.json"
+        assert main(["goals", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert {entry["goal_id"] for entry in data["goals"]} == \
+            {"SG-I1", "SG-I2", "SG-I3"}
+
+
+class TestVerify:
+    @pytest.fixture
+    def goals_file(self, tmp_path, capsys):
+        path = tmp_path / "goals.json"
+        main(["goals", "--json", str(path)])
+        capsys.readouterr()
+        return path
+
+    def test_clean_counts(self, goals_file, capsys):
+        code = main(["verify", str(goals_file), "--counts", "{}",
+                     "--exposure", "1e10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ALL DEMONSTRATED" in out
+
+    def test_violation_sets_exit_code(self, goals_file, capsys):
+        code = main(["verify", str(goals_file),
+                     "--counts", '{"I3": 1000}', "--exposure", "1e4"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLAT" in out
+
+    def test_bad_counts_payload(self, goals_file, capsys):
+        code = main(["verify", str(goals_file), "--counts", "[1, 2]",
+                     "--exposure", "1e4"])
+        assert code == 2
+
+
+class TestDossier:
+    def test_writes_dossier(self, tmp_path, capsys):
+        out = tmp_path / "dossier.txt"
+        code = main(["dossier", "--hours", "300", "--seed", "1",
+                     "--out", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "SAFETY CASE DOSSIER" in text
+        assert "6. Verification status" in text
+
+    def test_stdout(self, capsys):
+        assert main(["dossier", "--hours", "200", "--seed", "2"]) == 0
+        assert "SAFETY CASE DOSSIER" in capsys.readouterr().out
+
+
+class TestReview:
+    @pytest.fixture
+    def goals_file(self, tmp_path, capsys):
+        path = tmp_path / "goals.json"
+        main(["goals", "--json", str(path)])
+        capsys.readouterr()
+        return path
+
+    def test_design_time_review_has_open_items(self, goals_file, capsys):
+        code = main(["review", str(goals_file)])
+        out = capsys.readouterr().out
+        assert code == 0  # open items are not blockers
+        assert "OPEN" in out
+
+    def test_violation_is_blocker_exit_code(self, goals_file, capsys):
+        code = main(["review", str(goals_file),
+                     "--counts", '{"I3": 500}', "--exposure", "1e4"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "BLOCKER" in out
+
+    def test_counts_without_exposure_rejected(self, goals_file, capsys):
+        assert main(["review", str(goals_file), "--counts", "{}"]) == 2

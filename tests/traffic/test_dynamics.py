@@ -1,0 +1,133 @@
+"""Tests for longitudinal kinematics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traffic.dynamics import (KMH_PER_MS, impact_speed, kmh_to_ms,
+                                    ms_to_kmh, required_deceleration,
+                                    resolve_braking, stopping_distance)
+
+speeds = st.floats(min_value=0.1, max_value=60.0, allow_nan=False)
+decels = st.floats(min_value=0.5, max_value=12.0, allow_nan=False)
+distances = st.floats(min_value=0.1, max_value=500.0, allow_nan=False)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        assert ms_to_kmh(kmh_to_ms(50.0)) == pytest.approx(50.0)
+
+    def test_known_value(self):
+        assert kmh_to_ms(36.0) == pytest.approx(10.0)
+        assert KMH_PER_MS == 3.6
+
+
+class TestStoppingDistance:
+    def test_closed_form(self):
+        # 10 m/s at 5 m/s² with 1 s reaction: 10 + 100/10 = 20 m.
+        assert stopping_distance(10.0, 5.0, 1.0) == pytest.approx(20.0)
+
+    def test_zero_reaction(self):
+        assert stopping_distance(10.0, 5.0) == pytest.approx(10.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            stopping_distance(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            stopping_distance(10.0, 0.0)
+        with pytest.raises(ValueError):
+            stopping_distance(10.0, 5.0, -0.5)
+
+    @given(speed=speeds, decel=decels)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_speed(self, speed, decel):
+        assert stopping_distance(speed + 1.0, decel) > \
+            stopping_distance(speed, decel)
+
+
+class TestRequiredDeceleration:
+    def test_inverse_of_stopping_distance(self):
+        speed, decel, reaction = 15.0, 4.0, 0.5
+        distance = stopping_distance(speed, decel, reaction)
+        assert required_deceleration(speed, distance, reaction) == \
+            pytest.approx(decel)
+
+    def test_infinite_when_reaction_consumes_distance(self):
+        # 10 m/s, 1 s reaction, 8 m available: hopeless.
+        assert math.isinf(required_deceleration(10.0, 8.0, 1.0))
+
+    def test_zero_speed_needs_nothing(self):
+        assert required_deceleration(0.0, 5.0) == 0.0
+
+    def test_paper_example_shape(self):
+        """The Sec. II-B-3 numbers: needing >4 m/s² happens at short
+        distances; mild demands at long ones."""
+        speed = kmh_to_ms(50.0)
+        assert required_deceleration(speed, 20.0, 0.5) > 4.0
+        assert required_deceleration(speed, 100.0, 0.5) < 4.0
+
+
+class TestImpactSpeed:
+    def test_full_speed_impact_when_no_room(self):
+        assert impact_speed(10.0, 8.0, 3.0, 1.0) == pytest.approx(10.0)
+
+    def test_zero_when_stopping_short(self):
+        assert impact_speed(10.0, 8.0, 100.0, 0.5) == 0.0
+
+    def test_partial_braking(self):
+        # v² - 2ad residual: 100 - 2*2*20 = 20 → √20.
+        assert impact_speed(10.0, 2.0, 20.0) == pytest.approx(math.sqrt(20.0))
+
+    @given(speed=speeds, decel=decels, distance=distances)
+    @settings(max_examples=80, deadline=None)
+    def test_impact_never_exceeds_initial_speed(self, speed, decel, distance):
+        assert impact_speed(speed, decel, distance, 0.5) <= speed + 1e-9
+
+    @given(speed=speeds, distance=distances)
+    @settings(max_examples=50, deadline=None)
+    def test_harder_braking_never_hurts(self, speed, distance):
+        gentle = impact_speed(speed, 2.0, distance, 0.5)
+        firm = impact_speed(speed, 8.0, distance, 0.5)
+        assert firm <= gentle + 1e-9
+
+
+class TestResolveBraking:
+    def test_comfort_sufficient(self):
+        outcome = resolve_braking(10.0, 100.0, comfort_deceleration=3.0,
+                                  max_deceleration=8.0, reaction_time_s=0.5)
+        assert not outcome.collided
+        assert outcome.peak_deceleration == 3.0
+        assert outcome.demanded_deceleration < 3.0
+        assert outcome.stop_margin_m > 0
+
+    def test_escalates_to_full_braking(self):
+        outcome = resolve_braking(20.0, 35.0, comfort_deceleration=3.0,
+                                  max_deceleration=8.0, reaction_time_s=0.5)
+        assert outcome.peak_deceleration == 8.0
+        assert outcome.demanded_deceleration > 3.0
+
+    def test_collision_when_capability_insufficient(self):
+        outcome = resolve_braking(20.0, 30.0, comfort_deceleration=3.0,
+                                  max_deceleration=4.0, reaction_time_s=0.5)
+        assert outcome.collided
+        assert outcome.impact_speed_ms > 0
+        assert outcome.stop_margin_m == 0.0
+
+    def test_degraded_braking_turns_stop_into_crash(self):
+        """The paper's 4 m/s² fault example, end to end."""
+        healthy = resolve_braking(20.0, 35.0, 3.0, 8.0, 0.5)
+        degraded = resolve_braking(20.0, 35.0, 3.0, 4.0, 0.5)
+        assert not healthy.collided
+        assert degraded.collided
+
+    def test_demand_recorded_even_on_success(self):
+        outcome = resolve_braking(20.0, 40.0, 3.0, 8.0, 0.5)
+        assert not outcome.collided
+        assert outcome.demanded_deceleration > 0
+
+    def test_comfort_above_capability_rejected(self):
+        with pytest.raises(ValueError, match="exceeds capability"):
+            resolve_braking(10.0, 50.0, 9.0, 8.0, 0.5)
