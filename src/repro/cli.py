@@ -12,7 +12,11 @@ Python:
 * ``repro review GOALS.json [--counts ... --exposure ...]`` — the
   automated confirmation review (exit 1 on blockers);
 * ``repro dossier [--hours H] [--seed S] [--out PATH]`` — run a simulated
-  campaign and emit the full safety-case dossier.
+  campaign and emit the full safety-case dossier;
+* ``repro fleet [--hours H] [--seed S] [--workers N] [--chunk-hours C]``
+  — run a parallel fleet campaign and report the incident statistics
+  backing Eq. 1.  Results are bit-for-bit identical for any worker
+  count (see DESIGN.md, "Parallel fleet execution").
 
 The module is import-safe (no work at import time) and `main` takes an
 argv list, so tests drive it directly.
@@ -85,8 +89,35 @@ def build_parser() -> argparse.ArgumentParser:
                               "campaign can reach verdicts (default 1e4)")
     dossier.add_argument("--out", type=Path, default=None,
                          help="write the dossier here (default: stdout)")
+    _add_parallel_flags(dossier)
+
+    fleet = sub.add_parser(
+        "fleet", help="run a parallel fleet campaign and report incident "
+                      "statistics")
+    fleet.add_argument("--hours", type=float, default=2000.0)
+    fleet.add_argument("--seed", type=int, default=2020)
+    fleet.add_argument("--policy",
+                       choices=["cautious", "nominal", "aggressive"],
+                       default="nominal")
+    fleet.add_argument("--progress", action="store_true",
+                       help="stream per-chunk progress to stderr")
+    fleet.add_argument("--json", type=Path, default=None,
+                       help="also write the campaign summary as JSON here")
+    _add_parallel_flags(fleet)
 
     return parser
+
+
+def _add_parallel_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """The fleet-execution knobs shared by simulation subcommands."""
+    sub_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the fleet runner (default: all cores; "
+             "the result is identical for any value)")
+    sub_parser.add_argument(
+        "--chunk-hours", type=float, default=None,
+        help="hours per shard handed to one worker (default: 250; part "
+             "of the RNG layout, so changing it changes the draws)")
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -172,28 +203,40 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if not report.any_violated else 1
 
 
-def _cmd_dossier(args: argparse.Namespace) -> int:
-    import numpy as np
+_DEFAULT_MIX = {"urban": 0.5, "suburban": 0.2, "rural": 0.2, "highway": 0.1}
 
+
+def _run_campaign(policy, hours: float, seed: int,
+                  workers: Optional[int], chunk_hours: Optional[float],
+                  progress=None):
+    """One fleet campaign over the default world and context mix."""
+    from repro.traffic import (DEFAULT_CHUNK_HOURS, BrakingSystem,
+                               EncounterGenerator, default_context_profiles,
+                               default_perception, run_fleet)
+
+    world = EncounterGenerator(default_context_profiles())
+    return run_fleet(
+        policy, world, default_perception(), BrakingSystem(), _DEFAULT_MIX,
+        hours, seed, workers=workers,
+        chunk_hours=DEFAULT_CHUNK_HOURS if chunk_hours is None
+        else chunk_hours,
+        progress=progress)
+
+
+def _cmd_dossier(args: argparse.Namespace) -> int:
     from repro.core import (allocate_lp, derive_safety_goals, example_norm,
                             figure4_taxonomy, figure5_incident_types)
     from repro.core.verification import verify_against_counts
     from repro.reporting import build_dossier
-    from repro.traffic import (BrakingSystem, EncounterGenerator,
-                               cautious_policy, default_context_profiles,
-                               default_perception, simulate_mix,
-                               type_counts)
+    from repro.traffic import cautious_policy, type_counts
 
     norm = example_norm().tightened(args.scale, name="sim-scale QRN")
     types = list(figure5_incident_types())
     allocation = allocate_lp(norm, types, objective="max-min")
     goals = derive_safety_goals(allocation, taxonomy=figure4_taxonomy())
 
-    world = EncounterGenerator(default_context_profiles())
-    campaign = simulate_mix(
-        cautious_policy(), world, default_perception(), BrakingSystem(),
-        {"urban": 0.5, "suburban": 0.2, "rural": 0.2, "highway": 0.1},
-        args.hours, np.random.default_rng(args.seed))
+    campaign = _run_campaign(cautious_policy(), args.hours, args.seed,
+                             args.workers, args.chunk_hours)
     counts, _ = type_counts(campaign, types)
     report = verify_against_counts(goals, counts, campaign.hours)
     text = build_dossier(goals, report)
@@ -202,6 +245,62 @@ def _cmd_dossier(args: argparse.Namespace) -> int:
         print(f"dossier written to {args.out}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.core import figure5_incident_types
+    from repro.traffic import (aggressive_policy, cautious_policy,
+                               nominal_policy, type_counts)
+
+    policy = {"cautious": cautious_policy, "nominal": nominal_policy,
+              "aggressive": aggressive_policy}[args.policy]()
+
+    def show_progress(update) -> None:
+        print(f"chunk {update.chunks_done}/{update.chunks_total}: "
+              f"{update.hours_done:.0f}/{update.hours_total:.0f} h, "
+              f"{update.encounters_resolved} encounters, "
+              f"{update.incidents_found} incidents, "
+              f"{update.hard_braking_demands} hard-braking demands",
+              file=sys.stderr)
+
+    campaign = _run_campaign(policy, args.hours, args.seed, args.workers,
+                             args.chunk_hours,
+                             progress=show_progress if args.progress else None)
+    types = list(figure5_incident_types())
+    counts, unclassified = type_counts(campaign, types)
+    collisions = len(campaign.collisions())
+    near_misses = len(campaign.near_misses())
+    summary = {
+        "policy": campaign.policy_name,
+        "hours": campaign.hours,
+        "seed": args.seed,
+        "context_hours": dict(campaign.context_hours),
+        "encounters_resolved": campaign.encounters_resolved,
+        "incidents": len(campaign.records),
+        "collisions": collisions,
+        "near_misses": near_misses,
+        "collision_rate_per_hour": campaign.collision_rate_per_hour(),
+        "hard_braking_demands": campaign.hard_braking_demands,
+        "hard_braking_rate_per_hour": campaign.hard_braking_rate_per_hour(),
+        "type_counts": counts,
+        "unclassified": unclassified,
+    }
+    print(f"FLEET CAMPAIGN — policy {campaign.policy_name!r}, "
+          f"{campaign.hours:g} h, seed {args.seed}")
+    print(f"  encounters resolved:   {campaign.encounters_resolved}")
+    print(f"  incidents recorded:    {len(campaign.records)} "
+          f"({collisions} collisions, {near_misses} near-misses)")
+    print(f"  collision rate:        "
+          f"{campaign.collision_rate_per_hour():.3e} /h")
+    print(f"  hard-braking demands:  {campaign.hard_braking_demands} "
+          f"({campaign.hard_braking_rate_per_hour():.3e} /h "
+          f"> {campaign.hard_braking_threshold_ms2:g} m/s²)")
+    for type_id, count in sorted(counts.items()):
+        print(f"  {type_id}: {count}")
+    if args.json is not None:
+        args.json.write_text(json.dumps(summary, indent=2))
+        print(f"summary written to {args.json}")
     return 0
 
 
@@ -236,6 +335,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "review": _cmd_review,
     "dossier": _cmd_dossier,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -20,6 +20,8 @@ from .sequential import (SprtDecision, SprtPlan, SprtState,
                          expected_acceptance_exposure)
 from .rare_event import (StratifiedEstimate, StratumEstimate,
                          optimal_replication_split, stratified_rate)
+from .parallel import (Chunk, ChunkProgress, default_worker_count,
+                       plan_chunks, run_chunked)
 
 __all__ = [
     "CountedEvent",
@@ -50,4 +52,9 @@ __all__ = [
     "JEFFREYS",
     "prior_from_simulation",
     "field_exposure_to_demonstrate",
+    "Chunk",
+    "ChunkProgress",
+    "default_worker_count",
+    "plan_chunks",
+    "run_chunked",
 ]

@@ -89,6 +89,30 @@ class CountingLog:
     def rates(self, confidence: float = 0.95) -> Dict[str, RateEstimate]:
         return {cat: self.rate(cat, confidence) for cat in self.categories()}
 
+    @classmethod
+    def pooled(cls, logs: Iterable["CountingLog"]) -> "CountingLog":
+        """Pool logs whose events already share one global timeline.
+
+        Order-independent counterpart to :meth:`merged`: exposures are
+        summed with ``math.fsum`` (correctly rounded, so input order
+        cannot change the result) and events are kept at their absolute
+        stamps and canonically sorted, instead of being shifted.  This is
+        the merge the parallel fleet runner uses for per-chunk logs,
+        whose events are stamped with the chunk's global offset at
+        generation time.
+        """
+        logs = list(logs)
+        if not logs:
+            raise ValueError("pooled needs at least one log")
+        pooled = cls(math.fsum(log.exposure for log in logs))
+        events = sorted((e for log in logs for e in log._events),
+                        key=lambda e: (e.time, e.category, e.context))
+        for event in events:
+            pooled.record(CountedEvent(event.category,
+                                       min(event.time, pooled.exposure),
+                                       event.context))
+        return pooled
+
     def merged(self, other: "CountingLog") -> "CountingLog":
         """Pool two independent campaigns (exposures add, events offset).
 

@@ -26,6 +26,7 @@ from .scenarios import (AnimalRunOut, CrossingPedestrian, CutIn,
                         Scenario, ScenarioOutcome, ScenarioStatistics,
                         ScenarioSuite, incident_rate_contributions,
                         run_scenario)
+from .fleet import DEFAULT_CHUNK_HOURS, FleetProgress, run_fleet
 from .simulator import (SimulationConfig, SimulationResult, simulate,
                         simulate_mix)
 
@@ -40,6 +41,7 @@ __all__ = [
     "Encounter", "ContextProfile", "EncounterGenerator",
     "default_context_profiles",
     "SimulationConfig", "SimulationResult", "simulate", "simulate_mix",
+    "DEFAULT_CHUNK_HOURS", "FleetProgress", "run_fleet",
     "TypeRates", "estimate_type_rates", "empirical_splits", "type_counts",
     "Scenario", "ScenarioOutcome", "ScenarioStatistics", "ScenarioSuite",
     "CrossingPedestrian", "LeadVehicleBraking", "CutIn",

@@ -1,0 +1,153 @@
+"""Parallel fleet execution: chunked, seed-stable `simulate_mix` at scale.
+
+The QRN's verification argument (Sec. III / Eq. 1) needs incident-type
+frequencies demonstrated from large simulated fleet exposure; the rare
+tails that dominate the validation burden (cf. de Gelder & Op den Camp;
+Putze et al.) make the required exposures enormous.  :func:`run_fleet`
+shards a fleet campaign into fixed-size hour chunks and resolves them on
+a process pool, with a hard determinism contract:
+
+    ``run_fleet(seed=s, hours=H, workers=k)`` is **bit-for-bit
+    identical for every k** (including the serial ``k=1`` path).
+
+Three mechanisms carry the contract (see :mod:`repro.stats.parallel`):
+the chunk plan depends only on ``(hours, chunk_hours)``; every chunk
+draws from its own ``SeedSequence.spawn`` child; and chunk results are
+merged in chunk-index order through the associative/commutative
+:meth:`SimulationResult.merge_many`.  Chunks are stamped onto the global
+fleet timeline via ``time_offset_h``, so pooled records keep absolute
+times without any post-hoc shifting.
+
+A :class:`FleetProgress` callback makes long campaigns observable
+(chunks done, encounters resolved, incidents found) without perturbing
+the result — progress arrives in completion order, the one surface the
+determinism contract deliberately excludes.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from ..stats.parallel import Chunk, ChunkProgress, plan_chunks, run_chunked
+from .encounters import EncounterGenerator
+from .faults import BrakingSystem
+from .perception import PerceptionModel
+from .policy import TacticalPolicy
+from .simulator import SimulationConfig, SimulationResult, simulate_mix
+
+__all__ = ["FleetProgress", "run_fleet", "DEFAULT_CHUNK_HOURS"]
+
+DEFAULT_CHUNK_HOURS = 250.0
+"""Default shard size: large enough to amortise process-pool overhead,
+small enough that a typical campaign yields tens of chunks to balance."""
+
+
+@dataclass(frozen=True)
+class FleetProgress:
+    """Running totals reported after every completed chunk.
+
+    ``hours_done``/``encounters_resolved``/``incidents_found``/
+    ``hard_braking_demands`` accumulate over *completed* chunks, which
+    finish in scheduling order — treat these as observability, not as
+    part of the deterministic result.
+    """
+
+    chunk_index: int
+    chunks_done: int
+    chunks_total: int
+    hours_done: float
+    hours_total: float
+    encounters_resolved: int
+    incidents_found: int
+    hard_braking_demands: int
+
+
+@dataclass(frozen=True)
+class _ChunkTask:
+    """Everything a worker process needs to simulate one chunk.
+
+    All fields are plain (frozen) dataclasses or mappings, so the task
+    pickles once per chunk submission.
+    """
+
+    policy: TacticalPolicy
+    generator: EncounterGenerator
+    perception: PerceptionModel
+    braking: BrakingSystem
+    mix: Dict[str, float]
+    config: Optional[SimulationConfig]
+
+
+def _simulate_chunk(task: _ChunkTask, chunk: Chunk,
+                    seed_seq: np.random.SeedSequence) -> SimulationResult:
+    """Worker entry point: one chunk, one private generator.
+
+    Module-level (hence picklable) and seeded exclusively from the
+    chunk's own ``SeedSequence`` child — no state is shared with other
+    chunks, so results cannot depend on which process ran what.
+    """
+    rng = np.random.default_rng(seed_seq)
+    return simulate_mix(task.policy, task.generator, task.perception,
+                        task.braking, task.mix, chunk.size, rng,
+                        task.config, time_offset_h=chunk.start)
+
+
+def run_fleet(policy: TacticalPolicy,
+              generator: EncounterGenerator,
+              perception: PerceptionModel,
+              braking: BrakingSystem,
+              mix: Mapping[str, float],
+              hours: float,
+              seed: int,
+              *,
+              workers: Optional[int] = None,
+              chunk_hours: float = DEFAULT_CHUNK_HOURS,
+              config: Optional[SimulationConfig] = None,
+              progress: Optional[Callable[[FleetProgress], None]] = None,
+              ) -> SimulationResult:
+    """Run a fleet campaign of ``hours`` sharded across a worker pool.
+
+    Parameters mirror :func:`~repro.traffic.simulator.simulate_mix`
+    except that seeding is by integer ``seed`` (chunks spawn their own
+    child streams — passing a live ``Generator`` would tie the draws to
+    scheduling order) and ``workers``/``chunk_hours`` control the pool.
+
+    ``workers=None`` uses every available core; ``workers=1`` runs
+    serially through the identical chunk plan and seeding, so it is the
+    bit-for-bit reference for any parallel run with the same ``seed``,
+    ``hours`` and ``chunk_hours``.  Note the chunk size *is* part of the
+    RNG layout: changing ``chunk_hours`` legitimately changes the draws
+    (but never the statistics' distribution).
+    """
+    chunks = plan_chunks(hours, chunk_hours)
+    task = _ChunkTask(policy=policy, generator=generator,
+                      perception=perception, braking=braking,
+                      mix=dict(mix), config=config)
+
+    adapter: Optional[Callable[[ChunkProgress], None]] = None
+    if progress is not None:
+        totals = {"encounters": 0, "incidents": 0, "demands": 0}
+
+        def adapter(update: ChunkProgress) -> None:
+            result: SimulationResult = update.result
+            totals["encounters"] += result.encounters_resolved
+            totals["incidents"] += len(result.records)
+            totals["demands"] += result.hard_braking_demands
+            progress(FleetProgress(
+                chunk_index=update.chunk_index,
+                chunks_done=update.chunks_done,
+                chunks_total=update.chunks_total,
+                hours_done=update.units_done,
+                hours_total=update.units_total,
+                encounters_resolved=totals["encounters"],
+                incidents_found=totals["incidents"],
+                hard_braking_demands=totals["demands"],
+            ))
+
+    results = run_chunked(functools.partial(_simulate_chunk, task), chunks,
+                          seed, workers=workers, progress=adapter)
+    return SimulationResult.merge_many(results)

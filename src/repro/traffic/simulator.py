@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +30,19 @@ from .perception import PerceptionModel
 from .policy import TacticalPolicy
 
 __all__ = ["SimulationConfig", "SimulationResult", "simulate", "simulate_mix"]
+
+
+def _record_sort_key(record: IncidentRecord) -> Tuple:
+    """Total deterministic order over incident records.
+
+    Used to canonicalise record order when pooling runs, so that merging
+    is independent of the order in which chunks were produced.  The key
+    covers every field; two distinct records practically never tie (all
+    continuous quantities), and identical records sort stably anyway.
+    """
+    return (record.time_h, record.context, record.counterpart.name,
+            record.is_collision, record.induced, record.delta_v_kmh,
+            record.min_distance_m, record.approach_speed_kmh)
 
 
 @dataclass(frozen=True)
@@ -109,35 +122,59 @@ class SimulationResult:
                                     record.context))
         return log
 
-    def merged(self, other: "SimulationResult") -> "SimulationResult":
-        """Pool two runs of the same policy (exposures add)."""
-        if other.policy_name != self.policy_name:
-            raise ValueError(
-                f"cannot merge runs of policies {self.policy_name!r} and "
-                f"{other.policy_name!r}")
-        if other.hard_braking_threshold_ms2 != self.hard_braking_threshold_ms2:
-            raise ValueError("cannot merge runs with different demand thresholds")
-        context_hours = dict(self.context_hours)
-        for context, hours in other.context_hours.items():
-            context_hours[context] = context_hours.get(context, 0.0) + hours
-        shifted = [
-            IncidentRecord(
-                counterpart=r.counterpart, is_collision=r.is_collision,
-                delta_v_kmh=r.delta_v_kmh, min_distance_m=r.min_distance_m,
-                approach_speed_kmh=r.approach_speed_kmh,
-                time_h=r.time_h + self.hours, context=r.context,
-                induced=r.induced)
-            for r in other.records
-        ]
-        return SimulationResult(
-            policy_name=self.policy_name,
-            hours=self.hours + other.hours,
+    @classmethod
+    def merge_many(cls, results: Iterable["SimulationResult"],
+                   ) -> "SimulationResult":
+        """Pool any number of runs of the same policy, order-independently.
+
+        The merge is **associative and commutative**: records carry
+        absolute time stamps (chunks are stamped at generation time via
+        ``time_offset_h``), so pooling concatenates and canonically sorts
+        them instead of shifting; scalar exposures are summed with
+        ``math.fsum`` (correctly rounded, hence input-order invariant);
+        event counts are exact integer sums.  This is the property the
+        parallel fleet runner relies on to be bit-for-bit identical for
+        any worker count, and :mod:`tests.stats.test_parallel` enforces
+        it over shuffled chunk orders.
+        """
+        results = list(results)
+        if not results:
+            raise ValueError("merge_many needs at least one result")
+        first = results[0]
+        for other in results[1:]:
+            if other.policy_name != first.policy_name:
+                raise ValueError(
+                    f"cannot merge runs of policies {first.policy_name!r} "
+                    f"and {other.policy_name!r}")
+            if other.hard_braking_threshold_ms2 != \
+                    first.hard_braking_threshold_ms2:
+                raise ValueError(
+                    "cannot merge runs with different demand thresholds")
+        context_values: Dict[str, List[float]] = {}
+        for result in results:
+            for context, hours in result.context_hours.items():
+                context_values.setdefault(context, []).append(hours)
+        context_hours = {context: math.fsum(values)
+                         for context, values in sorted(context_values.items())}
+        records = sorted((r for result in results for r in result.records),
+                         key=_record_sort_key)
+        return cls(
+            policy_name=first.policy_name,
+            hours=math.fsum(r.hours for r in results),
             context_hours=context_hours,
-            records=self.records + shifted,
-            encounters_resolved=self.encounters_resolved + other.encounters_resolved,
-            hard_braking_demands=self.hard_braking_demands + other.hard_braking_demands,
-            hard_braking_threshold_ms2=self.hard_braking_threshold_ms2,
+            records=records,
+            encounters_resolved=sum(r.encounters_resolved for r in results),
+            hard_braking_demands=sum(r.hard_braking_demands for r in results),
+            hard_braking_threshold_ms2=first.hard_braking_threshold_ms2,
         )
+
+    def merged(self, other: "SimulationResult") -> "SimulationResult":
+        """Pool two runs of the same policy (exposures add).
+
+        Commutative: ``a.merged(b)`` equals ``b.merged(a)`` field for
+        field (see :meth:`merge_many` for why).
+        """
+        return SimulationResult.merge_many([self, other])
 
 
 def _closing_speed_ms(ego_speed_ms: float, encounter: Encounter) -> float:
@@ -158,8 +195,13 @@ def _resolve_encounter(encounter: Encounter, policy: TacticalPolicy,
                        perception: PerceptionModel, braking: BrakingSystem,
                        config: SimulationConfig,
                        rng: np.random.Generator,
+                       time_offset_h: float = 0.0,
                        ) -> Tuple[Optional[IncidentRecord], bool]:
-    """Resolve one encounter; returns (incident or None, hard_demand_flag)."""
+    """Resolve one encounter; returns (incident or None, hard_demand_flag).
+
+    ``time_offset_h`` shifts record stamps onto the caller's global
+    timeline (the encounter's own stamp is chunk-local).
+    """
     actual_capability = braking.sample_capability(rng)
     known_capability = braking.known_capability(actual_capability)
     ego_speed = policy.encounter_speed_ms(
@@ -189,7 +231,7 @@ def _resolve_encounter(encounter: Encounter, policy: TacticalPolicy,
             delta_v_kmh=ms_to_kmh(outcome.impact_speed_ms),
             min_distance_m=0.0,
             approach_speed_kmh=ms_to_kmh(closing),
-            time_h=encounter.time_h,
+            time_h=encounter.time_h + time_offset_h,
             context=encounter.context,
         ), hard_demand
     near_miss = (outcome.stop_margin_m < config.near_miss_distance_m
@@ -201,7 +243,7 @@ def _resolve_encounter(encounter: Encounter, policy: TacticalPolicy,
             delta_v_kmh=0.0,
             min_distance_m=max(outcome.stop_margin_m, 1e-3),
             approach_speed_kmh=ms_to_kmh(closing),
-            time_h=encounter.time_h,
+            time_h=encounter.time_h + time_offset_h,
             context=encounter.context,
         ), hard_demand
     return None, hard_demand
@@ -214,16 +256,27 @@ def simulate(policy: TacticalPolicy,
              context: str,
              hours: float,
              rng: np.random.Generator,
-             config: Optional[SimulationConfig] = None) -> SimulationResult:
-    """Drive ``hours`` in one context and record incidents."""
+             config: Optional[SimulationConfig] = None,
+             *,
+             time_offset_h: float = 0.0) -> SimulationResult:
+    """Drive ``hours`` in one context and record incidents.
+
+    ``time_offset_h`` places this run's records on a global fleet
+    timeline (record stamps become ``offset + local time``); exposure
+    bookkeeping (``hours``) is unaffected.  The parallel fleet runner
+    uses it so chunk results can be pooled without re-stamping.
+    """
     if config is None:
         config = SimulationConfig()
+    if time_offset_h < 0 or not math.isfinite(time_offset_h):
+        raise ValueError(f"time offset must be finite and >= 0, got {time_offset_h}")
     encounters = generator.generate(context, hours, policy.cue_probability, rng)
     records: List[IncidentRecord] = []
     hard_demands = 0
     for encounter in encounters:
         record, hard = _resolve_encounter(encounter, policy, perception,
-                                          braking, config, rng)
+                                          braking, config, rng,
+                                          time_offset_h)
         if hard:
             hard_demands += 1
             # Fig. 4's lower half: a hard ego stop with a close follower
@@ -235,7 +288,7 @@ def simulate(policy: TacticalPolicy,
                     is_collision=False,
                     min_distance_m=float(rng.uniform(0.3, 4.0)),
                     approach_speed_kmh=float(rng.uniform(10.0, 60.0)),
-                    time_h=encounter.time_h,
+                    time_h=encounter.time_h + time_offset_h,
                     context=context,
                     induced=True,
                 ))
@@ -252,6 +305,34 @@ def simulate(policy: TacticalPolicy,
     )
 
 
+def _split_hours(hours: float, weights: Sequence[float]) -> List[float]:
+    """Split ``hours`` by ``weights`` such that the parts sum back exactly.
+
+    Naive ``hours * w`` parts can drop (or double-count) a few ulps of
+    exposure when the weights don't divide ``hours`` evenly in binary —
+    enough to make exposure bookkeeping (``sum(context_hours) == hours``)
+    silently false.  The last part is therefore the exact remainder, with
+    an ulp-correction loop so the *sequential* float sum of the returned
+    parts reproduces ``hours`` bit-for-bit.
+    """
+    parts = [hours * w for w in weights[:-1]]
+    last = hours - math.fsum(parts)
+    for _ in range(8):
+        total = 0.0
+        for p in parts:
+            total += p
+        total += last
+        if total == hours:
+            break
+        last += hours - total
+    if last <= 0 or not math.isfinite(last):
+        raise ValueError(
+            f"context mix leaves no exposure for the final context "
+            f"(remainder {last}); weights too small relative to float "
+            f"precision")
+    return parts + [last]
+
+
 def simulate_mix(policy: TacticalPolicy,
                  generator: EncounterGenerator,
                  perception: PerceptionModel,
@@ -259,8 +340,17 @@ def simulate_mix(policy: TacticalPolicy,
                  mix: Mapping[str, float],
                  hours: float,
                  rng: np.random.Generator,
-                 config: Optional[SimulationConfig] = None) -> SimulationResult:
-    """Drive ``hours`` split across a context mix (weights sum to 1)."""
+                 config: Optional[SimulationConfig] = None,
+                 *,
+                 time_offset_h: float = 0.0) -> SimulationResult:
+    """Drive ``hours`` split across a context mix (weights sum to 1).
+
+    Contexts are laid out back to back on one timeline (in sorted
+    context order); exposure splitting is exact — the per-context hours
+    sum back to ``hours`` bit-for-bit even for weights that don't divide
+    it evenly (see :func:`_split_hours`).  ``time_offset_h`` shifts the
+    whole run on a global fleet timeline, for chunked parallel execution.
+    """
     if not mix:
         raise ValueError("context mix must be non-empty")
     total = sum(mix.values())
@@ -268,13 +358,27 @@ def simulate_mix(policy: TacticalPolicy,
         raise ValueError(f"context mix must sum to 1, got {total}")
     if any(w < 0 for w in mix.values()):
         raise ValueError("context weights must be >= 0")
-    result: Optional[SimulationResult] = None
-    for context, weight in sorted(mix.items()):
-        if weight == 0.0:
-            continue
-        part = simulate(policy, generator, perception, braking, context,
-                        hours * weight, rng, config)
-        result = part if result is None else result.merged(part)
-    if result is None:
+    contexts = [(c, w) for c, w in sorted(mix.items()) if w > 0.0]
+    if not contexts:
         raise ValueError("context mix has no positive weights")
-    return result
+    part_hours = _split_hours(hours, [w for _, w in contexts])
+    parts: List[SimulationResult] = []
+    offset = time_offset_h
+    for (context, _), ctx_hours in zip(contexts, part_hours):
+        parts.append(simulate(policy, generator, perception, braking,
+                              context, ctx_hours, rng, config,
+                              time_offset_h=offset))
+        offset += ctx_hours
+    # Construct directly (rather than via merge_many) so the result's
+    # total is the *requested* hours bit-for-bit, not a re-summation.
+    return SimulationResult(
+        policy_name=policy.name,
+        hours=hours,
+        context_hours={context: ctx_hours
+                       for (context, _), ctx_hours in zip(contexts, part_hours)},
+        records=sorted((r for part in parts for r in part.records),
+                       key=_record_sort_key),
+        encounters_resolved=sum(p.encounters_resolved for p in parts),
+        hard_braking_demands=sum(p.hard_braking_demands for p in parts),
+        hard_braking_threshold_ms2=parts[0].hard_braking_threshold_ms2,
+    )

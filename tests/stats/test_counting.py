@@ -106,3 +106,35 @@ class TestStratification:
     def test_stratify_undeclared_context_rejected(self, log):
         with pytest.raises(ValueError, match="no declared exposure"):
             log.stratify_by_context({"urban": 10.0})
+
+
+class TestPooled:
+    """Order-independent pooling for chunked parallel campaigns."""
+
+    def test_exposures_add_and_events_keep_stamps(self, log):
+        other = CountingLog(5.0, [CountedEvent("I3", 0.5, "urban")])
+        pooled = CountingLog.pooled([log, other])
+        assert pooled.exposure == 15.0
+        assert pooled.count("I3") == 1
+        times = [e.time for e in pooled if e.category == "I3"]
+        assert times == [0.5]  # not shifted, unlike merged()
+
+    def test_order_independent(self, log):
+        chunks = [
+            CountingLog(5.0, [CountedEvent("I1", 1.0, "urban")]),
+            CountingLog(5.0, [CountedEvent("I2", 2.0, "rural")]),
+            CountingLog(5.0, [CountedEvent("I1", 4.0, "urban")]),
+        ]
+        forward = CountingLog.pooled(chunks)
+        backward = CountingLog.pooled(list(reversed(chunks)))
+        assert forward.exposure == backward.exposure
+        assert forward.events == backward.events
+
+    def test_single_log_roundtrip(self, log):
+        pooled = CountingLog.pooled([log])
+        assert pooled.exposure == log.exposure
+        assert pooled.counts_by_category() == log.counts_by_category()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CountingLog.pooled([])

@@ -7,8 +7,8 @@ import math
 import numpy as np
 import pytest
 
-from repro.stats.montecarlo import (BatchMeans, estimate_mean,
-                                    estimate_probability,
+from repro.stats.montecarlo import (BatchMeans, MonteCarloResult,
+                                    estimate_mean, estimate_probability,
                                     run_until_precision, spawn_generators)
 
 
@@ -64,6 +64,76 @@ class TestBatchMeans:
         offset = 1e12
         acc.extend([offset + v for v in (1.0, 2.0, 3.0)])
         assert acc.variance == pytest.approx(1.0)
+
+
+class TestMonteCarloResultEdges:
+    def test_zero_mean_ci_is_symmetric(self):
+        result = MonteCarloResult(mean=0.0, std_error=0.5, replications=10)
+        low, high = result.ci()
+        assert low == -high
+        assert high == pytest.approx(1.96 * 0.5)
+
+    def test_zero_mean_relative_error_is_inf(self):
+        result = MonteCarloResult(mean=0.0, std_error=0.5, replications=10)
+        assert math.isinf(result.relative_error())
+        assert result.relative_error() > 0  # +inf, not nan or -inf
+
+    def test_negative_mean_uses_absolute_value(self):
+        result = MonteCarloResult(mean=-2.0, std_error=1.0, replications=5)
+        assert result.relative_error() == pytest.approx(0.5)
+
+    def test_zero_std_error_ci_collapses(self):
+        result = MonteCarloResult(mean=3.0, std_error=0.0, replications=5)
+        assert result.ci() == (3.0, 3.0)
+        assert result.relative_error() == 0.0
+
+    def test_custom_z(self):
+        result = MonteCarloResult(mean=1.0, std_error=1.0, replications=5)
+        low, high = result.ci(z=1.0)
+        assert (low, high) == (0.0, 2.0)
+
+
+class TestBatchMeansSingleReplication:
+    def test_single_value_mean_but_no_variance(self):
+        acc = BatchMeans()
+        acc.add(3.5)
+        assert acc.count == 1
+        assert acc.mean == 3.5
+        with pytest.raises(ValueError):
+            acc.variance
+        with pytest.raises(ValueError):
+            acc.result()
+
+    def test_two_identical_values_zero_variance(self):
+        acc = BatchMeans()
+        acc.extend([2.0, 2.0])
+        result = acc.result()
+        assert result.std_error == 0.0
+        assert math.isinf(MonteCarloResult(0.0, 0.0, 2).relative_error())
+
+
+class TestSpawnGeneratorStreams:
+    def test_streams_uncorrelated(self):
+        """SeedSequence children must behave as independent streams —
+        the property the per-chunk fleet seeding relies on."""
+        gens = spawn_generators(2020, 4)
+        draws = np.array([g.uniform(size=512) for g in gens])
+        corr = np.corrcoef(draws)
+        off_diag = corr[~np.eye(4, dtype=bool)]
+        assert np.all(np.abs(off_diag) < 0.15)
+
+    def test_all_pairs_distinct(self):
+        gens = spawn_generators(7, 8)
+        first_draws = [g.uniform() for g in gens]
+        assert len(set(first_draws)) == 8
+
+    def test_prefix_stability(self):
+        """Spawning more generators never changes the earlier streams —
+        so growing a campaign keeps its existing chunks' draws."""
+        few = spawn_generators(11, 2)
+        many = spawn_generators(11, 6)
+        for a, b in zip(few, many):
+            assert a.uniform() == b.uniform()
 
 
 class TestEstimators:

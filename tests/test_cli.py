@@ -119,3 +119,50 @@ class TestReview:
 
     def test_counts_without_exposure_rejected(self, goals_file, capsys):
         assert main(["review", str(goals_file), "--counts", "{}"]) == 2
+
+
+class TestFleet:
+    def test_summary_stdout(self, capsys):
+        assert main(["fleet", "--hours", "120", "--seed", "3",
+                     "--chunk-hours", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "FLEET CAMPAIGN" in out
+        assert "encounters resolved" in out
+        assert "hard-braking demands" in out
+
+    def test_worker_count_invariant(self, tmp_path, capsys):
+        """The CLI surface of the determinism contract: any --workers
+        value produces the identical campaign summary."""
+        serial = tmp_path / "serial.json"
+        pooled = tmp_path / "pooled.json"
+        main(["fleet", "--hours", "90", "--seed", "5", "--chunk-hours",
+              "30", "--workers", "1", "--json", str(serial)])
+        main(["fleet", "--hours", "90", "--seed", "5", "--chunk-hours",
+              "30", "--workers", "3", "--json", str(pooled)])
+        capsys.readouterr()
+        assert json.loads(serial.read_text()) == \
+            json.loads(pooled.read_text())
+
+    def test_progress_streams_to_stderr(self, capsys):
+        assert main(["fleet", "--hours", "60", "--seed", "1",
+                     "--chunk-hours", "20", "--workers", "1",
+                     "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err.count("chunk ") == 3
+        assert "chunk 3/3" in captured.err
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--policy", "bogus"])
+
+
+class TestDossierParallel:
+    def test_workers_flag_leaves_dossier_unchanged(self, tmp_path, capsys):
+        serial = tmp_path / "serial.txt"
+        pooled = tmp_path / "pooled.txt"
+        main(["dossier", "--hours", "200", "--seed", "2", "--workers", "1",
+              "--out", str(serial)])
+        main(["dossier", "--hours", "200", "--seed", "2", "--workers", "2",
+              "--out", str(pooled)])
+        capsys.readouterr()
+        assert serial.read_text() == pooled.read_text()

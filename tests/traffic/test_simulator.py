@@ -176,6 +176,59 @@ class TestIncidentPipeline:
             k: v for k, v in counts.items() if v > 0}
 
 
+class TestHourSplitting:
+    """Context weights that don't divide ``hours`` evenly must neither
+    drop nor double-count exposure (the Eq. 1 denominator)."""
+
+    def test_thirds_sum_back_exactly(self, generator):
+        mix = {"urban": 1 / 3, "suburban": 1 / 3, "rural": 1 / 3}
+        run = simulate_mix(nominal_policy(), generator, default_perception(),
+                           BrakingSystem(), mix, 1000.0,
+                           np.random.default_rng(3))
+        total = 0.0
+        for hours in run.context_hours.values():
+            total += hours
+        assert total == 1000.0  # bit-for-bit, not approx
+        assert run.hours == 1000.0
+
+    def test_sevenths_and_awkward_hours(self, generator):
+        mix = {"urban": 1 / 7, "suburban": 2 / 7, "rural": 4 / 7}
+        hours = 1234.567
+        run = simulate_mix(nominal_policy(), generator, default_perception(),
+                           BrakingSystem(), mix, hours,
+                           np.random.default_rng(5))
+        total = 0.0
+        for ctx_hours in run.context_hours.values():
+            total += ctx_hours
+        assert total == hours
+        assert all(h > 0 for h in run.context_hours.values())
+
+    def test_parts_track_weights(self, generator):
+        mix = {"urban": 0.6, "highway": 0.4}
+        run = simulate_mix(nominal_policy(), generator, default_perception(),
+                           BrakingSystem(), mix, 999.0,
+                           np.random.default_rng(7))
+        assert run.context_hours["urban"] == pytest.approx(599.4)
+        assert run.context_hours["highway"] == pytest.approx(399.6)
+
+    def test_single_context_gets_everything(self, generator):
+        run = simulate_mix(nominal_policy(), generator, default_perception(),
+                           BrakingSystem(), {"urban": 1.0}, 321.123,
+                           np.random.default_rng(9))
+        assert run.context_hours == {"urban": 321.123}
+
+    def test_zero_weight_context_excluded(self, generator):
+        mix = {"urban": 0.5, "suburban": 0.5, "highway": 0.0}
+        run = simulate_mix(nominal_policy(), generator, default_perception(),
+                           BrakingSystem(), mix, 100.0,
+                           np.random.default_rng(11))
+        assert "highway" not in run.context_hours
+        total = 0.0
+        for hours in run.context_hours.values():
+            total += hours
+        assert total == 100.0
+
+
 class TestConfig:
     def test_invalid_config(self):
         with pytest.raises(ValueError):
