@@ -13,10 +13,12 @@ Python:
   automated confirmation review (exit 1 on blockers);
 * ``repro dossier [--hours H] [--seed S] [--out PATH]`` — run a simulated
   campaign and emit the full safety-case dossier;
-* ``repro fleet [--hours H] [--seed S] [--workers N] [--chunk-hours C]``
-  — run a parallel fleet campaign and report the incident statistics
-  backing Eq. 1.  Results are bit-for-bit identical for any worker
-  count (see DESIGN.md, "Parallel fleet execution").
+* ``repro fleet [--hours H] [--seed S] [--workers N] [--chunk-hours C]
+  [--engine E]`` — run a parallel fleet campaign and report the incident
+  statistics backing Eq. 1.  Results are bit-for-bit identical for any
+  worker count (see DESIGN.md, "Parallel fleet execution"); ``--engine``
+  picks the per-core path (vectorized structure-of-arrays by default,
+  scalar as the reference oracle).
 
 The module is import-safe (no work at import time) and `main` takes an
 argv list, so tests drive it directly.
@@ -118,6 +120,11 @@ def _add_parallel_flags(sub_parser: argparse.ArgumentParser) -> None:
         "--chunk-hours", type=float, default=None,
         help="hours per shard handed to one worker (default: 250; part "
              "of the RNG layout, so changing it changes the draws)")
+    sub_parser.add_argument(
+        "--engine", choices=["vectorized", "scalar"], default="vectorized",
+        help="encounter engine: 'vectorized' (structure-of-arrays hot "
+             "path, default) or 'scalar' (the reference oracle; also part "
+             "of the RNG layout, so the engines' draws differ)")
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -208,7 +215,7 @@ _DEFAULT_MIX = {"urban": 0.5, "suburban": 0.2, "rural": 0.2, "highway": 0.1}
 
 def _run_campaign(policy, hours: float, seed: int,
                   workers: Optional[int], chunk_hours: Optional[float],
-                  progress=None):
+                  engine: str = "vectorized", progress=None):
     """One fleet campaign over the default world and context mix."""
     from repro.traffic import (DEFAULT_CHUNK_HOURS, BrakingSystem,
                                EncounterGenerator, default_context_profiles,
@@ -220,7 +227,7 @@ def _run_campaign(policy, hours: float, seed: int,
         hours, seed, workers=workers,
         chunk_hours=DEFAULT_CHUNK_HOURS if chunk_hours is None
         else chunk_hours,
-        progress=progress)
+        engine=engine, progress=progress)
 
 
 def _cmd_dossier(args: argparse.Namespace) -> int:
@@ -236,7 +243,7 @@ def _cmd_dossier(args: argparse.Namespace) -> int:
     goals = derive_safety_goals(allocation, taxonomy=figure4_taxonomy())
 
     campaign = _run_campaign(cautious_policy(), args.hours, args.seed,
-                             args.workers, args.chunk_hours)
+                             args.workers, args.chunk_hours, args.engine)
     counts, _ = type_counts(campaign, types)
     report = verify_against_counts(goals, counts, campaign.hours)
     text = build_dossier(goals, report)
@@ -265,7 +272,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
               file=sys.stderr)
 
     campaign = _run_campaign(policy, args.hours, args.seed, args.workers,
-                             args.chunk_hours,
+                             args.chunk_hours, args.engine,
                              progress=show_progress if args.progress else None)
     types = list(figure5_incident_types())
     counts, unclassified = type_counts(campaign, types)
@@ -275,6 +282,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         "policy": campaign.policy_name,
         "hours": campaign.hours,
         "seed": args.seed,
+        "engine": args.engine,
         "context_hours": dict(campaign.context_hours),
         "encounters_resolved": campaign.encounters_resolved,
         "incidents": len(campaign.records),
@@ -287,7 +295,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         "unclassified": unclassified,
     }
     print(f"FLEET CAMPAIGN — policy {campaign.policy_name!r}, "
-          f"{campaign.hours:g} h, seed {args.seed}")
+          f"{campaign.hours:g} h, seed {args.seed}, engine {args.engine}")
     print(f"  encounters resolved:   {campaign.encounters_resolved}")
     print(f"  incidents recorded:    {len(campaign.records)} "
           f"({collisions} collisions, {near_misses} near-misses)")

@@ -151,10 +151,20 @@ def run_until_precision(simulate: Callable[[np.random.Generator], float],
     if min_replications < 2:
         raise ValueError("min_replications must be >= 2")
     acc = BatchMeans()
-    generators = spawn_generators(seed, max_replications)
+    # Generators are minted lazily, one goal-doubling at a time:
+    # ``SeedSequence.spawn`` continues its child counter across calls, so
+    # incremental spawning yields exactly the same streams as spawning
+    # all ``max_replications`` up front (the prefix-stability property
+    # tests.stats.test_montecarlo pins) — but an early stop at, say, 16
+    # replications no longer pays for 100 000 generator constructions.
+    seq = np.random.SeedSequence(seed)
+    generators: List[np.random.Generator] = []
     index = 0
-    goal = min_replications
+    goal = min(min_replications, max_replications)
     while index < max_replications:
+        if goal > len(generators):
+            generators.extend(np.random.default_rng(child)
+                              for child in seq.spawn(goal - len(generators)))
         while index < goal:
             acc.add(float(simulate(generators[index])))
             index += 1

@@ -9,11 +9,15 @@ including degraded braking from :mod:`.faults`), and the simulator
 QRN inputs: per-type rates and empirical contribution splits.
 """
 
-from .dynamics import (KMH_PER_MS, BrakingOutcome, impact_speed, kmh_to_ms,
-                       ms_to_kmh, required_deceleration, resolve_braking,
-                       stopping_distance)
-from .encounters import (ContextProfile, Encounter, EncounterGenerator,
-                         default_context_profiles)
+from .dynamics import (KMH_PER_MS, BrakingArrays, BrakingOutcome,
+                       impact_speed, impact_speed_array, kmh_to_ms,
+                       ms_to_kmh, required_deceleration,
+                       required_deceleration_array, resolve_braking,
+                       resolve_braking_arrays, stopping_distance,
+                       stopping_distance_array)
+from .encounters import (ContextProfile, Encounter, EncounterBatch,
+                         EncounterGenerator, default_context_profiles)
+from .engine import resolve_batch, simulate_vectorized
 from .faults import BrakingSystem
 from .incidents import (TypeRates, empirical_splits, estimate_type_rates,
                         type_counts)
@@ -27,13 +31,16 @@ from .scenarios import (AnimalRunOut, CrossingPedestrian, CutIn,
                         ScenarioSuite, incident_rate_contributions,
                         run_scenario)
 from .fleet import DEFAULT_CHUNK_HOURS, FleetProgress, run_fleet
-from .simulator import (SimulationConfig, SimulationResult, simulate,
-                        simulate_mix)
+from .simulator import (ENGINES, SimulationConfig, SimulationResult,
+                        simulate, simulate_mix)
 
 __all__ = [
     "KMH_PER_MS", "kmh_to_ms", "ms_to_kmh", "stopping_distance",
     "required_deceleration", "impact_speed", "BrakingOutcome",
     "resolve_braking",
+    "stopping_distance_array", "required_deceleration_array",
+    "impact_speed_array", "BrakingArrays", "resolve_braking_arrays",
+    "EncounterBatch", "resolve_batch", "simulate_vectorized", "ENGINES",
     "TacticalPolicy", "cautious_policy", "nominal_policy",
     "aggressive_policy",
     "PerceptionModel", "default_perception", "degraded_perception",

@@ -15,6 +15,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = [
     "KMH_PER_MS",
     "kmh_to_ms",
@@ -24,6 +26,11 @@ __all__ = [
     "impact_speed",
     "BrakingOutcome",
     "resolve_braking",
+    "stopping_distance_array",
+    "required_deceleration_array",
+    "impact_speed_array",
+    "BrakingArrays",
+    "resolve_braking_arrays",
 ]
 
 KMH_PER_MS = 3.6
@@ -153,6 +160,137 @@ def resolve_braking(speed_ms: float, distance_m: float,
     return BrakingOutcome(
         impact_speed_ms=0.0,
         stop_margin_m=max(margin, 0.0),
+        peak_deceleration=used,
+        demanded_deceleration=demanded,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Array-valued counterparts (the vectorized encounter engine's hot path).
+#
+# Each *_array function computes, operation for operation, the same IEEE
+# arithmetic as its scalar sibling above — ``a ** 2 / (2.0 * b)`` stays
+# ``a ** 2 / (2.0 * b)`` — so a size-1 array resolves bit-for-bit like the
+# scalar path.  Degenerate elements (consumed roll-out, zero speed) are
+# handled with masks instead of branches: divisions run only ``where`` the
+# denominator is safe, so no inf/NaN ever leaks out of an intermediate and
+# no floating-point warnings fire.
+# ---------------------------------------------------------------------------
+
+
+def _validate_common_arrays(speed_ms: np.ndarray,
+                            reaction_time_s: float) -> None:
+    if speed_ms.size and np.any(speed_ms < 0):
+        raise ValueError("speed must be >= 0")
+    if reaction_time_s < 0:
+        raise ValueError("reaction time must be >= 0")
+
+
+def stopping_distance_array(speed_ms: np.ndarray, deceleration: np.ndarray,
+                            reaction_time_s: float = 0.0) -> np.ndarray:
+    """Vectorized :func:`stopping_distance` (elementwise deceleration)."""
+    speed_ms = np.asarray(speed_ms, dtype=float)
+    deceleration = np.asarray(deceleration, dtype=float)
+    _validate_common_arrays(speed_ms, reaction_time_s)
+    if deceleration.size and np.any(deceleration <= 0):
+        raise ValueError("deceleration must be positive")
+    return speed_ms * reaction_time_s + speed_ms ** 2 / (2.0 * deceleration)
+
+
+def required_deceleration_array(speed_ms: np.ndarray, distance_m: np.ndarray,
+                                reaction_time_s: float = 0.0) -> np.ndarray:
+    """Vectorized :func:`required_deceleration`.
+
+    ``inf`` where the reaction roll-out alone consumes the distance, 0 for
+    zero speed — exactly the scalar semantics, but computed with masked
+    division so no warning-generating intermediate is ever formed.
+    """
+    speed_ms = np.asarray(speed_ms, dtype=float)
+    distance_m = np.asarray(distance_m, dtype=float)
+    _validate_common_arrays(speed_ms, reaction_time_s)
+    if distance_m.size and np.any(distance_m < 0):
+        raise ValueError("distance must be >= 0")
+    braking_distance = distance_m - speed_ms * reaction_time_s
+    feasible = braking_distance > 0.0
+    demanded = np.divide(speed_ms ** 2, 2.0 * braking_distance,
+                         out=np.full(np.broadcast(speed_ms, distance_m).shape,
+                                     np.inf),
+                         where=feasible)
+    return np.where(speed_ms == 0.0, 0.0, demanded)
+
+
+def impact_speed_array(speed_ms: np.ndarray, deceleration: np.ndarray,
+                       distance_m: np.ndarray,
+                       reaction_time_s: float = 0.0) -> np.ndarray:
+    """Vectorized :func:`impact_speed` (elementwise deceleration)."""
+    speed_ms = np.asarray(speed_ms, dtype=float)
+    deceleration = np.asarray(deceleration, dtype=float)
+    distance_m = np.asarray(distance_m, dtype=float)
+    _validate_common_arrays(speed_ms, reaction_time_s)
+    if deceleration.size and np.any(deceleration <= 0):
+        raise ValueError("deceleration must be positive")
+    if distance_m.size and np.any(distance_m < 0):
+        raise ValueError("distance must be >= 0")
+    braking_distance = distance_m - speed_ms * reaction_time_s
+    residual_sq = speed_ms ** 2 - 2.0 * deceleration * braking_distance
+    residual = np.sqrt(np.maximum(residual_sq, 0.0))
+    return np.where(braking_distance <= 0.0, speed_ms,
+                    np.where(residual_sq <= 0.0, 0.0, residual))
+
+
+@dataclass(frozen=True)
+class BrakingArrays:
+    """Structure-of-arrays resolution of a batch of braking episodes.
+
+    Field-for-field the array analogue of :class:`BrakingOutcome`; the
+    ``collided`` mask replaces the scalar property.
+    """
+
+    impact_speed_ms: np.ndarray
+    stop_margin_m: np.ndarray
+    peak_deceleration: np.ndarray
+    demanded_deceleration: np.ndarray
+
+    @property
+    def collided(self) -> np.ndarray:
+        return self.impact_speed_ms > 0.0
+
+
+def resolve_braking_arrays(speed_ms: np.ndarray, distance_m: np.ndarray,
+                           comfort_deceleration: np.ndarray,
+                           max_deceleration: np.ndarray,
+                           reaction_time_s: float) -> BrakingArrays:
+    """Vectorized :func:`resolve_braking` over a batch of episodes.
+
+    ``comfort_deceleration`` / ``max_deceleration`` are elementwise (the
+    simulator feeds per-encounter sampled capabilities).  The two-stage
+    escalation — comfort when it suffices, full capability otherwise — is
+    a ``where`` over the demanded deceleration; stop margins are computed
+    for every element and masked to 0 on the collided ones, matching the
+    scalar path value for value.
+    """
+    speed_ms = np.asarray(speed_ms, dtype=float)
+    distance_m = np.asarray(distance_m, dtype=float)
+    comfort_deceleration = np.asarray(comfort_deceleration, dtype=float)
+    max_deceleration = np.asarray(max_deceleration, dtype=float)
+    if comfort_deceleration.size and np.any(comfort_deceleration <= 0) or \
+            max_deceleration.size and np.any(max_deceleration <= 0):
+        raise ValueError("decelerations must be positive")
+    if comfort_deceleration.size and \
+            np.any(comfort_deceleration > max_deceleration):
+        raise ValueError("comfort deceleration exceeds capability")
+    demanded = required_deceleration_array(speed_ms, distance_m,
+                                           reaction_time_s)
+    used = np.where(demanded <= comfort_deceleration,
+                    comfort_deceleration, max_deceleration)
+    speed_at_obstacle = impact_speed_array(speed_ms, used, distance_m,
+                                           reaction_time_s)
+    collided = speed_at_obstacle > 0.0
+    margin = distance_m - stopping_distance_array(speed_ms, used,
+                                                  reaction_time_s)
+    return BrakingArrays(
+        impact_speed_ms=speed_at_obstacle,
+        stop_margin_m=np.where(collided, 0.0, np.maximum(margin, 0.0)),
         peak_deceleration=used,
         demanded_deceleration=demanded,
     )

@@ -22,8 +22,8 @@ import numpy as np
 
 from ..core.taxonomy import ActorClass
 
-__all__ = ["Encounter", "ContextProfile", "EncounterGenerator",
-           "default_context_profiles"]
+__all__ = ["Encounter", "EncounterBatch", "ContextProfile",
+           "EncounterGenerator", "default_context_profiles"]
 
 
 @dataclass(frozen=True)
@@ -54,6 +54,78 @@ class Encounter:
             raise ValueError("counterpart speed must be >= 0")
         if self.time_h < 0:
             raise ValueError("time stamp must be >= 0")
+
+
+@dataclass(frozen=True)
+class EncounterBatch:
+    """Structure-of-arrays form of all encounters of one (context, class).
+
+    The vectorized engine's native format: parallel arrays over the
+    encounters of a single counterpart class in one context, in arrival
+    order.  ``cue_available`` is boolean; the rest are float arrays.  The
+    class and context stay scalar because every encounter in the batch
+    shares them — exactly the grouping the per-(context × class) RNG
+    sub-stream layout works in.
+    """
+
+    counterpart: ActorClass
+    context: str
+    time_h: np.ndarray
+    sight_distance_m: np.ndarray
+    counterpart_speed_kmh: np.ndarray
+    cue_available: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.counterpart is ActorClass.EGO:
+            raise ValueError("ego cannot encounter itself")
+        n = self.time_h.shape[0]
+        for name in ("sight_distance_m", "counterpart_speed_kmh",
+                     "cue_available"):
+            if getattr(self, name).shape != (n,):
+                raise ValueError(
+                    f"batch arrays must share one length; {name} has shape "
+                    f"{getattr(self, name).shape}, expected ({n},)")
+        if n:
+            if np.any(self.sight_distance_m <= 0):
+                raise ValueError("sight distance must be positive")
+            if np.any(self.counterpart_speed_kmh < 0):
+                raise ValueError("counterpart speed must be >= 0")
+            if np.any(self.time_h < 0):
+                raise ValueError("time stamp must be >= 0")
+
+    def __len__(self) -> int:
+        return int(self.time_h.shape[0])
+
+    def to_encounters(self) -> List[Encounter]:
+        """Materialise scalar :class:`Encounter` objects (tests/debugging)."""
+        return [Encounter(counterpart=self.counterpart, context=self.context,
+                          sight_distance_m=float(self.sight_distance_m[i]),
+                          counterpart_speed_kmh=float(
+                              self.counterpart_speed_kmh[i]),
+                          cue_available=bool(self.cue_available[i]),
+                          time_h=float(self.time_h[i]))
+                for i in range(len(self))]
+
+    @classmethod
+    def from_encounters(cls, encounters: List[Encounter]) -> "EncounterBatch":
+        """Pack scalar encounters (one class, one context) into arrays."""
+        if not encounters:
+            raise ValueError("cannot infer class/context from an empty list")
+        first = encounters[0]
+        if any(e.counterpart is not first.counterpart
+               or e.context != first.context for e in encounters):
+            raise ValueError("a batch holds one (context, class) group")
+        return cls(
+            counterpart=first.counterpart,
+            context=first.context,
+            time_h=np.array([e.time_h for e in encounters]),
+            sight_distance_m=np.array([e.sight_distance_m
+                                       for e in encounters]),
+            counterpart_speed_kmh=np.array([e.counterpart_speed_kmh
+                                            for e in encounters]),
+            cue_available=np.array([e.cue_available for e in encounters],
+                                   dtype=bool),
+        )
 
 
 @dataclass(frozen=True)
@@ -159,6 +231,65 @@ class EncounterGenerator:
                 ))
         encounters.sort(key=lambda e: e.time_h)
         return encounters
+
+    def active_classes(self, context: str) -> Tuple[ActorClass, ...]:
+        """Counterpart classes with a positive rate, in canonical order.
+
+        The canonical order — sorted by class name — is part of the
+        vectorized engine's RNG contract: the k-th active class of a
+        context always owns the k-th spawned sub-stream, independent of
+        the insertion order of the profile's rate mapping.  Zero-rate
+        classes own no stream, so adding one to a profile never shifts
+        the draws of the others.
+        """
+        profile = self.profile(context)
+        return tuple(sorted(
+            (c for c, rate in profile.encounter_rates.items() if rate > 0.0),
+            key=lambda c: c.name))
+
+    def sample_class_batch(self, context: str, counterpart: ActorClass,
+                           hours: float, cue_probability: float,
+                           rng: np.random.Generator) -> EncounterBatch:
+        """Sample one (context, class) group as a structure of arrays.
+
+        Whole-array draw order on ``rng`` (the class's own sub-stream —
+        documented in DESIGN §6, and fixed so results never depend on any
+        internal batching): Poisson count, arrival times, sight
+        distances, counterpart speeds, cue uniforms.  A zero count stops
+        after the Poisson draw, mirroring the scalar generator.
+        """
+        if hours <= 0 or not math.isfinite(hours):
+            raise ValueError(f"hours must be positive and finite, got {hours}")
+        if not (0.0 <= cue_probability <= 1.0):
+            raise ValueError("cue probability must be in [0, 1]")
+        profile = self.profile(context)
+        try:
+            rate = profile.encounter_rates[counterpart]
+        except KeyError:
+            raise KeyError(
+                f"context {context!r} has no rate for {counterpart}") from None
+        empty = EncounterBatch(
+            counterpart=counterpart, context=context,
+            time_h=np.empty(0), sight_distance_m=np.empty(0),
+            counterpart_speed_kmh=np.empty(0),
+            cue_available=np.empty(0, dtype=bool))
+        if rate == 0.0:
+            return empty
+        count = int(rng.poisson(rate * hours))
+        if count == 0:
+            return empty
+        times = np.sort(rng.uniform(0.0, hours, size=count))
+        mean_d, std_d = profile.sight_distance_m[counterpart]
+        mean_v, std_v = profile.counterpart_speed_kmh[counterpart]
+        sigma = math.sqrt(math.log(1.0 + (std_d / mean_d) ** 2))
+        mu = math.log(mean_d) - sigma ** 2 / 2.0
+        distances = np.maximum(rng.lognormal(mu, sigma, size=count), 1.0)
+        speeds = np.maximum(rng.normal(mean_v, std_v, size=count), 0.0)
+        cues = rng.uniform(size=count) < cue_probability
+        return EncounterBatch(
+            counterpart=counterpart, context=context, time_h=times,
+            sight_distance_m=distances, counterpart_speed_kmh=speeds,
+            cue_available=cues)
 
 
 def default_context_profiles() -> Dict[str, ContextProfile]:

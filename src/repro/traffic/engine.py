@@ -1,0 +1,213 @@
+"""Vectorized structure-of-arrays encounter engine.
+
+The per-core hot path behind fleet-scale QRN verification.  The scalar
+simulator (:mod:`.simulator`) resolves encounters one Python object at a
+time — transparent, and kept as the reference oracle — but the sample
+sizes that quantitative acceptance criteria demand (cf. de Gelder &
+Op den Camp; Putze et al.) need the per-core path to be array code.  This
+engine batches every draw and every kinematic resolution per
+(context × counterpart class) group and only materialises
+:class:`~repro.core.incident.IncidentRecord` objects for the rare
+elements that actually become collisions, near-misses, or induced
+incidents.
+
+RNG sub-stream layout (the engine's determinism contract, also in
+DESIGN §6):
+
+* ``simulate(engine="vectorized")`` spawns **one child generator per
+  active counterpart class** of the context, in the canonical order of
+  :meth:`EncounterGenerator.active_classes` (sorted by class name).
+* On its own sub-stream, each class group draws, whole-array and in this
+  fixed order: Poisson count → arrival times → sight distances →
+  counterpart speeds → cue uniforms (generation,
+  :meth:`EncounterGenerator.sample_class_batch`); then capability
+  uniforms → perception miss uniforms → perception fraction normals
+  (resolution); then one follower uniform per hard-braking demand and
+  one distance + one speed uniform per induced incident.
+* Because every draw is whole-array on a private sub-stream, the results
+  are a pure function of ``(seed, context, hours, class set)`` — no
+  internal batching, chunking, or vector width can change them.
+
+The draw *order* necessarily differs from the scalar path (which
+interleaves classes by arrival time and skips draws branch-by-branch),
+so scalar and vectorized runs of one seed are statistically — not
+bitwise — equal; :mod:`tests.traffic.test_engine_equivalence` enforces
+both that statistical agreement and exact record-level agreement on
+single-encounter batches, where the layouts coincide.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.incident import IncidentRecord
+from ..core.taxonomy import ActorClass
+from .dynamics import kmh_to_ms, ms_to_kmh, resolve_braking_arrays
+from .encounters import EncounterBatch, EncounterGenerator
+from .faults import BrakingSystem
+from .perception import PerceptionModel
+from .policy import TacticalPolicy
+
+__all__ = ["resolve_batch", "simulate_vectorized", "CROSSING_CLASSES"]
+
+CROSSING_CLASSES = frozenset({ActorClass.VRU, ActorClass.ANIMAL,
+                              ActorClass.STATIC_OBJECT})
+"""Classes that block the ego's path: the closing speed is the ego's own
+speed.  Same-direction traffic closes at the speed difference."""
+
+
+def resolve_batch(batch: EncounterBatch, policy: TacticalPolicy,
+                  perception: PerceptionModel, braking: BrakingSystem,
+                  config: "SimulationConfig",
+                  rng: np.random.Generator,
+                  time_offset_h: float = 0.0,
+                  ) -> Tuple[List[IncidentRecord], int]:
+    """Resolve one (context, class) batch; returns (records, hard demands).
+
+    ``rng`` is the batch's own sub-stream, already advanced past the
+    generation draws; this function performs the resolution draws in the
+    documented order (capabilities, perception, follower) and then pure
+    array math.  Records come back unsorted (the caller canonicalises).
+    """
+    n = len(batch)
+    if n == 0:
+        return [], 0
+    context = batch.context
+
+    # Resolution draws — whole-array, fixed order.
+    actual_capability = braking.sample_capability_array(rng, n)
+    detection = perception.detection_distance_array(
+        batch.sight_distance_m, context, rng)
+
+    known_capability = braking.known_capability_array(actual_capability)
+    ego_speed = policy.encounter_speed_ms_array(
+        context, batch.cue_available, batch.sight_distance_m,
+        known_capability, braking.nominal_ms2)
+    if batch.counterpart in CROSSING_CLASSES:
+        closing = ego_speed
+    else:
+        closing = np.maximum(
+            ego_speed - kmh_to_ms(batch.counterpart_speed_kmh), 0.0)
+    active = closing > 0.0
+
+    comfort = np.minimum(policy.comfort_braking_ms2, actual_capability)
+    outcome = resolve_braking_arrays(
+        speed_ms=closing,
+        distance_m=detection,
+        comfort_deceleration=comfort,
+        max_deceleration=actual_capability,
+        reaction_time_s=policy.reaction_time_s,
+    )
+    # demanded > threshold covers the scalar path's isinf clause: an
+    # infinite demand compares greater than any finite threshold.
+    hard = active & (outcome.demanded_deceleration
+                     > config.hard_braking_threshold_ms2)
+    collided = active & outcome.collided
+    closing_kmh = ms_to_kmh(closing)
+    near_miss = (active & ~outcome.collided
+                 & (outcome.stop_margin_m < config.near_miss_distance_m)
+                 & (closing_kmh > config.near_miss_speed_kmh))
+
+    records: List[IncidentRecord] = []
+    times = batch.time_h + time_offset_h
+
+    for i in np.flatnonzero(collided):
+        records.append(IncidentRecord(
+            counterpart=batch.counterpart,
+            is_collision=True,
+            delta_v_kmh=float(ms_to_kmh(outcome.impact_speed_ms[i])),
+            min_distance_m=0.0,
+            approach_speed_kmh=float(closing_kmh[i]),
+            time_h=float(times[i]),
+            context=context,
+        ))
+    min_distances = np.maximum(outcome.stop_margin_m, 1e-3)
+    for i in np.flatnonzero(near_miss):
+        records.append(IncidentRecord(
+            counterpart=batch.counterpart,
+            is_collision=False,
+            delta_v_kmh=0.0,
+            min_distance_m=float(min_distances[i]),
+            approach_speed_kmh=float(closing_kmh[i]),
+            time_h=float(times[i]),
+            context=context,
+        ))
+
+    # Fig. 4's lower half: a hard ego stop with a close follower induces
+    # an incident between third parties.  One uniform per hard demand,
+    # then one distance and one speed uniform per induced incident.
+    hard_indices = np.flatnonzero(hard)
+    n_hard = int(hard_indices.size)
+    if n_hard:
+        follower = rng.uniform(size=n_hard) \
+            < config.follower_presence_probability
+        induced_indices = hard_indices[follower]
+        n_induced = int(induced_indices.size)
+        induced_distance = rng.uniform(0.3, 4.0, size=n_induced)
+        induced_speed = rng.uniform(10.0, 60.0, size=n_induced)
+        for k, i in enumerate(induced_indices):
+            records.append(IncidentRecord(
+                counterpart=ActorClass.CAR,
+                is_collision=False,
+                min_distance_m=float(induced_distance[k]),
+                approach_speed_kmh=float(induced_speed[k]),
+                time_h=float(times[i]),
+                context=context,
+                induced=True,
+            ))
+    return records, n_hard
+
+
+def simulate_vectorized(policy: TacticalPolicy,
+                        generator: EncounterGenerator,
+                        perception: PerceptionModel,
+                        braking: BrakingSystem,
+                        context: str,
+                        hours: float,
+                        rng: np.random.Generator,
+                        config: Optional["SimulationConfig"] = None,
+                        *,
+                        time_offset_h: float = 0.0) -> "SimulationResult":
+    """Vectorized :func:`~repro.traffic.simulator.simulate`.
+
+    Statistically interchangeable with the scalar engine but with a
+    different, documented RNG layout (module docstring) — use one engine
+    consistently within a campaign.  Records are returned in canonical
+    sorted order.
+    """
+    from .simulator import (SimulationConfig, SimulationResult,
+                            _record_sort_key)
+    if config is None:
+        config = SimulationConfig()
+    if time_offset_h < 0 or not math.isfinite(time_offset_h):
+        raise ValueError(
+            f"time offset must be finite and >= 0, got {time_offset_h}")
+    if hours <= 0 or not math.isfinite(hours):
+        raise ValueError(f"hours must be positive and finite, got {hours}")
+    classes = generator.active_classes(context)
+    streams = rng.spawn(len(classes)) if classes else []
+    records: List[IncidentRecord] = []
+    encounters_resolved = 0
+    hard_demands = 0
+    for counterpart, stream in zip(classes, streams):
+        batch = generator.sample_class_batch(
+            context, counterpart, hours, policy.cue_probability, stream)
+        encounters_resolved += len(batch)
+        class_records, n_hard = resolve_batch(
+            batch, policy, perception, braking, config, stream,
+            time_offset_h)
+        records.extend(class_records)
+        hard_demands += n_hard
+    records.sort(key=_record_sort_key)
+    return SimulationResult(
+        policy_name=policy.name,
+        hours=hours,
+        context_hours={context: hours},
+        records=records,
+        encounters_resolved=encounters_resolved,
+        hard_braking_demands=hard_demands,
+        hard_braking_threshold_ms2=config.hard_braking_threshold_ms2,
+    )

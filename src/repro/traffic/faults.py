@@ -51,6 +51,29 @@ class BrakingSystem:
             return self.degraded_ms2
         return self.nominal_ms2
 
+    def sample_capability_array(self, rng: np.random.Generator,
+                                size: int) -> np.ndarray:
+        """Actual peak decelerations for a batch of encounters.
+
+        One uniform per encounter, compared against the degradation
+        occupancy — the whole-array analogue of
+        :meth:`sample_capability`, and the first resolution draw in the
+        vectorized engine's per-(context, class) stream layout.
+        """
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        degraded = rng.uniform(size=size) < self.degradation_occupancy
+        return np.where(degraded, self.degraded_ms2, self.nominal_ms2)
+
+    def known_capability_array(self, actual_ms2: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`known_capability`."""
+        actual_ms2 = np.asarray(actual_ms2, dtype=float)
+        if actual_ms2.size and np.any(actual_ms2 <= 0):
+            raise ValueError("actual capability must be positive")
+        if self.reports_capability:
+            return actual_ms2
+        return np.full_like(actual_ms2, self.nominal_ms2)
+
     def known_capability(self, actual_ms2: float) -> float:
         """What the tactical layer believes the capability to be.
 

@@ -37,7 +37,8 @@ from .encounters import EncounterGenerator
 from .faults import BrakingSystem
 from .perception import PerceptionModel
 from .policy import TacticalPolicy
-from .simulator import SimulationConfig, SimulationResult, simulate_mix
+from .simulator import (SimulationConfig, SimulationResult, _check_engine,
+                        simulate_mix)
 
 __all__ = ["FleetProgress", "run_fleet", "DEFAULT_CHUNK_HOURS"]
 
@@ -80,6 +81,7 @@ class _ChunkTask:
     braking: BrakingSystem
     mix: Dict[str, float]
     config: Optional[SimulationConfig]
+    engine: str = "scalar"
 
 
 def _simulate_chunk(task: _ChunkTask, chunk: Chunk,
@@ -93,7 +95,8 @@ def _simulate_chunk(task: _ChunkTask, chunk: Chunk,
     rng = np.random.default_rng(seed_seq)
     return simulate_mix(task.policy, task.generator, task.perception,
                         task.braking, task.mix, chunk.size, rng,
-                        task.config, time_offset_h=chunk.start)
+                        task.config, time_offset_h=chunk.start,
+                        engine=task.engine)
 
 
 def run_fleet(policy: TacticalPolicy,
@@ -108,6 +111,7 @@ def run_fleet(policy: TacticalPolicy,
               chunk_hours: float = DEFAULT_CHUNK_HOURS,
               config: Optional[SimulationConfig] = None,
               progress: Optional[Callable[[FleetProgress], None]] = None,
+              engine: str = "vectorized",
               ) -> SimulationResult:
     """Run a fleet campaign of ``hours`` sharded across a worker pool.
 
@@ -122,11 +126,20 @@ def run_fleet(policy: TacticalPolicy,
     ``hours`` and ``chunk_hours``.  Note the chunk size *is* part of the
     RNG layout: changing ``chunk_hours`` legitimately changes the draws
     (but never the statistics' distribution).
+
+    ``engine`` selects the per-core resolution path and defaults to
+    ``"vectorized"`` — the structure-of-arrays hot path, so the two
+    optimisations (parallelism × vectorization) multiply.  The engine is
+    part of the RNG layout (its per-(context × class) sub-streams differ
+    from the scalar draw order), so switching engines changes the draws;
+    the worker-count determinism contract holds identically for both.
+    Pass ``engine="scalar"`` to reproduce pre-engine campaign pins.
     """
+    _check_engine(engine)
     chunks = plan_chunks(hours, chunk_hours)
     task = _ChunkTask(policy=policy, generator=generator,
                       perception=perception, braking=braking,
-                      mix=dict(mix), config=config)
+                      mix=dict(mix), config=config, engine=engine)
 
     adapter: Optional[Callable[[ChunkProgress], None]] = None
     if progress is not None:

@@ -16,7 +16,7 @@ shapes that matter to the QRN arguments:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping
 
 import numpy as np
@@ -44,7 +44,7 @@ class PerceptionModel:
     fraction_std: float = 0.08
     miss_probability: float = 1e-3
     late_fraction: float = 0.25
-    context_factors: Mapping[str, float] = None  # type: ignore[assignment]
+    context_factors: Mapping[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not (0.0 < self.nominal_fraction <= 1.0):
@@ -55,8 +55,6 @@ class PerceptionModel:
             raise ValueError("miss probability must be in [0, 1]")
         if not (0.0 < self.late_fraction <= 1.0):
             raise ValueError("late fraction must be in (0, 1]")
-        if self.context_factors is None:
-            object.__setattr__(self, "context_factors", {})
         for context, factor in self.context_factors.items():
             if factor <= 0 or factor > 1.0:
                 raise ValueError(
@@ -79,6 +77,33 @@ class PerceptionModel:
             fraction = rng.normal(self.nominal_fraction * factor,
                                   self.fraction_std)
         fraction = min(max(fraction, 0.01), 1.0)
+        return sight_distance_m * fraction
+
+    def detection_distance_array(self, sight_distance_m: np.ndarray,
+                                 context: str,
+                                 rng: np.random.Generator) -> np.ndarray:
+        """Vectorized :meth:`detection_distance` over a batch of encounters.
+
+        Draw layout (part of the vectorized engine's documented RNG
+        contract, see DESIGN §6): one uniform per encounter (the miss
+        test) followed by one normal per encounter (the nominal
+        fraction).  Unlike the scalar path — which skips the normal on a
+        miss — the normal is drawn for *every* element so the layout is a
+        pure function of the batch length; the unused draws are
+        independent of everything they are ``where``-d out of, so the
+        outcome distribution is identical.  A size-1 batch yields the
+        scalar value bit-for-bit on the non-miss branch.
+        """
+        sight_distance_m = np.asarray(sight_distance_m, dtype=float)
+        if sight_distance_m.size and np.any(sight_distance_m <= 0):
+            raise ValueError("sight distance must be positive")
+        factor = self.context_factors.get(context, 1.0)
+        n = sight_distance_m.shape[0] if sight_distance_m.ndim else 1
+        missed = rng.uniform(size=n) < self.miss_probability
+        nominal = rng.normal(self.nominal_fraction * factor,
+                             self.fraction_std, size=n)
+        fraction = np.where(missed, self.late_fraction * factor, nominal)
+        fraction = np.clip(fraction, 0.01, 1.0)
         return sight_distance_m * fraction
 
 

@@ -26,6 +26,8 @@ import math
 from dataclasses import dataclass, replace
 from typing import Dict, Mapping, Optional
 
+import numpy as np
+
 from .dynamics import kmh_to_ms
 
 __all__ = ["TacticalPolicy", "cautious_policy", "nominal_policy",
@@ -167,6 +169,66 @@ class TacticalPolicy:
                                    nominal_capability_ms2),
             self.sight_limited_speed_ms(sight_distance_m,
                                         braking_capability_ms2),
+        )
+
+    def approach_speed_ms_array(self, context: str, cued: np.ndarray,
+                                braking_capability_ms2: np.ndarray,
+                                nominal_capability_ms2: float) -> np.ndarray:
+        """Vectorized :meth:`approach_speed_ms` over a batch of encounters.
+
+        Same multiplication order as the scalar path (target × cue factor
+        × capability factor), so a size-1 batch reproduces the scalar
+        value bit-for-bit.
+        """
+        braking_capability_ms2 = np.asarray(braking_capability_ms2,
+                                            dtype=float)
+        if nominal_capability_ms2 <= 0 or \
+                (braking_capability_ms2.size
+                 and np.any(braking_capability_ms2 <= 0)):
+            raise ValueError("braking capabilities must be positive")
+        speed = np.full(braking_capability_ms2.shape,
+                        self.target_speed_ms(context))
+        speed = np.where(np.asarray(cued, dtype=bool),
+                         speed * (1.0 - self.proactive_slowdown), speed)
+        if self.capability_aware:
+            degraded = braking_capability_ms2 < nominal_capability_ms2
+            scale = np.where(
+                degraded,
+                np.sqrt(braking_capability_ms2 / nominal_capability_ms2),
+                1.0)
+            speed = np.where(degraded, speed * scale, speed)
+        return speed
+
+    def sight_limited_speed_ms_array(self, sight_distance_m: np.ndarray,
+                                     braking_capability_ms2: np.ndarray,
+                                     ) -> np.ndarray:
+        """Vectorized :meth:`sight_limited_speed_ms` (same quadratic root)."""
+        sight_distance_m = np.asarray(sight_distance_m, dtype=float)
+        braking_capability_ms2 = np.asarray(braking_capability_ms2,
+                                            dtype=float)
+        if sight_distance_m.size and np.any(sight_distance_m <= 0):
+            raise ValueError("sight distance must be positive")
+        if braking_capability_ms2.size and \
+                np.any(braking_capability_ms2 <= 0):
+            raise ValueError("braking capability must be positive")
+        decel = np.minimum(self.comfort_braking_ms2, braking_capability_ms2)
+        budgeted = self.sight_margin * sight_distance_m
+        t_r = self.reaction_time_s
+        return (-t_r * decel
+                + np.sqrt((t_r * decel) ** 2 + 2.0 * decel * budgeted))
+
+    def encounter_speed_ms_array(self, context: str, cued: np.ndarray,
+                                 sight_distance_m: np.ndarray,
+                                 braking_capability_ms2: np.ndarray,
+                                 nominal_capability_ms2: float) -> np.ndarray:
+        """Vectorized :meth:`encounter_speed_ms`: elementwise minimum of
+        the context/cue/capability speed and the sight-geometry limit."""
+        return np.minimum(
+            self.approach_speed_ms_array(context, cued,
+                                         braking_capability_ms2,
+                                         nominal_capability_ms2),
+            self.sight_limited_speed_ms_array(sight_distance_m,
+                                              braking_capability_ms2),
         )
 
     def with_proactivity(self, proactive_slowdown: float,

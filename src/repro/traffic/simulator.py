@@ -29,7 +29,20 @@ from .faults import BrakingSystem
 from .perception import PerceptionModel
 from .policy import TacticalPolicy
 
-__all__ = ["SimulationConfig", "SimulationResult", "simulate", "simulate_mix"]
+__all__ = ["SimulationConfig", "SimulationResult", "simulate",
+           "simulate_mix", "ENGINES"]
+
+ENGINES = ("scalar", "vectorized")
+"""Available encounter engines.  ``"scalar"`` resolves one encounter at
+a time (the reference oracle, and the original RNG layout the scalar
+goldens pin); ``"vectorized"`` is the structure-of-arrays hot path
+(:mod:`.engine`) with its own documented per-(context × class)
+sub-stream layout — statistically interchangeable, not bit-compatible."""
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
 
 
 def _record_sort_key(record: IncidentRecord) -> Tuple:
@@ -258,14 +271,26 @@ def simulate(policy: TacticalPolicy,
              rng: np.random.Generator,
              config: Optional[SimulationConfig] = None,
              *,
-             time_offset_h: float = 0.0) -> SimulationResult:
+             time_offset_h: float = 0.0,
+             engine: str = "scalar") -> SimulationResult:
     """Drive ``hours`` in one context and record incidents.
 
     ``time_offset_h`` places this run's records on a global fleet
     timeline (record stamps become ``offset + local time``); exposure
     bookkeeping (``hours``) is unaffected.  The parallel fleet runner
     uses it so chunk results can be pooled without re-stamping.
+
+    ``engine`` selects the resolution path (see :data:`ENGINES`).  The
+    two engines draw the same distributions through different RNG
+    layouts, so their runs agree statistically, not bit-for-bit —
+    :mod:`tests.traffic.test_engine_equivalence` pins both properties.
     """
+    _check_engine(engine)
+    if engine == "vectorized":
+        from .engine import simulate_vectorized
+        return simulate_vectorized(policy, generator, perception, braking,
+                                   context, hours, rng, config,
+                                   time_offset_h=time_offset_h)
     if config is None:
         config = SimulationConfig()
     if time_offset_h < 0 or not math.isfinite(time_offset_h):
@@ -342,7 +367,8 @@ def simulate_mix(policy: TacticalPolicy,
                  rng: np.random.Generator,
                  config: Optional[SimulationConfig] = None,
                  *,
-                 time_offset_h: float = 0.0) -> SimulationResult:
+                 time_offset_h: float = 0.0,
+                 engine: str = "scalar") -> SimulationResult:
     """Drive ``hours`` split across a context mix (weights sum to 1).
 
     Contexts are laid out back to back on one timeline (in sorted
@@ -350,7 +376,9 @@ def simulate_mix(policy: TacticalPolicy,
     sum back to ``hours`` bit-for-bit even for weights that don't divide
     it evenly (see :func:`_split_hours`).  ``time_offset_h`` shifts the
     whole run on a global fleet timeline, for chunked parallel execution.
+    ``engine`` selects the per-context resolution path (:data:`ENGINES`).
     """
+    _check_engine(engine)
     if not mix:
         raise ValueError("context mix must be non-empty")
     total = sum(mix.values())
@@ -367,7 +395,7 @@ def simulate_mix(policy: TacticalPolicy,
     for (context, _), ctx_hours in zip(contexts, part_hours):
         parts.append(simulate(policy, generator, perception, braking,
                               context, ctx_hours, rng, config,
-                              time_offset_h=offset))
+                              time_offset_h=offset, engine=engine))
         offset += ctx_hours
     # Construct directly (rather than via merge_many) so the result's
     # total is the *requested* hours bit-for-bit, not a re-summation.

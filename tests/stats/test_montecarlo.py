@@ -183,3 +183,39 @@ class TestRunUntilPrecision:
         with pytest.raises(ValueError):
             run_until_precision(lambda rng: 1.0, seed=1,
                                 target_relative_error=2.0)
+
+    def test_spawns_generators_lazily(self, monkeypatch):
+        """An early stop must not pay for max_replications generators.
+
+        The harness historically spawned all 100 000 children up front;
+        it now mints them one goal-doubling at a time, so a run that
+        stops at 16 replications spawns exactly 16 children.
+        """
+        minted = []
+        original = np.random.default_rng
+
+        def counting(*args, **kwargs):
+            minted.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(np.random, "default_rng", counting)
+        result = run_until_precision(lambda rng: rng.normal(10.0, 1e-3),
+                                     seed=4, target_relative_error=0.5,
+                                     min_replications=16,
+                                     max_replications=100_000)
+        assert result.replications == 16
+        assert sum(minted) == 16
+
+    def test_incremental_spawn_matches_eager_streams(self):
+        """Lazy minting must reproduce the eager streams bit-for-bit —
+        SeedSequence.spawn's child counter continues across calls, so the
+        k-th replication sees the same generator either way."""
+        draws = []
+        result = run_until_precision(lambda rng: draws.append(rng.uniform())
+                                     or draws[-1],
+                                     seed=11, target_relative_error=0.2,
+                                     min_replications=16,
+                                     max_replications=512)
+        eager = [g.uniform()
+                 for g in spawn_generators(11, result.replications)]
+        assert draws == eager

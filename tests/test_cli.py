@@ -155,6 +155,35 @@ class TestFleet:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--policy", "bogus"])
 
+    def test_engine_selection(self, tmp_path, capsys):
+        """--engine picks the resolution path; the two engines carry
+        different RNG layouts, so their summaries legitimately differ,
+        while each engine is deterministic under its own seed."""
+        paths = {}
+        for engine in ("scalar", "vectorized"):
+            for tag in ("a", "b"):
+                path = tmp_path / f"{engine}-{tag}.json"
+                paths[(engine, tag)] = path
+                assert main(["fleet", "--hours", "90", "--seed", "7",
+                             "--chunk-hours", "30", "--workers", "1",
+                             "--engine", engine, "--json",
+                             str(path)]) == 0
+        capsys.readouterr()
+        scalar = json.loads(paths[("scalar", "a")].read_text())
+        vector = json.loads(paths[("vectorized", "a")].read_text())
+        assert scalar["engine"] == "scalar"
+        assert vector["engine"] == "vectorized"
+        assert scalar.pop("engine") != vector.pop("engine")
+        assert scalar != vector  # different layouts → different draws
+        assert json.loads(paths[("scalar", "a")].read_text()) == \
+            json.loads(paths[("scalar", "b")].read_text())
+        assert json.loads(paths[("vectorized", "a")].read_text()) == \
+            json.loads(paths[("vectorized", "b")].read_text())
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--engine", "simd"])
+
 
 class TestDossierParallel:
     def test_workers_flag_leaves_dossier_unchanged(self, tmp_path, capsys):

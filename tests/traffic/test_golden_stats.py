@@ -11,6 +11,13 @@ loudly here instead of quietly shifting every downstream rate estimate.
 If a change *intends* to alter the RNG layout (e.g. a new seeding
 scheme), re-pin these values deliberately and say so in the commit —
 that is the point of a golden test.
+
+PR 2 exercised exactly that contingency: the vectorized encounter engine
+has its own documented per-(context × class) sub-stream layout, so the
+*default* ``run_fleet`` path (now ``engine="vectorized"``) carries new
+pins, while the scalar pins live on unchanged behind an explicit
+``engine="scalar"`` — the scalar RNG layout itself did not move.  The
+old→new fleet values are recorded in CHANGES.md.
 """
 
 from __future__ import annotations
@@ -34,13 +41,17 @@ def world():
     return EncounterGenerator(default_context_profiles())
 
 
-def _campaign(world, policy, seed):
+def _campaign(world, policy, seed, engine="scalar"):
     return simulate_mix(policy, world, default_perception(), BrakingSystem(),
-                        MIX, HOURS, np.random.default_rng(seed))
+                        MIX, HOURS, np.random.default_rng(seed),
+                        engine=engine)
 
 
 class TestGoldenSimulateMix:
-    """Two seeds, two policies — pinned record-level statistics."""
+    """Two seeds, two policies — pinned record-level statistics.
+
+    These pin the *scalar* engine (the default of ``simulate_mix`` and
+    the reference oracle); its RNG layout is unchanged since PR 1."""
 
     def test_seed_2020_nominal(self, world):
         run = _campaign(world, nominal_policy(), 2020)
@@ -72,13 +83,62 @@ class TestGoldenSimulateMix:
         assert a == b
 
 
-class TestGoldenFleet:
-    """Pin the chunked seeding scheme of run_fleet itself."""
+class TestGoldenVectorized:
+    """Pin the vectorized engine's per-(context × class) sub-stream
+    layout — same seeds and policies as the scalar pins above, so a
+    layout change in either engine is caught independently."""
 
-    def test_seed_2020_chunked(self, world):
+    def test_seed_2020_nominal(self, world):
+        run = _campaign(world, nominal_policy(), 2020, engine="vectorized")
+        assert run.encounters_resolved == 10910
+        assert len(run.records) == 169
+        assert len(run.collisions()) == 1
+        assert run.hard_braking_demands == 1
+        counts, unclassified = type_counts(run,
+                                           list(figure5_incident_types()))
+        assert counts == {"I1": 34, "I2": 0, "I3": 1}
+        assert unclassified == 134
+
+    def test_seed_777_aggressive(self, world):
+        run = _campaign(world, aggressive_policy(), 777, engine="vectorized")
+        assert run.encounters_resolved == 10933
+        assert len(run.records) == 1425
+        assert len(run.collisions()) == 180
+        assert run.hard_braking_demands == 2049
+        counts, unclassified = type_counts(run,
+                                           list(figure5_incident_types()))
+        assert counts == {"I1": 299, "I2": 74, "I3": 99}
+        assert unclassified == 953
+
+    def test_goldens_are_reproducible(self, world):
+        a = _campaign(world, nominal_policy(), 2020, engine="vectorized")
+        b = _campaign(world, nominal_policy(), 2020, engine="vectorized")
+        assert a == b
+
+
+class TestGoldenFleet:
+    """Pin the chunked seeding scheme of run_fleet itself.
+
+    ``run_fleet`` now defaults to the vectorized engine, whose sub-stream
+    layout differs from the scalar draw order — the default-path pins
+    were therefore re-pinned in PR 2 (old values: 5415 encounters / 83
+    records / 0 collisions / 0 hard demands).  The old pins survive
+    verbatim under an explicit ``engine="scalar"``."""
+
+    def test_seed_2020_chunked_vectorized_default(self, world):
         run = run_fleet(nominal_policy(), world, default_perception(),
                         BrakingSystem(), MIX, 500.0, 2020, workers=1,
                         chunk_hours=125.0)
+        assert run.encounters_resolved == 5403
+        assert len(run.records) == 85
+        assert len(run.collisions()) == 3
+        assert run.hard_braking_demands == 4
+        assert run.hours == 500.0
+
+    def test_seed_2020_chunked_scalar(self, world):
+        run = run_fleet(nominal_policy(), world, default_perception(),
+                        BrakingSystem(), MIX, 500.0, 2020, workers=1,
+                        chunk_hours=125.0, engine="scalar")
         assert run.encounters_resolved == 5415
         assert len(run.records) == 83
         assert len(run.collisions()) == 0
