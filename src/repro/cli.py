@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -105,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream per-chunk progress to stderr")
     fleet.add_argument("--json", type=Path, default=None,
                        help="also write the campaign summary as JSON here")
+    fleet.add_argument("--scale", type=float, default=1e4,
+                       help="norm relaxation factor for the telemetry "
+                            "budget-utilisation table (default 1e4, as "
+                            "for 'repro dossier')")
     _add_parallel_flags(fleet)
 
     return parser
@@ -125,6 +131,11 @@ def _add_parallel_flags(sub_parser: argparse.ArgumentParser) -> None:
         help="encounter engine: 'vectorized' (structure-of-arrays hot "
              "path, default) or 'scalar' (the reference oracle; also part "
              "of the RNG layout, so the engines' draws differ)")
+    sub_parser.add_argument(
+        "--telemetry", type=Path, default=None,
+        help="enable runtime telemetry and write the RunManifest JSON "
+             "(seed, versions, span tree, metrics, budget utilisation) "
+             "here; the simulated draws are bitwise unaffected")
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -230,23 +241,68 @@ def _run_campaign(policy, hours: float, seed: int,
         engine=engine, progress=progress)
 
 
-def _cmd_dossier(args: argparse.Namespace) -> int:
+def _scaled_goals(scale: float):
+    """The sim-scale goal set both simulation subcommands verify against."""
     from repro.core import (allocate_lp, derive_safety_goals, example_norm,
                             figure4_taxonomy, figure5_incident_types)
+
+    norm = example_norm().tightened(scale, name="sim-scale QRN")
+    types = list(figure5_incident_types())
+    allocation = allocate_lp(norm, types, objective="max-min")
+    return derive_safety_goals(allocation, taxonomy=figure4_taxonomy()), types
+
+
+def _campaign_telemetry(args: argparse.Namespace, session, campaign,
+                        goals, types, *, command: str, summary=None):
+    """Budget utilisation + manifest for one telemetry-enabled campaign.
+
+    Returns ``(snapshot, budget_report)`` and writes the
+    :class:`~repro.obs.manifest.RunManifest` to ``args.telemetry``.
+    """
+    from repro.obs import BudgetMonitor, build_manifest
+    from repro.stats import plan_chunks
+    from repro.traffic import DEFAULT_CHUNK_HOURS
+
+    snapshot = session.snapshot()
+    monitor = BudgetMonitor(goals)
+    monitor.observe_result(campaign, types)
+    budget_report = monitor.utilisation()
+    chunk_hours = (DEFAULT_CHUNK_HOURS if args.chunk_hours is None
+                   else args.chunk_hours)
+    manifest = build_manifest(
+        snapshot, command=command, seed=args.seed, engine=args.engine,
+        policy=campaign.policy_name, hours=args.hours, mix=_DEFAULT_MIX,
+        workers=args.workers, chunk_hours=chunk_hours,
+        n_chunks=len(plan_chunks(args.hours, chunk_hours)),
+        budget_report=budget_report, summary=summary)
+    manifest.write(args.telemetry)
+    print(f"telemetry manifest written to {args.telemetry}")
+    return snapshot, budget_report
+
+
+def _cmd_dossier(args: argparse.Namespace) -> int:
     from repro.core.verification import verify_against_counts
     from repro.reporting import build_dossier
     from repro.traffic import cautious_policy, type_counts
 
-    norm = example_norm().tightened(args.scale, name="sim-scale QRN")
-    types = list(figure5_incident_types())
-    allocation = allocate_lp(norm, types, objective="max-min")
-    goals = derive_safety_goals(allocation, taxonomy=figure4_taxonomy())
+    goals, types = _scaled_goals(args.scale)
 
-    campaign = _run_campaign(cautious_policy(), args.hours, args.seed,
-                             args.workers, args.chunk_hours, args.engine)
+    if args.telemetry is not None:
+        from repro.obs import telemetry_session
+        context = telemetry_session()
+    else:
+        context = nullcontext()
+    with context as session:
+        campaign = _run_campaign(cautious_policy(), args.hours, args.seed,
+                                 args.workers, args.chunk_hours, args.engine)
     counts, _ = type_counts(campaign, types)
     report = verify_against_counts(goals, counts, campaign.hours)
-    text = build_dossier(goals, report)
+    snapshot = budget_report = None
+    if session is not None:
+        snapshot, budget_report = _campaign_telemetry(
+            args, session, campaign, goals, types, command="repro dossier")
+    text = build_dossier(goals, report, telemetry=snapshot,
+                         budget_utilisation=budget_report)
     if args.out is not None:
         args.out.write_text(text + "\n")
         print(f"dossier written to {args.out}")
@@ -257,23 +313,40 @@ def _cmd_dossier(args: argparse.Namespace) -> int:
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.core import figure5_incident_types
+    from repro.obs import ThroughputMeter
     from repro.traffic import (aggressive_policy, cautious_policy,
                                nominal_policy, type_counts)
 
     policy = {"cautious": cautious_policy, "nominal": nominal_policy,
               "aggressive": aggressive_policy}[args.policy]()
 
+    meter = ThroughputMeter()
+
     def show_progress(update) -> None:
+        # Rates and ETA come from the ThroughputMeter over the metrics
+        # the fleet runner streams — not ad-hoc arithmetic per call site.
+        eta = meter.eta_s(update.hours_done, update.hours_total)
+        eta_text = f"{eta:.0f} s" if math.isfinite(eta) else "--"
         print(f"chunk {update.chunks_done}/{update.chunks_total}: "
               f"{update.hours_done:.0f}/{update.hours_total:.0f} h, "
               f"{update.encounters_resolved} encounters, "
               f"{update.incidents_found} incidents, "
-              f"{update.hard_braking_demands} hard-braking demands",
+              f"{update.hard_braking_demands} hard-braking demands | "
+              f"{meter.rate_per_s(update.chunks_done):.2f} chunks/s, "
+              f"{meter.rate_per_s(update.encounters_resolved):.0f} "
+              f"encounters/s, ETA {eta_text}",
               file=sys.stderr)
 
-    campaign = _run_campaign(policy, args.hours, args.seed, args.workers,
-                             args.chunk_hours, args.engine,
-                             progress=show_progress if args.progress else None)
+    if args.telemetry is not None:
+        from repro.obs import telemetry_session
+        context = telemetry_session()
+    else:
+        context = nullcontext()
+    with context as session:
+        campaign = _run_campaign(
+            policy, args.hours, args.seed, args.workers,
+            args.chunk_hours, args.engine,
+            progress=show_progress if args.progress else None)
     types = list(figure5_incident_types())
     counts, unclassified = type_counts(campaign, types)
     collisions = len(campaign.collisions())
@@ -306,6 +379,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
           f"> {campaign.hard_braking_threshold_ms2:g} m/s²)")
     for type_id, count in sorted(counts.items()):
         print(f"  {type_id}: {count}")
+    if session is not None:
+        goals, goal_types = _scaled_goals(args.scale)
+        _, budget_report = _campaign_telemetry(
+            args, session, campaign, goals, goal_types,
+            command="repro fleet", summary=summary)
+        print()
+        print(budget_report.render())
     if args.json is not None:
         args.json.write_text(json.dumps(summary, indent=2))
         print(f"summary written to {args.json}")

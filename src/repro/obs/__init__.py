@@ -1,0 +1,48 @@
+"""Observability: metrics, tracing spans, budget monitoring, manifests.
+
+This package is the runtime telemetry layer the QRN stack reports
+through (ROADMAP: "production-scale stack needs visibility").  Four
+pieces, all deliberately RNG-free (DESIGN §8):
+
+* :mod:`~repro.obs.metrics` — Counter / Gauge / Histogram instruments
+  in a process-local :class:`MetricsRegistry`; frozen snapshots merge
+  associatively across fleet workers.
+* :mod:`~repro.obs.tracing` — aggregated wall-clock span trees
+  (``with maybe_span("resolve_batch"): ...``), no-op when disabled.
+* :mod:`~repro.obs.budget_monitor` — live utilisation of the QRN's
+  ``f_I`` / ``f_v`` budgets with exact Poisson confidence intervals.
+* :mod:`~repro.obs.manifest` — the :class:`RunManifest` JSON artifact
+  a ``--telemetry PATH`` campaign writes.
+
+Enable telemetry with :func:`telemetry_session`; hot paths guard on
+:func:`active_session` returning ``None`` so the disabled path costs one
+module-global read per instrumented call site.
+"""
+
+from .budget_monitor import (BudgetMonitor, BudgetUtilisation,
+                             BudgetUtilisationReport)
+from .manifest import (MANIFEST_SCHEMA, RunManifest, build_manifest,
+                       collect_versions, git_sha)
+from .metrics import (SIZE_BUCKETS, Counter, CounterSnapshot, Gauge,
+                      GaugeSnapshot, Histogram, HistogramSnapshot,
+                      MetricsRegistry, MetricsSnapshot, ThroughputMeter)
+from .session import (NO_OP_SPAN, TelemetrySession, TelemetrySnapshot,
+                      active_session, maybe_span, telemetry_session)
+from .tracing import SpanNode, Tracer
+
+__all__ = [
+    # metrics
+    "SIZE_BUCKETS", "Counter", "CounterSnapshot", "Gauge", "GaugeSnapshot",
+    "Histogram", "HistogramSnapshot", "MetricsRegistry", "MetricsSnapshot",
+    "ThroughputMeter",
+    # tracing
+    "SpanNode", "Tracer",
+    # session
+    "NO_OP_SPAN", "TelemetrySession", "TelemetrySnapshot", "active_session",
+    "maybe_span", "telemetry_session",
+    # budget monitoring
+    "BudgetMonitor", "BudgetUtilisation", "BudgetUtilisationReport",
+    # manifests
+    "MANIFEST_SCHEMA", "RunManifest", "build_manifest", "collect_versions",
+    "git_sha",
+]

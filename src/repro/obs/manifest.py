@@ -1,0 +1,213 @@
+"""Run manifests: the frozen provenance artifact of one campaign.
+
+A :class:`RunManifest` is the JSON document a ``--telemetry PATH`` run
+writes next to its results: everything needed to (a) reproduce the run
+(seed, engine, policy, hours, mix, worker count, chunk plan, package
+versions, git SHA) and (b) audit what happened inside it (the aggregated
+span tree, the merged metrics snapshot, and — when a goal set is in
+scope — the per-incident-type / per-consequence-class budget-utilisation
+table with Poisson confidence intervals).
+
+The manifest is a pure record: building one never perturbs the campaign
+(no RNG access, no mutation of the session it snapshots).  ``write`` /
+``read`` round-trip through JSON with sorted keys so manifests diff
+cleanly in review.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .session import TelemetrySnapshot
+
+__all__ = ["MANIFEST_SCHEMA", "RunManifest", "build_manifest",
+           "collect_versions", "git_sha"]
+
+MANIFEST_SCHEMA = "repro.run-manifest/v1"
+
+
+def collect_versions() -> Dict[str, str]:
+    """Best-effort version stamps for the packages that matter here."""
+    versions: Dict[str, str] = {
+        "python": platform.python_version(),
+    }
+    try:
+        from .. import __version__ as repro_version
+        versions["repro"] = str(repro_version)
+    except Exception:  # pragma: no cover - version attr is optional
+        versions["repro"] = "unknown"
+    for name in ("numpy", "scipy"):
+        module = sys.modules.get(name)
+        if module is None:
+            try:
+                module = __import__(name)
+            except Exception:  # pragma: no cover - optional dependency
+                continue
+        versions[name] = str(getattr(module, "__version__", "unknown"))
+    return versions
+
+
+def git_sha(cwd: Optional[Path] = None) -> str:
+    """The repository HEAD SHA, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True, text=True, timeout=5, check=False)
+    except Exception:  # pragma: no cover - git missing entirely
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Frozen provenance + telemetry record of one campaign run."""
+
+    schema: str
+    created_utc: str
+    command: str
+    seed: Optional[int]
+    engine: Optional[str]
+    policy: Optional[str]
+    hours: Optional[float]
+    mix: Optional[Dict[str, float]]
+    workers: Optional[int]
+    chunk_hours: Optional[float]
+    n_chunks: Optional[int]
+    versions: Dict[str, str]
+    git_sha: str
+    platform: str
+    spans: Dict[str, object]
+    metrics: Dict[str, object]
+    budget_utilisation: Optional[List[Dict[str, object]]] = None
+    summary: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "schema": self.schema,
+            "created_utc": self.created_utc,
+            "command": self.command,
+            "seed": self.seed,
+            "engine": self.engine,
+            "policy": self.policy,
+            "hours": self.hours,
+            "mix": self.mix,
+            "workers": self.workers,
+            "chunk_hours": self.chunk_hours,
+            "n_chunks": self.n_chunks,
+            "versions": dict(self.versions),
+            "git_sha": self.git_sha,
+            "platform": self.platform,
+            "spans": self.spans,
+            "metrics": self.metrics,
+            "budget_utilisation": self.budget_utilisation,
+            "summary": dict(self.summary),
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunManifest":
+        schema = data.get("schema")
+        if schema != MANIFEST_SCHEMA:
+            raise ValueError(
+                f"unsupported manifest schema {schema!r} "
+                f"(expected {MANIFEST_SCHEMA!r})")
+        mix = data.get("mix")
+        budget = data.get("budget_utilisation")
+        return cls(
+            schema=str(schema),
+            created_utc=str(data.get("created_utc", "")),
+            command=str(data.get("command", "")),
+            seed=(None if data.get("seed") is None
+                  else int(data["seed"])),  # type: ignore[arg-type]
+            engine=(None if data.get("engine") is None
+                    else str(data["engine"])),
+            policy=(None if data.get("policy") is None
+                    else str(data["policy"])),
+            hours=(None if data.get("hours") is None
+                   else float(data["hours"])),  # type: ignore[arg-type]
+            mix=(None if mix is None
+                 else {str(k): float(v)  # type: ignore[arg-type]
+                       for k, v in dict(mix).items()}),  # type: ignore[call-overload]
+            workers=(None if data.get("workers") is None
+                     else int(data["workers"])),  # type: ignore[arg-type]
+            chunk_hours=(None if data.get("chunk_hours") is None
+                         else float(data["chunk_hours"])),  # type: ignore[arg-type]
+            n_chunks=(None if data.get("n_chunks") is None
+                      else int(data["n_chunks"])),  # type: ignore[arg-type]
+            versions={str(k): str(v) for k, v in
+                      dict(data.get("versions", {})).items()},  # type: ignore[call-overload]
+            git_sha=str(data.get("git_sha", "unknown")),
+            platform=str(data.get("platform", "")),
+            spans=dict(data.get("spans", {})),  # type: ignore[call-overload]
+            metrics=dict(data.get("metrics", {})),  # type: ignore[call-overload]
+            budget_utilisation=(
+                None if budget is None
+                else [dict(row) for row in budget]),  # type: ignore[union-attr]
+            summary=dict(data.get("summary", {})),  # type: ignore[call-overload]
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def read(cls, path: Path) -> "RunManifest":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(data)
+
+
+def build_manifest(snapshot: TelemetrySnapshot, *, command: str,
+                   seed: Optional[int] = None,
+                   engine: Optional[str] = None,
+                   policy: Optional[str] = None,
+                   hours: Optional[float] = None,
+                   mix: Optional[Mapping[str, float]] = None,
+                   workers: Optional[int] = None,
+                   chunk_hours: Optional[float] = None,
+                   n_chunks: Optional[int] = None,
+                   budget_report=None,
+                   summary: Optional[Mapping[str, object]] = None,
+                   ) -> RunManifest:
+    """Assemble a :class:`RunManifest` from a frozen telemetry snapshot.
+
+    ``budget_report`` is an optional
+    :class:`~repro.obs.budget_monitor.BudgetUtilisationReport`; its rows
+    are embedded as plain dicts so the manifest stays self-contained.
+    """
+    budget_rows: Optional[List[Dict[str, object]]] = None
+    if budget_report is not None:
+        budget_rows = budget_report.to_rows()
+    return RunManifest(
+        schema=MANIFEST_SCHEMA,
+        created_utc=datetime.now(timezone.utc).isoformat(),
+        command=command,
+        seed=seed,
+        engine=engine,
+        policy=policy,
+        hours=hours,
+        mix=None if mix is None else dict(mix),
+        workers=workers,
+        chunk_hours=chunk_hours,
+        n_chunks=n_chunks,
+        versions=collect_versions(),
+        git_sha=git_sha(),
+        platform=platform.platform(),
+        spans=snapshot.spans.to_dict(),
+        metrics=snapshot.metrics.to_dict(),
+        budget_utilisation=budget_rows,
+        summary={} if summary is None else dict(summary),
+    )

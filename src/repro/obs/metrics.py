@@ -1,0 +1,425 @@
+"""Process-local metrics registry with fleet-mergeable snapshots.
+
+Three instrument kinds cover everything the campaign runners need to
+report:
+
+* :class:`Counter` — monotone totals (encounters resolved, incidents
+  recorded, simulated hours).  Merged across workers by summation;
+  float-valued counters use ``math.fsum`` so the merged value is the
+  correctly rounded true sum and therefore independent of merge order —
+  the same discipline as
+  :meth:`repro.traffic.simulator.SimulationResult.merge_many`.
+* :class:`Gauge` — level readings (worker count, chunks planned).
+  Merged by **maximum** (a documented high-water-mark semantic): unlike
+  "last write wins", the max over snapshots is order-independent.
+* :class:`Histogram` — fixed-bucket distributions (batch sizes, chunk
+  sizes).  All snapshots of one histogram share the same bucket bounds,
+  so merging is element-wise count addition plus ``fsum`` of the value
+  sums — again order-independent.
+
+The registry itself is deliberately **process-local and unsynchronised**:
+the fleet runner gives every worker (and every inline chunk) its own
+session, snapshots it, and merges the frozen snapshots on the
+coordinator in chunk-index order.  No locks, no cross-process state, no
+RNG interaction — telemetry must never be able to perturb the simulated
+draws (DESIGN §8).
+
+Order-independence contract (enforced by ``tests/obs/test_metrics.py``
+over shuffled chunk orders): ``MetricsSnapshot.merge_many(snaps)`` is a
+pure function of the *multiset* of input snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "CounterSnapshot", "GaugeSnapshot", "HistogramSnapshot",
+    "MetricsSnapshot", "ThroughputMeter", "SIZE_BUCKETS",
+]
+
+SIZE_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0, 10000.0)
+"""Default histogram bounds: a 1-2-5 decade ladder, wide enough for both
+per-class encounter batch sizes and per-chunk hour counts."""
+
+
+# ---------------------------------------------------------------------------
+# Snapshots — frozen, picklable, mergeable.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Frozen value of one counter (int kept exact, float fsum-merged)."""
+
+    name: str
+    value: Union[int, float]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": "counter", "value": self.value}
+
+
+@dataclass(frozen=True)
+class GaugeSnapshot:
+    """Frozen value of one gauge (max-merged high-water mark)."""
+
+    name: str
+    value: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": "gauge", "value": self.value}
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Frozen state of one fixed-bucket histogram.
+
+    ``bucket_counts`` has ``len(bounds) + 1`` entries: one per upper
+    bound (``value <= bound``, cumulative-exclusive between bounds) plus
+    a final overflow bucket for values above the last bound.
+    """
+
+    name: str
+    bounds: Tuple[float, ...]
+    bucket_counts: Tuple[int, ...]
+    count: int
+    sum: float
+    min: float
+    max: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "histogram",
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+_InstrumentSnapshot = Union[CounterSnapshot, GaugeSnapshot, HistogramSnapshot]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A frozen, picklable view of a whole registry.
+
+    The object workers ship back to the coordinator.  Merging is done
+    with :meth:`merge_many` over the full set of snapshots at once —
+    float counter values and histogram sums go through ``math.fsum`` of
+    all inputs, which makes the merged snapshot a pure function of the
+    input *multiset* (shuffling chunk completion order cannot change it).
+    """
+
+    instruments: Dict[str, _InstrumentSnapshot] = field(default_factory=dict)
+
+    def counter_value(self, name: str) -> Union[int, float]:
+        snap = self.instruments[name]
+        if not isinstance(snap, CounterSnapshot):
+            raise TypeError(f"{name!r} is a {type(snap).__name__}, not a counter")
+        return snap.value
+
+    def counters(self) -> Dict[str, Union[int, float]]:
+        return {name: snap.value for name, snap in sorted(self.instruments.items())
+                if isinstance(snap, CounterSnapshot)}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {name: snap.to_dict()
+                for name, snap in sorted(self.instruments.items())}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Mapping[str, object]],
+                  ) -> "MetricsSnapshot":
+        instruments: Dict[str, _InstrumentSnapshot] = {}
+        for name, entry in data.items():
+            kind = entry["kind"]
+            if kind == "counter":
+                instruments[name] = CounterSnapshot(name, entry["value"])  # type: ignore[arg-type]
+            elif kind == "gauge":
+                instruments[name] = GaugeSnapshot(name, float(entry["value"]))  # type: ignore[arg-type]
+            elif kind == "histogram":
+                count = int(entry["count"])  # type: ignore[arg-type]
+                instruments[name] = HistogramSnapshot(
+                    name=name,
+                    bounds=tuple(float(b) for b in entry["bounds"]),  # type: ignore[union-attr]
+                    bucket_counts=tuple(int(c) for c in entry["bucket_counts"]),  # type: ignore[union-attr]
+                    count=count,
+                    sum=float(entry["sum"]),  # type: ignore[arg-type]
+                    min=float(entry["min"]) if count else math.inf,  # type: ignore[arg-type]
+                    max=float(entry["max"]) if count else -math.inf,  # type: ignore[arg-type]
+                )
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r}")
+        return cls(instruments)
+
+    @classmethod
+    def merge_many(cls, snapshots: Iterable["MetricsSnapshot"],
+                   ) -> "MetricsSnapshot":
+        """Merge snapshots order-independently (see module docstring)."""
+        snapshots = list(snapshots)
+        if not snapshots:
+            raise ValueError("merge_many needs at least one snapshot")
+        by_name: Dict[str, List[_InstrumentSnapshot]] = {}
+        for snapshot in snapshots:
+            for name, instrument in snapshot.instruments.items():
+                by_name.setdefault(name, []).append(instrument)
+        merged: Dict[str, _InstrumentSnapshot] = {}
+        for name in sorted(by_name):
+            group = by_name[name]
+            kinds = {type(snap) for snap in group}
+            if len(kinds) != 1:
+                raise ValueError(
+                    f"instrument {name!r} has conflicting kinds across "
+                    f"snapshots: {sorted(k.__name__ for k in kinds)}")
+            first = group[0]
+            if isinstance(first, CounterSnapshot):
+                values = [snap.value for snap in group]  # type: ignore[union-attr]
+                if all(isinstance(v, int) for v in values):
+                    merged[name] = CounterSnapshot(name, sum(values))
+                else:
+                    merged[name] = CounterSnapshot(name, math.fsum(values))
+            elif isinstance(first, GaugeSnapshot):
+                merged[name] = GaugeSnapshot(
+                    name, max(snap.value for snap in group))  # type: ignore[union-attr]
+            else:
+                bounds = {snap.bounds for snap in group}  # type: ignore[union-attr]
+                if len(bounds) != 1:
+                    raise ValueError(
+                        f"histogram {name!r} has conflicting bucket bounds "
+                        f"across snapshots: {sorted(bounds)}")
+                counts = [0] * (len(first.bounds) + 1)
+                for snap in group:
+                    for i, c in enumerate(snap.bucket_counts):  # type: ignore[union-attr]
+                        counts[i] += c
+                merged[name] = HistogramSnapshot(
+                    name=name,
+                    bounds=first.bounds,
+                    bucket_counts=tuple(counts),
+                    count=sum(snap.count for snap in group),  # type: ignore[union-attr]
+                    sum=math.fsum(snap.sum for snap in group),  # type: ignore[union-attr]
+                    min=min(snap.min for snap in group),  # type: ignore[union-attr]
+                    max=max(snap.max for snap in group),  # type: ignore[union-attr]
+                )
+        return cls(merged)
+
+
+# ---------------------------------------------------------------------------
+# Live instruments.
+# ---------------------------------------------------------------------------
+
+class Counter:
+    """A monotone total.  ``inc`` accepts non-negative int or float."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Union[int, float] = 0
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0 or not math.isfinite(amount):
+            raise ValueError(
+                f"counter {self.name!r} increment must be finite and >= 0, "
+                f"got {amount}")
+        self._value += amount
+
+    def snapshot(self) -> CounterSnapshot:
+        return CounterSnapshot(self.name, self._value)
+
+
+class Gauge:
+    """A level reading; snapshots merge by maximum (high-water mark)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise ValueError(
+                f"gauge {self.name!r} value must be finite, got {value}")
+        self._value = float(value)
+
+    def snapshot(self) -> GaugeSnapshot:
+        return GaugeSnapshot(self.name, self._value)
+
+
+class Histogram:
+    """A fixed-bucket histogram; every registration must agree on bounds."""
+
+    __slots__ = ("name", "bounds", "_bucket_counts", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(self, name: str, bounds: Tuple[float, ...] = SIZE_BUCKETS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("histogram bounds must be finite "
+                             "(overflow bucket is implicit)")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram bounds must be strictly increasing, "
+                             f"got {bounds}")
+        self.name = name
+        self.bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise ValueError(
+                f"histogram {self.name!r} value must be finite, got {value}")
+        index = len(self.bounds)  # overflow unless a bound catches it
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self._bucket_counts[index] += 1
+        self._count += 1
+        self._sum += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            name=self.name, bounds=self.bounds,
+            bucket_counts=tuple(self._bucket_counts), count=self._count,
+            sum=self._sum, min=self._min, max=self._max)
+
+
+_Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Process-local, get-or-create instrument store.
+
+    One registry per :class:`~repro.obs.session.TelemetrySession`.  The
+    name spaces the instrument kinds share one flat namespace; asking for
+    an existing name with a different kind (or different histogram
+    bounds) is an error — silent shadowing would corrupt merges.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get_or_create(self, name: str, factory: Callable[[], _Instrument],
+                       kind: type) -> _Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, kind):
+            raise ValueError(
+                f"instrument {name!r} already registered as "
+                f"{type(instrument).__name__}, requested {kind.__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str,
+                  bounds: Tuple[float, ...] = SIZE_BUCKETS) -> Histogram:
+        histogram = self._get_or_create(
+            name, lambda: Histogram(name, bounds), Histogram)
+        if histogram.bounds != tuple(float(b) for b in bounds):  # type: ignore[union-attr]
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{histogram.bounds}, requested {tuple(bounds)}")  # type: ignore[union-attr]
+        return histogram  # type: ignore[return-value]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._instruments))
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot({name: instrument.snapshot()
+                                for name, instrument
+                                in self._instruments.items()})
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a (worker) snapshot into this live registry.
+
+        Counters add, gauges take the maximum, histograms add bucket-wise
+        — the same semantics as :meth:`MetricsSnapshot.merge_many`.  The
+        fleet coordinator merges all chunk snapshots into **one** frozen
+        snapshot first (order-independent) and absorbs that, so live
+        absorption order never differs between worker counts.
+        """
+        for name, snap in snapshot.instruments.items():
+            if isinstance(snap, CounterSnapshot):
+                self.counter(name).inc(snap.value)
+            elif isinstance(snap, GaugeSnapshot):
+                gauge = self.gauge(name)
+                gauge.set(max(gauge.value, snap.value))
+            else:
+                histogram = self.histogram(name, snap.bounds)
+                histogram._bucket_counts = [
+                    a + b for a, b in zip(histogram._bucket_counts,
+                                          snap.bucket_counts)]
+                histogram._count += snap.count
+                histogram._sum += snap.sum
+                histogram._min = min(histogram._min, snap.min)
+                histogram._max = max(histogram._max, snap.max)
+
+
+class ThroughputMeter:
+    """Wall-clock rate and ETA helper for progress displays.
+
+    Pure observation: reads ``perf_counter`` (injectable for tests),
+    never any RNG.  Used by ``repro fleet --progress`` to derive
+    chunks/s, encounters/s and the remaining-time estimate from the
+    metrics stream instead of ad-hoc arithmetic at every call site.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._t0 = clock()
+
+    @property
+    def elapsed_s(self) -> float:
+        return max(self._clock() - self._t0, 0.0)
+
+    def rate_per_s(self, units_done: float) -> float:
+        """Average units per second since the meter started (0 if no time
+        has passed)."""
+        elapsed = self.elapsed_s
+        if elapsed <= 0.0:
+            return 0.0
+        return units_done / elapsed
+
+    def eta_s(self, units_done: float, units_total: float) -> float:
+        """Estimated seconds to finish; ``inf`` until any progress exists."""
+        remaining = max(units_total - units_done, 0.0)
+        if remaining == 0.0:
+            return 0.0
+        rate = self.rate_per_s(units_done)
+        if rate <= 0.0:
+            return math.inf
+        return remaining / rate

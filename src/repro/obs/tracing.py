@@ -1,0 +1,184 @@
+"""Lightweight aggregated tracing spans.
+
+``with tracer.span("resolve_batch"):`` records nested wall-clock timings
+via ``time.perf_counter``.  Instead of an event list (which would grow
+with the campaign), the tracer keeps an **aggregated span tree**: one
+:class:`SpanNode` per distinct name *per parent*, accumulating call
+count, total / min / max elapsed seconds.  That makes the tree
+
+* bounded — a million chunk executions collapse into one node;
+* mergeable — worker trees fold into the coordinator tree by summing
+  counts and totals, the same associative discipline as the metrics
+  snapshots (DESIGN §8);
+* serialisable — ``to_dict`` emits the manifest's span-tree JSON.
+
+When telemetry is disabled the hot paths never reach a tracer at all:
+:func:`repro.obs.session.maybe_span` hands out a shared no-op context
+manager whose enter/exit are empty (benchmarked in
+``benchmarks/bench_telemetry_overhead.py``).
+
+Timings are *observability*, not part of any determinism contract —
+wall-clock totals differ run to run; the tree's structure and call
+counts do not.  Nothing here touches an RNG stream.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["SpanNode", "Tracer"]
+
+
+@dataclass
+class SpanNode:
+    """Aggregated statistics for one span name under one parent."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = math.inf
+    max_s: float = 0.0
+    children: Dict[str, "SpanNode"] = field(default_factory=dict)
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    def add(self, elapsed_s: float) -> None:
+        """Record one completed span of ``elapsed_s`` seconds."""
+        if elapsed_s < 0.0:
+            elapsed_s = 0.0  # perf_counter is monotonic; be safe anyway
+        self.count += 1
+        self.total_s += elapsed_s
+        self.min_s = min(self.min_s, elapsed_s)
+        self.max_s = max(self.max_s, elapsed_s)
+
+    def merge(self, other: "SpanNode") -> None:
+        """Fold another aggregated node (and its subtree) into this one.
+
+        Counts and totals add; children merge recursively by name.  The
+        operation is associative and commutative up to float summation,
+        which is all observability needs — span *timings* are explicitly
+        outside the determinism contract.
+        """
+        self.count += other.count
+        self.total_s += other.total_s
+        self.min_s = min(self.min_s, other.min_s)
+        self.max_s = max(self.max_s, other.max_s)
+        for name, child in other.children.items():
+            self.child(name).merge(child)
+
+    def copy(self) -> "SpanNode":
+        """Deep copy — snapshots must not alias the live tree."""
+        return SpanNode(
+            name=self.name, count=self.count, total_s=self.total_s,
+            min_s=self.min_s, max_s=self.max_s,
+            children={name: child.copy()
+                      for name, child in self.children.items()})
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"count": self.count,
+                                   "total_s": self.total_s}
+        if self.count:
+            data["min_s"] = self.min_s
+            data["max_s"] = self.max_s
+        if self.children:
+            data["children"] = {name: child.to_dict()
+                                for name, child in
+                                sorted(self.children.items())}
+        return data
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, object]) -> "SpanNode":
+        count = int(data.get("count", 0))  # type: ignore[arg-type]
+        node = cls(
+            name=name, count=count,
+            total_s=float(data.get("total_s", 0.0)),  # type: ignore[arg-type]
+            min_s=float(data["min_s"]) if count else math.inf,  # type: ignore[arg-type]
+            max_s=float(data["max_s"]) if count else 0.0,  # type: ignore[arg-type]
+        )
+        for child_name, child_data in dict(
+                data.get("children", {})).items():  # type: ignore[call-overload]
+            node.children[child_name] = cls.from_dict(child_name, child_data)
+        return node
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable indented tree (used by the dossier summary)."""
+        lines: List[str] = []
+        if self.name:
+            label = f"{'  ' * indent}{self.name}"
+            if self.count:
+                lines.append(f"{label}: {self.count} call(s), "
+                             f"{self.total_s:.3f} s total")
+            else:
+                lines.append(label)
+            indent += 1
+        for name in sorted(self.children):
+            lines.append(self.children[name].render(indent))
+        return "\n".join(lines)
+
+
+class _SpanContext:
+    """The context manager a live span hands out (no-op lives elsewhere)."""
+
+    __slots__ = ("_tracer", "_name", "_node", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._name = name
+        self._node: Optional[SpanNode] = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_SpanContext":
+        self._node = self._tracer._stack[-1].child(self._name)
+        self._tracer._stack.append(self._node)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._t0
+        stack = self._tracer._stack
+        # Pop back to this span even if an inner span leaked (an inner
+        # exception can only leave deeper nodes on the stack).
+        while len(stack) > 1:
+            node = stack.pop()
+            if node is self._node:
+                break
+        assert self._node is not None
+        self._node.add(elapsed)
+        return False  # never swallow exceptions
+
+
+class Tracer:
+    """Nested wall-clock span recorder, one per telemetry session.
+
+    The root node is anonymous (``name=""``) and never timed; spans
+    attach below whatever span is currently open.  Re-entrant and
+    exception-safe; **not** thread-safe — sessions are process-local by
+    design, and the fleet runner gives each worker its own.
+    """
+
+    def __init__(self) -> None:
+        self.root = SpanNode("")
+        self._stack: List[SpanNode] = [self.root]
+
+    def span(self, name: str) -> _SpanContext:
+        """Open a named span: ``with tracer.span("resolve_batch"): ...``"""
+        if not name:
+            raise ValueError("span name must be non-empty")
+        return _SpanContext(self, name)
+
+    @property
+    def depth(self) -> int:
+        """Currently open span depth (0 when idle)."""
+        return len(self._stack) - 1
+
+    def snapshot(self) -> SpanNode:
+        """Deep copy of the aggregated tree as recorded so far."""
+        return self.root.copy()

@@ -36,11 +36,19 @@ def _section(title: str) -> List[str]:
 
 def build_dossier(goals: SafetyGoalSet,
                   report: Optional[VerificationReport] = None,
-                  *, title: Optional[str] = None) -> str:
+                  *, title: Optional[str] = None,
+                  telemetry=None, budget_utilisation=None) -> str:
     """Render the full dossier for one goal set (+ optional verification).
 
     A design-time dossier (no ``report``) states explicitly that
     statistical verification is outstanding — silence is not evidence.
+
+    ``telemetry`` optionally attaches a
+    :class:`~repro.obs.session.TelemetrySnapshot` and
+    ``budget_utilisation`` a
+    :class:`~repro.obs.budget_monitor.BudgetUtilisationReport`; both are
+    rendered as a "Runtime telemetry" section so the dossier documents
+    *how* the evidence campaign ran, not only its verdicts.
     """
     norm = goals.norm
     lines: List[str] = [
@@ -101,6 +109,23 @@ def build_dossier(goals: SafetyGoalSet,
         verdict = ("SUPPORTED" if case.is_supported()
                    else "NOT (YET) SUPPORTED")
         lines.append(f"Top claim: {verdict}.")
+
+    if telemetry is not None or budget_utilisation is not None:
+        lines += _section("7. Runtime telemetry")
+        if budget_utilisation is not None:
+            lines.append(budget_utilisation.render())
+            lines.append("")
+        if telemetry is not None:
+            counters = telemetry.metrics.counters()
+            if counters:
+                lines.append("Campaign counters:")
+                for name, value in sorted(counters.items()):
+                    lines.append(f"  {name}: {value:g}")
+                lines.append("")
+            span_text = telemetry.spans.render()
+            if span_text:
+                lines.append("Span tree (wall clock, observability only):")
+                lines.append(span_text)
 
     lines.append("")
     lines.append(_RULE)

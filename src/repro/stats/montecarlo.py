@@ -16,6 +16,8 @@ from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.session import active_session, maybe_span
+
 __all__ = [
     "spawn_generators",
     "BatchMeans",
@@ -161,17 +163,27 @@ def run_until_precision(simulate: Callable[[np.random.Generator], float],
     generators: List[np.random.Generator] = []
     index = 0
     goal = min(min_replications, max_replications)
-    while index < max_replications:
-        if goal > len(generators):
-            generators.extend(np.random.default_rng(child)
-                              for child in seq.spawn(goal - len(generators)))
-        while index < goal:
-            acc.add(float(simulate(generators[index])))
-            index += 1
-        result = acc.result()
-        if result.relative_error() <= target_relative_error:
-            return result
-        goal = min(max_replications, goal * 2)
-        if index >= max_replications:
-            break
+    session = active_session()
+    with maybe_span("montecarlo.run_until_precision"):
+        while index < max_replications:
+            if goal > len(generators):
+                generators.extend(
+                    np.random.default_rng(child)
+                    for child in seq.spawn(goal - len(generators)))
+            added = 0
+            while index < goal:
+                acc.add(float(simulate(generators[index])))
+                index += 1
+                added += 1
+            if session is not None:
+                # Batch granularity: one counter update per goal-doubling,
+                # never per replication (DESIGN §8).
+                session.metrics.counter("montecarlo.replications").inc(added)
+                session.metrics.counter("montecarlo.goal_doublings").inc()
+            result = acc.result()
+            if result.relative_error() <= target_relative_error:
+                return result
+            goal = min(max_replications, goal * 2)
+            if index >= max_replications:
+                break
     return acc.result()

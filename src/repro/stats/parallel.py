@@ -29,11 +29,14 @@ from __future__ import annotations
 
 import math
 import os
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
+
+from ..obs.session import active_session, maybe_span
 
 __all__ = ["Chunk", "ChunkProgress", "plan_chunks", "run_chunked",
            "default_worker_count"]
@@ -144,6 +147,11 @@ def run_chunked(worker: Callable[[Chunk, np.random.SeedSequence], Any],
     The returned list is ordered by ``chunk.index`` no matter which
     worker finished first, so a deterministic merge is simply a fold over
     the return value.
+
+    A raising ``progress`` callback **cannot** corrupt the result: the
+    exception is downgraded to a :class:`RuntimeWarning` and execution
+    continues — observability failures must never abort a campaign
+    (DESIGN §8).
     """
     chunks = list(chunks)
     if not chunks:
@@ -158,6 +166,14 @@ def run_chunked(worker: Callable[[Chunk, np.random.SeedSequence], Any],
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
 
+    session = active_session()
+    if session is not None:
+        metrics = session.metrics
+        gauge = metrics.gauge("parallel.workers")
+        gauge.set(max(gauge.value, float(min(workers, len(chunks)))))
+        for chunk in chunks:
+            metrics.histogram("parallel.chunk_size").observe(chunk.size)
+
     results: List[Any] = [None] * len(chunks)
     done = 0
     units_done = 0.0
@@ -166,28 +182,39 @@ def run_chunked(worker: Callable[[Chunk, np.random.SeedSequence], Any],
         nonlocal done, units_done
         done += 1
         units_done += chunk.size
+        if session is not None:
+            session.metrics.counter("parallel.chunks").inc()
         if progress is not None:
-            progress(ChunkProgress(
-                chunk_index=chunk.index, chunks_done=done,
-                chunks_total=len(chunks), units_done=units_done,
-                units_total=units_total, result=result))
+            try:
+                progress(ChunkProgress(
+                    chunk_index=chunk.index, chunks_done=done,
+                    chunks_total=len(chunks), units_done=units_done,
+                    units_total=units_total, result=result))
+            except Exception as exc:  # noqa: BLE001 - observability only
+                warnings.warn(
+                    f"progress callback raised {type(exc).__name__}: {exc}; "
+                    f"continuing (results are unaffected)",
+                    RuntimeWarning, stacklevel=3)
 
-    if workers == 1:
-        for chunk in chunks:
-            result = worker(chunk, seeds[chunk.index])
-            results[chunk.index] = result
-            _report(chunk, result)
-        return results
-
-    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-        future_chunk = {pool.submit(worker, chunk, seeds[chunk.index]): chunk
-                        for chunk in chunks}
-        pending = set(future_chunk)
-        while pending:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in finished:
-                chunk = future_chunk[future]
-                result = future.result()  # re-raises worker exceptions
+    with maybe_span("run_chunked"):
+        if workers == 1:
+            for chunk in chunks:
+                result = worker(chunk, seeds[chunk.index])
                 results[chunk.index] = result
                 _report(chunk, result)
+            return results
+
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(chunks))) as pool:
+            future_chunk = {
+                pool.submit(worker, chunk, seeds[chunk.index]): chunk
+                for chunk in chunks}
+            pending = set(future_chunk)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    chunk = future_chunk[future]
+                    result = future.result()  # re-raises worker exceptions
+                    results[chunk.index] = result
+                    _report(chunk, result)
     return results

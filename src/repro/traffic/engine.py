@@ -45,6 +45,7 @@ import numpy as np
 
 from ..core.incident import IncidentRecord
 from ..core.taxonomy import ActorClass
+from ..obs.session import active_session, maybe_span
 from .dynamics import kmh_to_ms, ms_to_kmh, resolve_braking_arrays
 from .encounters import EncounterBatch, EncounterGenerator
 from .faults import BrakingSystem
@@ -73,8 +74,24 @@ def resolve_batch(batch: EncounterBatch, policy: TacticalPolicy,
     array math.  Records come back unsorted (the caller canonicalises).
     """
     n = len(batch)
+    session = active_session()
+    if session is not None:
+        session.metrics.counter("engine.batches").inc()
+        session.metrics.histogram("engine.batch_size").observe(n)
     if n == 0:
         return [], 0
+    with maybe_span("resolve_batch"):
+        return _resolve_batch_body(batch, policy, perception, braking,
+                                   config, rng, time_offset_h)
+
+
+def _resolve_batch_body(batch: EncounterBatch, policy: TacticalPolicy,
+                        perception: PerceptionModel, braking: BrakingSystem,
+                        config: "SimulationConfig",
+                        rng: np.random.Generator,
+                        time_offset_h: float,
+                        ) -> Tuple[List[IncidentRecord], int]:
+    n = len(batch)
     context = batch.context
 
     # Resolution draws — whole-array, fixed order.
@@ -179,7 +196,7 @@ def simulate_vectorized(policy: TacticalPolicy,
     sorted order.
     """
     from .simulator import (SimulationConfig, SimulationResult,
-                            _record_sort_key)
+                            _record_sim_metrics, _record_sort_key)
     if config is None:
         config = SimulationConfig()
     if time_offset_h < 0 or not math.isfinite(time_offset_h):
@@ -192,22 +209,29 @@ def simulate_vectorized(policy: TacticalPolicy,
     records: List[IncidentRecord] = []
     encounters_resolved = 0
     hard_demands = 0
-    for counterpart, stream in zip(classes, streams):
-        batch = generator.sample_class_batch(
-            context, counterpart, hours, policy.cue_probability, stream)
-        encounters_resolved += len(batch)
-        class_records, n_hard = resolve_batch(
-            batch, policy, perception, braking, config, stream,
-            time_offset_h)
-        records.extend(class_records)
-        hard_demands += n_hard
-    records.sort(key=_record_sort_key)
-    return SimulationResult(
-        policy_name=policy.name,
-        hours=hours,
-        context_hours={context: hours},
-        records=records,
-        encounters_resolved=encounters_resolved,
-        hard_braking_demands=hard_demands,
-        hard_braking_threshold_ms2=config.hard_braking_threshold_ms2,
-    )
+    with maybe_span("simulate.vectorized"):
+        for counterpart, stream in zip(classes, streams):
+            batch = generator.sample_class_batch(
+                context, counterpart, hours, policy.cue_probability, stream)
+            encounters_resolved += len(batch)
+            class_records, n_hard = resolve_batch(
+                batch, policy, perception, braking, config, stream,
+                time_offset_h)
+            records.extend(class_records)
+            hard_demands += n_hard
+        records.sort(key=_record_sort_key)
+        result = SimulationResult(
+            policy_name=policy.name,
+            hours=hours,
+            context_hours={context: hours},
+            records=records,
+            encounters_resolved=encounters_resolved,
+            hard_braking_demands=hard_demands,
+            hard_braking_threshold_ms2=config.hard_braking_threshold_ms2,
+        )
+        _record_sim_metrics(
+            hours=hours, encounters=encounters_resolved,
+            incidents=len(records),
+            collisions=sum(1 for r in records if r.is_collision),
+            hard_demands=hard_demands)
+        return result

@@ -32,6 +32,8 @@ from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 
+from ..obs.session import (TelemetrySnapshot, active_session, maybe_span,
+                           telemetry_session)
 from ..stats.parallel import Chunk, ChunkProgress, plan_chunks, run_chunked
 from .encounters import EncounterGenerator
 from .faults import BrakingSystem
@@ -82,21 +84,48 @@ class _ChunkTask:
     mix: Dict[str, float]
     config: Optional[SimulationConfig]
     engine: str = "scalar"
+    telemetry: bool = False
+
+
+@dataclass(frozen=True)
+class _ChunkOutput:
+    """What a worker ships back: the chunk result + optional telemetry.
+
+    The telemetry snapshot rides alongside the simulation result instead
+    of being smuggled through globals, so the pool path and the inline
+    path use the identical per-chunk discipline: fresh session in, frozen
+    snapshot out, merged once on the coordinator in chunk-index order.
+    """
+
+    result: SimulationResult
+    telemetry: Optional[TelemetrySnapshot] = None
 
 
 def _simulate_chunk(task: _ChunkTask, chunk: Chunk,
-                    seed_seq: np.random.SeedSequence) -> SimulationResult:
+                    seed_seq: np.random.SeedSequence) -> _ChunkOutput:
     """Worker entry point: one chunk, one private generator.
 
     Module-level (hence picklable) and seeded exclusively from the
     chunk's own ``SeedSequence`` child — no state is shared with other
     chunks, so results cannot depend on which process ran what.
+
+    When the coordinator requested telemetry, the chunk runs under its
+    own fresh :func:`telemetry_session` (nested re-entrantly when inline)
+    and returns the frozen snapshot — telemetry never touches the RNG
+    stream, so the simulation result is bitwise independent of the flag.
     """
     rng = np.random.default_rng(seed_seq)
-    return simulate_mix(task.policy, task.generator, task.perception,
-                        task.braking, task.mix, chunk.size, rng,
-                        task.config, time_offset_h=chunk.start,
-                        engine=task.engine)
+    if not task.telemetry:
+        return _ChunkOutput(result=simulate_mix(
+            task.policy, task.generator, task.perception, task.braking,
+            task.mix, chunk.size, rng, task.config,
+            time_offset_h=chunk.start, engine=task.engine))
+    with telemetry_session() as session:
+        result = simulate_mix(task.policy, task.generator, task.perception,
+                              task.braking, task.mix, chunk.size, rng,
+                              task.config, time_offset_h=chunk.start,
+                              engine=task.engine)
+    return _ChunkOutput(result=result, telemetry=session.snapshot())
 
 
 def run_fleet(policy: TacticalPolicy,
@@ -136,17 +165,19 @@ def run_fleet(policy: TacticalPolicy,
     Pass ``engine="scalar"`` to reproduce pre-engine campaign pins.
     """
     _check_engine(engine)
+    session = active_session()
     chunks = plan_chunks(hours, chunk_hours)
     task = _ChunkTask(policy=policy, generator=generator,
                       perception=perception, braking=braking,
-                      mix=dict(mix), config=config, engine=engine)
+                      mix=dict(mix), config=config, engine=engine,
+                      telemetry=session is not None)
 
     adapter: Optional[Callable[[ChunkProgress], None]] = None
     if progress is not None:
         totals = {"encounters": 0, "incidents": 0, "demands": 0}
 
         def adapter(update: ChunkProgress) -> None:
-            result: SimulationResult = update.result
+            result: SimulationResult = update.result.result
             totals["encounters"] += result.encounters_resolved
             totals["incidents"] += len(result.records)
             totals["demands"] += result.hard_braking_demands
@@ -161,6 +192,20 @@ def run_fleet(policy: TacticalPolicy,
                 hard_braking_demands=totals["demands"],
             ))
 
-    results = run_chunked(functools.partial(_simulate_chunk, task), chunks,
-                          seed, workers=workers, progress=adapter)
-    return SimulationResult.merge_many(results)
+    with maybe_span("run_fleet"):
+        outputs = run_chunked(functools.partial(_simulate_chunk, task),
+                              chunks, seed, workers=workers,
+                              progress=adapter)
+        merged = SimulationResult.merge_many([o.result for o in outputs])
+        if session is not None:
+            gauge = session.metrics.gauge("fleet.chunks_total")
+            gauge.set(max(gauge.value, float(len(chunks))))
+            chunk_snapshots = [o.telemetry for o in outputs
+                               if o.telemetry is not None]
+            if chunk_snapshots:
+                # One flat merge over all chunk snapshots, in chunk-index
+                # order — the same order for every worker count — then a
+                # single absorb, nested under "fleet.chunks".
+                session.absorb(TelemetrySnapshot.merge_many(chunk_snapshots),
+                               under="fleet.chunks")
+        return merged

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.incident import IncidentRecord
 from ..core.taxonomy import ActorClass
+from ..obs.session import active_session, maybe_span
 from ..stats.counting import CountedEvent, CountingLog
 from .dynamics import kmh_to_ms, ms_to_kmh, resolve_braking
 from .encounters import Encounter, EncounterGenerator
@@ -43,6 +44,26 @@ sub-stream layout — statistically interchangeable, not bit-compatible."""
 def _check_engine(engine: str) -> None:
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+
+
+def _record_sim_metrics(*, hours: float, encounters: int, incidents: int,
+                        collisions: int, hard_demands: int) -> None:
+    """Fold one completed run into the active telemetry session (if any).
+
+    Called once per ``simulate``/``simulate_vectorized`` run — batch
+    granularity, never per encounter (DESIGN §8).  A no-op (one global
+    read, one ``None`` check) when telemetry is disabled, and RNG-free
+    always.
+    """
+    session = active_session()
+    if session is None:
+        return
+    metrics = session.metrics
+    metrics.counter("sim.hours").inc(hours)
+    metrics.counter("sim.encounters").inc(encounters)
+    metrics.counter("sim.incidents").inc(incidents)
+    metrics.counter("sim.collisions").inc(collisions)
+    metrics.counter("sim.hard_braking_demands").inc(hard_demands)
 
 
 def _record_sort_key(record: IncidentRecord) -> Tuple:
@@ -295,39 +316,47 @@ def simulate(policy: TacticalPolicy,
         config = SimulationConfig()
     if time_offset_h < 0 or not math.isfinite(time_offset_h):
         raise ValueError(f"time offset must be finite and >= 0, got {time_offset_h}")
-    encounters = generator.generate(context, hours, policy.cue_probability, rng)
-    records: List[IncidentRecord] = []
-    hard_demands = 0
-    for encounter in encounters:
-        record, hard = _resolve_encounter(encounter, policy, perception,
-                                          braking, config, rng,
-                                          time_offset_h)
-        if hard:
-            hard_demands += 1
-            # Fig. 4's lower half: a hard ego stop with a close follower
-            # induces an incident between third parties (here: the
-            # follower's emergency manoeuvre behind the ego).
-            if rng.uniform() < config.follower_presence_probability:
-                records.append(IncidentRecord(
-                    counterpart=ActorClass.CAR,
-                    is_collision=False,
-                    min_distance_m=float(rng.uniform(0.3, 4.0)),
-                    approach_speed_kmh=float(rng.uniform(10.0, 60.0)),
-                    time_h=encounter.time_h + time_offset_h,
-                    context=context,
-                    induced=True,
-                ))
-        if record is not None:
-            records.append(record)
-    return SimulationResult(
-        policy_name=policy.name,
-        hours=hours,
-        context_hours={context: hours},
-        records=records,
-        encounters_resolved=len(encounters),
-        hard_braking_demands=hard_demands,
-        hard_braking_threshold_ms2=config.hard_braking_threshold_ms2,
-    )
+    with maybe_span("simulate.scalar"):
+        encounters = generator.generate(context, hours,
+                                        policy.cue_probability, rng)
+        records: List[IncidentRecord] = []
+        hard_demands = 0
+        for encounter in encounters:
+            record, hard = _resolve_encounter(encounter, policy, perception,
+                                              braking, config, rng,
+                                              time_offset_h)
+            if hard:
+                hard_demands += 1
+                # Fig. 4's lower half: a hard ego stop with a close follower
+                # induces an incident between third parties (here: the
+                # follower's emergency manoeuvre behind the ego).
+                if rng.uniform() < config.follower_presence_probability:
+                    records.append(IncidentRecord(
+                        counterpart=ActorClass.CAR,
+                        is_collision=False,
+                        min_distance_m=float(rng.uniform(0.3, 4.0)),
+                        approach_speed_kmh=float(rng.uniform(10.0, 60.0)),
+                        time_h=encounter.time_h + time_offset_h,
+                        context=context,
+                        induced=True,
+                    ))
+            if record is not None:
+                records.append(record)
+        result = SimulationResult(
+            policy_name=policy.name,
+            hours=hours,
+            context_hours={context: hours},
+            records=records,
+            encounters_resolved=len(encounters),
+            hard_braking_demands=hard_demands,
+            hard_braking_threshold_ms2=config.hard_braking_threshold_ms2,
+        )
+        _record_sim_metrics(
+            hours=hours, encounters=result.encounters_resolved,
+            incidents=len(result.records),
+            collisions=sum(1 for r in result.records if r.is_collision),
+            hard_demands=hard_demands)
+        return result
 
 
 def _split_hours(hours: float, weights: Sequence[float]) -> List[float]:
@@ -392,11 +421,12 @@ def simulate_mix(policy: TacticalPolicy,
     part_hours = _split_hours(hours, [w for _, w in contexts])
     parts: List[SimulationResult] = []
     offset = time_offset_h
-    for (context, _), ctx_hours in zip(contexts, part_hours):
-        parts.append(simulate(policy, generator, perception, braking,
-                              context, ctx_hours, rng, config,
-                              time_offset_h=offset, engine=engine))
-        offset += ctx_hours
+    with maybe_span("simulate_mix"):
+        for (context, _), ctx_hours in zip(contexts, part_hours):
+            parts.append(simulate(policy, generator, perception, braking,
+                                  context, ctx_hours, rng, config,
+                                  time_offset_h=offset, engine=engine))
+            offset += ctx_hours
     # Construct directly (rather than via merge_many) so the result's
     # total is the *requested* hours bit-for-bit, not a re-summation.
     return SimulationResult(

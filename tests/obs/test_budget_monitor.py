@@ -1,0 +1,139 @@
+"""Unit tests for live QRN budget-utilisation tracking."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import derive_safety_goals
+from repro.obs import BudgetMonitor
+from repro.stats.poisson import rate_confidence_interval
+
+
+@pytest.fixture
+def goals(allocation):
+    return derive_safety_goals(allocation)
+
+
+@pytest.fixture
+def monitor(goals):
+    return BudgetMonitor(goals)
+
+
+class TestAccumulation:
+    def test_starts_empty(self, monitor, goals):
+        assert monitor.exposure == 0.0
+        assert monitor.counts == {tid: 0
+                                  for tid in goals.allocation.type_ids}
+
+    def test_counts_and_exposure_accumulate(self, monitor):
+        monitor.observe_counts({"I1": 2}, 100.0)
+        monitor.observe_counts({"I1": 1, "I2": 3}, 50.0)
+        assert monitor.counts["I1"] == 3
+        assert monitor.counts["I2"] == 3
+        assert monitor.counts["I3"] == 0
+        assert monitor.exposure == pytest.approx(150.0)
+
+    def test_unknown_type_rejected_without_half_apply(self, monitor):
+        with pytest.raises(KeyError, match="unknown incident types"):
+            monitor.observe_counts({"I1": 2, "nope": 1}, 10.0)
+        assert monitor.counts["I1"] == 0
+        assert monitor.exposure == 0.0
+
+    def test_negative_count_rejected_without_half_apply(self, monitor):
+        with pytest.raises(ValueError, match=">= 0"):
+            monitor.observe_counts({"I1": 2, "I2": -1}, 10.0)
+        assert monitor.counts["I1"] == 0
+        assert monitor.exposure == 0.0
+
+    def test_bad_exposure_rejected(self, monitor):
+        for exposure in (0.0, -1.0, math.inf, math.nan):
+            with pytest.raises(ValueError):
+                monitor.observe_counts({"I1": 1}, exposure)
+
+    def test_bad_confidence_rejected(self, goals):
+        with pytest.raises(ValueError):
+            BudgetMonitor(goals, confidence=1.0)
+
+
+class TestUtilisation:
+    def test_requires_exposure(self, monitor):
+        with pytest.raises(ValueError, match="no exposure"):
+            monitor.utilisation()
+
+    def test_type_rows_match_poisson_intervals(self, monitor, goals):
+        monitor.observe_counts({"I1": 4, "I3": 1}, 200.0)
+        report = monitor.utilisation()
+        for goal in goals:
+            row = report.row(goal.type_id)
+            estimate = rate_confidence_interval(
+                monitor.counts[goal.type_id], 200.0, 0.95)
+            assert row.kind == "incident_type"
+            assert row.rate == estimate.point
+            assert row.rate_lower == estimate.lower
+            assert row.rate_upper == estimate.upper
+            assert row.budget_rate == goal.max_frequency.rate
+            assert row.utilisation == pytest.approx(
+                estimate.point / goal.max_frequency.rate)
+
+    def test_class_rows_propagate_splits(self, monitor, goals):
+        monitor.observe_counts({"I1": 10, "I2": 2, "I3": 1}, 500.0)
+        report = monitor.utilisation()
+        estimates = {tid: rate_confidence_interval(count, 500.0, 0.95)
+                     for tid, count in monitor.counts.items()}
+        for class_id in goals.norm.class_ids:
+            row = report.row(class_id)
+            expected_point = sum(
+                itype.split.fraction(class_id) * estimates[itype.type_id].point
+                for itype in goals.allocation.types)
+            expected_upper = sum(
+                itype.split.fraction(class_id) * estimates[itype.type_id].upper
+                for itype in goals.allocation.types)
+            assert row.kind == "consequence_class"
+            assert row.rate == pytest.approx(expected_point)
+            assert row.rate_upper == pytest.approx(expected_upper)
+            assert row.budget_rate == goals.norm.budget(class_id).rate
+
+    def test_report_shape_and_render(self, monitor, goals):
+        monitor.observe_counts({"I1": 1}, 100.0)
+        report = monitor.utilisation()
+        assert len(report.type_rows()) == len(goals.allocation.type_ids)
+        assert len(report.class_rows()) == len(goals.norm.class_ids)
+        assert report.worst_utilisation() >= 0.0
+        with pytest.raises(KeyError):
+            report.row("no-such-budget")
+        text = report.render()
+        assert "Incident-type budget utilisation (f_I)" in text
+        assert "Consequence-class budget utilisation (f_v" in text
+        rows = report.to_rows()
+        assert all("utilisation_upper" in row for row in rows)
+
+    def test_utilisation_above_one_flags_violation(self, monitor, goals):
+        # Enough I3 events to blow any of the example budgets
+        monitor.observe_counts({"I3": 1000}, 1.0)
+        report = monitor.utilisation()
+        assert report.row("I3").utilisation > 1.0
+        assert report.worst_utilisation() > 1.0
+
+
+class TestObserveResult:
+    def test_classifies_a_real_campaign(self, goals, fig5_types):
+        from repro.traffic import (BrakingSystem, EncounterGenerator,
+                                   default_context_profiles,
+                                   default_perception, nominal_policy,
+                                   simulate_mix)
+        from repro.traffic.incidents import type_counts
+
+        world = EncounterGenerator(default_context_profiles())
+        run = simulate_mix(nominal_policy(), world, default_perception(),
+                           BrakingSystem(),
+                           {"urban": 0.6, "rural": 0.4}, 150.0,
+                           np.random.default_rng(7), engine="vectorized")
+        monitor = BudgetMonitor(goals)
+        monitor.observe_result(run, fig5_types)
+        counts, _ = type_counts(run, fig5_types)
+        assert monitor.counts == {tid: counts.get(tid, 0)
+                                  for tid in monitor.counts}
+        assert monitor.exposure == run.hours

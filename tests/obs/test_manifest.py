@@ -1,0 +1,84 @@
+"""Unit tests for the RunManifest artifact."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import derive_safety_goals
+from repro.obs import (MANIFEST_SCHEMA, BudgetMonitor, RunManifest,
+                       build_manifest, collect_versions, git_sha,
+                       maybe_span, telemetry_session)
+
+
+@pytest.fixture
+def snapshot():
+    with telemetry_session() as session:
+        session.metrics.counter("sim.encounters").inc(123)
+        with maybe_span("run_fleet"):
+            pass
+    return session.snapshot()
+
+
+class TestBuildManifest:
+    def test_minimal(self, snapshot):
+        manifest = build_manifest(snapshot, command="repro fleet")
+        assert manifest.schema == MANIFEST_SCHEMA
+        assert manifest.metrics["sim.encounters"]["value"] == 123
+        assert "run_fleet" in manifest.spans["children"]
+        assert manifest.budget_utilisation is None
+        assert "python" in manifest.versions
+
+    def test_full_provenance_fields(self, snapshot):
+        manifest = build_manifest(
+            snapshot, command="repro fleet", seed=2020, engine="vectorized",
+            policy="nominal", hours=500.0, mix={"urban": 1.0}, workers=4,
+            chunk_hours=125.0, n_chunks=4, summary={"incidents": 7})
+        assert manifest.seed == 2020
+        assert manifest.engine == "vectorized"
+        assert manifest.policy == "nominal"
+        assert manifest.n_chunks == 4
+        assert manifest.summary == {"incidents": 7}
+
+    def test_budget_report_embedded(self, snapshot, allocation):
+        goals = derive_safety_goals(allocation)
+        monitor = BudgetMonitor(goals)
+        monitor.observe_counts({"I1": 2}, 400.0)
+        manifest = build_manifest(snapshot, command="repro fleet",
+                                  budget_report=monitor.utilisation())
+        rows = manifest.budget_utilisation
+        assert rows is not None
+        kinds = {row["kind"] for row in rows}
+        assert kinds == {"incident_type", "consequence_class"}
+        by_id = {row["budget_id"]: row for row in rows}
+        assert by_id["I1"]["observed"] == 2.0
+        assert 0.0 <= by_id["I1"]["rate_lower"] <= by_id["I1"]["rate_upper"]
+
+    def test_versions_and_git_sha_are_strings(self):
+        versions = collect_versions()
+        assert all(isinstance(v, str) for v in versions.values())
+        assert "numpy" in versions
+        sha = git_sha()
+        assert isinstance(sha, str) and sha
+
+
+class TestRoundTrip:
+    def test_write_read(self, snapshot, tmp_path):
+        manifest = build_manifest(snapshot, command="repro dossier",
+                                  seed=1, hours=10.0)
+        path = tmp_path / "nested" / "manifest.json"
+        manifest.write(path)  # creates parent dirs
+        back = RunManifest.read(path)
+        assert back == manifest
+        # the on-disk form is plain sorted-key JSON
+        data = json.loads(path.read_text())
+        assert data["schema"] == MANIFEST_SCHEMA
+        assert list(data) == sorted(data)
+
+    def test_unknown_schema_rejected(self, snapshot, tmp_path):
+        manifest = build_manifest(snapshot, command="x")
+        data = manifest.to_dict()
+        data["schema"] = "something/else"
+        with pytest.raises(ValueError, match="schema"):
+            RunManifest.from_dict(data)

@@ -1,0 +1,234 @@
+"""Unit tests for the metrics registry and its mergeable snapshots.
+
+The load-bearing property is *order-independence of the merge*: the
+fleet coordinator folds worker snapshots into one, and the result must
+be a pure function of the multiset of inputs — never of completion
+order.  The hypothesis test at the bottom shuffles chunk orders
+explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import (SIZE_BUCKETS, Counter, Gauge, Histogram,
+                       MetricsRegistry, MetricsSnapshot, ThroughputMeter)
+
+
+class TestCounter:
+    def test_int_counter_stays_int(self):
+        counter = Counter("n")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+        assert isinstance(counter.value, int)
+
+    def test_float_increment_promotes(self):
+        counter = Counter("hours")
+        counter.inc(2)
+        counter.inc(0.5)
+        assert counter.value == pytest.approx(2.5)
+
+    def test_rejects_negative_and_non_finite(self):
+        counter = Counter("n")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        with pytest.raises(ValueError):
+            counter.inc(math.inf)
+
+
+class TestGauge:
+    def test_set_and_snapshot(self):
+        gauge = Gauge("workers")
+        gauge.set(4.0)
+        assert gauge.snapshot().value == 4.0
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            Gauge("g").set(math.nan)
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        histogram = Histogram("sizes", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 100.0, 1e6):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        # <=1: 0.5 and 1.0; <=10: 5.0; <=100: 100.0; overflow: 1e6
+        assert snap.bucket_counts == (2, 1, 1, 1)
+        assert snap.count == 5
+        assert snap.min == 0.5
+        assert snap.max == 1e6
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, math.inf))
+
+    def test_rejects_non_finite_values(self):
+        with pytest.raises(ValueError):
+            Histogram("h").observe(math.inf)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_histogram_bounds_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0, 2.0))
+        with pytest.raises(ValueError, match="bounds"):
+            registry.histogram("h", bounds=(1.0, 3.0))
+
+    def test_snapshot_is_frozen_copy(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(2)
+        snap = registry.snapshot()
+        registry.counter("n").inc(5)
+        assert snap.counter_value("n") == 2
+        assert registry.snapshot().counter_value("n") == 7
+
+    def test_snapshot_is_picklable(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(7.0)
+        snap = registry.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_absorb_matches_merge_many(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(2)
+        a.gauge("g").set(3.0)
+        a.histogram("h").observe(4.0)
+        b = MetricsRegistry()
+        b.counter("n").inc(5)
+        b.gauge("g").set(1.0)
+        b.histogram("h").observe(40.0)
+        merged = MetricsSnapshot.merge_many([a.snapshot(), b.snapshot()])
+        a.absorb(b.snapshot())
+        assert a.snapshot() == merged
+
+
+class TestSnapshotMerge:
+    def test_int_counters_merge_exactly(self):
+        snaps = []
+        for value in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.counter("n").inc(value)
+            snaps.append(registry.snapshot())
+        merged = MetricsSnapshot.merge_many(snaps)
+        assert merged.counter_value("n") == 6
+        assert isinstance(merged.counter_value("n"), int)
+
+    def test_gauges_merge_by_maximum(self):
+        snaps = []
+        for value in (2.0, 7.0, 3.0):
+            registry = MetricsRegistry()
+            registry.gauge("workers").set(value)
+            snaps.append(registry.snapshot())
+        merged = MetricsSnapshot.merge_many(snaps)
+        assert merged.instruments["workers"].value == 7.0
+
+    def test_missing_instruments_are_fine(self):
+        a = MetricsRegistry()
+        a.counter("only_a").inc()
+        b = MetricsRegistry()
+        b.counter("only_b").inc(2)
+        merged = MetricsSnapshot.merge_many([a.snapshot(), b.snapshot()])
+        assert merged.counter_value("only_a") == 1
+        assert merged.counter_value("only_b") == 2
+
+    def test_conflicting_kinds_raise(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        b = MetricsRegistry()
+        b.gauge("x").set(1.0)
+        with pytest.raises(ValueError, match="conflicting kinds"):
+            MetricsSnapshot.merge_many([a.snapshot(), b.snapshot()])
+
+    def test_conflicting_histogram_bounds_raise(self):
+        a = MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(1.0)
+        b = MetricsRegistry()
+        b.histogram("h", bounds=(1.0, 3.0)).observe(1.0)
+        with pytest.raises(ValueError, match="bucket bounds"):
+            MetricsSnapshot.merge_many([a.snapshot(), b.snapshot()])
+
+    def test_round_trip_through_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(3)
+        registry.counter("hours").inc(1.25)
+        registry.gauge("g").set(2.0)
+        registry.histogram("h").observe(17.0)
+        registry.histogram("empty")  # zero observations round-trips too
+        snap = registry.snapshot()
+        assert MetricsSnapshot.from_dict(snap.to_dict()) == snap
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        values=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                st.floats(min_value=0.0, max_value=5e3,
+                          allow_nan=False, allow_infinity=False),
+            ),
+            min_size=1, max_size=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_merge_is_order_independent(self, values, seed):
+        """The workers-1/2/4 property in miniature: merging a multiset of
+        chunk snapshots must not depend on the order chunks finished."""
+        snaps = []
+        for count, hours, size in values:
+            registry = MetricsRegistry()
+            registry.counter("encounters").inc(count)
+            registry.counter("hours").inc(hours)
+            registry.gauge("workers").set(float(count % 5))
+            registry.histogram("chunk_size").observe(size)
+            snaps.append(registry.snapshot())
+        shuffled = list(snaps)
+        random.Random(seed).shuffle(shuffled)
+        assert (MetricsSnapshot.merge_many(shuffled)
+                == MetricsSnapshot.merge_many(snaps))
+
+
+class TestThroughputMeter:
+    def test_rates_and_eta_with_fake_clock(self):
+        now = [100.0]
+        meter = ThroughputMeter(clock=lambda: now[0])
+        assert meter.rate_per_s(10) == 0.0  # no time has passed
+        now[0] = 110.0
+        assert meter.elapsed_s == pytest.approx(10.0)
+        assert meter.rate_per_s(50.0) == pytest.approx(5.0)
+        assert meter.eta_s(50.0, 150.0) == pytest.approx(20.0)
+
+    def test_eta_edge_cases(self):
+        now = [0.0]
+        meter = ThroughputMeter(clock=lambda: now[0])
+        now[0] = 10.0
+        assert meter.eta_s(0.0, 100.0) == math.inf  # no progress yet
+        assert meter.eta_s(100.0, 100.0) == 0.0  # done
+
+    def test_default_buckets_cover_reference_sizes(self):
+        # chunk hours (250) and batch sizes (thousands) both land inside
+        # the 1-2-5 ladder rather than in the overflow bucket
+        assert any(b >= 250.0 for b in SIZE_BUCKETS)
+        assert SIZE_BUCKETS[-1] >= 1e4

@@ -1,0 +1,90 @@
+"""Unit tests for the telemetry session lifecycle and its no-op path."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import (NO_OP_SPAN, TelemetrySnapshot, active_session,
+                       maybe_span, telemetry_session)
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert active_session() is None
+
+    def test_maybe_span_is_shared_noop_when_disabled(self):
+        # identity, not just behaviour: the disabled path allocates nothing
+        assert maybe_span("anything") is NO_OP_SPAN
+        with maybe_span("anything"):
+            pass
+
+    def test_session_installs_and_restores(self):
+        assert active_session() is None
+        with telemetry_session() as session:
+            assert active_session() is session
+        assert active_session() is None
+
+    def test_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with telemetry_session():
+                raise RuntimeError("boom")
+        assert active_session() is None
+
+    def test_reentrant_nesting(self):
+        """Inline fleet chunks nest a fresh session inside the
+        coordinator's — the inner one must shadow, then restore."""
+        with telemetry_session() as outer:
+            outer.metrics.counter("n").inc()
+            with telemetry_session() as inner:
+                assert active_session() is inner
+                inner.metrics.counter("n").inc(10)
+            assert active_session() is outer
+            assert outer.metrics.counter("n").value == 1
+            assert inner.metrics.counter("n").value == 10
+
+    def test_maybe_span_records_under_active_session(self):
+        with telemetry_session() as session:
+            with maybe_span("work"):
+                pass
+        assert session.snapshot().spans.child("work").count == 1
+
+
+class TestSnapshot:
+    def _session_snapshot(self, count: int) -> TelemetrySnapshot:
+        with telemetry_session() as session:
+            session.metrics.counter("n").inc(count)
+            with maybe_span("chunk_work"):
+                pass
+        return session.snapshot()
+
+    def test_snapshot_is_picklable(self):
+        snap = self._session_snapshot(3)
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.metrics == snap.metrics
+        assert clone.spans.to_dict() == snap.spans.to_dict()
+
+    def test_merge_many_sums_counters_and_spans(self):
+        merged = TelemetrySnapshot.merge_many(
+            [self._session_snapshot(1), self._session_snapshot(2)])
+        assert merged.metrics.counter_value("n") == 3
+        assert merged.spans.child("chunk_work").count == 2
+
+    def test_merge_many_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TelemetrySnapshot.merge_many([])
+
+    def test_dict_round_trip(self):
+        snap = self._session_snapshot(5)
+        back = TelemetrySnapshot.from_dict(snap.to_dict())
+        assert back.metrics == snap.metrics
+        assert back.spans.to_dict() == snap.spans.to_dict()
+
+    def test_absorb_under_named_child(self):
+        chunk_snap = self._session_snapshot(4)
+        with telemetry_session() as coordinator:
+            coordinator.absorb(chunk_snap, under="fleet.chunks")
+        spans = coordinator.snapshot().spans
+        assert spans.child("fleet.chunks").child("chunk_work").count == 1
+        assert coordinator.metrics.counter("n").value == 4

@@ -1,0 +1,98 @@
+"""Unit tests for the aggregated tracing span tree."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import SpanNode, Tracer
+
+
+class TestSpanNode:
+    def test_add_accumulates(self):
+        node = SpanNode("x")
+        node.add(1.0)
+        node.add(3.0)
+        assert node.count == 2
+        assert node.total_s == pytest.approx(4.0)
+        assert node.min_s == 1.0
+        assert node.max_s == 3.0
+
+    def test_merge_folds_subtrees(self):
+        a = SpanNode("")
+        a.child("outer").add(1.0)
+        a.child("outer").child("inner").add(0.5)
+        b = SpanNode("")
+        b.child("outer").add(2.0)
+        b.child("other").add(4.0)
+        a.merge(b)
+        assert a.child("outer").count == 2
+        assert a.child("outer").total_s == pytest.approx(3.0)
+        assert a.child("outer").child("inner").count == 1
+        assert a.child("other").count == 1
+
+    def test_copy_is_deep(self):
+        node = SpanNode("")
+        node.child("a").add(1.0)
+        clone = node.copy()
+        node.child("a").add(1.0)
+        assert clone.child("a").count == 1
+        assert node.child("a").count == 2
+
+    def test_dict_round_trip(self):
+        node = SpanNode("")
+        node.child("a").add(1.5)
+        node.child("a").child("b").add(0.25)
+        node.child("never_timed")  # zero-count node round-trips
+        data = node.to_dict()
+        back = SpanNode.from_dict("", data)
+        assert back.to_dict() == data
+        assert back.child("a").min_s == 1.5
+        assert back.child("never_timed").min_s == math.inf
+
+
+class TestTracer:
+    def test_nesting_builds_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        root = tracer.snapshot()
+        assert root.child("outer").count == 1
+        assert root.child("outer").child("inner").count == 2
+        assert "inner" not in root.children  # only nested under outer
+
+    def test_exception_safety(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.depth == 0  # stack fully unwound
+        root = tracer.snapshot()
+        assert root.child("outer").count == 1
+        assert root.child("outer").child("inner").count == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer().span("")
+
+    def test_snapshot_does_not_alias(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        snap = tracer.snapshot()
+        with tracer.span("a"):
+            pass
+        assert snap.child("a").count == 1
+
+    def test_render_mentions_counts(self):
+        tracer = Tracer()
+        with tracer.span("resolve_batch"):
+            pass
+        text = tracer.snapshot().render()
+        assert "resolve_batch" in text
+        assert "1 call(s)" in text

@@ -184,6 +184,104 @@ class TestFleet:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--engine", "simd"])
 
+    def test_progress_reports_rates_and_eta(self, capsys):
+        """The progress stream derives chunks/s, encounters/s and ETA
+        from the ThroughputMeter instead of ad-hoc arithmetic."""
+        assert main(["fleet", "--hours", "60", "--seed", "1",
+                     "--chunk-hours", "20", "--workers", "1",
+                     "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "chunks/s" in err
+        assert "encounters/s" in err
+        assert "ETA" in err
+
+
+class TestFleetTelemetry:
+    def test_manifest_written_with_budget_table(self, tmp_path, capsys):
+        from repro.obs import RunManifest
+
+        path = tmp_path / "manifest.json"
+        assert main(["fleet", "--hours", "120", "--seed", "3",
+                     "--chunk-hours", "40", "--workers", "1",
+                     "--telemetry", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry manifest written to" in out
+        assert "Incident-type budget utilisation (f_I)" in out
+        manifest = RunManifest.read(path)
+        assert manifest.seed == 3
+        assert manifest.engine == "vectorized"
+        assert manifest.n_chunks == 3
+        assert manifest.metrics["sim.hours"]["value"] == pytest.approx(120.0)
+        assert "run_fleet" in manifest.spans["children"]
+        rows = manifest.budget_utilisation
+        assert rows is not None
+        assert {row["kind"] for row in rows} == {"incident_type",
+                                                 "consequence_class"}
+        assert all("rate_upper" in row and "confidence" in row
+                   for row in rows)
+
+    def test_telemetry_does_not_change_the_campaign(self, tmp_path, capsys):
+        """--telemetry must be pure observation: the campaign summary is
+        bitwise identical with and without it."""
+        plain = tmp_path / "plain.json"
+        observed = tmp_path / "observed.json"
+        main(["fleet", "--hours", "90", "--seed", "5", "--chunk-hours",
+              "30", "--workers", "1", "--json", str(plain)])
+        main(["fleet", "--hours", "90", "--seed", "5", "--chunk-hours",
+              "30", "--workers", "1", "--json", str(observed),
+              "--telemetry", str(tmp_path / "m.json")])
+        capsys.readouterr()
+        assert json.loads(plain.read_text()) == \
+            json.loads(observed.read_text())
+
+    def test_manifest_worker_count_invariant_metrics(self, tmp_path,
+                                                     capsys):
+        from repro.obs import RunManifest
+
+        manifests = {}
+        for workers in (1, 2):
+            path = tmp_path / f"manifest-{workers}.json"
+            assert main(["fleet", "--hours", "90", "--seed", "5",
+                         "--chunk-hours", "30", "--workers", str(workers),
+                         "--telemetry", str(path)]) == 0
+            manifests[workers] = RunManifest.read(path)
+        capsys.readouterr()
+        counters = {
+            workers: {name: entry["value"]
+                      for name, entry in manifest.metrics.items()
+                      if entry["kind"] == "counter"}
+            for workers, manifest in manifests.items()}
+        assert counters[1] == counters[2]
+        assert manifests[1].budget_utilisation == \
+            manifests[2].budget_utilisation
+
+
+class TestDossierTelemetry:
+    def test_dossier_gains_telemetry_section(self, tmp_path, capsys):
+        from repro.obs import RunManifest
+
+        out = tmp_path / "dossier.txt"
+        manifest_path = tmp_path / "manifest.json"
+        assert main(["dossier", "--hours", "200", "--seed", "2",
+                     "--workers", "1", "--out", str(out),
+                     "--telemetry", str(manifest_path)]) == 0
+        capsys.readouterr()
+        text = out.read_text()
+        assert "7. Runtime telemetry" in text
+        assert "Incident-type budget utilisation (f_I)" in text
+        assert "Campaign counters:" in text
+        assert "Span tree" in text
+        manifest = RunManifest.read(manifest_path)
+        assert manifest.command == "repro dossier"
+        assert manifest.policy == "cautious"
+
+    def test_without_flag_no_telemetry_section(self, tmp_path, capsys):
+        out = tmp_path / "dossier.txt"
+        assert main(["dossier", "--hours", "200", "--seed", "2",
+                     "--workers", "1", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert "Runtime telemetry" not in out.read_text()
+
 
 class TestDossierParallel:
     def test_workers_flag_leaves_dossier_unchanged(self, tmp_path, capsys):

@@ -1,0 +1,122 @@
+"""Coverage for the ``FleetProgress`` callback contract.
+
+Progress is observability: it streams per-chunk running totals in
+*completion* order, and nothing it does — including raising — may leak
+into the deterministic merged result.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.traffic import (BrakingSystem, EncounterGenerator, FleetProgress,
+                           default_context_profiles, default_perception,
+                           nominal_policy, run_fleet)
+
+MIX = {"urban": 0.6, "rural": 0.4}
+HOURS = 200.0
+CHUNK_HOURS = 50.0
+N_CHUNKS = 4
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def world():
+    return EncounterGenerator(default_context_profiles())
+
+
+def _run(world, progress=None, workers=1):
+    return run_fleet(nominal_policy(), world, default_perception(),
+                     BrakingSystem(), MIX, HOURS, SEED, workers=workers,
+                     chunk_hours=CHUNK_HOURS, progress=progress)
+
+
+class TestCallbackStream:
+    def test_invoked_once_per_chunk(self, world):
+        updates = []
+        _run(world, progress=updates.append)
+        assert len(updates) == N_CHUNKS
+        assert all(isinstance(u, FleetProgress) for u in updates)
+        assert [u.chunks_done for u in updates] == [1, 2, 3, 4]
+        assert all(u.chunks_total == N_CHUNKS for u in updates)
+
+    def test_completed_hours_monotone_and_exact(self, world):
+        updates = []
+        _run(world, progress=updates.append)
+        hours = [u.hours_done for u in updates]
+        assert hours == sorted(hours)
+        assert all(h2 > h1 for h1, h2 in zip(hours, hours[1:]))
+        assert hours[-1] == pytest.approx(HOURS)
+        assert all(u.hours_total == pytest.approx(HOURS) for u in updates)
+
+    def test_running_totals_monotone(self, world):
+        updates = []
+        result = _run(world, progress=updates.append)
+        for field in ("encounters_resolved", "incidents_found",
+                      "hard_braking_demands"):
+            series = [getattr(u, field) for u in updates]
+            assert series == sorted(series)
+        last = updates[-1]
+        assert last.encounters_resolved == result.encounters_resolved
+        assert last.incidents_found == len(result.records)
+        assert last.hard_braking_demands == result.hard_braking_demands
+
+    def test_chunk_indices_cover_the_plan(self, world):
+        updates = []
+        _run(world, progress=updates.append)
+        assert sorted(u.chunk_index for u in updates) == list(range(N_CHUNKS))
+
+
+class TestRaisingCallback:
+    def test_raising_callback_does_not_corrupt_results(self, world):
+        """A broken observer downgrades to a RuntimeWarning; the merged
+        campaign is bitwise identical to the clean run."""
+        clean = _run(world)
+
+        def explode(update: FleetProgress) -> None:
+            raise RuntimeError("observer bug")
+
+        with pytest.warns(RuntimeWarning, match="progress callback raised"):
+            noisy = _run(world, progress=explode)
+        assert noisy == clean
+
+    def test_intermittently_raising_callback(self, world):
+        clean = _run(world)
+        seen = []
+
+        def flaky(update: FleetProgress) -> None:
+            seen.append(update.chunks_done)
+            if update.chunks_done % 2 == 0:
+                raise ValueError("every other chunk")
+
+        with pytest.warns(RuntimeWarning):
+            result = _run(world, progress=flaky)
+        assert result == clean
+        assert seen == [1, 2, 3, 4]  # still called for every chunk
+
+    def test_raising_callback_parallel_pool(self, world):
+        clean = _run(world)
+
+        def explode(update: FleetProgress) -> None:
+            raise RuntimeError("observer bug")
+
+        with pytest.warns(RuntimeWarning):
+            pooled = _run(world, progress=explode, workers=2)
+        assert pooled == clean
+
+
+class TestProgressIsPureObservation:
+    def test_callback_presence_does_not_change_result(self, world):
+        silent = _run(world)
+        updates = []
+        observed = _run(world, progress=updates.append)
+        assert observed == silent
+
+    def test_units_are_finite(self, world):
+        updates = []
+        _run(world, progress=updates.append)
+        for u in updates:
+            assert math.isfinite(u.hours_done)
+            assert u.encounters_resolved >= 0

@@ -41,12 +41,30 @@ def world():
     return EncounterGenerator(default_context_profiles())
 
 
+@pytest.fixture(params=["disabled", "enabled"])
+def telemetry_mode(request):
+    """Run every golden twice: telemetry off and telemetry on.
+
+    DESIGN §8's hard invariant — the observability layer never reads or
+    advances an RNG stream — means the pins below must hold bit-for-bit
+    in both modes.  If an instrumented code path ever draws from (or
+    reorders draws of) a generator, the enabled-mode variant fails here
+    while the disabled one still passes."""
+    if request.param == "disabled":
+        yield request.param
+    else:
+        from repro.obs import telemetry_session
+        with telemetry_session():
+            yield request.param
+
+
 def _campaign(world, policy, seed, engine="scalar"):
     return simulate_mix(policy, world, default_perception(), BrakingSystem(),
                         MIX, HOURS, np.random.default_rng(seed),
                         engine=engine)
 
 
+@pytest.mark.usefixtures("telemetry_mode")
 class TestGoldenSimulateMix:
     """Two seeds, two policies — pinned record-level statistics.
 
@@ -83,6 +101,7 @@ class TestGoldenSimulateMix:
         assert a == b
 
 
+@pytest.mark.usefixtures("telemetry_mode")
 class TestGoldenVectorized:
     """Pin the vectorized engine's per-(context × class) sub-stream
     layout — same seeds and policies as the scalar pins above, so a
@@ -116,6 +135,7 @@ class TestGoldenVectorized:
         assert a == b
 
 
+@pytest.mark.usefixtures("telemetry_mode")
 class TestGoldenFleet:
     """Pin the chunked seeding scheme of run_fleet itself.
 
