@@ -20,6 +20,15 @@ Python:
   picks the per-core path (vectorized structure-of-arrays by default,
   scalar as the reference oracle).
 
+Fault tolerance (DESIGN.md §9): ``--checkpoint PATH`` persists every
+committed chunk atomically; ``--resume`` restarts a killed campaign from
+that file, re-running only the missing chunks (the merged result is
+bit-for-bit the uninterrupted one).  ``--max-attempts`` and
+``--chunk-timeout`` tune the per-chunk retry policy.  A campaign that
+still cannot finish exits with code 3 and prints its failure log; a
+``Ctrl-C`` exits with the conventional 130 after the checkpoint (if any)
+has been flushed.
+
 The module is import-safe (no work at import time) and `main` takes an
 argv list, so tests drive it directly.
 """
@@ -136,6 +145,23 @@ def _add_parallel_flags(sub_parser: argparse.ArgumentParser) -> None:
         help="enable runtime telemetry and write the RunManifest JSON "
              "(seed, versions, span tree, metrics, budget utilisation) "
              "here; the simulated draws are bitwise unaffected")
+    sub_parser.add_argument(
+        "--checkpoint", type=Path, default=None,
+        help="persist every committed chunk to this campaign checkpoint "
+             "(atomic writes; the simulated draws are bitwise unaffected)")
+    sub_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint: restore its committed chunks and "
+             "re-run only the missing ones (bit-for-bit identical to an "
+             "uninterrupted run)")
+    sub_parser.add_argument(
+        "--max-attempts", type=int, default=None,
+        help="per-chunk execution attempts before the chunk is "
+             "quarantined and the campaign fails partially (default 3)")
+    sub_parser.add_argument(
+        "--chunk-timeout", type=float, default=None,
+        help="seconds before one chunk execution is declared hung and "
+             "retried on a rebuilt pool (default: no timeout)")
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -224,13 +250,28 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 _DEFAULT_MIX = {"urban": 0.5, "suburban": 0.2, "rural": 0.2, "highway": 0.1}
 
 
+def _retry_policy(args: argparse.Namespace):
+    """The :class:`~repro.stats.RetryPolicy` the CLI flags describe."""
+    from repro.stats import RetryPolicy
+
+    overrides = {}
+    if getattr(args, "max_attempts", None) is not None:
+        overrides["max_attempts"] = args.max_attempts
+    if getattr(args, "chunk_timeout", None) is not None:
+        overrides["timeout_s"] = args.chunk_timeout
+    return RetryPolicy(**overrides)
+
+
 def _run_campaign(policy, hours: float, seed: int,
                   workers: Optional[int], chunk_hours: Optional[float],
-                  engine: str = "vectorized", progress=None):
+                  engine: str = "vectorized", progress=None,
+                  retry=None, checkpoint=None, resume: bool = False,
+                  failure_sink=None):
     """One fleet campaign over the default world and context mix."""
-    from repro.traffic import (DEFAULT_CHUNK_HOURS, BrakingSystem,
-                               EncounterGenerator, default_context_profiles,
-                               default_perception, run_fleet)
+    from repro.traffic import (DEFAULT_CHUNK_HOURS, DEFAULT_RETRY_POLICY,
+                               BrakingSystem, EncounterGenerator,
+                               default_context_profiles, default_perception,
+                               run_fleet)
 
     world = EncounterGenerator(default_context_profiles())
     return run_fleet(
@@ -238,7 +279,9 @@ def _run_campaign(policy, hours: float, seed: int,
         hours, seed, workers=workers,
         chunk_hours=DEFAULT_CHUNK_HOURS if chunk_hours is None
         else chunk_hours,
-        engine=engine, progress=progress)
+        engine=engine, progress=progress,
+        retry=DEFAULT_RETRY_POLICY if retry is None else retry,
+        checkpoint=checkpoint, resume=resume, failure_sink=failure_sink)
 
 
 def _scaled_goals(scale: float):
@@ -253,11 +296,15 @@ def _scaled_goals(scale: float):
 
 
 def _campaign_telemetry(args: argparse.Namespace, session, campaign,
-                        goals, types, *, command: str, summary=None):
+                        goals, types, *, command: str, summary=None,
+                        failure_log=None):
     """Budget utilisation + manifest for one telemetry-enabled campaign.
 
     Returns ``(snapshot, budget_report)`` and writes the
     :class:`~repro.obs.manifest.RunManifest` to ``args.telemetry``.
+    ``failure_log`` is the campaign's recovered-fault audit trail (a
+    sequence of :class:`~repro.stats.ChunkFailure` entries), embedded in
+    the manifest when non-empty.
     """
     from repro.obs import BudgetMonitor, build_manifest
     from repro.stats import plan_chunks
@@ -274,7 +321,9 @@ def _campaign_telemetry(args: argparse.Namespace, session, campaign,
         policy=campaign.policy_name, hours=args.hours, mix=_DEFAULT_MIX,
         workers=args.workers, chunk_hours=chunk_hours,
         n_chunks=len(plan_chunks(args.hours, chunk_hours)),
-        budget_report=budget_report, summary=summary)
+        budget_report=budget_report, summary=summary,
+        failure_log=(None if not failure_log
+                     else [entry.to_dict() for entry in failure_log]))
     manifest.write(args.telemetry)
     print(f"telemetry manifest written to {args.telemetry}")
     return snapshot, budget_report
@@ -283,7 +332,9 @@ def _campaign_telemetry(args: argparse.Namespace, session, campaign,
 def _cmd_dossier(args: argparse.Namespace) -> int:
     from repro.core.verification import verify_against_counts
     from repro.reporting import build_dossier
-    from repro.traffic import cautious_policy, type_counts
+    from repro.stats import CampaignPartialFailure
+    from repro.traffic import (CheckpointMismatchError, cautious_policy,
+                               type_counts)
 
     goals, types = _scaled_goals(args.scale)
 
@@ -292,15 +343,27 @@ def _cmd_dossier(args: argparse.Namespace) -> int:
         context = telemetry_session()
     else:
         context = nullcontext()
-    with context as session:
-        campaign = _run_campaign(cautious_policy(), args.hours, args.seed,
-                                 args.workers, args.chunk_hours, args.engine)
+    failure_sink: list = []
+    try:
+        with context as session:
+            campaign = _run_campaign(
+                cautious_policy(), args.hours, args.seed, args.workers,
+                args.chunk_hours, args.engine, retry=_retry_policy(args),
+                checkpoint=args.checkpoint, resume=args.resume,
+                failure_sink=failure_sink)
+    except (FileExistsError, CheckpointMismatchError) as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 2
+    except CampaignPartialFailure as exc:
+        print(f"dossier campaign failed partially: {exc}", file=sys.stderr)
+        return 3
     counts, _ = type_counts(campaign, types)
     report = verify_against_counts(goals, counts, campaign.hours)
     snapshot = budget_report = None
     if session is not None:
         snapshot, budget_report = _campaign_telemetry(
-            args, session, campaign, goals, types, command="repro dossier")
+            args, session, campaign, goals, types, command="repro dossier",
+            failure_log=failure_sink)
     text = build_dossier(goals, report, telemetry=snapshot,
                          budget_utilisation=budget_report)
     if args.out is not None:
@@ -314,8 +377,9 @@ def _cmd_dossier(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.core import figure5_incident_types
     from repro.obs import ThroughputMeter
-    from repro.traffic import (aggressive_policy, cautious_policy,
-                               nominal_policy, type_counts)
+    from repro.stats import CampaignPartialFailure
+    from repro.traffic import (CheckpointMismatchError, aggressive_policy,
+                               cautious_policy, nominal_policy, type_counts)
 
     policy = {"cautious": cautious_policy, "nominal": nominal_policy,
               "aggressive": aggressive_policy}[args.policy]()
@@ -325,14 +389,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     def show_progress(update) -> None:
         # Rates and ETA come from the ThroughputMeter over the metrics
         # the fleet runner streams — not ad-hoc arithmetic per call site.
-        eta = meter.eta_s(update.hours_done, update.hours_total)
+        # Chunks restored from a checkpoint are excluded via the baseline
+        # so a resumed campaign's rate/ETA reflect work actually done
+        # *this* run, not the banked exposure.
+        eta = meter.eta_s(update.hours_done, update.hours_total,
+                          baseline=update.hours_resumed)
         eta_text = f"{eta:.0f} s" if math.isfinite(eta) else "--"
-        print(f"chunk {update.chunks_done}/{update.chunks_total}: "
+        resumed = (f" ({update.chunks_resumed} restored)"
+                   if update.chunks_resumed else "")
+        print(f"chunk {update.chunks_done}/{update.chunks_total}{resumed}: "
               f"{update.hours_done:.0f}/{update.hours_total:.0f} h, "
               f"{update.encounters_resolved} encounters, "
               f"{update.incidents_found} incidents, "
               f"{update.hard_braking_demands} hard-braking demands | "
-              f"{meter.rate_per_s(update.chunks_done):.2f} chunks/s, "
+              f"{meter.rate_per_s(update.chunks_done, baseline=update.chunks_resumed):.2f} chunks/s, "
               f"{meter.rate_per_s(update.encounters_resolved):.0f} "
               f"encounters/s, ETA {eta_text}",
               file=sys.stderr)
@@ -342,11 +412,31 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         context = telemetry_session()
     else:
         context = nullcontext()
-    with context as session:
-        campaign = _run_campaign(
-            policy, args.hours, args.seed, args.workers,
-            args.chunk_hours, args.engine,
-            progress=show_progress if args.progress else None)
+    failure_sink: list = []
+    try:
+        with context as session:
+            campaign = _run_campaign(
+                policy, args.hours, args.seed, args.workers,
+                args.chunk_hours, args.engine,
+                progress=show_progress if args.progress else None,
+                retry=_retry_policy(args), checkpoint=args.checkpoint,
+                resume=args.resume, failure_sink=failure_sink)
+    except (FileExistsError, CheckpointMismatchError) as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 2
+    except CampaignPartialFailure as exc:
+        print(f"fleet campaign failed partially: {exc}", file=sys.stderr)
+        for failure in exc.failures:
+            print(f"  chunk {failure.chunk_index} attempt "
+                  f"{failure.attempt} [{failure.kind}]: {failure.message}",
+                  file=sys.stderr)
+        print(f"  quarantined chunks: "
+              f"{', '.join(map(str, exc.quarantined))}", file=sys.stderr)
+        if args.checkpoint is not None:
+            print(f"  completed chunks persisted to {args.checkpoint}; "
+                  f"rerun with --resume after fixing the fault",
+                  file=sys.stderr)
+        return 3
     types = list(figure5_incident_types())
     counts, unclassified = type_counts(campaign, types)
     collisions = len(campaign.collisions())
@@ -379,11 +469,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
           f"> {campaign.hard_braking_threshold_ms2:g} m/s²)")
     for type_id, count in sorted(counts.items()):
         print(f"  {type_id}: {count}")
+    if failure_sink:
+        print(f"  recovered faults:      {len(failure_sink)} "
+              f"(campaign result unaffected; see telemetry failure log)")
     if session is not None:
         goals, goal_types = _scaled_goals(args.scale)
         _, budget_report = _campaign_telemetry(
             args, session, campaign, goals, goal_types,
-            command="repro fleet", summary=summary)
+            command="repro fleet", summary=summary,
+            failure_log=failure_sink)
         print()
         print(budget_report.render())
     if args.json is not None:
@@ -430,7 +524,18 @@ _COMMANDS = {
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        # The fleet runner has already cancelled pending futures and torn
+        # the pool down; every committed chunk is in the checkpoint (if
+        # one was requested), so a later --resume picks up cleanly.  130
+        # is the conventional 128 + SIGINT exit status.
+        checkpoint = getattr(args, "checkpoint", None)
+        hint = (f"; committed chunks are in {checkpoint} — rerun with "
+                f"--resume" if checkpoint is not None else "")
+        print(f"interrupted{hint}", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -90,6 +90,12 @@ class RunManifest:
     metrics: Dict[str, object]
     budget_utilisation: Optional[List[Dict[str, object]]] = None
     summary: Dict[str, object] = field(default_factory=dict)
+    failure_log: Optional[List[Dict[str, object]]] = None
+    """Recovered-fault audit trail: one entry per
+    :class:`~repro.stats.fault_tolerance.ChunkFailure` the campaign's
+    retry layer logged (``chunk_index``/``attempt``/``kind``/``message``).
+    ``None`` for fault-free runs and manifests written before the
+    fault-tolerance layer existed (additive, still schema v1)."""
 
     def to_dict(self) -> Dict[str, object]:
         data: Dict[str, object] = {
@@ -111,6 +117,7 @@ class RunManifest:
             "metrics": self.metrics,
             "budget_utilisation": self.budget_utilisation,
             "summary": dict(self.summary),
+            "failure_log": self.failure_log,
         }
         return data
 
@@ -154,6 +161,9 @@ class RunManifest:
                 None if budget is None
                 else [dict(row) for row in budget]),  # type: ignore[union-attr]
             summary=dict(data.get("summary", {})),  # type: ignore[call-overload]
+            failure_log=(
+                None if data.get("failure_log") is None
+                else [dict(row) for row in data["failure_log"]]),  # type: ignore[union-attr]
         )
 
     def to_json(self) -> str:
@@ -181,12 +191,17 @@ def build_manifest(snapshot: TelemetrySnapshot, *, command: str,
                    n_chunks: Optional[int] = None,
                    budget_report=None,
                    summary: Optional[Mapping[str, object]] = None,
+                   failure_log: Optional[Sequence[Mapping[str, object]]] = None,
                    ) -> RunManifest:
     """Assemble a :class:`RunManifest` from a frozen telemetry snapshot.
 
     ``budget_report`` is an optional
     :class:`~repro.obs.budget_monitor.BudgetUtilisationReport`; its rows
     are embedded as plain dicts so the manifest stays self-contained.
+    ``failure_log`` takes the plain-dict form of the campaign's recovered
+    :class:`~repro.stats.fault_tolerance.ChunkFailure` entries (e.g.
+    ``[f.to_dict() for f in failure_sink]``); pass ``None`` — not ``[]``
+    — for a fault-free run so the manifest reads unambiguously.
     """
     budget_rows: Optional[List[Dict[str, object]]] = None
     if budget_report is not None:
@@ -210,4 +225,6 @@ def build_manifest(snapshot: TelemetrySnapshot, *, command: str,
         metrics=snapshot.metrics.to_dict(),
         budget_utilisation=budget_rows,
         summary={} if summary is None else dict(summary),
+        failure_log=(None if failure_log is None
+                     else [dict(row) for row in failure_log]),
     )

@@ -396,30 +396,55 @@ class ThroughputMeter:
     never any RNG.  Used by ``repro fleet --progress`` to derive
     chunks/s, encounters/s and the remaining-time estimate from the
     metrics stream instead of ad-hoc arithmetic at every call site.
+
+    ``baseline`` handles checkpoint resume: a resumed campaign reports
+    whole-campaign ``units_done`` (restored + this process), but this
+    process only worked off ``units_done - baseline`` — rates and ETAs
+    must be computed from *that*, or a resume would claim impossible
+    throughput and a wildly optimistic ETA (the restored chunks cost
+    this process zero seconds).
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 baseline: float = 0.0):
+        if baseline < 0 or not math.isfinite(baseline):
+            raise ValueError(
+                f"baseline must be finite and >= 0, got {baseline}")
         self._clock = clock
         self._t0 = clock()
+        self._baseline = baseline
+
+    @property
+    def baseline(self) -> float:
+        return self._baseline
 
     @property
     def elapsed_s(self) -> float:
         return max(self._clock() - self._t0, 0.0)
 
-    def rate_per_s(self, units_done: float) -> float:
+    def rate_per_s(self, units_done: float, *,
+                   baseline: Optional[float] = None) -> float:
         """Average units per second since the meter started (0 if no time
-        has passed)."""
+        has passed).  ``units_done`` is the whole-campaign total; the
+        meter's (or the override) baseline is subtracted first."""
         elapsed = self.elapsed_s
         if elapsed <= 0.0:
             return 0.0
-        return units_done / elapsed
+        offset = self._baseline if baseline is None else baseline
+        return max(units_done - offset, 0.0) / elapsed
 
-    def eta_s(self, units_done: float, units_total: float) -> float:
-        """Estimated seconds to finish; ``inf`` until any progress exists."""
+    def eta_s(self, units_done: float, units_total: float, *,
+              baseline: Optional[float] = None) -> float:
+        """Estimated seconds to finish; ``inf`` until any progress exists.
+
+        The rate is measured over this process's own work
+        (``units_done - baseline``), while the remaining work is the
+        whole campaign's — which is exactly what the operator wants to
+        know after a resume."""
         remaining = max(units_total - units_done, 0.0)
         if remaining == 0.0:
             return 0.0
-        rate = self.rate_per_s(units_done)
+        rate = self.rate_per_s(units_done, baseline=baseline)
         if rate <= 0.0:
             return math.inf
         return remaining / rate

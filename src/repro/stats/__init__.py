@@ -22,6 +22,8 @@ from .rare_event import (StratifiedEstimate, StratumEstimate,
                          optimal_replication_split, stratified_rate)
 from .parallel import (Chunk, ChunkProgress, default_worker_count,
                        plan_chunks, run_chunked)
+from .fault_tolerance import (FAILURE_KINDS, CampaignPartialFailure,
+                              ChunkFailure, RetryPolicy)
 
 __all__ = [
     "CountedEvent",
@@ -57,4 +59,8 @@ __all__ = [
     "default_worker_count",
     "plan_chunks",
     "run_chunked",
+    "FAILURE_KINDS",
+    "CampaignPartialFailure",
+    "ChunkFailure",
+    "RetryPolicy",
 ]

@@ -1,0 +1,13 @@
+"""Test-support substrate shipped with the package.
+
+Deliberately importable from production code paths' *tests* only — the
+runtime never imports this package.  Today it holds the deterministic
+chaos harness (:mod:`.chaos`) that the ``chaos`` test tier drives the
+fault-tolerant campaign engine with.
+"""
+
+from .chaos import (CHAOS_FAULT_KINDS, ChaosError, ChaosScript, ChaosWorker,
+                    replace_with_garbage)
+
+__all__ = ["CHAOS_FAULT_KINDS", "ChaosError", "ChaosScript", "ChaosWorker",
+           "replace_with_garbage"]

@@ -30,7 +30,10 @@ from .scenarios import (AnimalRunOut, CrossingPedestrian, CutIn,
                         Scenario, ScenarioOutcome, ScenarioStatistics,
                         ScenarioSuite, incident_rate_contributions,
                         run_scenario)
-from .fleet import DEFAULT_CHUNK_HOURS, FleetProgress, run_fleet
+from .checkpoint import (CHECKPOINT_SCHEMA, CampaignCheckpoint,
+                         CheckpointMismatchError)
+from .fleet import (DEFAULT_CHUNK_HOURS, DEFAULT_RETRY_POLICY,
+                    FleetProgress, run_fleet, validate_chunk_output)
 from .simulator import (ENGINES, SimulationConfig, SimulationResult,
                         simulate, simulate_mix)
 
@@ -48,7 +51,9 @@ __all__ = [
     "Encounter", "ContextProfile", "EncounterGenerator",
     "default_context_profiles",
     "SimulationConfig", "SimulationResult", "simulate", "simulate_mix",
-    "DEFAULT_CHUNK_HOURS", "FleetProgress", "run_fleet",
+    "DEFAULT_CHUNK_HOURS", "DEFAULT_RETRY_POLICY", "FleetProgress",
+    "run_fleet", "validate_chunk_output",
+    "CHECKPOINT_SCHEMA", "CampaignCheckpoint", "CheckpointMismatchError",
     "TypeRates", "estimate_type_rates", "empirical_splits", "type_counts",
     "Scenario", "ScenarioOutcome", "ScenarioStatistics", "ScenarioSuite",
     "CrossingPedestrian", "LeadVehicleBraking", "CutIn",

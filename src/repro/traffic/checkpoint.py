@@ -1,0 +1,259 @@
+"""Campaign checkpoints: atomic persist + resume for fleet campaigns.
+
+The QRN's evidence runs are *long* — exactly the campaigns most likely
+to be killed by a deploy, an OOM or a Ctrl-C.  A
+:class:`CampaignCheckpoint` is the schema-tagged sibling of
+:class:`~repro.obs.manifest.RunManifest` that makes that survivable: the
+fleet runner persists every *committed* (validated) chunk result — plus
+its telemetry snapshot, when telemetry is on — and a resumed campaign
+re-executes only the missing chunks.
+
+Resume is bit-for-bit: the chunk plan and the per-chunk
+``SeedSequence.spawn`` children depend only on ``(seed, hours,
+chunk_hours)``, restored chunks skip execution but keep their slot in
+the chunk-index-ordered merge, and JSON round-trips Python floats
+exactly (shortest-repr), so::
+
+    run_fleet(seed, hours)                            # uninterrupted
+    == merge(restored chunks ++ re-run missing chunks)  # kill + resume
+
+for any worker count on either side.  ``tests/traffic/test_checkpoint.py``
+enforces this as a kill-and-resume property.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory,
+fsync'd), so a crash mid-write leaves the previous checkpoint intact —
+never a half-written JSON document.  The ``campaign`` block pins the
+identity of the run (seed, hours, chunk plan, engine, policy, mix);
+resuming against a checkpoint whose identity differs raises
+:class:`CheckpointMismatchError` instead of silently merging foreign
+chunks.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+from ..core.incident import IncidentRecord
+from ..core.taxonomy import ActorClass
+from ..obs.session import TelemetrySnapshot
+from .simulator import SimulationResult
+
+__all__ = ["CHECKPOINT_SCHEMA", "CampaignCheckpoint",
+           "CheckpointMismatchError", "result_to_dict", "result_from_dict"]
+
+CHECKPOINT_SCHEMA = "repro.campaign-checkpoint/v1"
+
+
+class CheckpointMismatchError(ValueError):
+    """The checkpoint on disk belongs to a different campaign."""
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, object]:
+    """Plain-JSON form of one chunk's :class:`SimulationResult`.
+
+    Floats survive exactly: ``json`` serialises Python floats via their
+    shortest round-trip repr, so ``result_from_dict(result_to_dict(r))
+    == r`` bit-for-bit (dataclass equality over every field).
+    """
+    return {
+        "policy_name": result.policy_name,
+        "hours": result.hours,
+        "context_hours": dict(result.context_hours),
+        "encounters_resolved": result.encounters_resolved,
+        "hard_braking_demands": result.hard_braking_demands,
+        "hard_braking_threshold_ms2": result.hard_braking_threshold_ms2,
+        "records": [
+            {
+                "counterpart": record.counterpart.name,
+                "is_collision": record.is_collision,
+                "delta_v_kmh": record.delta_v_kmh,
+                "min_distance_m": record.min_distance_m,
+                "approach_speed_kmh": record.approach_speed_kmh,
+                "time_h": record.time_h,
+                "context": record.context,
+                "induced": record.induced,
+            }
+            for record in result.records
+        ],
+    }
+
+
+def result_from_dict(data: Mapping[str, object]) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`."""
+    records = [
+        IncidentRecord(
+            counterpart=ActorClass[str(entry["counterpart"])],
+            is_collision=bool(entry["is_collision"]),
+            delta_v_kmh=float(entry["delta_v_kmh"]),  # type: ignore[arg-type]
+            min_distance_m=float(entry["min_distance_m"]),  # type: ignore[arg-type]
+            approach_speed_kmh=float(entry["approach_speed_kmh"]),  # type: ignore[arg-type]
+            time_h=float(entry["time_h"]),  # type: ignore[arg-type]
+            context=str(entry["context"]),
+            induced=bool(entry["induced"]),
+        )
+        for entry in data["records"]  # type: ignore[union-attr]
+    ]
+    return SimulationResult(
+        policy_name=str(data["policy_name"]),
+        hours=float(data["hours"]),  # type: ignore[arg-type]
+        context_hours={str(k): float(v) for k, v in
+                       dict(data["context_hours"]).items()},  # type: ignore[call-overload]
+        records=records,
+        encounters_resolved=int(data["encounters_resolved"]),  # type: ignore[arg-type]
+        hard_braking_demands=int(data["hard_braking_demands"]),  # type: ignore[arg-type]
+        hard_braking_threshold_ms2=float(data["hard_braking_threshold_ms2"]),  # type: ignore[arg-type]
+    )
+
+
+@dataclass
+class _ChunkEntry:
+    """One persisted chunk: its result + optional telemetry snapshot."""
+
+    result: SimulationResult
+    telemetry: Optional[TelemetrySnapshot] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "result": result_to_dict(self.result),
+            "telemetry": (None if self.telemetry is None
+                          else self.telemetry.to_dict()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "_ChunkEntry":
+        telemetry = data.get("telemetry")
+        return cls(
+            result=result_from_dict(dict(data["result"])),  # type: ignore[call-overload]
+            telemetry=(None if telemetry is None
+                       else TelemetrySnapshot.from_dict(dict(telemetry))),  # type: ignore[call-overload]
+        )
+
+
+class CampaignCheckpoint:
+    """Mutable on-disk campaign state: identity block + committed chunks.
+
+    Lifecycle: the fleet runner creates one (:meth:`new`) or loads one
+    (:meth:`load` + :meth:`ensure_matches`), then calls :meth:`record`
+    once per committed chunk — each call rewrites the file atomically,
+    so the checkpoint on disk is always a consistent prefix of the
+    campaign (in commit order, which may not be index order; resume
+    handles any subset).
+    """
+
+    def __init__(self, path: Path, campaign: Mapping[str, object],
+                 chunks: Optional[Dict[int, _ChunkEntry]] = None,
+                 created_utc: Optional[str] = None):
+        self.path = Path(path)
+        self.campaign = dict(campaign)
+        self.chunks: Dict[int, _ChunkEntry] = dict(chunks or {})
+        self.created_utc = (created_utc or
+                            datetime.now(timezone.utc).isoformat())
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def new(cls, path: Path, campaign: Mapping[str, object],
+            ) -> "CampaignCheckpoint":
+        return cls(path, campaign)
+
+    @classmethod
+    def load(cls, path: Path) -> "CampaignCheckpoint":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        schema = data.get("schema")
+        if schema != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"unsupported checkpoint schema {schema!r} "
+                f"(expected {CHECKPOINT_SCHEMA!r})")
+        chunks = {
+            int(index): _ChunkEntry.from_dict(entry)
+            for index, entry in dict(data.get("chunks", {})).items()
+        }
+        return cls(Path(path), dict(data["campaign"]), chunks,
+                   created_utc=str(data.get("created_utc", "")))
+
+    # -- identity ---------------------------------------------------------
+
+    def ensure_matches(self, campaign: Mapping[str, object]) -> None:
+        """Refuse to resume a different campaign.
+
+        Every key of ``campaign`` must match the stored identity block
+        (the worker count is deliberately *not* part of the identity —
+        resuming on a different pool size is supported and bit-exact).
+        """
+        mismatches = {
+            key: (self.campaign.get(key), value)
+            for key, value in campaign.items()
+            if self.campaign.get(key) != value
+        }
+        if mismatches:
+            detail = "; ".join(
+                f"{key}: checkpoint={stored!r} requested={wanted!r}"
+                for key, (stored, wanted) in sorted(mismatches.items()))
+            raise CheckpointMismatchError(
+                f"checkpoint {self.path} belongs to a different campaign "
+                f"({detail})")
+
+    # -- chunk state ------------------------------------------------------
+
+    def record(self, index: int, result: SimulationResult,
+               telemetry: Optional[TelemetrySnapshot] = None) -> None:
+        """Persist one committed chunk (atomic rewrite)."""
+        self.chunks[index] = _ChunkEntry(result=result, telemetry=telemetry)
+        self.save()
+
+    def completed_results(self) -> Dict[int, SimulationResult]:
+        return {index: entry.result
+                for index, entry in sorted(self.chunks.items())}
+
+    def completed_telemetry(self) -> Dict[int, Optional[TelemetrySnapshot]]:
+        return {index: entry.telemetry
+                for index, entry in sorted(self.chunks.items())}
+
+    def units_done(self) -> float:
+        """Exposure already banked (sum of restored chunks' hours)."""
+        return math.fsum(entry.result.hours
+                         for entry in self.chunks.values())
+
+    # -- persistence ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": CHECKPOINT_SCHEMA,
+            "created_utc": self.created_utc,
+            "updated_utc": datetime.now(timezone.utc).isoformat(),
+            "campaign": dict(self.campaign),
+            "chunks": {str(index): entry.to_dict()
+                       for index, entry in sorted(self.chunks.items())},
+        }
+
+    def save(self) -> None:
+        """Atomic write: temp file in the same directory + ``os.replace``.
+
+        A crash at any point leaves either the previous complete
+        checkpoint or the new complete checkpoint on disk — never a
+        torn file.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name + ".",
+            suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:  # pragma: no cover - already replaced/removed
+                pass
+            raise

@@ -18,6 +18,17 @@ merged in chunk-index order through the associative/commutative
 fleet timeline via ``time_offset_h``, so pooled records keep absolute
 times without any post-hoc shifting.
 
+Campaigns are fault tolerant by default (DESIGN §9): chunk execution
+runs under a :class:`~repro.stats.fault_tolerance.RetryPolicy` (bounded
+retry, per-chunk timeout, ``BrokenProcessPool`` recovery, quarantine →
+:class:`~repro.stats.fault_tolerance.CampaignPartialFailure` instead of
+total loss), every chunk output passes :func:`validate_chunk_output`
+before it may enter the merge, and — because a retried chunk re-runs
+from the same ``SeedSequence`` child — any mix of faults still yields
+the bit-for-bit fault-free result.  ``checkpoint=``/``resume=`` add
+kill-and-resume persistence through
+:class:`~repro.traffic.checkpoint.CampaignCheckpoint`.
+
 A :class:`FleetProgress` callback makes long campaigns observable
 (chunks done, encounters resolved, incidents found) without perturbing
 the result — progress arrives in completion order, the one surface the
@@ -27,14 +38,19 @@ determinism contract deliberately excludes.
 from __future__ import annotations
 
 import functools
+import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
 from ..obs.session import (TelemetrySnapshot, active_session, maybe_span,
                            telemetry_session)
+from ..stats.fault_tolerance import (CampaignPartialFailure, ChunkFailure,
+                                     RetryPolicy)
 from ..stats.parallel import Chunk, ChunkProgress, plan_chunks, run_chunked
+from .checkpoint import CampaignCheckpoint
 from .encounters import EncounterGenerator
 from .faults import BrakingSystem
 from .perception import PerceptionModel
@@ -42,11 +58,23 @@ from .policy import TacticalPolicy
 from .simulator import (SimulationConfig, SimulationResult, _check_engine,
                         simulate_mix)
 
-__all__ = ["FleetProgress", "run_fleet", "DEFAULT_CHUNK_HOURS"]
+__all__ = ["FleetProgress", "run_fleet", "DEFAULT_CHUNK_HOURS",
+           "DEFAULT_RETRY_POLICY", "validate_chunk_output"]
 
 DEFAULT_CHUNK_HOURS = 250.0
 """Default shard size: large enough to amortise process-pool overhead,
 small enough that a typical campaign yields tens of chunks to balance."""
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+"""The fleet default: 3 attempts per chunk, exponential backoff with
+jitter, no per-chunk timeout (opt in via ``retry=RetryPolicy(timeout_s=…)``
+— a sensible deadline depends on the chunk size and hardware), at most
+2 pool rebuilds before degrading to inline execution."""
+
+_VALIDATE_REL_TOL = 1e-6
+"""Relative tolerance for the chunk validator's exposure cross-checks.
+Loose enough for fsum rounding across contexts, tight enough that a
+corrupted hour count (wrong chunk, truncated output) cannot pass."""
 
 
 @dataclass(frozen=True)
@@ -57,6 +85,12 @@ class FleetProgress:
     ``hard_braking_demands`` accumulate over *completed* chunks, which
     finish in scheduling order — treat these as observability, not as
     part of the deterministic result.
+
+    On a checkpoint resume, ``chunks_resumed``/``hours_resumed`` report
+    the restored baseline and the running totals cover the *whole*
+    campaign (restored + this process), so completion fractions stay
+    honest while rate/ETA displays can subtract the baseline (see
+    ``repro fleet --progress``).
     """
 
     chunk_index: int
@@ -67,6 +101,8 @@ class FleetProgress:
     encounters_resolved: int
     incidents_found: int
     hard_braking_demands: int
+    chunks_resumed: int = 0
+    hours_resumed: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -107,7 +143,10 @@ def _simulate_chunk(task: _ChunkTask, chunk: Chunk,
 
     Module-level (hence picklable) and seeded exclusively from the
     chunk's own ``SeedSequence`` child — no state is shared with other
-    chunks, so results cannot depend on which process ran what.
+    chunks, so results cannot depend on which process ran what.  A
+    *retried* chunk re-enters here with the same ``seed_seq`` and
+    produces the identical output, which is what makes fault recovery
+    invisible in the merged statistics.
 
     When the coordinator requested telemetry, the chunk runs under its
     own fresh :func:`telemetry_session` (nested re-entrantly when inline)
@@ -128,6 +167,109 @@ def _simulate_chunk(task: _ChunkTask, chunk: Chunk,
     return _ChunkOutput(result=result, telemetry=session.snapshot())
 
 
+def validate_chunk_output(chunk: Chunk, output: object) -> Optional[str]:
+    """The fleet's :class:`ChunkValidator`: accept or reject one chunk.
+
+    Returns ``None`` to accept, or a human-readable rejection reason.
+    Rejected outputs never reach the merge — the runner routes them
+    through the retry path (failure kind ``invalid``).  Checks, in
+    order of cheapness:
+
+    * shape — the output is a ``_ChunkOutput`` holding a
+      :class:`SimulationResult` (catches deserialisation garbage);
+    * counters — encounter/demand counts are non-negative integers and
+      incident counts cannot exceed resolved encounters by construction;
+    * exposure — ``hours`` is finite, positive, matches the chunk plan
+      (``chunk.size``) to relative tolerance, and the per-context hour
+      split sums back to it (the "hour-sum mismatch" corruption);
+    * placement — every record's absolute time stamp lies inside this
+      chunk's window on the global timeline (catches results written for
+      the *wrong* chunk index) and all record floats are finite.
+    """
+    if not isinstance(output, _ChunkOutput):
+        return (f"chunk output has unexpected type "
+                f"{type(output).__name__} (expected _ChunkOutput)")
+    result = output.result
+    if not isinstance(result, SimulationResult):
+        return (f"chunk output carries {type(result).__name__} "
+                f"(expected SimulationResult)")
+    if output.telemetry is not None and \
+            not isinstance(output.telemetry, TelemetrySnapshot):
+        return (f"chunk telemetry has unexpected type "
+                f"{type(output.telemetry).__name__}")
+    if not isinstance(result.encounters_resolved, (int, np.integer)) or \
+            result.encounters_resolved < 0:
+        return (f"encounters_resolved must be a non-negative int, got "
+                f"{result.encounters_resolved!r}")
+    if not isinstance(result.hard_braking_demands, (int, np.integer)) or \
+            result.hard_braking_demands < 0:
+        return (f"hard_braking_demands must be a non-negative int, got "
+                f"{result.hard_braking_demands!r}")
+    if not math.isfinite(result.hours) or result.hours <= 0:
+        return f"hours must be finite and positive, got {result.hours!r}"
+    tol = _VALIDATE_REL_TOL * max(chunk.size, 1.0)
+    if abs(result.hours - chunk.size) > tol:
+        return (f"hour-sum mismatch: chunk planned {chunk.size!r} h but "
+                f"result reports {result.hours!r} h")
+    context_sum = math.fsum(result.context_hours.values())
+    for context, hours in result.context_hours.items():
+        if not math.isfinite(hours) or hours < 0:
+            return (f"context_hours[{context!r}] must be finite and >= 0, "
+                    f"got {hours!r}")
+    if abs(context_sum - result.hours) > tol:
+        return (f"hour-sum mismatch: context hours sum to {context_sum!r} "
+                f"but hours is {result.hours!r}")
+    window_lo = chunk.start - tol
+    window_hi = chunk.start + chunk.size + tol
+    for record in result.records:
+        for name in ("time_h", "delta_v_kmh", "min_distance_m",
+                     "approach_speed_kmh"):
+            value = getattr(record, name)
+            if not math.isfinite(value):
+                return f"record field {name} is not finite: {value!r}"
+        if not window_lo <= record.time_h <= window_hi:
+            return (f"record at t={record.time_h!r} h falls outside this "
+                    f"chunk's window [{chunk.start!r}, "
+                    f"{chunk.start + chunk.size!r}] — result for the "
+                    f"wrong chunk index?")
+    return None
+
+
+def _campaign_identity(policy: TacticalPolicy, mix: Mapping[str, float],
+                       hours: float, seed: int, chunk_hours: float,
+                       engine: str) -> Dict[str, object]:
+    """The checkpoint identity block: what *defines* the campaign's draws.
+
+    Worker count is deliberately absent — it is outside the RNG layout,
+    so resuming on a different pool size is sound.
+    """
+    return {
+        "seed": seed,
+        "hours": hours,
+        "chunk_hours": chunk_hours,
+        "engine": engine,
+        "policy": policy.name,
+        "mix": {str(k): float(v) for k, v in sorted(mix.items())},
+        "n_chunks": len(plan_chunks(hours, chunk_hours)),
+    }
+
+
+def _open_checkpoint(path: Path, identity: Mapping[str, object],
+                     resume: bool) -> CampaignCheckpoint:
+    path = Path(path)
+    if path.exists():
+        if not resume:
+            raise FileExistsError(
+                f"checkpoint {path} already exists; pass resume=True "
+                f"(CLI: --resume) to continue it, or remove it to start "
+                f"over")
+        checkpoint = CampaignCheckpoint.load(path)
+        checkpoint.ensure_matches(identity)
+        return checkpoint
+    # No file yet: start fresh (with resume=True this is an empty resume).
+    return CampaignCheckpoint.new(path, identity)
+
+
 def run_fleet(policy: TacticalPolicy,
               generator: EncounterGenerator,
               perception: PerceptionModel,
@@ -141,6 +283,12 @@ def run_fleet(policy: TacticalPolicy,
               config: Optional[SimulationConfig] = None,
               progress: Optional[Callable[[FleetProgress], None]] = None,
               engine: str = "vectorized",
+              retry: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
+              validate: bool = True,
+              checkpoint: Optional[Union[str, Path]] = None,
+              resume: bool = False,
+              failure_sink: Optional[List[ChunkFailure]] = None,
+              wrap_worker: Optional[Callable[[Callable], Callable]] = None,
               ) -> SimulationResult:
     """Run a fleet campaign of ``hours`` sharded across a worker pool.
 
@@ -163,6 +311,34 @@ def run_fleet(policy: TacticalPolicy,
     from the scalar draw order), so switching engines changes the draws;
     the worker-count determinism contract holds identically for both.
     Pass ``engine="scalar"`` to reproduce pre-engine campaign pins.
+
+    Fault tolerance (DESIGN §9):
+
+    * ``retry`` (default :data:`DEFAULT_RETRY_POLICY`) bounds per-chunk
+      retries, enables ``BrokenProcessPool``/timeout recovery and
+      quarantines poison chunks — a campaign with quarantined chunks
+      raises :class:`~repro.stats.fault_tolerance.CampaignPartialFailure`
+      whose ``completed`` maps chunk index →
+      :class:`SimulationResult` for everything that *did* finish.
+      ``retry=None`` together with ``validate=False`` restores the
+      legacy strict path (first worker exception aborts the campaign).
+    * ``validate`` (default on) runs :func:`validate_chunk_output` on
+      every chunk before it may be merged (validate-then-commit).
+    * ``checkpoint`` names a :class:`~repro.traffic.checkpoint.CampaignCheckpoint`
+      JSON file: every committed chunk is persisted atomically, and with
+      ``resume=True`` an existing checkpoint's chunks are restored
+      instead of re-simulated — the merged result is bit-for-bit the
+      uninterrupted run's, for any worker count on either side.
+    * ``failure_sink`` collects every recovered
+      :class:`~repro.stats.fault_tolerance.ChunkFailure` for manifests.
+    * ``wrap_worker`` is the chaos-harness seam
+      (:mod:`repro.testing.chaos`): it wraps the per-chunk worker with
+      fault injection in tests; production code leaves it ``None``.
+
+    None of this touches the determinism contract — retried chunks
+    re-run from the same ``SeedSequence`` child, and only validated
+    results are committed, so faulted and fault-free campaigns merge
+    identically.
     """
     _check_engine(engine)
     session = active_session()
@@ -172,9 +348,43 @@ def run_fleet(policy: TacticalPolicy,
                       mix=dict(mix), config=config, engine=engine,
                       telemetry=session is not None)
 
+    campaign_checkpoint: Optional[CampaignCheckpoint] = None
+    completed: Optional[Dict[int, _ChunkOutput]] = None
+    restored_results: List[SimulationResult] = []
+    if checkpoint is not None:
+        identity = _campaign_identity(policy, mix, hours, seed, chunk_hours,
+                                      engine)
+        campaign_checkpoint = _open_checkpoint(Path(checkpoint), identity,
+                                               resume)
+        restored_telemetry = campaign_checkpoint.completed_telemetry()
+        completed = {
+            index: _ChunkOutput(result=result,
+                                telemetry=restored_telemetry.get(index))
+            for index, result
+            in campaign_checkpoint.completed_results().items()
+        }
+        for index in completed:
+            if not 0 <= index < len(chunks):
+                raise ValueError(
+                    f"checkpoint chunk index {index} outside the plan "
+                    f"0..{len(chunks) - 1}")
+        restored_results = [completed[i].result for i in sorted(completed)]
+
+    on_commit: Optional[Callable[[Chunk, _ChunkOutput], None]] = None
+    if campaign_checkpoint is not None:
+        def on_commit(chunk: Chunk, output: _ChunkOutput) -> None:
+            campaign_checkpoint.record(chunk.index, output.result,
+                                       output.telemetry)
+
     adapter: Optional[Callable[[ChunkProgress], None]] = None
     if progress is not None:
-        totals = {"encounters": 0, "incidents": 0, "demands": 0}
+        totals = {
+            "encounters": sum(r.encounters_resolved
+                              for r in restored_results),
+            "incidents": sum(len(r.records) for r in restored_results),
+            "demands": sum(r.hard_braking_demands
+                           for r in restored_results),
+        }
 
         def adapter(update: ChunkProgress) -> None:
             result: SimulationResult = update.result.result
@@ -190,12 +400,31 @@ def run_fleet(policy: TacticalPolicy,
                 encounters_resolved=totals["encounters"],
                 incidents_found=totals["incidents"],
                 hard_braking_demands=totals["demands"],
+                chunks_resumed=update.chunks_resumed,
+                hours_resumed=update.units_resumed,
             ))
 
+    worker = functools.partial(_simulate_chunk, task)
+    if wrap_worker is not None:
+        worker = wrap_worker(worker)
+
     with maybe_span("run_fleet"):
-        outputs = run_chunked(functools.partial(_simulate_chunk, task),
-                              chunks, seed, workers=workers,
-                              progress=adapter)
+        try:
+            outputs = run_chunked(
+                worker, chunks, seed, workers=workers, progress=adapter,
+                retry=retry,
+                validator=validate_chunk_output if validate else None,
+                completed=completed, on_commit=on_commit,
+                failure_sink=failure_sink)
+        except CampaignPartialFailure as exc:
+            # Re-raise with domain results (not private _ChunkOutput
+            # wrappers) so callers can merge/report what survived.
+            raise CampaignPartialFailure(
+                completed={index: output.result
+                           for index, output in exc.completed.items()},
+                failures=exc.failures,
+                quarantined=exc.quarantined,
+                chunks_total=exc.chunks_total) from None
         merged = SimulationResult.merge_many([o.result for o in outputs])
         if session is not None:
             gauge = session.metrics.gauge("fleet.chunks_total")

@@ -76,6 +76,28 @@ class TestRoundTrip:
         assert data["schema"] == MANIFEST_SCHEMA
         assert list(data) == sorted(data)
 
+    def test_failure_log_round_trips(self, snapshot, tmp_path):
+        from repro.stats import ChunkFailure
+
+        failures = [
+            ChunkFailure(chunk_index=2, attempt=1, kind="exception",
+                         message="boom").to_dict(),
+            ChunkFailure(chunk_index=2, attempt=2, kind="invalid",
+                         message="NaN hours").to_dict(),
+        ]
+        manifest = build_manifest(snapshot, command="repro fleet",
+                                  failure_log=failures)
+        assert manifest.failure_log == failures
+        path = tmp_path / "manifest.json"
+        manifest.write(path)
+        assert RunManifest.read(path).failure_log == failures
+
+    def test_fault_free_failure_log_is_none(self, snapshot):
+        manifest = build_manifest(snapshot, command="repro fleet")
+        assert manifest.failure_log is None
+        back = RunManifest.from_dict(manifest.to_dict())
+        assert back.failure_log is None
+
     def test_unknown_schema_rejected(self, snapshot, tmp_path):
         manifest = build_manifest(snapshot, command="x")
         data = manifest.to_dict()

@@ -227,6 +227,40 @@ class TestThroughputMeter:
         assert meter.eta_s(0.0, 100.0) == math.inf  # no progress yet
         assert meter.eta_s(100.0, 100.0) == 0.0  # done
 
+    def test_baseline_subtracts_restored_work(self):
+        """Checkpoint resume: 40 of 100 units were restored for free, so
+        after 10 s of doing 20 more units the honest rate is 2/s and the
+        honest ETA is 40 remaining / 2 per s = 20 s — not the wildly
+        optimistic numbers whole-campaign arithmetic would give."""
+        now = [0.0]
+        meter = ThroughputMeter(clock=lambda: now[0], baseline=40.0)
+        assert meter.baseline == 40.0
+        now[0] = 10.0
+        assert meter.rate_per_s(60.0) == pytest.approx(2.0)
+        assert meter.eta_s(60.0, 100.0) == pytest.approx(20.0)
+        # Without the baseline the resume would claim 6/s and ETA ~6.7 s.
+        assert meter.rate_per_s(60.0, baseline=0.0) == pytest.approx(6.0)
+
+    def test_baseline_override_per_call(self):
+        now = [0.0]
+        meter = ThroughputMeter(clock=lambda: now[0])
+        now[0] = 5.0
+        assert meter.rate_per_s(30.0, baseline=20.0) == pytest.approx(2.0)
+        assert meter.eta_s(30.0, 50.0, baseline=20.0) == pytest.approx(10.0)
+
+    def test_baseline_at_or_above_done_clamps_to_zero(self):
+        now = [0.0]
+        meter = ThroughputMeter(clock=lambda: now[0], baseline=50.0)
+        now[0] = 10.0
+        assert meter.rate_per_s(50.0) == 0.0  # nothing done this process
+        assert meter.eta_s(50.0, 100.0) == math.inf
+
+    def test_invalid_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter(baseline=-1.0)
+        with pytest.raises(ValueError):
+            ThroughputMeter(baseline=math.nan)
+
     def test_default_buckets_cover_reference_sizes(self):
         # chunk hours (250) and batch sizes (thousands) both land inside
         # the 1-2-5 ladder rather than in the overflow bucket

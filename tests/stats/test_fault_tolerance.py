@@ -1,0 +1,141 @@
+"""Unit coverage for the fault-tolerance policy types.
+
+These are the *policy* objects (the execution machinery is exercised in
+``test_parallel_faults.py``): the fault taxonomy, the retry/backoff
+schedule and its dedicated RNG root, and the partial-failure carrier
+exception.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import (FAILURE_KINDS, CampaignPartialFailure, ChunkFailure,
+                         RetryPolicy)
+from repro.stats.fault_tolerance import RETRY_STREAM_TAG
+
+
+class TestChunkFailure:
+    def test_valid_construction_and_dict_form(self):
+        failure = ChunkFailure(chunk_index=3, attempt=2, kind="timeout",
+                               message="exceeded 5.0 s")
+        assert failure.to_dict() == {
+            "chunk_index": 3, "attempt": 2, "kind": "timeout",
+            "message": "exceeded 5.0 s"}
+
+    def test_every_documented_kind_is_accepted(self):
+        for kind in FAILURE_KINDS:
+            ChunkFailure(chunk_index=0, attempt=1, kind=kind, message="m")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown failure kind"):
+            ChunkFailure(chunk_index=0, attempt=1, kind="cosmic-ray",
+                         message="m")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="chunk_index"):
+            ChunkFailure(chunk_index=-1, attempt=1, kind="exception",
+                         message="m")
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            ChunkFailure(chunk_index=0, attempt=0, kind="exception",
+                         message="m")
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.timeout_s is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"backoff_base_s": -1.0},
+        {"backoff_base_s": float("nan")},
+        {"backoff_factor": 0.5},
+        {"max_backoff_s": -0.1},
+        {"jitter_s": -0.1},
+        {"timeout_s": 0.0},
+        {"timeout_s": -3.0},
+        {"max_pool_rebuilds": -1},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_is_exponential_then_capped(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                             max_backoff_s=0.5, jitter_s=0.0)
+        delays = [policy.backoff_s(n) for n in (1, 2, 3, 4, 5)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_backoff_failure_count_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().backoff_s(0)
+
+    def test_jitter_bounded_and_reproducible(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                             jitter_s=0.05)
+        a = [policy.backoff_s(n, policy.rng(77)) for n in (1, 2, 3)]
+        b = [policy.backoff_s(n, policy.rng(77)) for n in (1, 2, 3)]
+        assert a == b  # same seed, same jitter sequence
+        for n, delay in zip((1, 2, 3), a):
+            base = min(0.1 * 2.0 ** (n - 1), policy.max_backoff_s)
+            assert base <= delay < base + 0.05
+
+    def test_backoff_rng_disjoint_from_chunk_streams(self):
+        """The jitter root is SeedSequence([seed, TAG]) — a different
+        entropy tuple from the chunk root SeedSequence(seed), so the two
+        stream families can never collide."""
+        seed = 2020
+        retry_root = np.random.SeedSequence([seed, RETRY_STREAM_TAG])
+        chunk_root = np.random.SeedSequence(seed)
+        retry_state = np.random.default_rng(retry_root).bit_generator.state
+        for child in chunk_root.spawn(8):
+            child_state = np.random.default_rng(child).bit_generator.state
+            assert child_state != retry_state
+
+    def test_zero_jitter_is_deterministic_without_rng(self):
+        policy = RetryPolicy(backoff_base_s=0.2, jitter_s=0.0)
+        assert policy.backoff_s(1) == policy.backoff_s(1, policy.rng(1))
+
+
+class TestCampaignPartialFailure:
+    def _make(self):
+        failures = [
+            ChunkFailure(chunk_index=2, attempt=1, kind="exception",
+                         message="boom"),
+            ChunkFailure(chunk_index=2, attempt=2, kind="invalid",
+                         message="NaN hours"),
+        ]
+        return CampaignPartialFailure(
+            completed={0: "r0", 1: "r1"}, failures=failures,
+            quarantined=(2,), chunks_total=3)
+
+    def test_carries_partial_evidence(self):
+        exc = self._make()
+        assert exc.completed == {0: "r0", 1: "r1"}
+        assert exc.quarantined == (2,)
+        assert exc.chunks_total == 3
+        assert len(exc.failures) == 2
+
+    def test_message_summarises_the_damage(self):
+        text = str(self._make())
+        assert "1 of 3 chunks quarantined" in text
+        assert "2 completed chunk result(s)" in text
+
+    def test_quarantined_sorted(self):
+        exc = CampaignPartialFailure(completed={}, failures=[],
+                                     quarantined=(5, 1, 3), chunks_total=6)
+        assert exc.quarantined == (1, 3, 5)
+
+    def test_failure_log_is_manifest_ready(self):
+        log = self._make().failure_log()
+        assert log == [
+            {"chunk_index": 2, "attempt": 1, "kind": "exception",
+             "message": "boom"},
+            {"chunk_index": 2, "attempt": 2, "kind": "invalid",
+             "message": "NaN hours"},
+        ]

@@ -94,6 +94,26 @@ class TestPlanChunks:
         with pytest.raises(ValueError):
             plan_chunks(math.inf, 10.0)
 
+    def test_no_float_sliver_chunk(self):
+        """Regression: 2.1 / 0.7 is exactly 3 chunks, not 3 + a ~1e-16
+        residue chunk of exposure nobody asked for."""
+        chunks = plan_chunks(2.1, 0.7)
+        assert len(chunks) == 3
+        assert math.fsum(c.size for c in chunks) == pytest.approx(2.1)
+        assert all(c.size > 1e-9 for c in chunks)
+
+    @given(k=st.integers(min_value=1, max_value=40),
+           chunk=st.floats(min_value=0.1, max_value=500.0,
+                           allow_nan=False, allow_infinity=False))
+    @settings(max_examples=200, deadline=None)
+    def test_integer_multiples_never_emit_sliver(self, k, chunk):
+        """``total = k * chunk`` must plan exactly ``k`` chunks even when
+        ``k * chunk`` rounds just above the exact product."""
+        chunks = plan_chunks(k * chunk, chunk)
+        assert len(chunks) == k
+        assert math.fsum(c.size for c in chunks) == pytest.approx(k * chunk)
+        assert all(c.size > chunk * 1e-9 for c in chunks)
+
     def test_chunk_validation(self):
         with pytest.raises(ValueError):
             Chunk(index=-1, start=0.0, size=1.0)

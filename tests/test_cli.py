@@ -293,3 +293,144 @@ class TestDossierParallel:
               "--out", str(pooled)])
         capsys.readouterr()
         assert serial.read_text() == pooled.read_text()
+
+
+class TestFleetFaultTolerance:
+    """CLI surface of DESIGN §9: checkpoint flags, exit codes, retry knobs."""
+
+    FLEET = ["fleet", "--hours", "4", "--seed", "9", "--chunk-hours", "1",
+             "--workers", "1"]
+
+    def test_checkpoint_resume_matches_uninterrupted(self, tmp_path, capsys):
+        """A checkpointed campaign resumed on a different worker count
+        emits the identical --json summary."""
+        plain = tmp_path / "plain.json"
+        banked = tmp_path / "banked.json"
+        ck = tmp_path / "ck.json"
+        assert main(self.FLEET + ["--json", str(plain)]) == 0
+        assert main(self.FLEET + ["--checkpoint", str(ck)]) == 0
+        assert ck.exists()
+        resumed = self.FLEET[:-2] + ["--workers", "2"]
+        assert main(resumed + ["--checkpoint", str(ck), "--resume",
+                               "--json", str(banked)]) == 0
+        capsys.readouterr()
+        assert json.loads(banked.read_text()) == json.loads(plain.read_text())
+
+    def test_existing_checkpoint_without_resume_exits_2(self, tmp_path,
+                                                        capsys):
+        ck = tmp_path / "ck.json"
+        assert main(self.FLEET + ["--checkpoint", str(ck)]) == 0
+        assert main(self.FLEET + ["--checkpoint", str(ck)]) == 2
+        err = capsys.readouterr().err
+        assert "checkpoint error:" in err
+        assert "--resume" in err
+
+    def test_mismatched_resume_exits_2(self, tmp_path, capsys):
+        ck = tmp_path / "ck.json"
+        assert main(self.FLEET + ["--checkpoint", str(ck)]) == 0
+        other_seed = ["fleet", "--hours", "4", "--seed", "10",
+                      "--chunk-hours", "1", "--workers", "1"]
+        assert main(other_seed + ["--checkpoint", str(ck), "--resume"]) == 2
+        assert "checkpoint error:" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130_with_resume_hint(self, tmp_path,
+                                                           monkeypatch,
+                                                           capsys):
+        import repro.cli as cli
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_run_campaign", interrupted)
+        ck = tmp_path / "ck.json"
+        assert main(self.FLEET + ["--checkpoint", str(ck)]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert str(ck) in err and "--resume" in err
+
+    def test_keyboard_interrupt_without_checkpoint_has_no_hint(self,
+                                                               monkeypatch,
+                                                               capsys):
+        import repro.cli as cli
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_run_campaign", interrupted)
+        assert main(self.FLEET) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" not in err
+
+    def test_partial_failure_exits_3_and_reports_quarantine(self, tmp_path,
+                                                            monkeypatch,
+                                                            capsys):
+        from repro.stats import CampaignPartialFailure, ChunkFailure
+
+        import repro.cli as cli
+
+        failure = ChunkFailure(chunk_index=1, attempt=3, kind="exception",
+                               message="worker died")
+
+        def partial(*args, **kwargs):
+            raise CampaignPartialFailure(
+                completed={}, failures=[failure], quarantined=(1,),
+                chunks_total=4)
+
+        monkeypatch.setattr(cli, "_run_campaign", partial)
+        ck = tmp_path / "ck.json"
+        assert main(self.FLEET + ["--checkpoint", str(ck)]) == 3
+        err = capsys.readouterr().err
+        assert "failed partially" in err
+        assert "chunk 1 attempt 3 [exception]: worker died" in err
+        assert "quarantined chunks: 1" in err
+        assert "--resume" in err  # checkpointed run points at recovery
+
+    def test_retry_flags_parse_and_build_policy(self):
+        from repro.cli import _retry_policy
+
+        parser = build_parser()
+        args = parser.parse_args(self.FLEET + ["--max-attempts", "5",
+                                               "--chunk-timeout", "7.5"])
+        policy = _retry_policy(args)
+        assert policy.max_attempts == 5
+        assert policy.timeout_s == 7.5
+        defaults = _retry_policy(parser.parse_args(self.FLEET))
+        assert defaults.max_attempts == 3
+        assert defaults.timeout_s is None
+
+    def test_resumed_progress_marks_restored_chunks(self, tmp_path, capsys):
+        """--resume --progress annotates the stream with the restored
+        baseline so the ETA reflects only this run's work."""
+        import repro.cli as cli
+
+        ck = tmp_path / "ck.json"
+
+        real = cli._run_campaign
+
+        def kill_after_two(*args, **kwargs):
+            progress = kwargs.get("progress")
+            seen = {"n": 0}
+
+            def tripwire(update):
+                if progress is not None:
+                    progress(update)
+                seen["n"] += 1
+                if seen["n"] >= 2:
+                    raise KeyboardInterrupt
+
+            kwargs["progress"] = tripwire
+            return real(*args, **kwargs)
+
+        cli._run_campaign = kill_after_two
+        try:
+            assert main(self.FLEET + ["--checkpoint", str(ck),
+                                      "--progress"]) == 130
+        finally:
+            cli._run_campaign = real
+        capsys.readouterr()
+        assert main(self.FLEET + ["--checkpoint", str(ck), "--resume",
+                                  "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "(2 restored)" in err
+        assert "chunk 4/4" in err

@@ -1,0 +1,247 @@
+"""Campaign checkpoints: exact round-trips and the kill-and-resume property.
+
+The contract under test (DESIGN §9): for any kill point and any worker
+count on either side of it, ::
+
+    run_fleet(seed, hours)                               # uninterrupted
+    == resume(kill(run_fleet(seed, hours, checkpoint)))  # killed + resumed
+
+bit-for-bit — the chunk plan and per-chunk seeds depend only on
+``(seed, hours, chunk_hours)``, restored chunks keep their merge slots,
+and JSON round-trips Python floats exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.traffic import (BrakingSystem, CampaignCheckpoint,
+                           CheckpointMismatchError, EncounterGenerator,
+                           cautious_policy, default_context_profiles,
+                           default_perception, nominal_policy, run_fleet)
+from repro.traffic.checkpoint import result_from_dict, result_to_dict
+
+MIX = {"urban": 0.5, "suburban": 0.2, "rural": 0.2, "highway": 0.1}
+HOURS = 6.0
+CHUNK_HOURS = 1.0
+N_CHUNKS = 6
+SEED = 2020
+
+
+@pytest.fixture(scope="module")
+def world():
+    return EncounterGenerator(default_context_profiles())
+
+
+def _run(world, **kwargs):
+    kwargs.setdefault("workers", 1)
+    return run_fleet(nominal_policy(), world, default_perception(),
+                     BrakingSystem(), MIX, HOURS, SEED,
+                     chunk_hours=CHUNK_HOURS, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(world):
+    return _run(world)
+
+
+class _KillAfter:
+    """A progress observer that simulates Ctrl-C after N committed chunks.
+
+    ``KeyboardInterrupt`` deliberately propagates through the progress
+    plumbing (only ``Exception`` is downgraded), which makes it a
+    faithful in-process stand-in for a real kill: the runner tears down
+    and the checkpoint holds exactly the committed prefix.
+    """
+
+    def __init__(self, after: int):
+        self.after = after
+        self.seen = 0
+
+    def __call__(self, update) -> None:
+        self.seen += 1
+        if self.seen >= self.after:
+            raise KeyboardInterrupt
+
+
+class TestResultRoundTrip:
+    def test_bit_for_bit_json_round_trip(self, uninterrupted):
+        data = result_to_dict(uninterrupted)
+        # Through actual JSON text, not just dicts: shortest-repr floats
+        # must survive serialisation exactly.
+        restored = result_from_dict(json.loads(json.dumps(data)))
+        assert restored == uninterrupted
+
+    def test_round_trip_preserves_every_record_field(self, world):
+        result = _run(world)
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.records == result.records
+        assert restored.context_hours == result.context_hours
+        assert restored.hours == result.hours
+
+
+class TestCheckpointFile:
+    def test_save_load_round_trip(self, tmp_path, uninterrupted):
+        path = tmp_path / "ck.json"
+        ck = CampaignCheckpoint.new(path, {"seed": SEED, "hours": HOURS})
+        ck.record(0, uninterrupted)
+        ck.record(2, uninterrupted)
+        loaded = CampaignCheckpoint.load(path)
+        assert loaded.campaign == {"seed": SEED, "hours": HOURS}
+        assert sorted(loaded.chunks) == [0, 2]
+        assert loaded.completed_results()[0] == uninterrupted
+        assert loaded.units_done() == pytest.approx(2 * uninterrupted.hours)
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ValueError, match="unsupported checkpoint schema"):
+            CampaignCheckpoint.load(path)
+
+    def test_ensure_matches_accepts_identity_and_rejects_foreign(self,
+                                                                 tmp_path):
+        ck = CampaignCheckpoint.new(tmp_path / "ck.json",
+                                    {"seed": 1, "hours": 10.0})
+        ck.ensure_matches({"seed": 1, "hours": 10.0})
+        with pytest.raises(CheckpointMismatchError, match="seed"):
+            ck.ensure_matches({"seed": 2, "hours": 10.0})
+
+    def test_save_is_atomic_no_temp_residue(self, tmp_path, uninterrupted):
+        path = tmp_path / "ck.json"
+        ck = CampaignCheckpoint.new(path, {"seed": SEED})
+        for index in range(3):
+            ck.record(index, uninterrupted)
+            # Every record() leaves exactly one consistent file behind.
+            assert json.loads(path.read_text())["schema"] == \
+                "repro.campaign-checkpoint/v1"
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("kill_workers", [1, 2])
+    @pytest.mark.parametrize("resume_workers", [1, 2, 4])
+    def test_bit_for_bit_for_any_worker_split(self, tmp_path, world,
+                                              uninterrupted, kill_workers,
+                                              resume_workers):
+        path = tmp_path / "ck.json"
+        with pytest.raises(KeyboardInterrupt):
+            _run(world, workers=kill_workers, checkpoint=path,
+                 progress=_KillAfter(2))
+        banked = CampaignCheckpoint.load(path)
+        assert 0 < len(banked.chunks) < N_CHUNKS
+        resumed = _run(world, workers=resume_workers, checkpoint=path,
+                       resume=True)
+        assert resumed == uninterrupted
+
+    def test_kill_twice_then_resume(self, tmp_path, world, uninterrupted):
+        path = tmp_path / "ck.json"
+        with pytest.raises(KeyboardInterrupt):
+            _run(world, checkpoint=path, progress=_KillAfter(2))
+        with pytest.raises(KeyboardInterrupt):
+            _run(world, checkpoint=path, resume=True,
+                 progress=_KillAfter(2))
+        assert len(CampaignCheckpoint.load(path).chunks) >= 3
+        assert _run(world, checkpoint=path, resume=True) == uninterrupted
+
+    def test_resume_of_complete_checkpoint_runs_nothing(self, tmp_path,
+                                                        world,
+                                                        uninterrupted):
+        path = tmp_path / "ck.json"
+        _run(world, checkpoint=path)
+        updates = []
+        again = _run(world, checkpoint=path, resume=True,
+                     progress=updates.append)
+        assert again == uninterrupted
+        assert updates == []  # nothing executed, nothing reported
+
+    def test_resumed_progress_reports_restored_baseline(self, tmp_path,
+                                                        world):
+        path = tmp_path / "ck.json"
+        with pytest.raises(KeyboardInterrupt):
+            _run(world, checkpoint=path, progress=_KillAfter(2))
+        restored = len(CampaignCheckpoint.load(path).chunks)
+        updates = []
+        _run(world, checkpoint=path, resume=True, progress=updates.append)
+        assert len(updates) == N_CHUNKS - restored
+        assert all(u.chunks_resumed == restored for u in updates)
+        assert all(u.hours_resumed == pytest.approx(restored * CHUNK_HOURS)
+                   for u in updates)
+        assert updates[0].chunks_done == restored + 1
+        assert updates[-1].chunks_done == N_CHUNKS
+        assert updates[-1].hours_done == pytest.approx(HOURS)
+
+    def test_kill_and_resume_with_telemetry(self, tmp_path, world,
+                                            uninterrupted):
+        from repro.obs import telemetry_session
+
+        path = tmp_path / "ck.json"
+        with telemetry_session():
+            with pytest.raises(KeyboardInterrupt):
+                _run(world, checkpoint=path, progress=_KillAfter(2))
+        # Chunk telemetry snapshots are persisted alongside results...
+        banked = CampaignCheckpoint.load(path)
+        assert all(snap is not None
+                   for snap in banked.completed_telemetry().values())
+        # ...and the resumed campaign still merges bit-for-bit, with the
+        # session seeing the full campaign's simulation totals.
+        with telemetry_session() as session:
+            resumed = _run(world, checkpoint=path, resume=True)
+            counters = session.snapshot().metrics.counters()
+        assert resumed == uninterrupted
+        assert counters["parallel.chunks_resumed"] == len(banked.chunks)
+
+    def test_telemetry_off_can_resume_telemetry_on_checkpoint(self,
+                                                              tmp_path,
+                                                              world,
+                                                              uninterrupted):
+        from repro.obs import telemetry_session
+
+        path = tmp_path / "ck.json"
+        with telemetry_session():
+            with pytest.raises(KeyboardInterrupt):
+                _run(world, checkpoint=path, progress=_KillAfter(2))
+        resumed = _run(world, checkpoint=path, resume=True)
+        assert resumed == uninterrupted
+
+
+class TestMisuse:
+    def test_existing_checkpoint_without_resume_refused(self, tmp_path,
+                                                        world):
+        path = tmp_path / "ck.json"
+        _run(world, checkpoint=path)
+        with pytest.raises(FileExistsError, match="--resume"):
+            _run(world, checkpoint=path)
+
+    def test_resume_against_different_campaign_refused(self, tmp_path,
+                                                       world):
+        path = tmp_path / "ck.json"
+        _run(world, checkpoint=path)
+        with pytest.raises(CheckpointMismatchError, match="seed"):
+            run_fleet(nominal_policy(), world, default_perception(),
+                      BrakingSystem(), MIX, HOURS, SEED + 1, workers=1,
+                      chunk_hours=CHUNK_HOURS, checkpoint=path, resume=True)
+        with pytest.raises(CheckpointMismatchError, match="policy"):
+            run_fleet(cautious_policy(), world, default_perception(),
+                      BrakingSystem(), MIX, HOURS, SEED, workers=1,
+                      chunk_hours=CHUNK_HOURS, checkpoint=path, resume=True)
+
+    def test_resume_on_different_worker_count_is_allowed(self, tmp_path,
+                                                         world,
+                                                         uninterrupted):
+        """Worker count is deliberately not part of the identity block."""
+        path = tmp_path / "ck.json"
+        with pytest.raises(KeyboardInterrupt):
+            _run(world, workers=1, checkpoint=path, progress=_KillAfter(1))
+        assert _run(world, workers=4, checkpoint=path,
+                    resume=True) == uninterrupted
+
+    def test_missing_checkpoint_with_resume_starts_fresh(self, tmp_path,
+                                                         world,
+                                                         uninterrupted):
+        """--resume against a not-yet-existing file is a fresh start (the
+        ergonomic choice for idempotent job scripts)."""
+        path = tmp_path / "new.json"
+        assert _run(world, checkpoint=path, resume=True) == uninterrupted
+        assert path.exists()

@@ -27,10 +27,10 @@ def world():
     return EncounterGenerator(default_context_profiles())
 
 
-def _run(world, progress=None, workers=1):
+def _run(world, progress=None, workers=1, **kwargs):
     return run_fleet(nominal_policy(), world, default_perception(),
                      BrakingSystem(), MIX, HOURS, SEED, workers=workers,
-                     chunk_hours=CHUNK_HOURS, progress=progress)
+                     chunk_hours=CHUNK_HOURS, progress=progress, **kwargs)
 
 
 class TestCallbackStream:
@@ -105,6 +105,76 @@ class TestRaisingCallback:
         with pytest.warns(RuntimeWarning):
             pooled = _run(world, progress=explode, workers=2)
         assert pooled == clean
+
+
+class TestProgressUnderRetries:
+    """Progress fires once per *committed* chunk: a chunk that fails and
+    retries produces exactly one update, after the validated execution."""
+
+    def _chaos_run(self, world, tmp_path, script, progress, **kwargs):
+        import warnings
+
+        from repro.stats import RetryPolicy
+        from repro.testing import ChaosWorker
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            return _run(world, progress=progress,
+                        retry=RetryPolicy(backoff_base_s=0.0, jitter_s=0.0),
+                        wrap_worker=lambda w: ChaosWorker(w, script,
+                                                          str(tmp_path)),
+                        **kwargs)
+
+    def test_one_update_per_committed_chunk(self, world, tmp_path):
+        from repro.testing import ChaosScript
+
+        clean = _run(world)
+        updates = []
+        script = ChaosScript(faults={1: ("raise", "raise"), 3: ("garbage",)})
+        result = self._chaos_run(world, tmp_path, script, updates.append)
+        assert result == clean
+        # Retries are invisible to the observer: still exactly one update
+        # per chunk, still a monotone chunks_done sequence.
+        assert len(updates) == N_CHUNKS
+        assert [u.chunks_done for u in updates] == [1, 2, 3, 4]
+        assert sorted(u.chunk_index for u in updates) == list(range(N_CHUNKS))
+
+    def test_totals_stay_monotone_under_retries(self, world, tmp_path):
+        from repro.testing import ChaosScript
+
+        updates = []
+        script = ChaosScript(faults={0: ("garbage",), 2: ("raise",)})
+        self._chaos_run(world, tmp_path, script, updates.append)
+        for field in ("hours_done", "encounters_resolved",
+                      "incidents_found", "hard_braking_demands"):
+            series = [getattr(u, field) for u in updates]
+            assert series == sorted(series), field
+        assert updates[-1].hours_done == pytest.approx(HOURS)
+
+    def test_raising_observer_warns_but_campaign_retries_on(self, world,
+                                                            tmp_path):
+        from repro.stats import RetryPolicy
+        from repro.testing import ChaosScript, ChaosWorker
+
+        clean = _run(world)
+
+        def explode(update: FleetProgress) -> None:
+            raise RuntimeError("observer bug")
+
+        script = ChaosScript(faults={1: ("raise",)})
+        with pytest.warns(RuntimeWarning):
+            result = _run(world, progress=explode,
+                          retry=RetryPolicy(backoff_base_s=0.0,
+                                            jitter_s=0.0),
+                          wrap_worker=lambda w: ChaosWorker(
+                              w, script, str(tmp_path)))
+        assert result == clean
+
+    def test_fresh_run_reports_zero_resumed(self, world):
+        updates = []
+        _run(world, progress=updates.append)
+        assert all(u.chunks_resumed == 0 for u in updates)
+        assert all(u.hours_resumed == 0.0 for u in updates)
 
 
 class TestProgressIsPureObservation:
