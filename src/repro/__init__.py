@@ -22,6 +22,11 @@ automated driving systems, plus every substrate it presumes:
   quantitative-vs-ASIL comparison.
 * :mod:`repro.reporting` — ASCII/markdown rendering of the paper's
   figures, shared by benchmarks and examples.
+* :mod:`repro.errors` / :mod:`repro.io` — the typed error taxonomy
+  (every CLI-visible failure maps to one diagnostic line and exit
+  code 4) and the hardened artifact boundary: schema-tagged,
+  digest-verified JSON loaders with declarative validation, atomic
+  durable writes and versioned migrations (DESIGN.md §10).
 
 Quickstart::
 
@@ -38,4 +43,4 @@ Quickstart::
 __version__ = "1.0.0"
 
 __all__ = ["core", "hara", "traffic", "injury", "stats", "odd",
-           "assurance", "reporting", "__version__"]
+           "assurance", "reporting", "errors", "io", "__version__"]

@@ -29,6 +29,14 @@ still cannot finish exits with code 3 and prints its failure log; a
 ``Ctrl-C`` exits with the conventional 130 after the checkpoint (if any)
 has been flushed.
 
+Artifact I/O (DESIGN §10): every JSON artifact the CLI reads — stored
+goal sets, campaign checkpoints, inline ``--counts`` payloads — goes
+through the :mod:`repro.io` boundary.  A corrupt, truncated, or
+mis-typed artifact produces a single ``error: <path>: …`` line on
+stderr and exit code **4** (never a traceback); malformed *usage* (a
+well-formed ``--counts`` that is not an object, ``--counts`` without
+``--exposure``) keeps the conventional exit code 2.
+
 The module is import-safe (no work at import time) and `main` takes an
 argv list, so tests drive it directly.
 """
@@ -41,7 +49,9 @@ import math
 import sys
 from contextlib import nullcontext
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
+
+from .errors import ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -217,31 +227,54 @@ def _build_goals(improvement: Optional[float], objective: str):
 
 
 def _cmd_goals(args: argparse.Namespace) -> int:
-    from repro.core import goal_set_to_dict
+    from repro.core import save_goal_set
 
     goals = _build_goals(args.improvement, args.objective)
     print(goals.render_all())
     print()
     print(goals.completeness_argument())
     if args.json is not None:
-        args.json.write_text(json.dumps(goal_set_to_dict(goals), indent=2))
+        # Tagged, digest-signed, atomically written (DESIGN §10); older
+        # tagless files written before the boundary existed still load.
+        save_goal_set(args.json, goals)
         print(f"\ngoal set written to {args.json}")
     return 0
 
 
+def _parse_counts(text: str) -> Optional[Dict[str, int]]:
+    """Parse an inline ``--counts`` payload through the I/O boundary.
+
+    Malformed JSON (or NaN/Infinity tokens, nesting bombs, non-integer
+    counts) raises a typed :class:`~repro.errors.ArtifactError` that
+    ``main`` turns into a one-line diagnostic and exit code 4.  A
+    *well-formed* payload of the wrong top-level shape returns ``None``
+    so callers keep the conventional usage-error exit (2).
+    """
+    from repro.io import ArtifactValidationError, parse_artifact_text
+
+    payload = parse_artifact_text(text, source="--counts")
+    if not isinstance(payload, dict):
+        return None
+    counts: Dict[str, int] = {}
+    for key, value in payload.items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ArtifactValidationError(
+                f"count for {key!r} must be an integer, got {value!r}",
+                source="--counts", field=str(key))
+        counts[str(key)] = int(value)
+    return counts
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from repro.core import goal_set_from_dict
+    from repro.core import load_goal_set
     from repro.core.verification import verify_against_counts
 
-    data = json.loads(args.goals_json.read_text())
-    goals = goal_set_from_dict(data)
-    counts = json.loads(args.counts)
-    if not isinstance(counts, dict):
+    goals = load_goal_set(args.goals_json)
+    counts = _parse_counts(args.counts)
+    if counts is None:
         print("--counts must be a JSON object", file=sys.stderr)
         return 2
-    report = verify_against_counts(goals, {str(k): int(v)
-                                           for k, v in counts.items()},
-                                   args.exposure,
+    report = verify_against_counts(goals, counts, args.exposure,
                                    confidence=args.confidence)
     print(report.summary())
     return 0 if not report.any_violated else 1
@@ -487,18 +520,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 
 def _cmd_review(args: argparse.Namespace) -> int:
-    from repro.core import goal_set_from_dict
+    from repro.core import load_goal_set
     from repro.core.review import Severity, confirmation_review
     from repro.core.verification import verify_against_counts
 
-    goals = goal_set_from_dict(json.loads(args.goals_json.read_text()))
+    goals = load_goal_set(args.goals_json)
     report = None
     if args.counts is not None:
         if args.exposure is None:
             print("--exposure is required with --counts", file=sys.stderr)
             return 2
-        counts = {str(k): int(v)
-                  for k, v in json.loads(args.counts).items()}
+        counts = _parse_counts(args.counts)
+        if counts is None:
+            print("--counts must be a JSON object", file=sys.stderr)
+            return 2
         report = verify_against_counts(goals, counts, args.exposure)
     findings = confirmation_review(goals, report)
     if not findings:
@@ -526,6 +561,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        # The typed artifact-error taxonomy (DESIGN §10): corrupt,
+        # truncated, mis-typed, or wrong-schema artifacts surface as a
+        # single diagnostic line — the message already names the file
+        # (or inline flag) that failed — never as a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
     except KeyboardInterrupt:
         # The fleet runner has already cancelled pending futures and torn
         # the pool down; every committed chunk is in the checkpoint (if

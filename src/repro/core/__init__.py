@@ -49,7 +49,8 @@ from .safety_goals import SafetyGoal, SafetyGoalSet, derive_safety_goals
 from .serialize import (allocation_from_dict, allocation_to_dict,
                         certificate_from_dict, certificate_to_dict,
                         goal_set_from_dict, goal_set_to_dict,
-                        incident_type_from_dict, incident_type_to_dict)
+                        incident_type_from_dict, incident_type_to_dict,
+                        load_goal_set, save_goal_set)
 from .severity import (IsoSeverity, SeverityDomain, UnifiedSeverity,
                        iso_to_unified, unified_to_iso)
 from .taxonomy import (ActorClass, CategoricalAttribute, CategoryBranch,
@@ -107,6 +108,7 @@ __all__ = [
     "allocation_to_dict", "allocation_from_dict",
     "certificate_to_dict", "certificate_from_dict",
     "goal_set_to_dict", "goal_set_from_dict",
+    "load_goal_set", "save_goal_set",
     # confirmation review
     "Finding", "Severity", "confirmation_review",
 ]

@@ -1,0 +1,51 @@
+"""Atomic, durable file writes — the single implementation.
+
+``traffic/checkpoint.py`` and ``obs/manifest.py`` used to hand-roll
+variations of the temp-file-plus-rename dance; this module is the one
+place the pattern lives now (DESIGN §10).  The contract:
+
+* the temp file is created *in the destination directory* (``os.replace``
+  is only atomic within one filesystem);
+* content is flushed and ``fsync``'d before the rename, so a crash at
+  any point leaves either the previous complete file or the new complete
+  file on disk — never a torn one;
+* the temp file is unlinked on any failure, so no ``*.tmp`` residue
+  accumulates next to checkpoints.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: "Path | str", text: str, *,
+                      encoding: str = "utf-8", durable: bool = True) -> Path:
+    """Atomically replace ``path`` with ``text``.
+
+    Creates parent directories as needed.  With ``durable`` (the
+    default) the temp file is ``fsync``'d before the rename; pass
+    ``False`` only for scratch outputs where torn-write protection
+    matters but durability across power loss does not.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already replaced/removed
+            pass
+        raise
+    return path

@@ -10,8 +10,13 @@ table with Poisson confidence intervals).
 
 The manifest is a pure record: building one never perturbs the campaign
 (no RNG access, no mutation of the session it snapshots).  ``write`` /
-``read`` round-trip through JSON with sorted keys so manifests diff
-cleanly in review.
+``read`` round-trip through the :mod:`repro.io` artifact boundary
+(DESIGN §10): writes are atomic and carry an embedded payload sha256
+digest, reads verify it (optional for manifests written before the
+boundary existed), and a missing/unknown ``schema`` tag or corrupt
+content fails fast with the typed :class:`~repro.errors.ArtifactError`
+taxonomy instead of a mis-parse.  On-disk form stays sorted-key JSON so
+manifests diff cleanly in review.
 """
 
 from __future__ import annotations
@@ -25,12 +30,16 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..io.artifact import ARTIFACTS, ArtifactSchema, register_artifact
+from ..io.validate import (Int, Json, ListOf, MapOf, NullOr, Number, Record,
+                           Str)
 from .session import TelemetrySnapshot
 
-__all__ = ["MANIFEST_SCHEMA", "RunManifest", "build_manifest",
-           "collect_versions", "git_sha"]
+__all__ = ["MANIFEST_SCHEMA", "MANIFEST_SCHEMA_NAME", "RunManifest",
+           "build_manifest", "collect_versions", "git_sha"]
 
-MANIFEST_SCHEMA = "repro.run-manifest/v1"
+MANIFEST_SCHEMA_NAME = "repro.run-manifest"
+MANIFEST_SCHEMA = f"{MANIFEST_SCHEMA_NAME}/v1"
 
 
 def collect_versions() -> Dict[str, str]:
@@ -123,61 +132,30 @@ class RunManifest:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunManifest":
-        schema = data.get("schema")
-        if schema != MANIFEST_SCHEMA:
-            raise ValueError(
-                f"unsupported manifest schema {schema!r} "
-                f"(expected {MANIFEST_SCHEMA!r})")
-        mix = data.get("mix")
-        budget = data.get("budget_utilisation")
-        return cls(
-            schema=str(schema),
-            created_utc=str(data.get("created_utc", "")),
-            command=str(data.get("command", "")),
-            seed=(None if data.get("seed") is None
-                  else int(data["seed"])),  # type: ignore[arg-type]
-            engine=(None if data.get("engine") is None
-                    else str(data["engine"])),
-            policy=(None if data.get("policy") is None
-                    else str(data["policy"])),
-            hours=(None if data.get("hours") is None
-                   else float(data["hours"])),  # type: ignore[arg-type]
-            mix=(None if mix is None
-                 else {str(k): float(v)  # type: ignore[arg-type]
-                       for k, v in dict(mix).items()}),  # type: ignore[call-overload]
-            workers=(None if data.get("workers") is None
-                     else int(data["workers"])),  # type: ignore[arg-type]
-            chunk_hours=(None if data.get("chunk_hours") is None
-                         else float(data["chunk_hours"])),  # type: ignore[arg-type]
-            n_chunks=(None if data.get("n_chunks") is None
-                      else int(data["n_chunks"])),  # type: ignore[arg-type]
-            versions={str(k): str(v) for k, v in
-                      dict(data.get("versions", {})).items()},  # type: ignore[call-overload]
-            git_sha=str(data.get("git_sha", "unknown")),
-            platform=str(data.get("platform", "")),
-            spans=dict(data.get("spans", {})),  # type: ignore[call-overload]
-            metrics=dict(data.get("metrics", {})),  # type: ignore[call-overload]
-            budget_utilisation=(
-                None if budget is None
-                else [dict(row) for row in budget]),  # type: ignore[union-attr]
-            summary=dict(data.get("summary", {})),  # type: ignore[call-overload]
-            failure_log=(
-                None if data.get("failure_log") is None
-                else [dict(row) for row in data["failure_log"]]),  # type: ignore[union-attr]
-        )
+        """Validate + rebuild through the artifact boundary.
+
+        A missing or unknown ``schema`` tag raises
+        :class:`~repro.errors.SchemaMismatchError` naming the expected
+        and found tags; structurally invalid content raises
+        :class:`~repro.errors.ArtifactValidationError`.
+        """
+        manifest = ARTIFACTS.load_dict(data, MANIFEST_SCHEMA_NAME)
+        assert isinstance(manifest, RunManifest)
+        return manifest
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
     def write(self, path: Path) -> None:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        """Atomic, digest-signed write through the I/O boundary."""
+        ARTIFACTS.save(Path(path), MANIFEST_SCHEMA_NAME, self)
 
     @classmethod
     def read(cls, path: Path) -> "RunManifest":
-        data = json.loads(Path(path).read_text(encoding="utf-8"))
-        return cls.from_dict(data)
+        """Load + verify one manifest file (typed errors only)."""
+        manifest = ARTIFACTS.load(Path(path), MANIFEST_SCHEMA_NAME)
+        assert isinstance(manifest, RunManifest)
+        return manifest
 
 
 def build_manifest(snapshot: TelemetrySnapshot, *, command: str,
@@ -228,3 +206,112 @@ def build_manifest(snapshot: TelemetrySnapshot, *, command: str,
         failure_log=(None if failure_log is None
                      else [dict(row) for row in failure_log]),
     )
+
+
+# -- artifact schema registration ----------------------------------------
+
+def _load_manifest(data: Mapping[str, object]) -> RunManifest:
+    mix = data.get("mix")
+    budget = data.get("budget_utilisation")
+    return RunManifest(
+        schema=MANIFEST_SCHEMA,
+        created_utc=str(data.get("created_utc", "")),
+        command=str(data.get("command", "")),
+        seed=(None if data.get("seed") is None
+              else int(data["seed"])),  # type: ignore[arg-type]
+        engine=(None if data.get("engine") is None
+                else str(data["engine"])),
+        policy=(None if data.get("policy") is None
+                else str(data["policy"])),
+        hours=(None if data.get("hours") is None
+               else float(data["hours"])),  # type: ignore[arg-type]
+        mix=(None if mix is None
+             else {str(k): float(v)  # type: ignore[arg-type]
+                   for k, v in dict(mix).items()}),  # type: ignore[call-overload]
+        workers=(None if data.get("workers") is None
+                 else int(data["workers"])),  # type: ignore[arg-type]
+        chunk_hours=(None if data.get("chunk_hours") is None
+                     else float(data["chunk_hours"])),  # type: ignore[arg-type]
+        n_chunks=(None if data.get("n_chunks") is None
+                  else int(data["n_chunks"])),  # type: ignore[arg-type]
+        versions={str(k): str(v) for k, v in
+                  dict(data.get("versions", {})).items()},  # type: ignore[call-overload]
+        git_sha=str(data.get("git_sha", "unknown")),
+        platform=str(data.get("platform", "")),
+        spans=dict(data.get("spans", {})),  # type: ignore[call-overload]
+        metrics=dict(data.get("metrics", {})),  # type: ignore[call-overload]
+        budget_utilisation=(
+            None if budget is None
+            else [dict(row) for row in budget]),  # type: ignore[union-attr]
+        summary=dict(data.get("summary", {})),  # type: ignore[call-overload]
+        failure_log=(
+            None if data.get("failure_log") is None
+            else [dict(row) for row in data["failure_log"]]),  # type: ignore[union-attr]
+    )
+
+
+def _example_manifest() -> RunManifest:
+    """A small deterministic manifest for the fuzz tier."""
+    return RunManifest(
+        schema=MANIFEST_SCHEMA,
+        created_utc="2026-01-01T00:00:00+00:00",
+        command="repro fleet",
+        seed=2020,
+        engine="vectorized",
+        policy="nominal",
+        hours=500.0,
+        mix={"urban": 0.5, "highway": 0.5},
+        workers=4,
+        chunk_hours=125.0,
+        n_chunks=4,
+        versions={"python": "3.12.0", "repro": "1.0.0"},
+        git_sha="0123456789abcdef0123456789abcdef01234567",
+        platform="Linux-example",
+        spans={"count": 0, "total_s": 0.0,
+               "children": {"run_fleet": {"count": 1, "total_s": 1.25,
+                                          "min_s": 1.25, "max_s": 1.25}}},
+        metrics={"sim.encounters": {"kind": "counter", "value": 123}},
+        budget_utilisation=[{"budget_id": "I1", "kind": "incident_type",
+                             "observed": 2.0, "rate_lower": 0.0,
+                             "rate_upper": 1e-05}],
+        summary={"incidents": 7},
+        failure_log=[{"chunk_index": 2, "attempt": 1, "kind": "exception",
+                      "message": "boom"}],
+    )
+
+
+_MANIFEST_SPEC = Record(
+    required={
+        "created_utc": Str(),
+        "command": Str(),
+        "seed": NullOr(Int()),
+        "engine": NullOr(Str()),
+        "policy": NullOr(Str()),
+        "hours": NullOr(Number()),
+        "mix": NullOr(MapOf(Number())),
+        "workers": NullOr(Int()),
+        "chunk_hours": NullOr(Number()),
+        "n_chunks": NullOr(Int()),
+        "versions": MapOf(Str()),
+        "git_sha": Str(),
+        "platform": Str(),
+        "spans": Json(),
+        "metrics": Json(),
+    },
+    optional={
+        # Additive fields (still schema v1): absent in manifests written
+        # before their layer existed, always emitted since.
+        "budget_utilisation": NullOr(ListOf(Json())),
+        "summary": Json(),
+        "failure_log": NullOr(ListOf(Json())),
+    })
+
+register_artifact(ArtifactSchema(
+    name=MANIFEST_SCHEMA_NAME,
+    version=1,
+    spec=_MANIFEST_SPEC,
+    load=_load_manifest,
+    dump=RunManifest.to_dict,
+    label="manifest",
+    example=_example_manifest,
+))

@@ -1,13 +1,19 @@
 """Test-support substrate shipped with the package.
 
 Deliberately importable from production code paths' *tests* only — the
-runtime never imports this package.  Today it holds the deterministic
-chaos harness (:mod:`.chaos`) that the ``chaos`` test tier drives the
-fault-tolerant campaign engine with.
+runtime never imports this package.  It holds the deterministic chaos
+harness (:mod:`.chaos`) that the ``chaos`` test tier drives the
+fault-tolerant campaign engine with, and the seed-stable artifact
+corruption fuzzer (:mod:`.fuzz`) behind the ``fuzz`` tier's ≥500
+mutations-per-schema guarantee (DESIGN §10).
 """
 
 from .chaos import (CHAOS_FAULT_KINDS, ChaosError, ChaosScript, ChaosWorker,
                     replace_with_garbage)
+from .fuzz import (BYTE_MUTATORS, STRUCTURAL_MUTATORS, ArtifactFuzzer,
+                   FuzzCase)
 
 __all__ = ["CHAOS_FAULT_KINDS", "ChaosError", "ChaosScript", "ChaosWorker",
-           "replace_with_garbage"]
+           "replace_with_garbage",
+           "ArtifactFuzzer", "FuzzCase", "BYTE_MUTATORS",
+           "STRUCTURAL_MUTATORS"]

@@ -1,0 +1,322 @@
+"""Deterministic artifact-corruption fuzzer for the ``fuzz`` test tier.
+
+The :class:`ArtifactFuzzer` takes the pristine serialised form of one
+registered artifact (the output of
+:meth:`repro.io.ArtifactStore.dump_text`) and derives a seed-stable
+corpus of corrupted variants.  Two lanes, matching the two distinct
+promises the I/O boundary makes (DESIGN §10):
+
+**Byte lane** (``resigned=False``) — raw damage to the stored bytes with
+the embedded digest left as-is: truncation, bit-flips, splices, digit
+swaps, NaN/Infinity token injection, invalid-UTF-8 and unicode garbage,
+nesting bombs, duplicated keys, empty/whitespace files.  The boundary's
+promise here is *detection*: loading such a case must either raise a
+typed :class:`~repro.errors.ArtifactError` or return an object equal to
+the pristine one (a mutation that only touched non-semantic bytes —
+indentation, a duplicated key re-asserting the same value).  A byte-lane
+mutation that changes a value yet loads "successfully" into a different
+object is exactly the silent-corruption bug class the digest exists to
+kill.
+
+**Re-signed lane** (``resigned=True``) — structural mutations applied to
+the parsed document (key deletion at any depth, cross-type value
+replacement, schema-tag vandalism, null injection, string garbling) with
+the payload digest *recomputed afterwards*, simulating a plausibly-valid
+but wrong artifact that no checksum can flag.  Here the promise is
+*typed failure or coherent acceptance*: the load must either raise a
+typed :class:`~repro.errors.ArtifactError` (never a bare ``KeyError`` /
+``TypeError`` / ``RecursionError``) or produce an object whose own
+re-dump round-trips cleanly.  Acceptance is legitimate when the mutation
+landed inside an open region (e.g. a free-form telemetry blob) — the
+result is then simply a *different valid artifact*.
+
+Everything is driven by one stdlib :class:`random.Random` seeded at
+construction, so the corpus for a given ``(seed, artifact text)`` pair
+is bit-for-bit reproducible — a failing case ID is enough to replay it.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import ArtifactError
+from ..io.artifact import DIGEST_KEY, parse_artifact_text, payload_digest
+
+__all__ = ["ArtifactFuzzer", "FuzzCase", "BYTE_MUTATORS",
+           "STRUCTURAL_MUTATORS"]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One corrupted artifact variant.
+
+    ``label`` identifies the mutator and case index (stable across runs
+    for a given seed); ``data`` is the corrupt serialised form;
+    ``resigned`` tells the test harness which invariant applies (see the
+    module docstring).
+    """
+
+    label: str
+    data: bytes
+    resigned: bool
+
+
+# --------------------------------------------------------------------------
+# Byte lane: damage the stored bytes, leave the digest alone.
+# --------------------------------------------------------------------------
+
+def _truncate(raw: bytes, rng: random.Random) -> bytes:
+    return raw[:rng.randrange(0, max(1, len(raw)))]
+
+
+def _bitflip(raw: bytes, rng: random.Random) -> bytes:
+    if not raw:
+        return b"\x00"
+    pos = rng.randrange(len(raw))
+    bit = 1 << rng.randrange(8)
+    return raw[:pos] + bytes([raw[pos] ^ bit]) + raw[pos + 1:]
+
+
+def _splice(raw: bytes, rng: random.Random) -> bytes:
+    """Overwrite a short random window with random bytes."""
+    if not raw:
+        return bytes(rng.randrange(256) for _ in range(4))
+    start = rng.randrange(len(raw))
+    width = rng.randrange(1, 9)
+    junk = bytes(rng.randrange(256) for _ in range(width))
+    return raw[:start] + junk + raw[start + width:]
+
+
+_GARBAGE_SNIPPETS: Tuple[bytes, ...] = (
+    b"\xff\xfe\x00\x01",                      # invalid UTF-8
+    b"\xed\xa0\x80",                          # encoded lone surrogate
+    "\u202e\u0000\uffff".encode("utf-8"),   # bidi override, NUL, U+FFFF
+    "\U0001f70f\u200b\u2028\u2029".encode("utf-8"),  # odd whitespace
+    b'"\\ud800"',                             # escaped lone surrogate
+)
+
+
+def _unicode_garbage(raw: bytes, rng: random.Random) -> bytes:
+    pos = rng.randrange(len(raw) + 1)
+    return raw[:pos] + rng.choice(_GARBAGE_SNIPPETS) + raw[pos:]
+
+
+def _digit_positions(raw: bytes) -> List[int]:
+    return [i for i, b in enumerate(raw) if 0x30 <= b <= 0x39]
+
+
+def _digit_swap(raw: bytes, rng: random.Random) -> bytes:
+    """Change one digit — a minimal semantic corruption the digest must
+    catch (or, if it landed in the digest hex itself, a mismatch)."""
+    digits = _digit_positions(raw)
+    if not digits:
+        return _bitflip(raw, rng)
+    pos = rng.choice(digits)
+    old = raw[pos]
+    new = old
+    while new == old:
+        new = 0x30 + rng.randrange(10)
+    return raw[:pos] + bytes([new]) + raw[pos + 1:]
+
+
+def _token_nonfinite(raw: bytes, rng: random.Random) -> bytes:
+    """Replace a digit with a ``NaN`` / ``Infinity`` token — stock
+    ``json.loads`` would accept these silently."""
+    digits = _digit_positions(raw)
+    token = rng.choice((b"NaN", b"Infinity", b"-Infinity"))
+    if not digits:
+        return token
+    pos = rng.choice(digits)
+    return raw[:pos] + token + raw[pos + 1:]
+
+
+def _nesting_bomb(raw: bytes, rng: random.Random) -> bytes:
+    depth = rng.randrange(2000, 6000)
+    bomb = b"[" * depth + b"]" * depth
+    if rng.random() < 0.5:
+        return bomb  # the whole file is the bomb
+    pos = rng.randrange(len(raw) + 1)
+    return raw[:pos] + bomb + raw[pos:]
+
+
+def _duplicate_key_line(raw: bytes, rng: random.Random) -> bytes:
+    """Duplicate one ``"key": value`` line of the pretty form.  JSON's
+    last-wins duplicate-key semantics make this either invalid JSON, a
+    value-preserving no-op the loader must accept as *equal*, or a
+    digest mismatch — never a silent change."""
+    lines = raw.split(b"\n")
+    candidates = [i for i, line in enumerate(lines) if b'": ' in line]
+    if not candidates:
+        return _truncate(raw, rng)
+    idx = rng.choice(candidates)
+    line = lines[idx]
+    if not line.rstrip().endswith(b","):
+        line = line + b","
+    lines.insert(idx, line)
+    return b"\n".join(lines)
+
+
+def _degenerate(raw: bytes, rng: random.Random) -> bytes:
+    return rng.choice((b"", b"   \n\t  ", b"null", b"[]", b'"checkpoint"',
+                       b"{", b"}", b"{}", b"\x00" * 16))
+
+
+BYTE_MUTATORS: Dict[str, Callable[[bytes, random.Random], bytes]] = {
+    "truncate": _truncate,
+    "bitflip": _bitflip,
+    "splice": _splice,
+    "unicode-garbage": _unicode_garbage,
+    "digit-swap": _digit_swap,
+    "nonfinite-token": _token_nonfinite,
+    "nesting-bomb": _nesting_bomb,
+    "duplicate-key": _duplicate_key_line,
+    "degenerate": _degenerate,
+}
+
+
+# --------------------------------------------------------------------------
+# Re-signed lane: structural mutation + digest recomputation.
+# --------------------------------------------------------------------------
+
+_Container = Union[Dict[str, object], List[object]]
+_Site = Tuple[_Container, Union[str, int]]
+
+
+def _sites(node: object) -> List[_Site]:
+    """Every (container, key) pair in the document, any depth."""
+    found: List[_Site] = []
+    stack: List[object] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, dict):
+            for key in sorted(current):
+                found.append((current, key))
+                stack.append(current[key])
+        elif isinstance(current, list):
+            for idx, item in enumerate(current):
+                found.append((current, idx))
+                stack.append(item)
+    return found
+
+
+def _delete_key(doc: Dict[str, object], rng: random.Random) -> None:
+    sites = _sites(doc)
+    if not sites:
+        return
+    container, key = rng.choice(sites)
+    del container[key]  # type: ignore[arg-type]
+
+
+_REPLACEMENT_POOL: Tuple[object, ...] = (
+    "ghost-value", -17, 2.5, True, False, None, [], {}, [1, "two", None],
+    {"unexpected": {"deeply": ["nested"]}}, "", "NaN", 10 ** 40,
+)
+
+
+def _mutate_type(doc: Dict[str, object], rng: random.Random) -> None:
+    sites = _sites(doc)
+    if not sites:
+        return
+    container, key = rng.choice(sites)
+    current = container[key]  # type: ignore[index]
+    candidates = [value for value in _REPLACEMENT_POOL
+                  if type(value) is not type(current)]
+    container[key] = rng.choice(candidates)  # type: ignore[index]
+
+
+def _inject_null(doc: Dict[str, object], rng: random.Random) -> None:
+    sites = [(c, k) for c, k in _sites(doc)
+             if c[k] is not None]  # type: ignore[index]
+    if not sites:
+        return
+    container, key = rng.choice(sites)
+    container[key] = None  # type: ignore[index]
+
+
+def _garble_string(doc: Dict[str, object], rng: random.Random) -> None:
+    sites = [(c, k) for c, k in _sites(doc)
+             if isinstance(c[k], str)]  # type: ignore[index]
+    if not sites:
+        return
+    container, key = rng.choice(sites)
+    container[key] = rng.choice((  # type: ignore[index]
+        "", "\u202e\u0000", "\U0001f70f" * 40, "Infinity", "None", "\n\t",
+        "x" * 4096))
+
+
+def _vandalise_tag(doc: Dict[str, object], rng: random.Random) -> None:
+    """Missing / malformed / wrong-name / future-version schema tags."""
+    action = rng.randrange(6)
+    if action == 0:
+        doc.pop("schema", None)
+    elif action == 1:
+        doc["schema"] = "not-a-tag"
+    elif action == 2:
+        doc["schema"] = "repro.some-other-thing/v1"
+    elif action == 3:
+        tag = doc.get("schema")
+        name = tag.split("/", 1)[0] if isinstance(tag, str) else "ghost"
+        doc["schema"] = f"{name}/v{rng.randrange(2, 100)}"
+    elif action == 4:
+        doc["schema"] = rng.choice((42, None, ["repro.goal-set/v1"], {}))
+    else:
+        doc["schema"] = "repro.goal-set/v0x"  # malformed version field
+
+
+STRUCTURAL_MUTATORS: Dict[str, Callable[[Dict[str, object],
+                                         random.Random], None]] = {
+    "delete-key": _delete_key,
+    "type-mutate": _mutate_type,
+    "null-inject": _inject_null,
+    "garble-string": _garble_string,
+    "tag-vandalism": _vandalise_tag,
+}
+
+
+class ArtifactFuzzer:
+    """Seed-deterministic corruption-corpus generator.
+
+    ``ArtifactFuzzer(seed).cases(text, n)`` always yields the same ``n``
+    :class:`FuzzCase` variants for the same ``text`` — the corpus is a
+    pure function of ``(seed, text, n)``.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+
+    def cases(self, text: str, n: int) -> List[FuzzCase]:
+        rng = random.Random(self.seed)
+        raw = text.encode("utf-8")
+        parsed: Optional[Dict[str, object]] = None
+        try:
+            loaded = parse_artifact_text(text)
+            if isinstance(loaded, dict):
+                parsed = loaded
+        except ArtifactError:  # pragma: no cover - pristine input is JSON
+            parsed = None
+        byte_names = sorted(BYTE_MUTATORS)
+        structural_names = sorted(STRUCTURAL_MUTATORS)
+        corpus: List[FuzzCase] = []
+        for index in range(n):
+            # ~60 % byte lane, ~40 % re-signed structural lane; the
+            # draw itself is part of the deterministic stream.
+            if parsed is None or rng.random() < 0.6:
+                name = rng.choice(byte_names)
+                data = BYTE_MUTATORS[name](raw, rng)
+                corpus.append(FuzzCase(f"{index:04d}-{name}", data, False))
+            else:
+                name = rng.choice(structural_names)
+                doc = copy.deepcopy(parsed)
+                doc.pop(DIGEST_KEY, None)
+                STRUCTURAL_MUTATORS[name](doc, rng)
+                # Re-sign: the mutated document carries a *valid* digest,
+                # so only validation — not the checksum — can reject it.
+                doc[DIGEST_KEY] = payload_digest(doc)
+                data = json.dumps(doc, indent=2, sort_keys=True,
+                                  ensure_ascii=False).encode("utf-8")
+                corpus.append(FuzzCase(f"{index:04d}-{name}", data, True))
+        return corpus

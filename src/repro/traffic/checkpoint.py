@@ -20,21 +20,23 @@ exactly (shortest-repr), so::
 for any worker count on either side.  ``tests/traffic/test_checkpoint.py``
 enforces this as a kill-and-resume property.
 
-Writes are atomic (temp file + ``os.replace`` in the same directory,
-fsync'd), so a crash mid-write leaves the previous checkpoint intact —
-never a half-written JSON document.  The ``campaign`` block pins the
-identity of the run (seed, hours, chunk plan, engine, policy, mix);
-resuming against a checkpoint whose identity differs raises
+Persistence goes through the :mod:`repro.io` artifact boundary
+(DESIGN §10): writes are atomic and durable (temp file + ``os.replace``
+in the same directory, fsync'd) and carry an embedded payload sha256
+digest, so a crash mid-write leaves the previous checkpoint intact and
+a truncated or bit-flipped file is *detected*
+(:class:`~repro.errors.CorruptArtifactError`) rather than mis-parsed
+into half a campaign.  The digest is optional on read — checkpoints
+written before the boundary existed still load.  The ``campaign`` block
+pins the identity of the run (seed, hours, chunk plan, engine, policy,
+mix); resuming against a checkpoint whose identity differs raises
 :class:`CheckpointMismatchError` instead of silently merging foreign
 chunks.
 """
 
 from __future__ import annotations
 
-import json
 import math
-import os
-import tempfile
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
@@ -42,16 +44,22 @@ from typing import Dict, Mapping, Optional
 
 from ..core.incident import IncidentRecord
 from ..core.taxonomy import ActorClass
+from ..errors import ArtifactValidationError
+from ..io.artifact import ARTIFACTS, ArtifactSchema, register_artifact
+from ..io.validate import (Bool, Int, Json, ListOf, MapOf, NullOr, Number,
+                           Record, Str)
 from ..obs.session import TelemetrySnapshot
 from .simulator import SimulationResult
 
-__all__ = ["CHECKPOINT_SCHEMA", "CampaignCheckpoint",
-           "CheckpointMismatchError", "result_to_dict", "result_from_dict"]
+__all__ = ["CHECKPOINT_SCHEMA", "CHECKPOINT_SCHEMA_NAME",
+           "CampaignCheckpoint", "CheckpointMismatchError",
+           "result_to_dict", "result_from_dict"]
 
-CHECKPOINT_SCHEMA = "repro.campaign-checkpoint/v1"
+CHECKPOINT_SCHEMA_NAME = "repro.campaign-checkpoint"
+CHECKPOINT_SCHEMA = f"{CHECKPOINT_SCHEMA_NAME}/v1"
 
 
-class CheckpointMismatchError(ValueError):
+class CheckpointMismatchError(ArtifactValidationError):
     """The checkpoint on disk belongs to a different campaign."""
 
 
@@ -165,18 +173,17 @@ class CampaignCheckpoint:
 
     @classmethod
     def load(cls, path: Path) -> "CampaignCheckpoint":
-        data = json.loads(Path(path).read_text(encoding="utf-8"))
-        schema = data.get("schema")
-        if schema != CHECKPOINT_SCHEMA:
-            raise ValueError(
-                f"unsupported checkpoint schema {schema!r} "
-                f"(expected {CHECKPOINT_SCHEMA!r})")
-        chunks = {
-            int(index): _ChunkEntry.from_dict(entry)
-            for index, entry in dict(data.get("chunks", {})).items()
-        }
-        return cls(Path(path), dict(data["campaign"]), chunks,
-                   created_utc=str(data.get("created_utc", "")))
+        """Load + verify one checkpoint file through the I/O boundary.
+
+        Corruption (truncation, bit-flips against the embedded digest,
+        malformed JSON), an unknown or missing schema tag, and
+        structurally invalid content all raise the corresponding typed
+        :class:`~repro.errors.ArtifactError` subclass.
+        """
+        checkpoint = ARTIFACTS.load(Path(path), CHECKPOINT_SCHEMA_NAME)
+        assert isinstance(checkpoint, CampaignCheckpoint)
+        checkpoint.path = Path(path)
+        return checkpoint
 
     # -- identity ---------------------------------------------------------
 
@@ -234,26 +241,95 @@ class CampaignCheckpoint:
         }
 
     def save(self) -> None:
-        """Atomic write: temp file in the same directory + ``os.replace``.
+        """Atomic, digest-signed write through the I/O boundary.
 
         A crash at any point leaves either the previous complete
         checkpoint or the new complete checkpoint on disk — never a
-        torn file.
+        torn file — and the embedded payload digest lets :meth:`load`
+        *detect* any later corruption of the bytes.
         """
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.path.parent), prefix=self.path.name + ".",
-            suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:  # pragma: no cover - already replaced/removed
-                pass
-            raise
+        ARTIFACTS.save(self.path, CHECKPOINT_SCHEMA_NAME, self)
+
+
+# -- artifact schema registration ----------------------------------------
+
+def _load_checkpoint(data: Mapping[str, object]) -> CampaignCheckpoint:
+    chunks = {
+        int(index): _ChunkEntry.from_dict(entry)
+        for index, entry in dict(data.get("chunks", {})).items()  # type: ignore[call-overload]
+    }
+    return CampaignCheckpoint(Path("<unsaved>"), dict(data["campaign"]),  # type: ignore[call-overload]
+                              chunks,
+                              created_utc=str(data.get("created_utc", "")))
+
+
+def _checkpoints_equal(a: object, b: object) -> bool:
+    """Loaded-state equality (the ``updated_utc`` stamp is volatile)."""
+    assert isinstance(a, CampaignCheckpoint)
+    assert isinstance(b, CampaignCheckpoint)
+    return (a.campaign == b.campaign and a.created_utc == b.created_utc
+            and a.chunks == b.chunks)
+
+
+def _example_checkpoint() -> CampaignCheckpoint:
+    """A small deterministic checkpoint for the fuzz tier."""
+    result = SimulationResult(
+        policy_name="nominal", hours=2.0,
+        context_hours={"urban": 1.5, "highway": 0.5},
+        records=[
+            IncidentRecord(counterpart=ActorClass.VRU, is_collision=False,
+                           min_distance_m=0.8, approach_speed_kmh=12.5,
+                           time_h=0.25, context="urban"),
+            IncidentRecord(counterpart=ActorClass.CAR, is_collision=True,
+                           delta_v_kmh=7.25, approach_speed_kmh=31.0,
+                           time_h=1.75, context="highway", induced=False),
+        ],
+        encounters_resolved=41, hard_braking_demands=3,
+        hard_braking_threshold_ms2=4.0)
+    checkpoint = CampaignCheckpoint(
+        Path("<example>"),
+        {"seed": 2020, "hours": 4.0, "chunk_hours": 2.0,
+         "policy": "nominal", "engine": "vectorized",
+         "mix": {"urban": 0.75, "highway": 0.25}},
+        created_utc="2026-01-01T00:00:00+00:00")
+    checkpoint.chunks[0] = _ChunkEntry(result=result)
+    return checkpoint
+
+
+_RECORD_SPEC = Record(required={
+    "counterpart": Str(), "is_collision": Bool(), "delta_v_kmh": Number(),
+    "min_distance_m": Number(), "approach_speed_kmh": Number(),
+    "time_h": Number(), "context": Str(), "induced": Bool(),
+})
+
+_RESULT_SPEC = Record(required={
+    "policy_name": Str(), "hours": Number(),
+    "context_hours": MapOf(Number()),
+    "encounters_resolved": Int(), "hard_braking_demands": Int(),
+    "hard_braking_threshold_ms2": Number(),
+    "records": ListOf(_RECORD_SPEC),
+})
+
+_CHUNK_SPEC = Record(required={
+    "result": _RESULT_SPEC,
+    "telemetry": NullOr(Json()),
+})
+
+_CHECKPOINT_SPEC = Record(required={
+    "created_utc": Str(),
+    "updated_utc": Str(),
+    "campaign": MapOf(Json()),
+    "chunks": MapOf(_CHUNK_SPEC, keys=(str.isdigit, "a chunk index")),
+})
+
+register_artifact(ArtifactSchema(
+    name=CHECKPOINT_SCHEMA_NAME,
+    version=1,
+    spec=_CHECKPOINT_SPEC,
+    load=_load_checkpoint,
+    dump=CampaignCheckpoint.to_dict,
+    label="checkpoint",
+    example=_example_checkpoint,
+    equal=_checkpoints_equal,
+    volatile=("updated_utc",),
+))

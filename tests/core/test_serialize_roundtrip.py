@@ -1,0 +1,276 @@
+"""Property tests: every serialisation pair round-trips *exactly*.
+
+Hypothesis drives all six to_dict/from_dict pairs in the configuration
+management layer — tolerance margins (both kinds, via incident types),
+incident types, risk norms, allocations, MECE certificates, goal sets —
+plus the fleet-chunk :func:`~repro.traffic.checkpoint.result_to_dict`
+pair the checkpoint format builds on.  One round trip must reproduce
+every float bit-for-bit (JSON uses shortest round-trip reprs), including
+the edge magnitudes a QRN actually contains: ``0.0`` (a fully revoked
+budget), the smallest subnormal ``5e-324``, and ``1e-9``-scale budgets
+(Eq. 1 rates near the fatal-outcome floor).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core import (allocation_from_dict, allocation_to_dict,
+                        certificate_from_dict, certificate_to_dict,
+                        goal_set_from_dict, goal_set_to_dict,
+                        incident_type_from_dict, incident_type_to_dict)
+from repro.core.consequence import ConsequenceClass, ConsequenceScale
+from repro.core.incident import (ContributionSplit, IncidentRecord,
+                                 IncidentType, ProximityMargin, SpeedBand)
+from repro.core.quantities import ExposureBase, Frequency, FrequencyUnit
+from repro.core.risk_norm import QuantitativeRiskNorm
+from repro.core.safety_goals import SafetyGoal, SafetyGoalSet
+from repro.core.severity import UnifiedSeverity
+from repro.core.taxonomy import ActorClass, MeceCertificate, MeceViolation
+from repro.traffic.checkpoint import result_from_dict, result_to_dict
+from repro.traffic.simulator import SimulationResult
+
+# Edge magnitudes that must survive JSON exactly: smallest subnormal,
+# smallest normal, a typical Eq. 1 budget, and unity.
+_EDGE_POSITIVE = (5e-324, 2.2250738585072014e-308, 1e-9, 1.0)
+
+# Non-negative rates (a Frequency may be zero: a fully revoked budget).
+rates = st.one_of(
+    st.sampled_from((0.0,) + _EDGE_POSITIVE),
+    st.floats(min_value=0.0, max_value=1e9,
+              allow_nan=False, allow_infinity=False))
+
+# Strictly positive rates (class budgets, speeds, distances).
+positive = st.one_of(
+    st.sampled_from(_EDGE_POSITIVE),
+    st.floats(min_value=1e-12, max_value=1e9,
+              allow_nan=False, allow_infinity=False))
+
+# Contribution fractions: each in (0, 0.5] so any two sum to <= 1,
+# still hitting the subnormal floor.
+fractions = st.one_of(
+    st.sampled_from((5e-324, 1e-9, 0.5)),
+    st.floats(min_value=1e-12, max_value=0.5,
+              allow_nan=False, allow_infinity=False))
+
+_CLASS_IDS = ("vQ1", "vS1")
+_UNIT = FrequencyUnit(ExposureBase.OPERATING_HOUR)
+
+
+@st.composite
+def margins(draw):
+    if draw(st.booleans()):
+        if draw(st.booleans()):
+            # anchored at zero so even a subnormal width is a valid band
+            return SpeedBand(0.0, draw(positive))
+        low = draw(st.floats(min_value=0.0, max_value=100.0,
+                             allow_nan=False, allow_infinity=False))
+        width = draw(st.floats(min_value=1e-6, max_value=100.0,
+                               allow_nan=False, allow_infinity=False))
+        return SpeedBand(low, low + width)
+    return ProximityMargin(draw(positive), draw(positive))
+
+
+@st.composite
+def splits(draw):
+    ids = draw(st.sampled_from((("vQ1",), ("vS1",), _CLASS_IDS)))
+    return ContributionSplit({cid: draw(fractions) for cid in ids})
+
+
+@st.composite
+def incident_types(draw, type_id: str = "I1"):
+    return IncidentType(
+        type_id=type_id,
+        ego=ActorClass.EGO,
+        counterpart=draw(st.sampled_from((ActorClass.VRU, ActorClass.CAR,
+                                          ActorClass.TRUCK))),
+        margin=draw(margins()),
+        split=draw(splits()),
+        description=draw(st.text(max_size=20)),
+        taxonomy_leaf=draw(st.none() | st.text(min_size=1, max_size=12)),
+        induced=draw(st.booleans()),
+    )
+
+
+@st.composite
+def norms(draw):
+    b1, b2 = sorted((draw(positive), draw(positive)), reverse=True)
+    scale = ConsequenceScale([
+        ConsequenceClass("vQ1", UnifiedSeverity.EMERGENCY_MANOEUVRE,
+                         Frequency(b1, _UNIT),
+                         draw(st.text(max_size=16))),
+        ConsequenceClass("vS1", UnifiedSeverity.LIGHT_INJURY,
+                         Frequency(b2, _UNIT)),
+    ])
+    return QuantitativeRiskNorm(
+        draw(st.text(min_size=1, max_size=16).filter(str.strip)),
+        scale, rationale=draw(st.text(max_size=24)))
+
+
+@st.composite
+def allocations(draw):
+    norm = draw(norms())
+    types = [draw(incident_types("I1")), draw(incident_types("I2"))]
+    budgets = {t.type_id: Frequency(draw(rates), norm.unit) for t in types}
+    from repro.core.allocation import Allocation
+    return Allocation(norm, types, budgets,
+                      strategy=draw(st.sampled_from(
+                          ("manual", "proportional", "lp"))))
+
+
+@st.composite
+def certificates(draw):
+    n_violations = draw(st.integers(min_value=0, max_value=3))
+    violations = tuple(
+        MeceViolation(
+            kind=draw(st.sampled_from(("gap", "overlap"))),
+            detail=draw(st.text(max_size=24)),
+            point=draw(st.none()
+                       | st.dictionaries(st.text(min_size=1, max_size=8),
+                                         rates, max_size=3)))
+        for _ in range(n_violations))
+    return MeceCertificate(
+        taxonomy_name=draw(st.text(min_size=1, max_size=16)),
+        leaf_names=tuple(draw(st.lists(st.text(min_size=1, max_size=10),
+                                       max_size=4))),
+        structural_checks=draw(st.integers(min_value=0, max_value=50)),
+        points_checked=draw(st.integers(min_value=0, max_value=10_000)),
+        violations=violations)
+
+
+@st.composite
+def goal_sets(draw):
+    allocation = draw(allocations())
+    goals = [SafetyGoal(goal_id=f"SG-{t.type_id}", incident_type=t,
+                        max_frequency=allocation.budget(t.type_id))
+             for t in allocation.types]
+    certificate = draw(st.none() | certificates())
+    return SafetyGoalSet(goals, allocation.norm, allocation, certificate)
+
+
+@st.composite
+def simulation_results(draw):
+    n_records = draw(st.integers(min_value=0, max_value=4))
+    records = []
+    for _ in range(n_records):
+        is_collision = draw(st.booleans())
+        records.append(IncidentRecord(
+            counterpart=draw(st.sampled_from((ActorClass.VRU,
+                                              ActorClass.CAR))),
+            is_collision=is_collision,
+            delta_v_kmh=draw(positive) if is_collision else 0.0,
+            min_distance_m=0.0 if is_collision else draw(positive),
+            approach_speed_kmh=draw(rates),
+            time_h=draw(rates),
+            context=draw(st.sampled_from(("urban", "highway", "rural"))),
+            induced=draw(st.booleans())))
+    return SimulationResult(
+        policy_name=draw(st.sampled_from(("nominal", "cautious"))),
+        hours=draw(positive),
+        context_hours={"urban": draw(rates), "highway": draw(rates)},
+        records=records,
+        encounters_resolved=draw(st.integers(min_value=0, max_value=10**9)),
+        hard_braking_demands=draw(st.integers(min_value=0, max_value=10**6)),
+        hard_braking_threshold_ms2=draw(positive))
+
+
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+
+def _exact_margin_equal(a, b) -> bool:
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, SpeedBand):
+        return (a.low_kmh, a.high_kmh) == (b.low_kmh, b.high_kmh)
+    return ((a.max_distance_m, a.min_approach_speed_kmh)
+            == (b.max_distance_m, b.min_approach_speed_kmh))
+
+
+@_SETTINGS
+@given(itype=incident_types())
+def test_incident_type_roundtrip_exact(itype):
+    back = incident_type_from_dict(incident_type_to_dict(itype))
+    assert back.type_id == itype.type_id
+    assert back.ego is itype.ego and back.counterpart is itype.counterpart
+    assert _exact_margin_equal(back.margin, itype.margin)
+    assert back.split.class_ids == itype.split.class_ids
+    for cid in itype.split.class_ids:
+        # exact — not approximate — equality, including subnormals
+        assert back.split.fraction(cid) == itype.split.fraction(cid)
+        assert math.copysign(1, back.split.fraction(cid)) == 1.0
+    assert back.description == itype.description
+    assert back.taxonomy_leaf == itype.taxonomy_leaf
+    assert back.induced == itype.induced
+
+
+@_SETTINGS
+@given(norm=norms())
+def test_norm_roundtrip_exact(norm):
+    back = QuantitativeRiskNorm.from_dict(norm.to_dict())
+    assert back.name == norm.name
+    assert back.rationale == norm.rationale
+    assert back.class_ids == norm.class_ids
+    for cid in norm.class_ids:
+        assert back.budget(cid).rate == norm.budget(cid).rate
+
+
+@_SETTINGS
+@given(allocation=allocations())
+def test_allocation_roundtrip_exact(allocation):
+    back = allocation_from_dict(allocation_to_dict(allocation))
+    assert back.type_ids == allocation.type_ids
+    assert back.strategy == allocation.strategy
+    for type_id in allocation.type_ids:
+        assert back.budget(type_id).rate == allocation.budget(type_id).rate
+    assert allocation_to_dict(back) == allocation_to_dict(allocation)
+
+
+@_SETTINGS
+@given(certificate=certificates())
+def test_certificate_roundtrip_exact(certificate):
+    back = certificate_from_dict(certificate_to_dict(certificate))
+    assert back == certificate or (
+        certificate_to_dict(back) == certificate_to_dict(certificate))
+
+
+@_SETTINGS
+@given(goals=goal_sets())
+def test_goal_set_roundtrip_exact(goals):
+    back = goal_set_from_dict(goal_set_to_dict(goals))
+    assert goal_set_to_dict(back) == goal_set_to_dict(goals)
+    # and a second trip is a fixed point (serialisation is idempotent)
+    again = goal_set_from_dict(goal_set_to_dict(back))
+    assert goal_set_to_dict(again) == goal_set_to_dict(back)
+
+
+@_SETTINGS
+@given(result=simulation_results())
+def test_chunk_result_roundtrip_exact(result):
+    back = result_from_dict(result_to_dict(result))
+    assert back == result  # dataclass equality over every float field
+
+
+@pytest.mark.parametrize("rate", [0.0, 5e-324, 1e-9,
+                                  2.2250738585072014e-308])
+def test_budget_edge_values_survive_exactly(rate):
+    """The explicit edge magnitudes from the issue, pinned one by one."""
+    norm = QuantitativeRiskNorm(
+        "edge", ConsequenceScale([
+            ConsequenceClass("vQ1", UnifiedSeverity.EMERGENCY_MANOEUVRE,
+                             Frequency(max(rate, 5e-324), _UNIT)),
+        ]))
+    itype = IncidentType(
+        type_id="I1", ego=ActorClass.EGO, counterpart=ActorClass.VRU,
+        margin=ProximityMargin(1.0, 10.0),
+        split=ContributionSplit({"vQ1": max(rate, 5e-324)}))
+    from repro.core.allocation import Allocation
+    allocation = Allocation(norm, [itype],
+                            {"I1": Frequency(rate, _UNIT)})
+    back = allocation_from_dict(allocation_to_dict(allocation))
+    assert back.budget("I1").rate == rate
+    assert back.types[0].split.fraction("vQ1") == max(rate, 5e-324)

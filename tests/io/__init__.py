@@ -1,0 +1,1 @@
+"""Tests for the repro.io artifact boundary (DESIGN §10)."""

@@ -1,0 +1,41 @@
+"""Guard: raw ``json.loads`` / ``json.load`` is forbidden outside repro/io.
+
+The whole point of the artifact boundary (DESIGN §10) is that *every*
+JSON ingestion path converts parse failures into the typed
+:class:`~repro.errors.ArtifactError` taxonomy.  A raw ``json.loads``
+call site elsewhere in the package is a regression back to the
+``JSONDecodeError``-tracebacks bug class, so this test greps for it.
+
+``json.dumps`` stays legal everywhere — producing JSON cannot mis-parse.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Matches json.load( and json.loads( call sites.
+_RAW_PARSE = re.compile(r"\bjson\.loads?\s*\(")
+
+
+def test_src_tree_exists():
+    assert (SRC / "io" / "artifact.py").is_file()
+
+
+def test_no_raw_json_parsing_outside_io_boundary():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if (SRC / "io") in path.parents:
+            continue  # the boundary itself implements the parsing
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), 1):
+            if _RAW_PARSE.search(line):
+                offenders.append(
+                    f"src/repro/{path.relative_to(SRC)}:{lineno}: "
+                    f"{line.strip()}")
+    assert not offenders, (
+        "raw json.load(s) call sites outside repro/io/ — route them "
+        "through the artifact boundary (repro.io.parse_artifact_text / "
+        "ARTIFACTS.load*, DESIGN §10):\n" + "\n".join(offenders))

@@ -104,3 +104,61 @@ class TestRoundTrip:
         data["schema"] = "something/else"
         with pytest.raises(ValueError, match="schema"):
             RunManifest.from_dict(data)
+
+
+class TestArtifactBoundary:
+    """Regression coverage for the repro.io integration (DESIGN §10)."""
+
+    def test_missing_schema_tag_names_expected_and_found(self, snapshot):
+        data = build_manifest(snapshot, command="x").to_dict()
+        del data["schema"]
+        from repro.errors import SchemaMismatchError
+        with pytest.raises(SchemaMismatchError,
+                           match=r"missing schema tag.*repro\.run-manifest/v1"):
+            RunManifest.from_dict(data)
+
+    def test_unknown_schema_tag_names_both_tags(self, snapshot):
+        data = build_manifest(snapshot, command="x").to_dict()
+        data["schema"] = "something/else"
+        from repro.errors import SchemaMismatchError
+        with pytest.raises(
+                SchemaMismatchError,
+                match=r"'something/else'.*expected 'repro\.run-manifest/v1'"):
+            RunManifest.from_dict(data)
+
+    def test_written_manifest_carries_digest(self, snapshot, tmp_path):
+        path = tmp_path / "manifest.json"
+        build_manifest(snapshot, command="x").write(path)
+        data = json.loads(path.read_text())
+        assert data["payload_sha256"].startswith("sha256:")
+
+    def test_digest_tamper_detected_on_read(self, snapshot, tmp_path):
+        path = tmp_path / "manifest.json"
+        build_manifest(snapshot, command="x", seed=7).write(path)
+        data = json.loads(path.read_text())
+        data["seed"] = 8  # the bit that silently changes a provenance claim
+        path.write_text(json.dumps(data))
+        from repro.errors import CorruptArtifactError
+        with pytest.raises(CorruptArtifactError, match="digest mismatch"):
+            RunManifest.read(path)
+
+    def test_truncated_manifest_is_typed(self, snapshot, tmp_path):
+        path = tmp_path / "manifest.json"
+        build_manifest(snapshot, command="x").write(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) // 3])
+        from repro.errors import ArtifactError
+        with pytest.raises(ArtifactError):
+            RunManifest.read(path)
+
+    def test_legacy_digest_free_manifest_loads(self, snapshot, tmp_path):
+        """Manifests written before the boundary existed (no digest,
+        possibly missing the additive fields) still load."""
+        path = tmp_path / "legacy.json"
+        data = build_manifest(snapshot, command="x").to_dict()
+        for additive in ("failure_log", "budget_utilisation", "summary"):
+            data.pop(additive, None)
+        path.write_text(json.dumps(data))
+        back = RunManifest.read(path)
+        assert back.command == "x"
+        assert back.failure_log is None

@@ -434,3 +434,106 @@ class TestFleetFaultTolerance:
         err = capsys.readouterr().err
         assert "(2 restored)" in err
         assert "chunk 4/4" in err
+
+
+class TestArtifactErrorDiagnostics:
+    """Corrupt artifacts exit 4 with one ``error:`` line, never a
+    traceback (DESIGN §10); malformed *usage* keeps exit code 2."""
+
+    @pytest.fixture
+    def goals_file(self, tmp_path, capsys):
+        path = tmp_path / "goals.json"
+        main(["goals", "--json", str(path)])
+        capsys.readouterr()
+        return path
+
+    def test_malformed_counts_json_exits_4(self, goals_file, capsys):
+        code = main(["verify", str(goals_file), "--counts", '{"I1": ',
+                     "--exposure", "1e4"])
+        err = capsys.readouterr().err
+        assert code == 4
+        assert err.startswith("error: --counts: ")
+        assert len(err.strip().splitlines()) == 1  # no traceback
+        assert "Traceback" not in err
+
+    def test_nan_counts_token_exits_4(self, goals_file, capsys):
+        code = main(["verify", str(goals_file), "--counts", '{"I1": NaN}',
+                     "--exposure", "1e4"])
+        err = capsys.readouterr().err
+        assert code == 4
+        assert "error: --counts:" in err
+
+    def test_non_integer_count_exits_4(self, goals_file, capsys):
+        code = main(["verify", str(goals_file), "--counts", '{"I1": "x"}',
+                     "--exposure", "1e4"])
+        err = capsys.readouterr().err
+        assert code == 4
+        assert "must be an integer" in err
+
+    def test_non_object_counts_still_usage_error_2(self, goals_file, capsys):
+        # well-formed JSON of the wrong shape is a usage error, not a
+        # corrupt artifact: the historical exit code 2 is pinned
+        assert main(["verify", str(goals_file), "--counts", "[1, 2]",
+                     "--exposure", "1e4"]) == 2
+        assert "must be a JSON object" in capsys.readouterr().err
+
+    def test_corrupt_goals_file_exits_4_verify(self, tmp_path, capsys):
+        path = tmp_path / "goals.json"
+        path.write_text('{"allocation": {"norm": ')
+        code = main(["verify", str(path), "--counts", "{}",
+                     "--exposure", "1e4"])
+        err = capsys.readouterr().err
+        assert code == 4
+        assert err.startswith(f"error: {path}: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_corrupt_goals_file_exits_4_review(self, tmp_path, capsys):
+        path = tmp_path / "goals.json"
+        path.write_text("not json at all")
+        code = main(["review", str(path)])
+        err = capsys.readouterr().err
+        assert code == 4
+        assert "error:" in err and "Traceback" not in err
+
+    def test_tampered_goals_digest_exits_4(self, goals_file, capsys):
+        data = json.loads(goals_file.read_text())
+        data["goals"][0]["max_frequency_rate"] = 1.0  # silent edit
+        goals_file.write_text(json.dumps(data))
+        code = main(["verify", str(goals_file), "--counts", "{}",
+                     "--exposure", "1e4"])
+        err = capsys.readouterr().err
+        assert code == 4
+        assert "digest mismatch" in err
+
+    def test_missing_goals_file_exits_4(self, tmp_path, capsys):
+        code = main(["verify", str(tmp_path / "nope.json"),
+                     "--counts", "{}", "--exposure", "1e4"])
+        err = capsys.readouterr().err
+        assert code == 4
+        assert "cannot read" in err
+
+    def test_corrupted_checkpoint_resume_exits_4(self, tmp_path, capsys):
+        fleet = ["fleet", "--hours", "2", "--seed", "9",
+                 "--chunk-hours", "1", "--workers", "1"]
+        ck = tmp_path / "ck.json"
+        assert main(fleet + ["--checkpoint", str(ck)]) == 0
+        raw = ck.read_bytes()
+        ck.write_bytes(raw[:len(raw) // 2])  # torn write / disk damage
+        capsys.readouterr()
+        code = main(fleet + ["--checkpoint", str(ck), "--resume"])
+        err = capsys.readouterr().err
+        assert code == 4
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_legacy_tagless_goals_file_still_loads(self, tmp_path, capsys):
+        """Pre-boundary files (no schema tag, no digest) keep working."""
+        from repro.core import goal_set_to_dict
+        from repro.cli import _build_goals
+
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(goal_set_to_dict(
+            _build_goals(None, "max-min"))))
+        assert main(["verify", str(path), "--counts", "{}",
+                     "--exposure", "1e10"]) == 0
+        assert "ALL DEMONSTRATED" in capsys.readouterr().out

@@ -15,7 +15,7 @@ import repro
 
 PACKAGES = ["repro", "repro.core", "repro.hara", "repro.traffic",
             "repro.injury", "repro.stats", "repro.odd", "repro.assurance",
-            "repro.reporting", "repro.cli"]
+            "repro.reporting", "repro.errors", "repro.io", "repro.cli"]
 
 
 @pytest.mark.parametrize("package_name", PACKAGES)

@@ -245,3 +245,68 @@ class TestMisuse:
         path = tmp_path / "new.json"
         assert _run(world, checkpoint=path, resume=True) == uninterrupted
         assert path.exists()
+
+
+class TestArtifactBoundary:
+    """Regression coverage for the repro.io integration (DESIGN §10)."""
+
+    def test_missing_schema_tag_names_expected_tag(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"created_utc": "t", "campaign": {},
+                                    "chunks": {}}))
+        from repro.errors import SchemaMismatchError
+        with pytest.raises(
+                SchemaMismatchError,
+                match=r"missing schema tag.*repro\.campaign-checkpoint/v1"):
+            CampaignCheckpoint.load(path)
+
+    def test_unknown_schema_tag_names_both_tags(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        from repro.errors import SchemaMismatchError
+        with pytest.raises(
+                SchemaMismatchError,
+                match=r"'something/else'.*expected "
+                      r"'repro\.campaign-checkpoint/v1'"):
+            CampaignCheckpoint.load(path)
+
+    def test_saved_checkpoint_carries_digest(self, tmp_path, uninterrupted):
+        path = tmp_path / "ck.json"
+        ck = CampaignCheckpoint.new(path, {"seed": SEED})
+        ck.record(0, uninterrupted)
+        data = json.loads(path.read_text())
+        assert data["payload_sha256"].startswith("sha256:")
+
+    def test_value_tamper_detected_on_load(self, tmp_path, uninterrupted):
+        path = tmp_path / "ck.json"
+        ck = CampaignCheckpoint.new(path, {"seed": SEED})
+        ck.record(0, uninterrupted)
+        data = json.loads(path.read_text())
+        data["chunks"]["0"]["result"]["hours"] = 999.0  # foreign exposure
+        path.write_text(json.dumps(data))
+        from repro.errors import CorruptArtifactError
+        with pytest.raises(CorruptArtifactError, match="digest mismatch"):
+            CampaignCheckpoint.load(path)
+
+    def test_truncated_checkpoint_is_typed(self, tmp_path, uninterrupted):
+        path = tmp_path / "ck.json"
+        ck = CampaignCheckpoint.new(path, {"seed": SEED})
+        ck.record(0, uninterrupted)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) // 2])
+        from repro.errors import ArtifactError
+        with pytest.raises(ArtifactError):
+            CampaignCheckpoint.load(path)
+
+    def test_legacy_digest_free_checkpoint_loads(self, tmp_path,
+                                                 uninterrupted):
+        """Checkpoints written before the boundary existed (tagged but
+        digest-free) load without a re-pin."""
+        path = tmp_path / "ck.json"
+        ck = CampaignCheckpoint.new(path, {"seed": SEED})
+        ck.record(0, uninterrupted)
+        data = json.loads(path.read_text())
+        del data["payload_sha256"]
+        path.write_text(json.dumps(data))
+        loaded = CampaignCheckpoint.load(path)
+        assert loaded.completed_results()[0] == uninterrupted
