@@ -19,7 +19,16 @@ from .bayes import (JEFFREYS, GammaRatePrior,
 from .sequential import (SprtDecision, SprtPlan, SprtState,
                          expected_acceptance_exposure)
 from .rare_event import (StratifiedEstimate, StratumEstimate,
-                         optimal_replication_split, stratified_rate)
+                         optimal_replication_split, stratified_rate,
+                         uncertainty_replication_split)
+from .importance import (ImportanceEstimate, WeightDegeneracyError,
+                         WeightDiagnostics, bernoulli_log_ratio,
+                         clamped_lognormal_log_ratio,
+                         floored_normal_log_ratio, importance_estimate,
+                         normal_cdf, normal_log_ratio,
+                         poisson_count_log_ratio)
+from .splitting import (LevelPassage, SplittingEstimate, adaptive_levels,
+                        multilevel_splitting, replicated_splitting)
 from .parallel import (Chunk, ChunkProgress, default_worker_count,
                        plan_chunks, run_chunked)
 from .fault_tolerance import (FAILURE_KINDS, CampaignPartialFailure,
@@ -46,6 +55,22 @@ __all__ = [
     "StratumEstimate",
     "optimal_replication_split",
     "stratified_rate",
+    "uncertainty_replication_split",
+    "ImportanceEstimate",
+    "WeightDegeneracyError",
+    "WeightDiagnostics",
+    "bernoulli_log_ratio",
+    "clamped_lognormal_log_ratio",
+    "floored_normal_log_ratio",
+    "importance_estimate",
+    "normal_cdf",
+    "normal_log_ratio",
+    "poisson_count_log_ratio",
+    "LevelPassage",
+    "SplittingEstimate",
+    "adaptive_levels",
+    "multilevel_splitting",
+    "replicated_splitting",
     "SprtDecision",
     "SprtPlan",
     "SprtState",

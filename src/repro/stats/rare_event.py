@@ -28,6 +28,7 @@ __all__ = [
     "StratifiedEstimate",
     "stratified_rate",
     "optimal_replication_split",
+    "uncertainty_replication_split",
 ]
 
 
@@ -145,8 +146,6 @@ def optimal_replication_split(weights: Mapping[str, float],
     is guaranteed at least 2 replications so its variance is estimable.
     """
     _validate_weights(weights)
-    if total_replications < 2 * sum(1 for w in weights.values() if w > 0):
-        raise ValueError("too few replications to cover all active strata")
     scores = {}
     for context, weight in weights.items():
         if weight <= 0:
@@ -157,19 +156,66 @@ def optimal_replication_split(weights: Mapping[str, float],
         if sigma < 0 or not math.isfinite(sigma):
             raise ValueError(f"pilot std for {context!r} must be finite and >= 0")
         scores[context] = weight * sigma
-    total_score = sum(scores.values())
-    allocation: Dict[str, int] = {}
+    return _exact_allocation(scores, total_replications)
+
+
+def uncertainty_replication_split(weights: Mapping[str, float],
+                                  uncertainty: Mapping[str, float],
+                                  total_replications: int) -> Dict[str, int]:
+    """Allocate replications proportional to remaining verdict uncertainty.
+
+    The adaptive-campaign analogue of :func:`optimal_replication_split`:
+    scores are ``w_c · u_c`` where ``u_c`` is a per-context uncertainty
+    measure — in the accelerated tier, the budget monitor's unresolved CI
+    width (:meth:`repro.obs.budget_monitor.BudgetUtilisationReport.verdict_uncertainty`)
+    apportioned to the contexts producing those incidents.  Contexts whose
+    verdicts are all settled score 0 and receive only the 2-replication
+    floor; fresh effort flows where the budget question is still open.
+    """
+    _validate_weights(weights)
+    scores = {}
+    for context, weight in weights.items():
+        if weight <= 0:
+            continue
+        u = uncertainty.get(context)
+        if u is None:
+            raise KeyError(f"uncertainty missing for context {context!r}")
+        if u < 0 or not math.isfinite(u):
+            raise ValueError(
+                f"uncertainty for {context!r} must be finite and >= 0")
+        scores[context] = weight * u
+    return _exact_allocation(scores, total_replications)
+
+
+def _exact_allocation(scores: Mapping[str, float],
+                      total: int) -> Dict[str, int]:
+    """Largest-remainder apportionment with a floor of 2 per stratum.
+
+    Allocations sum to exactly ``total`` whenever ``total`` covers the
+    floors (``2 × #strata``) — no drift in either direction.  A zero
+    total score degrades to an even split.  Ties break on the sorted
+    context name so the allocation is a pure function of its inputs.
+    """
+    if total < 2 * len(scores):
+        raise ValueError("too few replications to cover all active strata")
+    total_score = math.fsum(scores.values())
     if total_score == 0:
-        # Degenerate pilot (no variance anywhere): split evenly.
-        even = total_replications // len(scores)
-        allocation = {c: max(2, even) for c in scores}
+        # Degenerate scores (no signal anywhere): split evenly.
+        targets = {context: total / len(scores) for context in scores}
     else:
-        for context, score in scores.items():
-            allocation[context] = max(2, round(total_replications * score / total_score))
-    # Trim overshoot from the largest stratum (floors may overcommit).
-    while sum(allocation.values()) > total_replications:
-        largest = max(allocation, key=lambda c: allocation[c])
-        if allocation[largest] <= 2:
-            break
-        allocation[largest] -= 1
+        targets = {context: total * score / total_score
+                   for context, score in scores.items()}
+    allocation = {context: max(2, math.floor(target))
+                  for context, target in targets.items()}
+    # Floors can land above or below the total; walk to it one step at a
+    # time, spending on the largest shortfall (target - allocated) and
+    # reclaiming from the largest excess among strata above the floor.
+    while sum(allocation.values()) < total:
+        context = max(sorted(allocation),
+                      key=lambda c: targets[c] - allocation[c])
+        allocation[context] += 1
+    while sum(allocation.values()) > total:
+        eligible = [c for c in sorted(allocation) if allocation[c] > 2]
+        context = max(eligible, key=lambda c: allocation[c] - targets[c])
+        allocation[context] -= 1
     return allocation

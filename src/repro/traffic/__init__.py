@@ -16,11 +16,19 @@ from .dynamics import (KMH_PER_MS, BrakingArrays, BrakingOutcome,
                        resolve_braking_arrays, stopping_distance,
                        stopping_distance_array)
 from .encounters import (ContextProfile, Encounter, EncounterBatch,
-                         EncounterGenerator, default_context_profiles)
-from .engine import resolve_batch, simulate_vectorized
+                         EncounterGenerator, ProposalTilt,
+                         default_context_profiles, encounter_log_weights)
+from .engine import (ImportanceRun, resolve_batch, simulate_importance,
+                     simulate_vectorized)
 from .faults import BrakingSystem
 from .incidents import (TypeRates, empirical_splits, estimate_type_rates,
-                        type_counts)
+                        type_counts, weighted_type_counts)
+from .acceleration import (ACCELERATORS, AcceleratedRate,
+                           AdaptiveCampaignResult, AdaptiveCampaignRound,
+                           SeverityChannel, accelerated_collision_rate,
+                           adaptive_budget_campaign,
+                           importance_collision_rate, naive_collision_rate,
+                           severity_channels, splitting_collision_rate)
 from .perception import (PerceptionModel, default_perception,
                          degraded_perception)
 from .policy import (TacticalPolicy, aggressive_policy, cautious_policy,
@@ -55,6 +63,14 @@ __all__ = [
     "run_fleet", "validate_chunk_output",
     "CHECKPOINT_SCHEMA", "CampaignCheckpoint", "CheckpointMismatchError",
     "TypeRates", "estimate_type_rates", "empirical_splits", "type_counts",
+    "weighted_type_counts",
+    "ProposalTilt", "encounter_log_weights", "ImportanceRun",
+    "simulate_importance",
+    "ACCELERATORS", "AcceleratedRate", "AdaptiveCampaignResult",
+    "AdaptiveCampaignRound", "SeverityChannel",
+    "accelerated_collision_rate", "adaptive_budget_campaign",
+    "importance_collision_rate", "naive_collision_rate",
+    "severity_channels", "splitting_collision_rate",
     "Scenario", "ScenarioOutcome", "ScenarioStatistics", "ScenarioSuite",
     "CrossingPedestrian", "LeadVehicleBraking", "CutIn",
     "ObstacleBehindCurve", "AnimalRunOut", "run_scenario",

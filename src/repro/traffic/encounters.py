@@ -21,9 +21,83 @@ from typing import Dict, List, Mapping, Tuple
 import numpy as np
 
 from ..core.taxonomy import ActorClass
+from ..stats.importance import (clamped_lognormal_log_ratio,
+                                floored_normal_log_ratio)
 
 __all__ = ["Encounter", "EncounterBatch", "ContextProfile",
-           "EncounterGenerator", "default_context_profiles"]
+           "EncounterGenerator", "default_context_profiles",
+           "ProposalTilt", "encounter_log_weights"]
+
+SIGHT_DISTANCE_CLAMP_M = 1.0
+"""Lower clamp applied to every sampled sight distance.  Part of the
+encounter law (it puts a point mass at 1 m), so the importance-sampling
+likelihood ratios must — and do — account for it."""
+
+
+def _lognormal_params(mean: float, std: float) -> Tuple[float, float]:
+    """(mu, sigma) of the lognormal with the given mean and std.
+
+    The single derivation both sampling paths and the likelihood-ratio
+    bookkeeping share; scaling ``(mean, std)`` by a common factor ``s``
+    leaves ``sigma`` unchanged and shifts ``mu`` by ``ln s`` — which is
+    why :class:`ProposalTilt` tilts sight distances multiplicatively.
+    """
+    sigma = math.sqrt(math.log(1.0 + (std / mean) ** 2))
+    mu = math.log(mean) - sigma ** 2 / 2.0
+    return mu, sigma
+
+
+@dataclass(frozen=True)
+class ProposalTilt:
+    """An importance-sampling proposal over the encounter law.
+
+    Three levers, chosen so every likelihood ratio is available in closed
+    form against the *same* parametric family (DESIGN §11):
+
+    * ``rate_scale`` multiplies every class's Poisson arrival rate —
+      more encounters per simulated hour.  Under the per-record Campbell
+      estimator each encounter's weight carries a flat ``1/rate_scale``.
+    * ``sight_scale`` multiplies the (mean, std) of the lognormal sight
+      distance — values below 1 make occluded, short-sight conflicts
+      common.  Scaling both moments together keeps the log-space sigma
+      fixed and shifts mu by ``ln(sight_scale)``, so the ratio is exact.
+    * ``speed_shift_kmh`` shifts the mean of the floored-normal
+      counterpart speed (same std).  Classes with zero speed spread
+      (static objects) are point masses and are never shifted.
+
+    A fourth lever targets the *resolution* law rather than the
+    encounter law: ``degradation_scale`` multiplies the braking system's
+    fault occupancy (the paper's Sec. II-B-3 degraded-braking channel,
+    typically 1e-4 or rarer) so faulted encounters are proposed often;
+    the realised fault states are reweighted by the exact Bernoulli
+    ratio inside :func:`repro.traffic.engine.simulate_importance`.
+
+    The identity tilt reproduces the nominal generator bit-for-bit with
+    all weights exactly 1 — the oracle equivalence the statistical
+    verification tier pins.
+    """
+
+    rate_scale: float = 1.0
+    sight_scale: float = 1.0
+    speed_shift_kmh: float = 0.0
+    degradation_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate_scale <= 0 or not math.isfinite(self.rate_scale):
+            raise ValueError("rate scale must be positive and finite")
+        if self.sight_scale <= 0 or not math.isfinite(self.sight_scale):
+            raise ValueError("sight scale must be positive and finite")
+        if not math.isfinite(self.speed_shift_kmh):
+            raise ValueError("speed shift must be finite")
+        if self.degradation_scale <= 0 or \
+                not math.isfinite(self.degradation_scale):
+            raise ValueError("degradation scale must be positive and finite")
+
+    @property
+    def is_identity(self) -> bool:
+        return (self.rate_scale == 1.0 and self.sight_scale == 1.0
+                and self.speed_shift_kmh == 0.0
+                and self.degradation_scale == 1.0)
 
 
 @dataclass(frozen=True)
@@ -167,6 +241,28 @@ class ContextProfile:
         """Total conflict arrivals per hour in this context."""
         return sum(self.encounter_rates.values())
 
+    def tilted(self, tilt: ProposalTilt) -> "ContextProfile":
+        """This context's law under an importance-sampling proposal.
+
+        Rates scale, sight-distance moments scale together, and speed
+        means shift (point-mass speeds — std 0 — stay put).  The profile
+        keeps its name so a tilted generator answers for the same
+        contexts as the nominal one.
+        """
+        return ContextProfile(
+            name=self.name,
+            encounter_rates={c: rate * tilt.rate_scale
+                             for c, rate in self.encounter_rates.items()},
+            sight_distance_m={c: (mean * tilt.sight_scale,
+                                  std * tilt.sight_scale)
+                              for c, (mean, std)
+                              in self.sight_distance_m.items()},
+            counterpart_speed_kmh={
+                c: ((mean + tilt.speed_shift_kmh, std) if std > 0.0
+                    else (mean, std))
+                for c, (mean, std) in self.counterpart_speed_kmh.items()},
+        )
+
 
 class EncounterGenerator:
     """Samples encounter streams from context profiles."""
@@ -215,8 +311,7 @@ class EncounterGenerator:
             times = np.sort(rng.uniform(0.0, hours, size=count))
             mean_d, std_d = profile.sight_distance_m[counterpart]
             mean_v, std_v = profile.counterpart_speed_kmh[counterpart]
-            sigma = math.sqrt(math.log(1.0 + (std_d / mean_d) ** 2))
-            mu = math.log(mean_d) - sigma ** 2 / 2.0
+            mu, sigma = _lognormal_params(mean_d, std_d)
             distances = rng.lognormal(mu, sigma, size=count)
             speeds = np.maximum(rng.normal(mean_v, std_v, size=count), 0.0)
             cues = rng.uniform(size=count) < cue_probability
@@ -224,7 +319,8 @@ class EncounterGenerator:
                 encounters.append(Encounter(
                     counterpart=counterpart,
                     context=context,
-                    sight_distance_m=float(max(distances[i], 1.0)),
+                    sight_distance_m=float(max(distances[i],
+                                               SIGHT_DISTANCE_CLAMP_M)),
                     counterpart_speed_kmh=float(speeds[i]),
                     cue_available=bool(cues[i]),
                     time_h=float(times[i]),
@@ -281,15 +377,75 @@ class EncounterGenerator:
         times = np.sort(rng.uniform(0.0, hours, size=count))
         mean_d, std_d = profile.sight_distance_m[counterpart]
         mean_v, std_v = profile.counterpart_speed_kmh[counterpart]
-        sigma = math.sqrt(math.log(1.0 + (std_d / mean_d) ** 2))
-        mu = math.log(mean_d) - sigma ** 2 / 2.0
-        distances = np.maximum(rng.lognormal(mu, sigma, size=count), 1.0)
+        mu, sigma = _lognormal_params(mean_d, std_d)
+        distances = np.maximum(rng.lognormal(mu, sigma, size=count),
+                               SIGHT_DISTANCE_CLAMP_M)
         speeds = np.maximum(rng.normal(mean_v, std_v, size=count), 0.0)
         cues = rng.uniform(size=count) < cue_probability
         return EncounterBatch(
             counterpart=counterpart, context=context, time_h=times,
             sight_distance_m=distances, counterpart_speed_kmh=speeds,
             cue_available=cues)
+
+    def tilted(self, tilt: ProposalTilt) -> "EncounterGenerator":
+        """A generator sampling every context under the proposal law.
+
+        Active classes (and their canonical order, hence the RNG
+        sub-stream layout) are preserved: a positive rate stays positive
+        under any positive ``rate_scale``.  The identity tilt returns a
+        generator that is bit-for-bit equivalent to this one.
+        """
+        return EncounterGenerator({name: profile.tilted(tilt)
+                                   for name, profile
+                                   in self._profiles.items()})
+
+
+def encounter_log_weights(batch: EncounterBatch,
+                          nominal_profile: ContextProfile,
+                          tilt: ProposalTilt) -> np.ndarray:
+    """Per-encounter log importance weights ``log p/q`` for one batch.
+
+    ``batch`` was sampled under ``nominal_profile.tilted(tilt)``; the
+    returned array aligns with the batch.  Each weight is the Campbell
+    (marked-Poisson) per-record factor
+
+        ``w_i = (1/rate_scale) · LR_sight(d_i) · LR_speed(v_i)``
+
+    so that for any per-encounter statistic ``f``,
+    ``E_nominal[Σ f] = E_proposal[Σ f·w]`` — the arrival-rate tilt is
+    carried per event (the ``1/rate_scale``), and the mark ratios use the
+    exact clamped/floored forms (atoms included) from
+    :mod:`repro.stats.importance`.  Arrival times, cue draws, and every
+    untilted resolution draw contribute ratio 1; the one resolution mark
+    a tilt can touch — the degraded-braking state under
+    ``degradation_scale`` — is reweighted by the engine, which alone sees
+    the realised fault states.
+    """
+    counterpart = batch.counterpart
+    if batch.context != nominal_profile.name:
+        raise ValueError(
+            f"batch context {batch.context!r} does not match profile "
+            f"{nominal_profile.name!r}")
+    try:
+        mean_d, std_d = nominal_profile.sight_distance_m[counterpart]
+        mean_v, std_v = nominal_profile.counterpart_speed_kmh[counterpart]
+    except KeyError:
+        raise KeyError(f"nominal profile {nominal_profile.name!r} has no "
+                       f"parameters for {counterpart}") from None
+    log_w = np.full(len(batch), -math.log(tilt.rate_scale))
+    if not len(batch):
+        return log_w
+    mu_p, sigma = _lognormal_params(mean_d, std_d)
+    mu_q, _ = _lognormal_params(mean_d * tilt.sight_scale,
+                                std_d * tilt.sight_scale)
+    log_w += clamped_lognormal_log_ratio(
+        batch.sight_distance_m, mu_p=mu_p, mu_q=mu_q, sigma=sigma,
+        clamp=SIGHT_DISTANCE_CLAMP_M)
+    if std_v > 0.0:
+        log_w += floored_normal_log_ratio(
+            batch.counterpart_speed_kmh, mean_p=mean_v,
+            mean_q=mean_v + tilt.speed_shift_kmh, std=std_v)
+    return log_w
 
 
 def default_context_profiles() -> Dict[str, ContextProfile]:

@@ -43,16 +43,21 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from dataclasses import dataclass, field
+
 from ..core.incident import IncidentRecord
 from ..core.taxonomy import ActorClass
 from ..obs.session import active_session, maybe_span
+from ..stats.importance import WeightDiagnostics, bernoulli_log_ratio
 from .dynamics import kmh_to_ms, ms_to_kmh, resolve_braking_arrays
-from .encounters import EncounterBatch, EncounterGenerator
+from .encounters import (EncounterBatch, EncounterGenerator, ProposalTilt,
+                         encounter_log_weights)
 from .faults import BrakingSystem
 from .perception import PerceptionModel
 from .policy import TacticalPolicy
 
-__all__ = ["resolve_batch", "simulate_vectorized", "CROSSING_CLASSES"]
+__all__ = ["resolve_batch", "resolve_batch_traced", "simulate_vectorized",
+           "simulate_importance", "ImportanceRun", "CROSSING_CLASSES"]
 
 CROSSING_CLASSES = frozenset({ActorClass.VRU, ActorClass.ANIMAL,
                               ActorClass.STATIC_OBJECT})
@@ -73,13 +78,36 @@ def resolve_batch(batch: EncounterBatch, policy: TacticalPolicy,
     documented order (capabilities, perception, follower) and then pure
     array math.  Records come back unsorted (the caller canonicalises).
     """
+    records, _, _, n_hard = resolve_batch_traced(
+        batch, policy, perception, braking, config, rng, time_offset_h)
+    return records, n_hard
+
+
+def resolve_batch_traced(batch: EncounterBatch, policy: TacticalPolicy,
+                         perception: PerceptionModel, braking: BrakingSystem,
+                         config: "SimulationConfig",
+                         rng: np.random.Generator,
+                         time_offset_h: float = 0.0,
+                         ) -> Tuple[List[IncidentRecord], List[int],
+                                    np.ndarray, int]:
+    """:func:`resolve_batch` plus per-record and per-encounter provenance.
+
+    Returns ``(records, sources, degraded, n_hard)``: ``sources`` maps
+    each record to the index (within ``batch``) of the encounter that
+    produced it — induced incidents point at the encounter whose hard
+    stop triggered them — and ``degraded`` is the per-encounter braking
+    fault-state mask.  Identical draws and arithmetic to
+    :func:`resolve_batch`; the importance sampler uses the provenance to
+    attach records their encounters' likelihood-ratio weights and to
+    reweight tilted fault occupancies exactly.
+    """
     n = len(batch)
     session = active_session()
     if session is not None:
         session.metrics.counter("engine.batches").inc()
         session.metrics.histogram("engine.batch_size").observe(n)
     if n == 0:
-        return [], 0
+        return [], [], np.zeros(0, dtype=bool), 0
     with maybe_span("resolve_batch"):
         return _resolve_batch_body(batch, policy, perception, braking,
                                    config, rng, time_offset_h)
@@ -90,12 +118,14 @@ def _resolve_batch_body(batch: EncounterBatch, policy: TacticalPolicy,
                         config: "SimulationConfig",
                         rng: np.random.Generator,
                         time_offset_h: float,
-                        ) -> Tuple[List[IncidentRecord], int]:
+                        ) -> Tuple[List[IncidentRecord], List[int],
+                                   np.ndarray, int]:
     n = len(batch)
     context = batch.context
 
     # Resolution draws — whole-array, fixed order.
-    actual_capability = braking.sample_capability_array(rng, n)
+    actual_capability, degraded = \
+        braking.sample_capability_array_traced(rng, n)
     detection = perception.detection_distance_array(
         batch.sight_distance_m, context, rng)
 
@@ -129,9 +159,11 @@ def _resolve_batch_body(batch: EncounterBatch, policy: TacticalPolicy,
                  & (closing_kmh > config.near_miss_speed_kmh))
 
     records: List[IncidentRecord] = []
+    sources: List[int] = []
     times = batch.time_h + time_offset_h
 
     for i in np.flatnonzero(collided):
+        sources.append(int(i))
         records.append(IncidentRecord(
             counterpart=batch.counterpart,
             is_collision=True,
@@ -143,6 +175,7 @@ def _resolve_batch_body(batch: EncounterBatch, policy: TacticalPolicy,
         ))
     min_distances = np.maximum(outcome.stop_margin_m, 1e-3)
     for i in np.flatnonzero(near_miss):
+        sources.append(int(i))
         records.append(IncidentRecord(
             counterpart=batch.counterpart,
             is_collision=False,
@@ -166,6 +199,7 @@ def _resolve_batch_body(batch: EncounterBatch, policy: TacticalPolicy,
         induced_distance = rng.uniform(0.3, 4.0, size=n_induced)
         induced_speed = rng.uniform(10.0, 60.0, size=n_induced)
         for k, i in enumerate(induced_indices):
+            sources.append(int(i))
             records.append(IncidentRecord(
                 counterpart=ActorClass.CAR,
                 is_collision=False,
@@ -175,7 +209,7 @@ def _resolve_batch_body(batch: EncounterBatch, policy: TacticalPolicy,
                 context=context,
                 induced=True,
             ))
-    return records, n_hard
+    return records, sources, degraded, n_hard
 
 
 def simulate_vectorized(policy: TacticalPolicy,
@@ -235,3 +269,127 @@ def simulate_vectorized(policy: TacticalPolicy,
             collisions=sum(1 for r in records if r.is_collision),
             hard_demands=hard_demands)
         return result
+
+
+@dataclass
+class ImportanceRun:
+    """One importance-sampled run: proposal-law output plus weights.
+
+    ``result`` holds the raw *proposal-law* observations (its counts and
+    rates are NOT nominal-law estimates); ``record_weights`` aligns with
+    ``result.records`` and carries each record's likelihood-ratio weight,
+    so ``Σ w·1[condition]`` is an unbiased nominal-law count estimate.
+    ``diagnostics`` pools the weights of **all** proposal encounters (not
+    only those that became records) — the ensemble whose effective sample
+    size certifies the tilt.
+    """
+
+    result: "SimulationResult"
+    record_weights: np.ndarray
+    diagnostics: WeightDiagnostics = field(default_factory=WeightDiagnostics)
+
+    def __post_init__(self) -> None:
+        if len(self.record_weights) != len(self.result.records):
+            raise ValueError(
+                f"{len(self.record_weights)} weights for "
+                f"{len(self.result.records)} records")
+
+    def weighted_collision_count(self) -> float:
+        return float(sum(w for r, w in zip(self.result.records,
+                                           self.record_weights)
+                         if r.is_collision))
+
+    def weighted_collision_rate_per_hour(self) -> float:
+        """Unbiased nominal-law collision rate from this run."""
+        return self.weighted_collision_count() / self.result.hours
+
+
+def simulate_importance(policy: TacticalPolicy,
+                        generator: EncounterGenerator,
+                        perception: PerceptionModel,
+                        braking: BrakingSystem,
+                        context: str,
+                        hours: float,
+                        rng: np.random.Generator,
+                        config: Optional["SimulationConfig"] = None,
+                        *,
+                        tilt: ProposalTilt,
+                        time_offset_h: float = 0.0) -> ImportanceRun:
+    """:func:`simulate_vectorized` under a proposal tilt, with weights.
+
+    ``generator`` is the *nominal* generator; sampling happens under
+    ``generator.tilted(tilt)`` with the identical RNG sub-stream layout
+    (one child per active class, same canonical order — positive rates
+    stay positive under any tilt, so the class set and stream assignment
+    match the nominal engine exactly).  A ``degradation_scale`` tilt runs
+    the resolution under a braking system with the scaled fault
+    occupancy and folds the exact Bernoulli ratio of each realised fault
+    state into that encounter's weight.  Every record carries the
+    Campbell weight of its source encounter (induced incidents inherit
+    the weight of the encounter whose hard stop triggered them).
+
+    With the identity tilt this is bit-for-bit :func:`simulate_vectorized`
+    — same records, same draws — with every weight exactly 1.0.
+    """
+    from .simulator import (SimulationConfig, SimulationResult,
+                            _record_sim_metrics, _record_sort_key)
+    if config is None:
+        config = SimulationConfig()
+    if time_offset_h < 0 or not math.isfinite(time_offset_h):
+        raise ValueError(
+            f"time offset must be finite and >= 0, got {time_offset_h}")
+    if hours <= 0 or not math.isfinite(hours):
+        raise ValueError(f"hours must be positive and finite, got {hours}")
+    proposal = generator.tilted(tilt)
+    nominal_occupancy = braking.degradation_occupancy
+    proposal_occupancy = nominal_occupancy * tilt.degradation_scale
+    # Constructing the tilted system validates occupancy <= 1 up front.
+    proposal_braking = braking.with_occupancy(proposal_occupancy)
+    nominal_profile = generator.profile(context)
+    classes = proposal.active_classes(context)
+    streams = rng.spawn(len(classes)) if classes else []
+    records: List[IncidentRecord] = []
+    weights: List[float] = []
+    diagnostics = WeightDiagnostics()
+    encounters_resolved = 0
+    hard_demands = 0
+    with maybe_span("simulate.importance"):
+        for counterpart, stream in zip(classes, streams):
+            batch = proposal.sample_class_batch(
+                context, counterpart, hours, policy.cue_probability, stream)
+            log_weights = encounter_log_weights(batch, nominal_profile, tilt)
+            encounters_resolved += len(batch)
+            class_records, class_sources, degraded, n_hard = \
+                resolve_batch_traced(batch, policy, perception,
+                                     proposal_braking, config, stream,
+                                     time_offset_h)
+            if len(batch):
+                log_weights += bernoulli_log_ratio(
+                    degraded, p_p=nominal_occupancy, p_q=proposal_occupancy)
+            encounter_weights = np.exp(log_weights)
+            diagnostics = diagnostics.merged(
+                WeightDiagnostics.from_weights(encounter_weights))
+            records.extend(class_records)
+            weights.extend(float(encounter_weights[i])
+                           for i in class_sources)
+            hard_demands += n_hard
+        order = sorted(range(len(records)),
+                       key=lambda i: _record_sort_key(records[i]))
+        records = [records[i] for i in order]
+        record_weights = np.array([weights[i] for i in order], dtype=float)
+        result = SimulationResult(
+            policy_name=policy.name,
+            hours=hours,
+            context_hours={context: hours},
+            records=records,
+            encounters_resolved=encounters_resolved,
+            hard_braking_demands=hard_demands,
+            hard_braking_threshold_ms2=config.hard_braking_threshold_ms2,
+        )
+        _record_sim_metrics(
+            hours=hours, encounters=encounters_resolved,
+            incidents=len(records),
+            collisions=sum(1 for r in records if r.is_collision),
+            hard_demands=hard_demands)
+        return ImportanceRun(result=result, record_weights=record_weights,
+                             diagnostics=diagnostics)

@@ -11,7 +11,8 @@ in line with Sec. V's cause-agnostic budgets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Tuple
 
 import numpy as np
 
@@ -60,10 +61,25 @@ class BrakingSystem:
         :meth:`sample_capability`, and the first resolution draw in the
         vectorized engine's per-(context, class) stream layout.
         """
+        capability, _ = self.sample_capability_array_traced(rng, size)
+        return capability
+
+    def sample_capability_array_traced(self, rng: np.random.Generator,
+                                       size: int,
+                                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`sample_capability_array` plus the degraded-state mask.
+
+        Same single whole-array uniform draw; the mask is the Bernoulli
+        outcome itself, which the importance sampler needs to reweight a
+        tilted ``degradation_occupancy`` exactly (inferring the state
+        from the capability value would be ambiguous when degraded and
+        nominal capabilities coincide).
+        """
         if size < 0:
             raise ValueError("size must be >= 0")
         degraded = rng.uniform(size=size) < self.degradation_occupancy
-        return np.where(degraded, self.degraded_ms2, self.nominal_ms2)
+        return np.where(degraded, self.degraded_ms2, self.nominal_ms2), \
+            degraded
 
     def known_capability_array(self, actual_ms2: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`known_capability`."""
@@ -73,6 +89,15 @@ class BrakingSystem:
         if self.reports_capability:
             return actual_ms2
         return np.full_like(actual_ms2, self.nominal_ms2)
+
+    def with_occupancy(self, degradation_occupancy: float) -> "BrakingSystem":
+        """The same braking system at a different degradation occupancy.
+
+        Used by the importance sampler to propose fault states more often
+        than the nominal occupancy; all other parameters (and therefore
+        the physics of each state) are untouched.
+        """
+        return replace(self, degradation_occupancy=degradation_occupancy)
 
     def known_capability(self, actual_ms2: float) -> float:
         """What the tactical layer believes the capability to be.

@@ -28,6 +28,7 @@ __all__ = [
     "estimate_type_rates",
     "empirical_splits",
     "type_counts",
+    "weighted_type_counts",
 ]
 
 
@@ -63,6 +64,40 @@ def type_counts(result: SimulationResult,
     unclassified = len(buckets.pop("<unclassified>"))
     return {type_id: len(records) for type_id, records in buckets.items()}, \
         unclassified
+
+
+def weighted_type_counts(records: Sequence,
+                         weights: Sequence[float],
+                         types: Sequence[IncidentType],
+                         ) -> Tuple[Dict[str, float], float]:
+    """Importance-weighted occurrences per incident type.
+
+    The likelihood-ratio analogue of :func:`type_counts`: each record
+    contributes its Campbell weight instead of 1, so the totals are
+    unbiased nominal-law expected counts even though the records were
+    sampled under a proposal.  Returns the per-type weighted counts and
+    the weighted unclassified mass.
+    """
+    if len(records) != len(weights):
+        raise ValueError(
+            f"got {len(records)} records but {len(weights)} weights")
+    totals: Dict[str, float] = {itype.type_id: 0.0 for itype in types}
+    unclassified = 0.0
+    type_list = list(types)
+    for record, weight in zip(records, weights):
+        weight = float(weight)
+        if weight < 0 or not np.isfinite(weight):
+            raise ValueError(
+                f"record weights must be finite and >= 0, got {weight}")
+        buckets = classify_records([record], type_list)
+        if buckets.pop("<unclassified>"):
+            unclassified += weight
+            continue
+        for type_id, bucket in buckets.items():
+            if bucket:
+                totals[type_id] += weight
+                break
+    return totals, unclassified
 
 
 def estimate_type_rates(result: SimulationResult,

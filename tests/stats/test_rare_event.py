@@ -5,10 +5,14 @@ from __future__ import annotations
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.stats.rare_event import (StratifiedEstimate,
+from repro.stats.montecarlo import MonteCarloResult
+from repro.stats.rare_event import (StratifiedEstimate, StratumEstimate,
                                     optimal_replication_split,
-                                    stratified_rate)
+                                    stratified_rate,
+                                    uncertainty_replication_split)
 
 
 def simulate(context, rng):
@@ -135,3 +139,179 @@ class TestNeymanSplit:
             optimal_replication_split(WEIGHTS, {"urban": 1.0, "rural": 1.0,
                                                 "highway": 1.0},
                                       total_replications=4)
+
+
+class TestExactAllocation:
+    """The allocation-drift fix: splits sum exactly to the total."""
+
+    def test_sums_exactly_to_total(self):
+        for total in (6, 7, 50, 97, 120, 1001):
+            split = optimal_replication_split(
+                WEIGHTS, {"urban": 1.0, "rural": 0.3, "highway": 0.07},
+                total_replications=total)
+            assert sum(split.values()) == total
+
+    def test_deterministic_tie_breaks(self):
+        weights = {"a": 0.25, "b": 0.25, "c": 0.25, "d": 0.25}
+        sigma = {name: 1.0 for name in weights}
+        first = optimal_replication_split(weights, sigma, 23)
+        for _ in range(5):
+            assert optimal_replication_split(weights, sigma, 23) == first
+        assert sum(first.values()) == 23
+
+    @given(
+        sigmas=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                  allow_nan=False, allow_infinity=False),
+                        min_size=1, max_size=12),
+        total_extra=st.integers(min_value=0, max_value=500),
+    )
+    @settings(deadline=None, max_examples=200)
+    def test_property_exact_sum_and_floor(self, sigmas, total_extra):
+        """Whenever the total covers the 2-per-stratum floor, the
+        allocation sums to it exactly and respects the floor."""
+        names = [f"c{i}" for i in range(len(sigmas))]
+        weights = {name: 1.0 / len(names) for name in names}
+        pilot = dict(zip(names, sigmas))
+        total = 2 * len(names) + total_extra
+        split = optimal_replication_split(weights, pilot, total)
+        assert sum(split.values()) == total
+        assert all(count >= 2 for count in split.values())
+        assert set(split) == set(names)
+
+    @given(
+        scores=st.lists(st.floats(min_value=1e-3, max_value=1e3,
+                                  allow_nan=False, allow_infinity=False),
+                        min_size=2, max_size=8),
+        total_extra=st.integers(min_value=0, max_value=200),
+    )
+    @settings(deadline=None, max_examples=100)
+    def test_property_monotone_in_score(self, scores, total_extra):
+        """A stratum never receives fewer replications than one with a
+        strictly smaller weight*sigma score (largest-remainder rounding
+        can tie them, but never inverts them by more than 1)."""
+        names = [f"c{i}" for i in range(len(scores))]
+        weights = {name: 1.0 / len(names) for name in names}
+        pilot = dict(zip(names, scores))
+        total = 2 * len(names) + total_extra
+        split = optimal_replication_split(weights, pilot, total)
+        for a in names:
+            for b in names:
+                if pilot[a] > pilot[b]:
+                    assert split[a] >= split[b] - 1
+
+
+class TestUncertaintySplit:
+    def test_settled_contexts_get_floor_only(self):
+        split = uncertainty_replication_split(
+            WEIGHTS, {"urban": 0.8, "rural": 0.0, "highway": 0.0},
+            total_replications=40)
+        assert split["rural"] == 2
+        assert split["highway"] == 2
+        assert split["urban"] == 36
+        assert sum(split.values()) == 40
+
+    def test_all_settled_degrades_to_even(self):
+        split = uncertainty_replication_split(
+            WEIGHTS, {c: 0.0 for c in WEIGHTS}, total_replications=30)
+        assert sum(split.values()) == 30
+        assert len(set(split.values())) == 1
+
+    def test_missing_uncertainty_rejected(self):
+        with pytest.raises(KeyError):
+            uncertainty_replication_split(WEIGHTS, {"urban": 1.0}, 30)
+
+    def test_invalid_uncertainty_rejected(self):
+        for bad in (-1.0, math.inf, math.nan):
+            with pytest.raises(ValueError):
+                uncertainty_replication_split(
+                    WEIGHTS, {"urban": bad, "rural": 0.1, "highway": 0.1},
+                    30)
+
+
+class TestSeedDeterminism:
+    """Regression gates on the stream layout of stratified_rate."""
+
+    def test_int_and_mapping_reps_bit_identical(self):
+        """Passing the same per-stratum count as an int or as an explicit
+        mapping must consume identical streams — the layout depends only
+        on the resolved counts."""
+        a = stratified_rate(simulate, WEIGHTS, seed=31,
+                            replications_per_stratum=12)
+        b = stratified_rate(simulate, WEIGHTS, seed=31,
+                            replications_per_stratum={c: 12 for c in WEIGHTS})
+        for sa, sb in zip(a.strata, b.strata):
+            assert sa.context == sb.context
+            assert sa.result.mean == sb.result.mean
+            assert sa.result.std_error == sb.result.std_error
+
+    def test_zero_weight_context_consumes_no_stream(self):
+        """A zero-weight context is bit-for-bit equivalent to an absent
+        one: it is skipped before any generator is spawned, so the
+        remaining strata receive exactly the streams they would have
+        received had the context never been in the mix."""
+        zeroed = stratified_rate(
+            simulate, {"urban": 0.625, "rural": 0.375, "highway": 0.0},
+            seed=47, replications_per_stratum=8)
+        absent = stratified_rate(
+            simulate, {"urban": 0.625, "rural": 0.375},
+            seed=47, replications_per_stratum=8)
+        assert {s.context for s in zeroed.strata} == {"urban", "rural"}
+        for a, b in zip(zeroed.strata, absent.strata):
+            assert a.context == b.context
+            assert a.result.mean == b.result.mean
+            assert a.result.std_error == b.result.std_error
+        assert zeroed.mean == absent.mean
+
+    def test_context_iteration_order_is_sorted_not_insertion(self):
+        """The stream layout follows sorted context names, so shuffling
+        the mapping's insertion order changes nothing."""
+        shuffled = {"rural": 0.3, "highway": 0.2, "urban": 0.5}
+        a = stratified_rate(simulate, WEIGHTS, seed=5,
+                            replications_per_stratum=6)
+        b = stratified_rate(simulate, shuffled, seed=5,
+                            replications_per_stratum=6)
+        assert [s.context for s in a.strata] == \
+            [s.context for s in b.strata]
+        assert a.mean == b.mean
+        assert a.std_error == b.std_error
+
+
+class TestStratifiedEstimateEdges:
+    def _estimate(self, seed=3, reps=8):
+        return stratified_rate(simulate, WEIGHTS, seed=seed,
+                               replications_per_stratum=reps)
+
+    def test_reweighted_accepts_superset_keys(self):
+        """Weights may cover contexts the estimate never simulated (their
+        mass simply applies to no stratum) as long as every simulated
+        stratum is covered and the total is 1."""
+        estimate = self._estimate()
+        widened = estimate.reweighted(
+            {"urban": 0.4, "rural": 0.3, "highway": 0.2, "night": 0.1})
+        assert {s.context for s in widened.strata} == set(WEIGHTS)
+        assert widened.mean == pytest.approx(
+            sum(s.weight * s.result.mean for s in widened.strata))
+
+    def test_dominant_context_tie_is_stable(self):
+        """With exactly tied contributions, max() keeps the first stratum
+        in (sorted-context) order — a deterministic, documented pick."""
+        result = MonteCarloResult(mean=1.0, std_error=0.1, replications=4)
+        tied = StratifiedEstimate((
+            StratumEstimate("alpha", 0.5, result),
+            StratumEstimate("beta", 0.5, result),
+        ))
+        assert tied.dominant_context() == "alpha"
+
+    def test_as_result_sums_replications(self):
+        estimate = self._estimate(reps=8)
+        combined = estimate.as_result()
+        assert combined.replications == 8 * len(WEIGHTS)
+        assert combined.mean == pytest.approx(estimate.mean)
+        assert combined.std_error == pytest.approx(estimate.std_error)
+
+    def test_zero_rate_strata_still_combine(self):
+        estimate = stratified_rate(lambda c, rng: 0.0, WEIGHTS, seed=2,
+                                   replications_per_stratum=4)
+        assert estimate.mean == 0.0
+        assert estimate.std_error == 0.0
+        assert estimate.as_result().relative_error() == math.inf

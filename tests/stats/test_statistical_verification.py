@@ -1,0 +1,202 @@
+"""Statistical verification tier for the rare-event accelerators.
+
+The gates that certify DESIGN §11's accelerators are *estimators of the
+same quantity* as the un-accelerated oracle, at real replication counts
+(CI lane: ``pytest -q -m stats``):
+
+* 5-sigma agreement between importance sampling and the oracle baseline
+  on calibrated workloads — encounter-parameter tilts against the
+  vectorized engine, the degraded-braking occupancy tilt against the
+  *scalar* oracle at a rarity where naive estimation is still feasible.
+* 5-sigma agreement between multilevel splitting and the oracle.
+* The weight-degeneracy alarm must trip on an over-aggressive proposal.
+* A variance/ESS speedup floor on a 1e-7/h-class budget workload, where
+  naive Monte Carlo at equal exposure would essentially never observe
+  the event.
+
+Everything is seeded: a failure here is a regression, not noise.  The
+5-sigma band makes false alarms astronomically unlikely while still
+catching any O(1) bias — an accelerator whose reweighting is wrong is
+typically off by the tilt factor itself, orders of magnitude outside
+the band.
+
+The fault-channel workloads share one calibrated stack: a cautious
+policy with sharp (never-missing) perception, whose healthy-braking
+collision rate is unobservably small (0 collisions in 2e4 measured
+hours; a back-of-envelope tail bound puts it near 1e-8/h), while the
+*degraded*-braking conditional collision rate is ~1.2/h.  The total
+collision rate is then ``occupancy × 1.2/h`` to excellent accuracy, so
+dialing the fault occupancy dials the rarity class directly.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats import WeightDegeneracyError
+from repro.stats.rare_event import stratified_rate
+from repro.traffic import (BrakingSystem, EncounterGenerator,
+                           PerceptionModel, ProposalTilt, cautious_policy,
+                           default_context_profiles, default_perception,
+                           importance_collision_rate, naive_collision_rate,
+                           nominal_policy, simulate,
+                           splitting_collision_rate)
+
+pytestmark = [pytest.mark.stats, pytest.mark.slow]
+
+
+@pytest.fixture(scope="module")
+def world():
+    return EncounterGenerator(default_context_profiles())
+
+
+@pytest.fixture(scope="module")
+def sharp_perception():
+    """Perception that never misses outright: the fault-channel stack.
+
+    With the late-detection branch closed and a tight fraction spread,
+    a cautious policy never collides on healthy braking — every
+    collision is fault-attributable, which is what makes the
+    ``occupancy × conditional-rate`` calibration exact.
+    """
+    return PerceptionModel(nominal_fraction=0.9, fraction_std=0.05,
+                           miss_probability=0.0, late_fraction=0.25,
+                           context_factors={})
+
+
+def _z(a, b):
+    """Two-estimate agreement statistic: |Δ| in pooled standard errors."""
+    spread = math.sqrt(a.std_error ** 2 + b.std_error ** 2)
+    assert spread > 0.0
+    return abs(a.mean - b.mean) / spread
+
+
+class TestImportanceAgainstOracle:
+    def test_encounter_tilt_agrees_within_5_sigma(self, world):
+        # Moderate-rarity workload (the default stack, ~3e-3/h) where the
+        # naive oracle is precise enough to expose any reweighting bias:
+        # a combined rate/sight/speed tilt must reproduce its answer.
+        policy = nominal_policy()
+        perception = default_perception()
+        braking = BrakingSystem()
+        mix = {"urban": 0.6, "rural": 0.4}
+        kw = dict(seed=2024, replications_per_stratum=150,
+                  hours_per_replication=20.0)
+        naive = naive_collision_rate(policy, world, perception, braking,
+                                     mix, **kw)
+        tilt = ProposalTilt(rate_scale=2.0, sight_scale=0.9,
+                            speed_shift_kmh=3.0)
+        weighted = importance_collision_rate(policy, world, perception,
+                                             braking, mix, tilt=tilt, **kw)
+        a, b = naive.as_result(), weighted.as_result()
+        assert naive.estimate.mean > 0.0
+        assert _z(a, b) < 5.0
+        # The tilt must stay healthy on this workload, not just unbiased.
+        assert weighted.diagnostics.ess_fraction > 0.05
+
+    def test_degradation_tilt_agrees_with_scalar_oracle(
+            self, world, sharp_perception):
+        # The fault-occupancy tilt reweights *resolution* draws, so gate
+        # it against the scalar oracle itself (not the vectorized engine)
+        # at a rarity where the oracle still observes events: occupancy
+        # 1e-3 on the fault-channel stack gives ~1.2e-3/h, about 24
+        # oracle collisions over the 2e4 simulated hours below.
+        policy = cautious_policy()
+        braking = BrakingSystem(degradation_occupancy=1e-3,
+                                degraded_ms2=1.0, reports_capability=False)
+        mix = {"urban": 1.0}
+        hours = 50.0
+
+        def oracle_one(context, rng):
+            result = simulate(policy, world, sharp_perception, braking,
+                              context, hours, rng)
+            return sum(1 for r in result.records if r.is_collision) / hours
+
+        oracle = stratified_rate(oracle_one, mix, seed=4100,
+                                 replications_per_stratum=400)
+        weighted = importance_collision_rate(
+            policy, world, sharp_perception, braking, mix,
+            tilt=ProposalTilt(degradation_scale=100.0), seed=4200,
+            replications_per_stratum=200, hours_per_replication=hours)
+        assert oracle.mean > 0.0  # calibrated: the oracle sees events
+        assert _z(oracle.as_result(), weighted.as_result()) < 5.0
+        # At equal-order exposure the accelerated bar must be far tighter
+        # (measured ~7x here; gate at 3x for seed robustness).
+        assert weighted.estimate.std_error < oracle.std_error / 3.0
+        assert weighted.diagnostics.ess_fraction > 0.5
+
+
+class TestSplittingAgainstOracle:
+    def test_splitting_agrees_within_5_sigma(self, world):
+        policy = nominal_policy()
+        perception = default_perception()
+        braking = BrakingSystem()
+        mix = {"urban": 0.7, "highway": 0.3}
+        naive = naive_collision_rate(policy, world, perception, braking,
+                                     mix, seed=900,
+                                     replications_per_stratum=150,
+                                     hours_per_replication=20.0)
+        split = splitting_collision_rate(policy, world, perception, braking,
+                                         mix, seed=901, runs=12,
+                                         particles=256,
+                                         mutations_per_level=4)
+        assert naive.estimate.mean > 0.0
+        assert split.estimate.mean > 0.0
+        assert _z(naive.as_result(), split.as_result()) < 5.0
+
+
+class TestDegeneracyAlarm:
+    def test_over_aggressive_tilt_trips_the_alarm(self, world):
+        # A 10x sight compression makes nominal-plausible geometries
+        # vanishingly rare under the proposal: a handful of weights carry
+        # all the mass and the ESS gate must refuse the estimate.
+        with pytest.raises(WeightDegeneracyError) as err:
+            importance_collision_rate(
+                nominal_policy(), world, default_perception(),
+                BrakingSystem(), {"urban": 1.0},
+                tilt=ProposalTilt(sight_scale=0.1), seed=77,
+                replications_per_stratum=8, hours_per_replication=2.0)
+        assert err.value.diagnostics.ess_fraction < 0.01
+
+    def test_gate_can_be_disabled_for_forensics(self, world):
+        rate = importance_collision_rate(
+            nominal_policy(), world, default_perception(), BrakingSystem(),
+            {"urban": 1.0}, tilt=ProposalTilt(sight_scale=0.1), seed=77,
+            replications_per_stratum=8, hours_per_replication=2.0,
+            min_ess_fraction=0.0, max_weight_share=1.0)
+        assert rate.diagnostics.ess_fraction < 0.01
+
+
+class TestRareBudgetSpeedup:
+    def test_is_beats_naive_variance_by_100x_on_rare_workload(
+            self, world, sharp_perception):
+        # A 1e-7/h-class budget demonstration: braking faults at 1e-7
+        # occupancy on the fault-channel stack give a collision rate of
+        # ~1.2e-7/h — far too rare for naive MC (expected collisions at
+        # this exposure ~2e-4).  The occupancy tilt proposes faults at
+        # 10% and reweights by the exact Bernoulli ratio; the speedup is
+        # the naive Poisson variance at equal exposure over the achieved
+        # IS variance.  Measured ~1e6; gated at the ISSUE's 100x floor
+        # with orders of magnitude to spare.
+        policy = cautious_policy()
+        braking = BrakingSystem(degradation_occupancy=1e-7,
+                                degraded_ms2=1.0, reports_capability=False)
+        replications, hours = 64, 20.0
+        weighted = importance_collision_rate(
+            policy, world, sharp_perception, braking, {"urban": 1.0},
+            tilt=ProposalTilt(degradation_scale=1e6), seed=31337,
+            replications_per_stratum=replications,
+            hours_per_replication=hours)
+        rate = weighted.estimate.mean
+        se = weighted.estimate.std_error
+        assert 1e-8 < rate < 1e-6  # the 1e-7/h class
+        assert se > 0.0
+        total_hours = replications * hours
+        naive_variance = rate / total_hours  # Poisson counting at same T
+        speedup = naive_variance / se ** 2
+        assert speedup >= 100.0
+        # Naive MC at this exposure would all but surely see nothing.
+        assert rate * total_hours < 0.01
+        # And the proposal stays healthy while doing it.
+        assert weighted.diagnostics.ess_fraction > 0.5

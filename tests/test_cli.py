@@ -537,3 +537,65 @@ class TestArtifactErrorDiagnostics:
         assert main(["verify", str(path), "--counts", "{}",
                      "--exposure", "1e10"]) == 0
         assert "ALL DEMONSTRATED" in capsys.readouterr().out
+
+
+class TestFleetAccelerated:
+    def test_importance_sampling_branch(self, tmp_path, capsys):
+        path = tmp_path / "rate.json"
+        assert main(["fleet", "--accelerator", "is",
+                     "--accel-replications", "4", "--accel-hours", "2",
+                     "--tilt-rate", "1.5", "--tilt-sight", "0.8",
+                     "--seed", "3", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ACCELERATED ESTIMATE" in out
+        assert "method 'is'" in out
+        assert "weights:" in out and "ESS" in out
+        payload = json.loads(path.read_text())
+        assert payload["method"] == "is"
+        assert payload["mean_per_hour"] >= 0.0
+        assert "weight_diagnostics" in payload
+
+    def test_degenerate_tilt_exits_5(self, capsys):
+        code = main(["fleet", "--accelerator", "is",
+                     "--accel-replications", "4", "--accel-hours", "2",
+                     "--tilt-sight", "0.1", "--seed", "3"])
+        assert code == 5
+        assert "degenerate" in capsys.readouterr().err
+
+    def test_splitting_branch(self, tmp_path, capsys):
+        path = tmp_path / "rate.json"
+        assert main(["fleet", "--accelerator", "splitting", "--seed", "3",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "method 'splitting'" in out
+        for context in ("urban", "suburban", "rural", "highway"):
+            assert context in out
+        payload = json.loads(path.read_text())
+        assert payload["method"] == "splitting"
+        assert "weight_diagnostics" not in payload
+
+    def test_identity_tilt_flags_accepted(self, capsys):
+        # --accelerator is with all-default tilt flags is the identity
+        # proposal: valid, never degenerate.
+        assert main(["fleet", "--accelerator", "is",
+                     "--accel-replications", "2", "--accel-hours", "1",
+                     "--seed", "1"]) == 0
+        assert "100.0%" in capsys.readouterr().out
+
+    def test_invalid_accelerator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--accelerator", "warp"])
+
+    def test_invalid_tilt_value_is_clean_usage_error(self, capsys):
+        code = main(["fleet", "--accelerator", "is", "--tilt-sight", "0",
+                     "--accel-replications", "4", "--accel-hours", "1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid proposal tilt" in err
+        assert "sight scale" in err
+
+    def test_too_few_replications_is_clean_usage_error(self, capsys):
+        code = main(["fleet", "--accelerator", "is", "--tilt-rate", "2",
+                     "--accel-replications", "1", "--accel-hours", "1"])
+        assert code == 2
+        assert ">= 2 replications" in capsys.readouterr().err
