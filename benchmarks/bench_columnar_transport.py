@@ -1,0 +1,206 @@
+"""E-COL — Columnar record transport: shm blocks vs pickled objects.
+
+The columnar record path (DESIGN §12) replaces per-row
+``IncidentRecord`` objects with one structured-numpy block per chunk,
+shipped between pool workers through ``multiprocessing.shared_memory``
+instead of being pickled row by row.  This benchmark pins both halves
+of that claim on a representative chunk and on a full campaign:
+
+* **transfer time**: best-of-``ROUNDS`` wall clock of one chunk result
+  crossing a process boundary — the legacy path (pickle the
+  record-object list out of the worker, unpickle in the coordinator)
+  vs the columnar path (copy the block into a shm segment, pickle only
+  the tiny :class:`ShippedBlock` handle, attach + copy out).  Asserted
+  ≥ 5× faster columnar (the ISSUE acceptance pin).
+* **bounded resident memory**: a 1e6-hour campaign run through
+  ``run_fleet`` with a :class:`RecordSink`, with ``tracemalloc``
+  watching the coordinator.  Peak traced memory must stay within a
+  small multiple of the merged block — O(block + chunk), not
+  O(records × object size) — and far below what materialised record
+  objects would cost.  The per-record object cost is measured on a
+  slice and scaled, so the comparison does not itself blow the budget.
+
+Results land in ``benchmarks/output/BENCH_columnar_transport.json``.
+Under ``REPRO_BENCH_SMOKE=1`` the campaign shrinks ~100× and the
+performance pins are skipped (smoke checks execution, not speed).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+from conftest import SMOKE, smoke_scaled
+
+from repro.reporting import render_table
+from repro.traffic import (BrakingSystem, EncounterGenerator, RecordBlock,
+                           RecordSink, default_context_profiles,
+                           default_perception, load_record_blocks,
+                           nominal_policy, run_fleet, shm_available,
+                           simulate_mix)
+from repro.traffic.records import receive_block, ship_block
+
+MIX = {"urban": 0.5, "suburban": 0.2, "rural": 0.2, "highway": 0.1}
+SEED = 2020
+ROUNDS = smoke_scaled(5, 1)
+
+#: Records in the representative shipped chunk (a busy 250 h chunk's
+#: incident volume, scaled up so the timer resolves both paths well).
+CHUNK_RECORDS = smoke_scaled(50_000, 1_000)
+
+#: The campaign for the bounded-memory leg.
+CAMPAIGN_HOURS = smoke_scaled(1_000_000.0, 10_000.0)
+CAMPAIGN_CHUNK_HOURS = smoke_scaled(5_000.0, 2_500.0)
+
+SPEEDUP_PIN = 5.0
+#: Peak coordinator memory may be at most this multiple of the merged
+#: block (transient concat/sort copies plus one in-flight chunk), plus
+#: a fixed allowance for the harness itself.
+PEAK_BLOCK_MULTIPLE = 8.0
+PEAK_FIXED_ALLOWANCE_BYTES = 32 * 1024 * 1024
+
+
+def _representative_block(n_records: int) -> RecordBlock:
+    """A real simulated record population, tiled to ``n_records``."""
+    result = simulate_mix(nominal_policy(),
+                          EncounterGenerator(default_context_profiles()),
+                          default_perception(), BrakingSystem(), MIX,
+                          2000.0, np.random.default_rng(SEED),
+                          engine="vectorized")
+    base = result.record_block
+    assert len(base) > 0
+    reps = -(-n_records // len(base))
+    array = np.tile(base.array, reps)[:n_records].copy()
+    # Spread the tiled copies in time so the block is not degenerate.
+    array["time_h"] += np.repeat(
+        np.arange(reps, dtype=np.float64) * 2000.0, len(base))[:n_records]
+    return RecordBlock(array, base.context_table)
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.skipif(not shm_available(), reason="no shared_memory here")
+def test_columnar_transport(benchmark, save_artifact, output_dir,
+                            tmp_path):
+    block = _representative_block(CHUNK_RECORDS)
+    records = block.to_records()
+
+    # -- transfer-time leg ------------------------------------------------
+    def legacy_roundtrip():
+        payload = pickle.dumps(records, protocol=pickle.HIGHEST_PROTOCOL)
+        return pickle.loads(payload)
+
+    def columnar_roundtrip():
+        shipped = ship_block(block)
+        handle = pickle.dumps(shipped, protocol=pickle.HIGHEST_PROTOCOL)
+        return receive_block(pickle.loads(handle))
+
+    # Warm both paths and check they carry identical content.
+    assert RecordBlock.from_records(legacy_roundtrip()) == block
+    assert columnar_roundtrip() == block
+
+    legacy_s = _best_of(legacy_roundtrip, ROUNDS)
+    columnar_s = _best_of(columnar_roundtrip, ROUNDS)
+    speedup = legacy_s / columnar_s
+
+    benchmark.pedantic(columnar_roundtrip, rounds=1, iterations=1)
+
+    # Per-record memory: object list cost measured on a slice, scaled.
+    slice_n = min(20_000, len(block))
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    before = tracemalloc.get_traced_memory()[0]
+    slice_records = RecordBlock(block.array[:slice_n].copy(),
+                                block.context_table).to_records()
+    object_slice_bytes = tracemalloc.get_traced_memory()[0] - before
+    del slice_records
+    tracemalloc.stop()
+    object_bytes_per_record = object_slice_bytes / slice_n
+
+    # -- bounded-memory campaign leg --------------------------------------
+    world = EncounterGenerator(default_context_profiles())
+    sink_dir = tmp_path / "spill"
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    with RecordSink(sink_dir) as sink:
+        campaign = run_fleet(nominal_policy(), world, default_perception(),
+                             BrakingSystem(), MIX, CAMPAIGN_HOURS, SEED,
+                             workers=2, chunk_hours=CAMPAIGN_CHUNK_HOURS,
+                             transport="shm", record_sink=sink)
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    merged_block_bytes = campaign.record_block.nbytes
+    estimated_object_bytes = object_bytes_per_record * campaign.num_records
+    peak_budget_bytes = (PEAK_BLOCK_MULTIPLE * merged_block_bytes
+                         + PEAK_FIXED_ALLOWANCE_BYTES)
+
+    # The spilled parts reload to exactly the merged campaign's records.
+    assert load_record_blocks(sink_dir) == \
+        campaign.record_block.canonical_sort()
+    assert sink.total_records == campaign.num_records
+
+    rows = [
+        ["legacy pickle round-trip", f"{legacy_s * 1e3:.2f}",
+         f"{len(records)} record objects"],
+        ["columnar shm round-trip", f"{columnar_s * 1e3:.2f}",
+         f"{block.nbytes / 1e6:.2f} MB block, {speedup:.1f}x faster"],
+        ["campaign peak (coordinator)", f"{peak_bytes / 1e6:.1f} MB",
+         f"{campaign.num_records} records over "
+         f"{CAMPAIGN_HOURS:g} h"],
+        ["merged block", f"{merged_block_bytes / 1e6:.1f} MB",
+         f"object path would need ~{estimated_object_bytes / 1e6:.0f} MB"],
+    ]
+    save_artifact("columnar_transport", render_table(
+        ["path", "cost", "notes"], rows,
+        title=f"Columnar transport vs pickled records, best of {ROUNDS}"))
+    (output_dir / "BENCH_columnar_transport.json").write_text(json.dumps({
+        "workload": {"mix": MIX, "seed": SEED,
+                     "chunk_records": CHUNK_RECORDS,
+                     "campaign_hours": CAMPAIGN_HOURS,
+                     "campaign_chunk_hours": CAMPAIGN_CHUNK_HOURS,
+                     "rounds_best_of": ROUNDS, "smoke": SMOKE},
+        "legacy_pickle_s": legacy_s,
+        "columnar_shm_s": columnar_s,
+        "transfer_speedup": speedup,
+        "speedup_pin": SPEEDUP_PIN,
+        "block_bytes": block.nbytes,
+        "block_bytes_per_record": block.nbytes / len(block),
+        "object_bytes_per_record": object_bytes_per_record,
+        "campaign_records": campaign.num_records,
+        "campaign_collisions": campaign.collision_count(),
+        "campaign_peak_bytes": peak_bytes,
+        "campaign_merged_block_bytes": merged_block_bytes,
+        "campaign_estimated_object_bytes": estimated_object_bytes,
+        "peak_block_multiple": PEAK_BLOCK_MULTIPLE,
+        "peak_fixed_allowance_bytes": PEAK_FIXED_ALLOWANCE_BYTES,
+        "spill_parts": len(sink.parts),
+        "spill_bytes": sink.bytes_written,
+    }, indent=2) + "\n")
+
+    if SMOKE:
+        pytest.skip("smoke run: executed both paths, pins not asserted")
+
+    # The acceptance pins: ≥ 5× faster across the process boundary, and
+    # the coordinator's peak memory is O(block + chunk) — bounded by a
+    # small multiple of the merged block and far below the object path.
+    assert speedup >= SPEEDUP_PIN, (
+        f"columnar transfer is only {speedup:.1f}x faster than pickled "
+        f"records (pin: >= {SPEEDUP_PIN}x)")
+    assert peak_bytes <= peak_budget_bytes, (
+        f"coordinator peaked at {peak_bytes / 1e6:.1f} MB "
+        f"(> {PEAK_BLOCK_MULTIPLE}x merged block + fixed allowance)")
+    assert peak_bytes < estimated_object_bytes, (
+        f"peak {peak_bytes / 1e6:.1f} MB is not below the estimated "
+        f"object-path footprint {estimated_object_bytes / 1e6:.1f} MB")

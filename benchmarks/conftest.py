@@ -7,12 +7,24 @@ Every benchmark regenerates one of the paper's figures or worked examples
   the pytest-benchmark report;
 * asserts the *shape* the paper claims (who wins, which direction a curve
   moves) — absolute numbers are synthetic by construction;
-* writes the rendered figure/table to ``benchmarks/output/<name>.txt`` so
-  the reproduced artefacts survive the run (EXPERIMENTS.md embeds them).
+* writes the rendered figure/table to
+  ``benchmarks/output/logs/<name>.txt`` so the reproduced artefacts
+  survive the run (EXPERIMENTS.md embeds them).  The ``logs/`` tree is
+  regenerated output and stays untracked; only the machine-readable
+  ``BENCH_*.json`` pins are committed.
+
+Smoke mode (CI ``bench-smoke`` lane): ``REPRO_BENCH_SMOKE=1`` runs every
+bench at tiny sizes — heavy benches scale their workload constants with
+:func:`smoke_scaled`, and **all** output (including ``BENCH_*.json``) is
+redirected to a temporary directory so a smoke run can never clobber the
+committed full-size pins.  Smoke runs check that the benchmarks execute,
+not what they measure; performance assertions are skipped or relaxed
+under smoke.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -20,19 +32,37 @@ import pytest
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
+#: True when this is a CI smoke run: tiny sizes, throwaway output.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def smoke_scaled(full, tiny):
+    """Pick the full-size or smoke-size value for a workload constant."""
+    return tiny if SMOKE else full
+
 
 @pytest.fixture(scope="session")
-def output_dir() -> Path:
+def bench_smoke() -> bool:
+    return SMOKE
+
+
+@pytest.fixture(scope="session")
+def output_dir(tmp_path_factory) -> Path:
+    if SMOKE:
+        # Never let a smoke run touch the committed BENCH_*.json pins.
+        return tmp_path_factory.mktemp("bench-smoke-output")
     OUTPUT_DIR.mkdir(exist_ok=True)
     return OUTPUT_DIR
 
 
 @pytest.fixture
 def save_artifact(output_dir):
-    """Write one experiment's rendered output to disk."""
+    """Write one experiment's rendered output to disk (untracked logs)."""
+    logs_dir = output_dir / "logs"
 
     def _save(name: str, text: str) -> None:
-        (output_dir / f"{name}.txt").write_text(text + "\n")
+        logs_dir.mkdir(parents=True, exist_ok=True)
+        (logs_dir / f"{name}.txt").write_text(text + "\n")
 
     return _save
 

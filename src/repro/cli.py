@@ -201,6 +201,12 @@ def _add_parallel_flags(sub_parser: argparse.ArgumentParser) -> None:
         "--chunk-timeout", type=float, default=None,
         help="seconds before one chunk execution is declared hung and "
              "retried on a rebuilt pool (default: no timeout)")
+    sub_parser.add_argument(
+        "--record-sink", type=Path, default=None,
+        help="spill every committed chunk's incident records to this "
+             "directory as digest-signed repro.record-block/v1 parts "
+             "(atomic writes, O(chunk) resident memory; the simulated "
+             "draws are bitwise unaffected)")
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -328,7 +334,7 @@ def _run_campaign(policy, hours: float, seed: int,
                   workers: Optional[int], chunk_hours: Optional[float],
                   engine: str = "vectorized", progress=None,
                   retry=None, checkpoint=None, resume: bool = False,
-                  failure_sink=None):
+                  failure_sink=None, record_sink=None):
     """One fleet campaign over the default world and context mix."""
     from repro.traffic import (DEFAULT_CHUNK_HOURS, DEFAULT_RETRY_POLICY,
                                BrakingSystem, EncounterGenerator,
@@ -343,7 +349,16 @@ def _run_campaign(policy, hours: float, seed: int,
         else chunk_hours,
         engine=engine, progress=progress,
         retry=DEFAULT_RETRY_POLICY if retry is None else retry,
-        checkpoint=checkpoint, resume=resume, failure_sink=failure_sink)
+        checkpoint=checkpoint, resume=resume, failure_sink=failure_sink,
+        record_sink=record_sink)
+
+
+def _open_record_sink(args: argparse.Namespace):
+    """The --record-sink spill directory as a context, or a no-op."""
+    if getattr(args, "record_sink", None) is None:
+        return nullcontext(None)
+    from repro.traffic import RecordSink
+    return RecordSink(args.record_sink)
 
 
 def _scaled_goals(scale: float):
@@ -407,18 +422,22 @@ def _cmd_dossier(args: argparse.Namespace) -> int:
         context = nullcontext()
     failure_sink: list = []
     try:
-        with context as session:
+        with context as session, _open_record_sink(args) as record_sink:
             campaign = _run_campaign(
                 cautious_policy(), args.hours, args.seed, args.workers,
                 args.chunk_hours, args.engine, retry=_retry_policy(args),
                 checkpoint=args.checkpoint, resume=args.resume,
-                failure_sink=failure_sink)
+                failure_sink=failure_sink, record_sink=record_sink)
     except (FileExistsError, CheckpointMismatchError) as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
         return 2
     except CampaignPartialFailure as exc:
         print(f"dossier campaign failed partially: {exc}", file=sys.stderr)
         return 3
+    if record_sink is not None:
+        spilled = record_sink.summary()
+        print(f"record sink: {spilled['parts']} parts, "
+              f"{spilled['records']} records → {spilled['directory']}")
     counts, _ = type_counts(campaign, types)
     report = verify_against_counts(goals, counts, campaign.hours)
     snapshot = budget_report = None
@@ -536,13 +555,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         context = nullcontext()
     failure_sink: list = []
     try:
-        with context as session:
+        with context as session, _open_record_sink(args) as record_sink:
             campaign = _run_campaign(
                 policy, args.hours, args.seed, args.workers,
                 args.chunk_hours, args.engine,
                 progress=show_progress if args.progress else None,
                 retry=_retry_policy(args), checkpoint=args.checkpoint,
-                resume=args.resume, failure_sink=failure_sink)
+                resume=args.resume, failure_sink=failure_sink,
+                record_sink=record_sink)
     except (FileExistsError, CheckpointMismatchError) as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
         return 2
@@ -561,8 +581,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         return 3
     types = list(figure5_incident_types())
     counts, unclassified = type_counts(campaign, types)
-    collisions = len(campaign.collisions())
-    near_misses = len(campaign.near_misses())
+    # Cheap columnar counters — no record materialisation for the summary.
+    collisions = campaign.collision_count()
+    near_misses = campaign.num_records - collisions
     summary = {
         "policy": campaign.policy_name,
         "hours": campaign.hours,
@@ -570,7 +591,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         "engine": args.engine,
         "context_hours": dict(campaign.context_hours),
         "encounters_resolved": campaign.encounters_resolved,
-        "incidents": len(campaign.records),
+        "incidents": campaign.num_records,
         "collisions": collisions,
         "near_misses": near_misses,
         "collision_rate_per_hour": campaign.collision_rate_per_hour(),
@@ -582,7 +603,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(f"FLEET CAMPAIGN — policy {campaign.policy_name!r}, "
           f"{campaign.hours:g} h, seed {args.seed}, engine {args.engine}")
     print(f"  encounters resolved:   {campaign.encounters_resolved}")
-    print(f"  incidents recorded:    {len(campaign.records)} "
+    print(f"  incidents recorded:    {campaign.num_records} "
           f"({collisions} collisions, {near_misses} near-misses)")
     print(f"  collision rate:        "
           f"{campaign.collision_rate_per_hour():.3e} /h")
@@ -591,6 +612,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
           f"> {campaign.hard_braking_threshold_ms2:g} m/s²)")
     for type_id, count in sorted(counts.items()):
         print(f"  {type_id}: {count}")
+    if record_sink is not None:
+        spilled = record_sink.summary()
+        summary["record_sink"] = spilled
+        print(f"  record sink:           {spilled['parts']} parts, "
+              f"{spilled['records']} records "
+              f"({spilled['bytes_written']} bytes) → "
+              f"{spilled['directory']}")
     if failure_sink:
         print(f"  recovered faults:      {len(failure_sink)} "
               f"(campaign result unaffected; see telemetry failure log)")

@@ -413,4 +413,5 @@ def load_builtin_schemas() -> Tuple[ArtifactSchema, ...]:
     from ..core import serialize  # noqa: F401  (registers on import)
     from ..obs import manifest  # noqa: F401
     from ..traffic import checkpoint  # noqa: F401
+    from ..traffic import records  # noqa: F401
     return ARTIFACTS.schemas()

@@ -251,6 +251,15 @@ class BudgetMonitor:
         completeness story belongs to the MECE certificate, not to the
         monitor).
         """
+        if getattr(result, "has_block", False):
+            # Columnar fast path: count via whole-column masks without
+            # materialising IncidentRecord objects.
+            from ..traffic.records import \
+                classify_block_counts  # lazy: avoid cycles
+            counts, _ = classify_block_counts(result.record_block,
+                                              list(types))
+            self.observe_counts(counts, result.hours)
+            return
         from ..core.incident import classify_records  # lazy: avoid cycles
 
         buckets = classify_records(result.records, list(types))

@@ -225,7 +225,8 @@ class _ResilientRun:
                  on_commit: Optional[Callable[[Chunk, Any], None]],
                  report: Callable[[Chunk, Any], None],
                  completed: Mapping[int, Any],
-                 failure_sink: Optional[List[ChunkFailure]]):
+                 failure_sink: Optional[List[ChunkFailure]],
+                 unpack: Optional[Callable[[Any], Any]] = None):
         self.worker = worker
         self.chunks = list(chunks)
         self.seeds = list(seeds)
@@ -235,6 +236,7 @@ class _ResilientRun:
         self.on_commit = on_commit
         self.report = report
         self.failure_sink = failure_sink
+        self.unpack = unpack
         self.backoff_rng = retry.rng(seed)
 
         self.results: List[Any] = [None] * len(self.chunks)
@@ -308,6 +310,36 @@ class _ResilientRun:
     def _schedule_retry(self, chunk: Chunk, delay: float) -> None:
         self.delayed.append((time.monotonic() + delay, chunk))
 
+    def _unpack(self, result: Any) -> Any:
+        """Rehydrate one raw worker output on the coordinator.
+
+        The transport seam: a caller-supplied ``unpack`` converts what
+        actually crossed the process boundary (e.g. a shared-memory
+        block handle) back into the domain result *before* validation
+        and commit.  It runs inside the same try as the worker call, so
+        a failing unpack is an ordinary chunk failure (retried), never
+        a crash.
+        """
+        if self.unpack is None:
+            return result
+        return self.unpack(result)
+
+    def _drain_discarded(self, future: Any) -> None:
+        """Release transport resources of a result we will not use.
+
+        A future that completed after its chunk was already timed out
+        still holds the worker's transport payload (e.g. a shm segment
+        nobody will ever attach).  Unpacking and dropping the result
+        frees those OS resources; the chunk re-runs from its own seed,
+        so discarding is free for determinism.
+        """
+        if self.unpack is None or not future.done():
+            return
+        try:
+            self.unpack(future.result())
+        except Exception:  # noqa: BLE001 - best-effort resource release
+            pass
+
     def _validate(self, chunk: Chunk, result: Any) -> Optional[str]:
         if self.validator is None:
             return None
@@ -350,7 +382,8 @@ class _ResilientRun:
         """
         while True:
             try:
-                result = self.worker(chunk, self._pristine_seed(chunk))
+                result = self._unpack(
+                    self.worker(chunk, self._pristine_seed(chunk)))
             except KeyboardInterrupt:
                 raise
             except Exception as exc:  # noqa: BLE001 - retried/quarantined
@@ -462,7 +495,7 @@ class _ResilientRun:
                 for future in finished:
                     chunk, _deadline = in_flight.pop(future)
                     try:
-                        result = future.result()
+                        result = self._unpack(future.result())
                     except KeyboardInterrupt:  # pragma: no cover - defensive
                         raise
                     except BrokenProcessPool:
@@ -537,6 +570,7 @@ class _ResilientRun:
         overdue_futures = {future for future, _ in overdue}
         for future, chunk in overdue:
             in_flight.pop(future, None)
+            self._drain_discarded(future)
             delay = self._record_failure(
                 chunk, "timeout",
                 f"chunk exceeded timeout_s={self.retry.timeout_s:g}s; "
@@ -579,6 +613,7 @@ def run_chunked(worker: Callable[[Chunk, np.random.SeedSequence], Any],
                 completed: Optional[Mapping[int, Any]] = None,
                 on_commit: Optional[Callable[[Chunk, Any], None]] = None,
                 failure_sink: Optional[List[ChunkFailure]] = None,
+                unpack: Optional[Callable[[Any], Any]] = None,
                 ) -> List[Any]:
     """Run ``worker(chunk, seed_sequence)`` for every chunk; results in chunk order.
 
@@ -619,6 +654,15 @@ def run_chunked(worker: Callable[[Chunk, np.random.SeedSequence], Any],
     * ``failure_sink`` — a caller-owned list every
       :class:`~repro.stats.fault_tolerance.ChunkFailure` is appended to,
       so recovered (non-fatal) faults remain auditable in manifests.
+
+    ``unpack`` is orthogonal to fault tolerance (supplying it alone does
+    *not* enable the resilient path): ``unpack(raw)`` runs on the
+    coordinator for every harvested worker output, before validation and
+    commit, converting the transport form (e.g. a shared-memory block
+    handle) into the domain result.  On the fault-tolerant path a
+    failing ``unpack`` is an ordinary retried chunk failure, and
+    transport payloads of discarded (timed-out) results are drained so
+    their OS resources are released.
 
     Without any of these the legacy strict path runs: the first worker
     exception propagates and tears the pool down.  Either way the
@@ -700,12 +744,15 @@ def run_chunked(worker: Callable[[Chunk, np.random.SeedSequence], Any],
                 workers=workers,
                 retry=retry if retry is not None else RetryPolicy(),
                 validator=validator, on_commit=on_commit, report=_report,
-                completed=completed_map, failure_sink=failure_sink)
+                completed=completed_map, failure_sink=failure_sink,
+                unpack=unpack)
             return run.execute()
 
         if workers == 1:
             for chunk in chunks:
                 result = worker(chunk, seeds[chunk.index])
+                if unpack is not None:
+                    result = unpack(result)
                 results[chunk.index] = result
                 _report(chunk, result)
             return results
@@ -723,6 +770,8 @@ def run_chunked(worker: Callable[[Chunk, np.random.SeedSequence], Any],
                     for future in finished:
                         chunk = future_chunk[future]
                         result = future.result()  # re-raises worker exceptions
+                        if unpack is not None:
+                            result = unpack(result)
                         results[chunk.index] = result
                         _report(chunk, result)
             except KeyboardInterrupt:

@@ -40,8 +40,12 @@ from .scenarios import (AnimalRunOut, CrossingPedestrian, CutIn,
                         run_scenario)
 from .checkpoint import (CHECKPOINT_SCHEMA, CampaignCheckpoint,
                          CheckpointMismatchError)
-from .fleet import (DEFAULT_CHUNK_HOURS, DEFAULT_RETRY_POLICY,
-                    FleetProgress, run_fleet, validate_chunk_output)
+from .fleet import (CHUNK_TRANSPORTS, DEFAULT_CHUNK_HOURS,
+                    DEFAULT_RETRY_POLICY, FleetProgress, run_fleet,
+                    validate_chunk_output)
+from .records import (RECORD_BLOCK_SCHEMA_NAME, RECORD_DTYPE, RecordBlock,
+                      RecordSink, classify_block_counts, iter_record_blocks,
+                      load_record_blocks, shm_available)
 from .simulator import (ENGINES, SimulationConfig, SimulationResult,
                         simulate, simulate_mix)
 
@@ -59,8 +63,11 @@ __all__ = [
     "Encounter", "ContextProfile", "EncounterGenerator",
     "default_context_profiles",
     "SimulationConfig", "SimulationResult", "simulate", "simulate_mix",
-    "DEFAULT_CHUNK_HOURS", "DEFAULT_RETRY_POLICY", "FleetProgress",
-    "run_fleet", "validate_chunk_output",
+    "CHUNK_TRANSPORTS", "DEFAULT_CHUNK_HOURS", "DEFAULT_RETRY_POLICY",
+    "FleetProgress", "run_fleet", "validate_chunk_output",
+    "RECORD_BLOCK_SCHEMA_NAME", "RECORD_DTYPE", "RecordBlock", "RecordSink",
+    "classify_block_counts", "iter_record_blocks", "load_record_blocks",
+    "shm_available",
     "CHECKPOINT_SCHEMA", "CampaignCheckpoint", "CheckpointMismatchError",
     "TypeRates", "estimate_type_rates", "empirical_splits", "type_counts",
     "weighted_type_counts",

@@ -56,8 +56,11 @@ from .faults import BrakingSystem
 from .perception import PerceptionModel
 from .policy import TacticalPolicy
 
-__all__ = ["resolve_batch", "resolve_batch_traced", "simulate_vectorized",
-           "simulate_importance", "ImportanceRun", "CROSSING_CLASSES"]
+from .records import RecordBlock, actor_code
+
+__all__ = ["resolve_batch", "resolve_batch_traced", "resolve_block_traced",
+           "simulate_vectorized", "simulate_importance", "ImportanceRun",
+           "CROSSING_CLASSES"]
 
 CROSSING_CLASSES = frozenset({ActorClass.VRU, ActorClass.ANIMAL,
                               ActorClass.STATIC_OBJECT})
@@ -70,30 +73,33 @@ def resolve_batch(batch: EncounterBatch, policy: TacticalPolicy,
                   config: "SimulationConfig",
                   rng: np.random.Generator,
                   time_offset_h: float = 0.0,
-                  ) -> Tuple[List[IncidentRecord], int]:
-    """Resolve one (context, class) batch; returns (records, hard demands).
+                  ) -> Tuple[RecordBlock, int]:
+    """Resolve one (context, class) batch; returns (block, hard demands).
 
     ``rng`` is the batch's own sub-stream, already advanced past the
     generation draws; this function performs the resolution draws in the
     documented order (capabilities, perception, follower) and then pure
-    array math.  Records come back unsorted (the caller canonicalises).
+    array math.  Incidents come back as one columnar
+    :class:`~repro.traffic.records.RecordBlock` — no per-row Python
+    objects on this path — unsorted (the caller canonicalises);
+    ``block.to_records()`` materialises the object view when needed.
     """
-    records, _, _, n_hard = resolve_batch_traced(
+    block, _, _, n_hard = resolve_block_traced(
         batch, policy, perception, braking, config, rng, time_offset_h)
-    return records, n_hard
+    return block, n_hard
 
 
-def resolve_batch_traced(batch: EncounterBatch, policy: TacticalPolicy,
+def resolve_block_traced(batch: EncounterBatch, policy: TacticalPolicy,
                          perception: PerceptionModel, braking: BrakingSystem,
                          config: "SimulationConfig",
                          rng: np.random.Generator,
                          time_offset_h: float = 0.0,
-                         ) -> Tuple[List[IncidentRecord], List[int],
+                         ) -> Tuple[RecordBlock, np.ndarray,
                                     np.ndarray, int]:
     """:func:`resolve_batch` plus per-record and per-encounter provenance.
 
-    Returns ``(records, sources, degraded, n_hard)``: ``sources`` maps
-    each record to the index (within ``batch``) of the encounter that
+    Returns ``(block, sources, degraded, n_hard)``: ``sources`` maps
+    each block row to the index (within ``batch``) of the encounter that
     produced it — induced incidents point at the encounter whose hard
     stop triggered them — and ``degraded`` is the per-encounter braking
     fault-state mask.  Identical draws and arithmetic to
@@ -107,10 +113,29 @@ def resolve_batch_traced(batch: EncounterBatch, policy: TacticalPolicy,
         session.metrics.counter("engine.batches").inc()
         session.metrics.histogram("engine.batch_size").observe(n)
     if n == 0:
-        return [], [], np.zeros(0, dtype=bool), 0
+        return (RecordBlock.empty(), np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=bool), 0)
     with maybe_span("resolve_batch"):
         return _resolve_batch_body(batch, policy, perception, braking,
                                    config, rng, time_offset_h)
+
+
+def resolve_batch_traced(batch: EncounterBatch, policy: TacticalPolicy,
+                         perception: PerceptionModel, braking: BrakingSystem,
+                         config: "SimulationConfig",
+                         rng: np.random.Generator,
+                         time_offset_h: float = 0.0,
+                         ) -> Tuple[List[IncidentRecord], List[int],
+                                    np.ndarray, int]:
+    """:func:`resolve_block_traced` with the rows materialised.
+
+    The object-view compatibility wrapper for callers that walk records
+    one by one (the importance sampler aligning per-record weights);
+    identical draws, identical values.
+    """
+    block, sources, degraded, n_hard = resolve_block_traced(
+        batch, policy, perception, braking, config, rng, time_offset_h)
+    return block.to_records(), [int(i) for i in sources], degraded, n_hard
 
 
 def _resolve_batch_body(batch: EncounterBatch, policy: TacticalPolicy,
@@ -118,7 +143,7 @@ def _resolve_batch_body(batch: EncounterBatch, policy: TacticalPolicy,
                         config: "SimulationConfig",
                         rng: np.random.Generator,
                         time_offset_h: float,
-                        ) -> Tuple[List[IncidentRecord], List[int],
+                        ) -> Tuple[RecordBlock, np.ndarray,
                                    np.ndarray, int]:
     n = len(batch)
     context = batch.context
@@ -158,33 +183,11 @@ def _resolve_batch_body(batch: EncounterBatch, policy: TacticalPolicy,
                  & (outcome.stop_margin_m < config.near_miss_distance_m)
                  & (closing_kmh > config.near_miss_speed_kmh))
 
-    records: List[IncidentRecord] = []
-    sources: List[int] = []
     times = batch.time_h + time_offset_h
-
-    for i in np.flatnonzero(collided):
-        sources.append(int(i))
-        records.append(IncidentRecord(
-            counterpart=batch.counterpart,
-            is_collision=True,
-            delta_v_kmh=float(ms_to_kmh(outcome.impact_speed_ms[i])),
-            min_distance_m=0.0,
-            approach_speed_kmh=float(closing_kmh[i]),
-            time_h=float(times[i]),
-            context=context,
-        ))
+    coll_idx = np.flatnonzero(collided)
+    miss_idx = np.flatnonzero(near_miss)
+    impact_kmh = ms_to_kmh(outcome.impact_speed_ms)
     min_distances = np.maximum(outcome.stop_margin_m, 1e-3)
-    for i in np.flatnonzero(near_miss):
-        sources.append(int(i))
-        records.append(IncidentRecord(
-            counterpart=batch.counterpart,
-            is_collision=False,
-            delta_v_kmh=0.0,
-            min_distance_m=float(min_distances[i]),
-            approach_speed_kmh=float(closing_kmh[i]),
-            time_h=float(times[i]),
-            context=context,
-        ))
 
     # Fig. 4's lower half: a hard ego stop with a close follower induces
     # an incident between third parties.  One uniform per hard demand,
@@ -198,18 +201,49 @@ def _resolve_batch_body(batch: EncounterBatch, policy: TacticalPolicy,
         n_induced = int(induced_indices.size)
         induced_distance = rng.uniform(0.3, 4.0, size=n_induced)
         induced_speed = rng.uniform(10.0, 60.0, size=n_induced)
-        for k, i in enumerate(induced_indices):
-            sources.append(int(i))
-            records.append(IncidentRecord(
-                counterpart=ActorClass.CAR,
-                is_collision=False,
-                min_distance_m=float(induced_distance[k]),
-                approach_speed_kmh=float(induced_speed[k]),
-                time_h=float(times[i]),
-                context=context,
-                induced=True,
-            ))
-    return records, sources, degraded, n_hard
+    else:
+        induced_indices = np.zeros(0, dtype=np.int64)
+        n_induced = 0
+        induced_distance = np.zeros(0)
+        induced_speed = np.zeros(0)
+
+    # Columnar assembly: rows are [collisions | near-misses | induced],
+    # each segment in encounter order — the layout the per-row loops
+    # used to produce — with no IncidentRecord objects constructed.
+    n_coll = int(coll_idx.size)
+    n_miss = int(miss_idx.size)
+    total = n_coll + n_miss + n_induced
+    sources = np.concatenate(
+        [coll_idx, miss_idx, induced_indices]).astype(np.int64)
+
+    counterpart = np.full(total, actor_code(batch.counterpart),
+                          dtype=np.uint8)
+    counterpart[n_coll + n_miss:] = actor_code(ActorClass.CAR)
+    is_collision = np.zeros(total, dtype=bool)
+    is_collision[:n_coll] = True
+    induced_mask = np.zeros(total, dtype=bool)
+    induced_mask[n_coll + n_miss:] = True
+    delta_v = np.zeros(total)
+    delta_v[:n_coll] = impact_kmh[coll_idx]
+    min_distance = np.zeros(total)
+    min_distance[n_coll:n_coll + n_miss] = min_distances[miss_idx]
+    min_distance[n_coll + n_miss:] = induced_distance
+    approach = np.empty(total)
+    approach[:n_coll] = closing_kmh[coll_idx]
+    approach[n_coll:n_coll + n_miss] = closing_kmh[miss_idx]
+    approach[n_coll + n_miss:] = induced_speed
+
+    block = RecordBlock.from_columns(
+        counterpart=counterpart,
+        is_collision=is_collision,
+        delta_v_kmh=delta_v,
+        min_distance_m=min_distance,
+        approach_speed_kmh=approach,
+        time_h=times[sources],
+        context=np.zeros(total, dtype=np.uint16),
+        context_table=(context,),
+        induced=induced_mask)
+    return block, sources, degraded, n_hard
 
 
 def simulate_vectorized(policy: TacticalPolicy,
@@ -226,11 +260,13 @@ def simulate_vectorized(policy: TacticalPolicy,
 
     Statistically interchangeable with the scalar engine but with a
     different, documented RNG layout (module docstring) — use one engine
-    consistently within a campaign.  Records are returned in canonical
-    sorted order.
+    consistently within a campaign.  The result is block-backed: the
+    incident stream stays columnar end-to-end (``result.record_block``)
+    and materialises :class:`IncidentRecord` objects only when
+    ``result.records`` is first touched, in canonical sorted order.
     """
     from .simulator import (SimulationConfig, SimulationResult,
-                            _record_sim_metrics, _record_sort_key)
+                            _record_sim_metrics)
     if config is None:
         config = SimulationConfig()
     if time_offset_h < 0 or not math.isfinite(time_offset_h):
@@ -240,7 +276,7 @@ def simulate_vectorized(policy: TacticalPolicy,
         raise ValueError(f"hours must be positive and finite, got {hours}")
     classes = generator.active_classes(context)
     streams = rng.spawn(len(classes)) if classes else []
-    records: List[IncidentRecord] = []
+    blocks: List[RecordBlock] = []
     encounters_resolved = 0
     hard_demands = 0
     with maybe_span("simulate.vectorized"):
@@ -248,25 +284,25 @@ def simulate_vectorized(policy: TacticalPolicy,
             batch = generator.sample_class_batch(
                 context, counterpart, hours, policy.cue_probability, stream)
             encounters_resolved += len(batch)
-            class_records, n_hard = resolve_batch(
+            class_block, n_hard = resolve_batch(
                 batch, policy, perception, braking, config, stream,
                 time_offset_h)
-            records.extend(class_records)
+            blocks.append(class_block)
             hard_demands += n_hard
-        records.sort(key=_record_sort_key)
+        block = RecordBlock.concat(blocks).canonical_sort()
         result = SimulationResult(
             policy_name=policy.name,
             hours=hours,
             context_hours={context: hours},
-            records=records,
+            records=block,
             encounters_resolved=encounters_resolved,
             hard_braking_demands=hard_demands,
             hard_braking_threshold_ms2=config.hard_braking_threshold_ms2,
         )
         _record_sim_metrics(
             hours=hours, encounters=encounters_resolved,
-            incidents=len(records),
-            collisions=sum(1 for r in records if r.is_collision),
+            incidents=len(block),
+            collisions=block.collision_count,
             hard_demands=hard_demands)
         return result
 

@@ -49,17 +49,40 @@ from ..obs.session import (TelemetrySnapshot, active_session, maybe_span,
                            telemetry_session)
 from ..stats.fault_tolerance import (CampaignPartialFailure, ChunkFailure,
                                      RetryPolicy)
-from ..stats.parallel import Chunk, ChunkProgress, plan_chunks, run_chunked
+from ..stats.parallel import (Chunk, ChunkProgress, default_worker_count,
+                              plan_chunks, run_chunked)
 from .checkpoint import CampaignCheckpoint
 from .encounters import EncounterGenerator
 from .faults import BrakingSystem
 from .perception import PerceptionModel
 from .policy import TacticalPolicy
+from .records import (RecordBlock, RecordSink, ShippedBlock, receive_block,
+                      ship_block, shm_available)
 from .simulator import (SimulationConfig, SimulationResult, _check_engine,
                         simulate_mix)
 
 __all__ = ["FleetProgress", "run_fleet", "DEFAULT_CHUNK_HOURS",
-           "DEFAULT_RETRY_POLICY", "validate_chunk_output"]
+           "DEFAULT_RETRY_POLICY", "validate_chunk_output",
+           "CHUNK_TRANSPORTS"]
+
+CHUNK_TRANSPORTS = ("inline", "shm", "pickle")
+"""How a worker ships its chunk result back to the coordinator.
+
+* ``"inline"`` — no process boundary (``workers=1``): the result object
+  is handed over directly, untouched.
+* ``"shm"`` — the record block's bytes are parked in a
+  ``multiprocessing.shared_memory`` segment and only a tiny
+  :class:`~repro.traffic.records.ShippedBlock` handle is pickled; the
+  coordinator copies the block out and unlinks the segment.  Any shm
+  failure degrades that chunk to ``"pickle"`` — never aborts.
+* ``"pickle"`` — the block-backed result is pickled whole; still
+  columnar (numpy arrays pickle compactly), just not zero-copy.
+
+The coordinator counts what actually crossed the boundary:
+``parallel.bytes_shipped`` accumulates payload bytes and
+``parallel.transport.shm`` / ``parallel.transport.pickle`` count chunks
+per transport, so the shipping cost long claimed in this module's
+docstrings is measurable in every run manifest."""
 
 DEFAULT_CHUNK_HOURS = 250.0
 """Default shard size: large enough to amortise process-pool overhead,
@@ -110,7 +133,9 @@ class _ChunkTask:
     """Everything a worker process needs to simulate one chunk.
 
     All fields are plain (frozen) dataclasses or mappings, so the task
-    pickles once per chunk submission.
+    pickles once per chunk submission — and the return leg is measured,
+    not claimed: ``parallel.bytes_shipped`` / ``parallel.transport.*``
+    count what actually crosses back (see :data:`CHUNK_TRANSPORTS`).
     """
 
     policy: TacticalPolicy
@@ -121,6 +146,7 @@ class _ChunkTask:
     config: Optional[SimulationConfig]
     engine: str = "scalar"
     telemetry: bool = False
+    transport: str = "inline"
 
 
 @dataclass(frozen=True)
@@ -131,10 +157,19 @@ class _ChunkOutput:
     of being smuggled through globals, so the pool path and the inline
     path use the identical per-chunk discipline: fresh session in, frozen
     snapshot out, merged once on the coordinator in chunk-index order.
+
+    Under a non-inline transport the output is in *shipped* form until
+    :func:`_receive_chunk_output` rehydrates it on the coordinator:
+    ``transport`` names what crossed the boundary, and for ``"shm"``
+    ``result`` carries an empty record block with the real one parked in
+    the shared-memory segment ``shipped`` points at.  Rehydrated (and
+    checkpoint-restored) outputs have ``transport=None``.
     """
 
     result: SimulationResult
     telemetry: Optional[TelemetrySnapshot] = None
+    shipped: Optional[ShippedBlock] = None
+    transport: Optional[str] = None
 
 
 def _simulate_chunk(task: _ChunkTask, chunk: Chunk,
@@ -155,16 +190,73 @@ def _simulate_chunk(task: _ChunkTask, chunk: Chunk,
     """
     rng = np.random.default_rng(seed_seq)
     if not task.telemetry:
-        return _ChunkOutput(result=simulate_mix(
+        result = simulate_mix(
             task.policy, task.generator, task.perception, task.braking,
             task.mix, chunk.size, rng, task.config,
-            time_offset_h=chunk.start, engine=task.engine))
+            time_offset_h=chunk.start, engine=task.engine)
+        return _pack_output(result, None, task.transport)
     with telemetry_session() as session:
         result = simulate_mix(task.policy, task.generator, task.perception,
                               task.braking, task.mix, chunk.size, rng,
                               task.config, time_offset_h=chunk.start,
                               engine=task.engine)
-    return _ChunkOutput(result=result, telemetry=session.snapshot())
+    return _pack_output(result, session.snapshot(), task.transport)
+
+
+def _pack_output(result: SimulationResult,
+                 telemetry: Optional[TelemetrySnapshot],
+                 transport: str) -> _ChunkOutput:
+    """Worker side of the chunk transport: choose what crosses the pool.
+
+    ``"inline"`` hands the result over untouched (no process boundary).
+    Otherwise the record stream goes columnar: under ``"shm"`` the block
+    bytes are parked in a shared-memory segment and the pickled output
+    carries only the handle (plus a block-less result stub); any shm
+    failure — platform without segments, exhausted ``/dev/shm`` —
+    degrades this one chunk to ``"pickle"``, which ships the block-backed
+    result whole.  Either way no per-record Python objects are pickled.
+    """
+    if transport == "inline":
+        return _ChunkOutput(result=result, telemetry=telemetry)
+    block = result.record_block
+    if transport == "shm" and len(block):
+        try:
+            shipped = ship_block(block)
+        except Exception:  # noqa: BLE001 - degrade to pickle, never abort
+            shipped = None
+        if shipped is not None:
+            return _ChunkOutput(
+                result=result.replaced(records=RecordBlock.empty()),
+                telemetry=telemetry, shipped=shipped, transport="shm")
+    return _ChunkOutput(result=result.replaced(records=block),
+                        telemetry=telemetry, transport="pickle")
+
+
+def _receive_chunk_output(output: object) -> object:
+    """Coordinator side of the chunk transport (the ``unpack`` hook).
+
+    Rehydrates a shipped :class:`_ChunkOutput` — for ``"shm"`` that
+    means attaching, copying out and unlinking the segment — and records
+    the transfer telemetry (``parallel.bytes_shipped``,
+    ``parallel.transport.*``).  Anything that is not a shipped output
+    (inline results, restored checkpoints, chaos-harness garbage) passes
+    through untouched; the returned output has ``transport=None``, so a
+    second unpack is a no-op.
+    """
+    if not isinstance(output, _ChunkOutput) or output.transport is None:
+        return output
+    result = output.result
+    if output.shipped is not None:
+        result = result.replaced(records=receive_block(output.shipped))
+        nbytes = output.shipped.nbytes
+    else:
+        nbytes = result.record_block.nbytes
+    session = active_session()
+    if session is not None:
+        session.metrics.counter("parallel.bytes_shipped").inc(nbytes)
+        session.metrics.counter(
+            f"parallel.transport.{output.transport}").inc()
+    return _ChunkOutput(result=result, telemetry=output.telemetry)
 
 
 def validate_chunk_output(chunk: Chunk, output: object) -> Optional[str]:
@@ -221,6 +313,25 @@ def validate_chunk_output(chunk: Chunk, output: object) -> Optional[str]:
                 f"but hours is {result.hours!r}")
     window_lo = chunk.start - tol
     window_hi = chunk.start + chunk.size + tol
+    if result.has_block:
+        # Columnar fast path: whole-column finiteness and window checks,
+        # no record materialisation.  Same checks, same messages.
+        array = result.record_block.array
+        for name in ("time_h", "delta_v_kmh", "min_distance_m",
+                     "approach_speed_kmh"):
+            finite = np.isfinite(array[name])
+            if not finite.all():
+                value = float(array[name][int(np.argmin(finite))])
+                return f"record field {name} is not finite: {value!r}"
+        times = array["time_h"]
+        inside = (window_lo <= times) & (times <= window_hi)
+        if not inside.all():
+            time_h = float(times[int(np.argmin(inside))])
+            return (f"record at t={time_h!r} h falls outside this "
+                    f"chunk's window [{chunk.start!r}, "
+                    f"{chunk.start + chunk.size!r}] — result for the "
+                    f"wrong chunk index?")
+        return None
     for record in result.records:
         for name in ("time_h", "delta_v_kmh", "min_distance_m",
                      "approach_speed_kmh"):
@@ -289,6 +400,8 @@ def run_fleet(policy: TacticalPolicy,
               resume: bool = False,
               failure_sink: Optional[List[ChunkFailure]] = None,
               wrap_worker: Optional[Callable[[Callable], Callable]] = None,
+              record_sink: Optional[RecordSink] = None,
+              transport: Optional[str] = None,
               ) -> SimulationResult:
     """Run a fleet campaign of ``hours`` sharded across a worker pool.
 
@@ -335,18 +448,51 @@ def run_fleet(policy: TacticalPolicy,
       (:mod:`repro.testing.chaos`): it wraps the per-chunk worker with
       fault injection in tests; production code leaves it ``None``.
 
+    Columnar transport and bounded memory (DESIGN §12):
+
+    * ``transport`` picks how chunk results cross the pool boundary
+      (:data:`CHUNK_TRANSPORTS`).  The default (``None``) auto-selects:
+      ``"inline"`` for single-worker runs, ``"shm"`` where
+      ``multiprocessing.shared_memory`` is available, ``"pickle"``
+      otherwise.  Transport never changes results — only how their
+      bytes move — and the auto choice is therefore outside the
+      determinism contract's identity (checkpoints resume across
+      transports).
+    * ``record_sink`` streams every committed chunk's record block into
+      a :class:`~repro.traffic.records.RecordSink` (one digest-signed
+      ``repro.record-block/v1`` part per chunk, atomic writes), keyed
+      by chunk index so the on-disk layout is deterministic whatever
+      the completion order.  On a checkpoint resume the restored chunks
+      are fed to the sink up front, so the spill directory is complete
+      even when no chunk re-runs.  The sink bounds what the *caller*
+      must keep resident; the merged in-memory result is still
+      returned.
+
     None of this touches the determinism contract — retried chunks
     re-run from the same ``SeedSequence`` child, and only validated
     results are committed, so faulted and fault-free campaigns merge
     identically.
     """
     _check_engine(engine)
+    if transport is not None and transport not in CHUNK_TRANSPORTS:
+        raise ValueError(f"unknown transport {transport!r}; "
+                         f"expected one of {CHUNK_TRANSPORTS}")
     session = active_session()
     chunks = plan_chunks(hours, chunk_hours)
+    if transport is None:
+        effective_workers = (workers if workers is not None
+                             else default_worker_count(len(chunks)))
+        if effective_workers <= 1:
+            transport = "inline"
+        elif shm_available():
+            transport = "shm"
+        else:
+            transport = "pickle"
     task = _ChunkTask(policy=policy, generator=generator,
                       perception=perception, braking=braking,
                       mix=dict(mix), config=config, engine=engine,
-                      telemetry=session is not None)
+                      telemetry=session is not None,
+                      transport=transport)
 
     campaign_checkpoint: Optional[CampaignCheckpoint] = None
     completed: Optional[Dict[int, _ChunkOutput]] = None
@@ -370,18 +516,30 @@ def run_fleet(policy: TacticalPolicy,
                     f"0..{len(chunks) - 1}")
         restored_results = [completed[i].result for i in sorted(completed)]
 
+    if record_sink is not None and completed:
+        # A resumed campaign never re-runs its restored chunks, so feed
+        # them to the sink up front; keyed parts make the re-append of
+        # an already-spilled chunk an idempotent overwrite.
+        for index in sorted(completed):
+            record_sink.append(completed[index].result.record_block,
+                               key=index)
+
     on_commit: Optional[Callable[[Chunk, _ChunkOutput], None]] = None
-    if campaign_checkpoint is not None:
+    if campaign_checkpoint is not None or record_sink is not None:
         def on_commit(chunk: Chunk, output: _ChunkOutput) -> None:
-            campaign_checkpoint.record(chunk.index, output.result,
-                                       output.telemetry)
+            if campaign_checkpoint is not None:
+                campaign_checkpoint.record(chunk.index, output.result,
+                                           output.telemetry)
+            if record_sink is not None:
+                record_sink.append(output.result.record_block,
+                                   key=chunk.index)
 
     adapter: Optional[Callable[[ChunkProgress], None]] = None
     if progress is not None:
         totals = {
             "encounters": sum(r.encounters_resolved
                               for r in restored_results),
-            "incidents": sum(len(r.records) for r in restored_results),
+            "incidents": sum(r.num_records for r in restored_results),
             "demands": sum(r.hard_braking_demands
                            for r in restored_results),
         }
@@ -389,7 +547,7 @@ def run_fleet(policy: TacticalPolicy,
         def adapter(update: ChunkProgress) -> None:
             result: SimulationResult = update.result.result
             totals["encounters"] += result.encounters_resolved
-            totals["incidents"] += len(result.records)
+            totals["incidents"] += result.num_records
             totals["demands"] += result.hard_braking_demands
             progress(FleetProgress(
                 chunk_index=update.chunk_index,
@@ -415,7 +573,8 @@ def run_fleet(policy: TacticalPolicy,
                 retry=retry,
                 validator=validate_chunk_output if validate else None,
                 completed=completed, on_commit=on_commit,
-                failure_sink=failure_sink)
+                failure_sink=failure_sink,
+                unpack=_receive_chunk_output)
         except CampaignPartialFailure as exc:
             # Re-raise with domain results (not private _ChunkOutput
             # wrappers) so callers can merge/report what survived.

@@ -21,6 +21,7 @@ from ..core.incident import (ContributionSplit, IncidentType,
 from ..injury.risk_curves import InjuryRiskModel, severity_distribution
 from ..injury.classifier import split_for_proximity, _severity_to_class
 from ..stats.poisson import RateEstimate, rate_confidence_interval
+from .records import classify_block_counts
 from .simulator import SimulationResult
 
 __all__ = [
@@ -60,6 +61,10 @@ def type_counts(result: SimulationResult,
     over the simulated record space this must be zero, and the QRN
     verification treats it as a completeness failure upstream.
     """
+    if result.has_block:
+        # Columnar fast path: whole-column masks per type, no record
+        # materialisation.  Same multi-match error, same counts.
+        return classify_block_counts(result.record_block, list(types))
     buckets = classify_records(result.records, types)
     unclassified = len(buckets.pop("<unclassified>"))
     return {type_id: len(records) for type_id, records in buckets.items()}, \

@@ -29,6 +29,7 @@ from .encounters import Encounter, EncounterGenerator
 from .faults import BrakingSystem
 from .perception import PerceptionModel
 from .policy import TacticalPolicy
+from .records import RecordBlock
 
 __all__ = ["SimulationConfig", "SimulationResult", "simulate",
            "simulate_mix", "ENGINES"]
@@ -108,7 +109,6 @@ class SimulationConfig:
             raise ValueError("follower presence must be in [0, 1]")
 
 
-@dataclass
 class SimulationResult:
     """Everything one run observed.
 
@@ -117,15 +117,126 @@ class SimulationResult:
     exceeded the config threshold, regardless of outcome;
     ``encounters_resolved`` the total conflict count (the exposure the
     tactical policy shaped).
+
+    Storage is dual-mode.  ``records`` may be passed (and held) either
+    as a list of :class:`IncidentRecord` objects — the scalar engine's
+    native form — or as a columnar
+    :class:`~repro.traffic.records.RecordBlock`, the vectorized
+    engine's native form.  Both sides stay lazy: ``.records`` on a
+    block-backed result materialises the object view on first touch
+    (then caches it), ``.record_block`` on a list-backed result encodes
+    once on demand.  Every accessor returns identical values either
+    way, and equality compares content, not storage mode.
     """
 
-    policy_name: str
-    hours: float
-    context_hours: Dict[str, float]
-    records: List[IncidentRecord]
-    encounters_resolved: int
-    hard_braking_demands: int
-    hard_braking_threshold_ms2: float
+    __slots__ = ("policy_name", "hours", "context_hours",
+                 "encounters_resolved", "hard_braking_demands",
+                 "hard_braking_threshold_ms2", "_records", "_block")
+
+    def __init__(self, policy_name: str, hours: float,
+                 context_hours: Dict[str, float],
+                 records: "List[IncidentRecord] | RecordBlock",
+                 encounters_resolved: int, hard_braking_demands: int,
+                 hard_braking_threshold_ms2: float) -> None:
+        self.policy_name = policy_name
+        self.hours = hours
+        self.context_hours = context_hours
+        self.encounters_resolved = encounters_resolved
+        self.hard_braking_demands = hard_braking_demands
+        self.hard_braking_threshold_ms2 = hard_braking_threshold_ms2
+        if isinstance(records, RecordBlock):
+            self._records: Optional[List[IncidentRecord]] = None
+            self._block: Optional[RecordBlock] = records
+        else:
+            self._records = list(records)
+            self._block = None
+
+    # -- dual-mode record storage -----------------------------------------
+
+    @property
+    def records(self) -> List[IncidentRecord]:
+        """The object view; materialised (and cached) on first access."""
+        if self._records is None:
+            assert self._block is not None
+            self._records = self._block.to_records()
+        return self._records
+
+    @property
+    def record_block(self) -> RecordBlock:
+        """The columnar view; encoded (and cached) on first access."""
+        if self._block is None:
+            assert self._records is not None
+            self._block = RecordBlock.from_records(self._records)
+        return self._block
+
+    @property
+    def has_block(self) -> bool:
+        """Whether the columnar form already exists (no encode needed)."""
+        return self._block is not None
+
+    @property
+    def num_records(self) -> int:
+        """Record count without materialising the object view."""
+        if self._records is not None:
+            return len(self._records)
+        assert self._block is not None
+        return len(self._block)
+
+    def collision_count(self) -> int:
+        """Collision count without materialising the object view."""
+        if self._records is not None:
+            return sum(1 for r in self._records if r.is_collision)
+        assert self._block is not None
+        return self._block.collision_count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimulationResult):
+            return NotImplemented
+        if (self.policy_name != other.policy_name
+                or self.hours != other.hours
+                or self.context_hours != other.context_hours
+                or self.encounters_resolved != other.encounters_resolved
+                or self.hard_braking_demands != other.hard_braking_demands
+                or self.hard_braking_threshold_ms2
+                != other.hard_braking_threshold_ms2):
+            return False
+        if self._block is not None and other._block is not None:
+            return self._block == other._block
+        return self.records == other.records
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return (f"SimulationResult(policy_name={self.policy_name!r}, "
+                f"hours={self.hours!r}, "
+                f"context_hours={self.context_hours!r}, "
+                f"records=<{self.num_records} records"
+                f"{' (columnar)' if self._records is None else ''}>, "
+                f"encounters_resolved={self.encounters_resolved!r}, "
+                f"hard_braking_demands={self.hard_braking_demands!r}, "
+                f"hard_braking_threshold_ms2="
+                f"{self.hard_braking_threshold_ms2!r})")
+
+    def replaced(self, **changes: object) -> "SimulationResult":
+        """A copy with named constructor arguments replaced
+        (``dataclasses.replace`` for the dual-storage result)."""
+        kwargs: Dict[str, object] = {
+            "policy_name": self.policy_name,
+            "hours": self.hours,
+            "context_hours": self.context_hours,
+            "records": self._block if self._records is None
+            else self._records,
+            "encounters_resolved": self.encounters_resolved,
+            "hard_braking_demands": self.hard_braking_demands,
+            "hard_braking_threshold_ms2": self.hard_braking_threshold_ms2,
+        }
+        unknown = set(changes) - set(kwargs)
+        if unknown:
+            raise TypeError(f"unknown result fields {sorted(unknown)}")
+        kwargs.update(changes)
+        return SimulationResult(**kwargs)  # type: ignore[arg-type]
+
+    # -- accessors ---------------------------------------------------------
 
     def collisions(self) -> List[IncidentRecord]:
         return [r for r in self.records if r.is_collision]
@@ -134,7 +245,7 @@ class SimulationResult:
         return [r for r in self.records if not r.is_collision]
 
     def collision_rate_per_hour(self) -> float:
-        return len(self.collisions()) / self.hours
+        return self.collision_count() / self.hours
 
     def hard_braking_rate_per_hour(self) -> float:
         """The Sec. II-B-3 observable: demand > threshold, per hour."""
@@ -190,8 +301,19 @@ class SimulationResult:
                 context_values.setdefault(context, []).append(hours)
         context_hours = {context: math.fsum(values)
                          for context, values in sorted(context_values.items())}
-        records = sorted((r for result in results for r in result.records),
-                         key=_record_sort_key)
+        if all(result.has_block for result in results):
+            # Columnar merge: one O(total) concat + lexsort, no
+            # IncidentRecord objects.  Produces the same canonical
+            # order as the sorted() below (same key precedence), so
+            # storage mode never changes merge content.
+            records: "List[IncidentRecord] | RecordBlock" = \
+                RecordBlock.concat(
+                    [result.record_block for result in results]
+                ).canonical_sort()
+        else:
+            records = sorted(
+                (r for result in results for r in result.records),
+                key=_record_sort_key)
         return cls(
             policy_name=first.policy_name,
             hours=math.fsum(r.hours for r in results),
@@ -427,6 +549,12 @@ def simulate_mix(policy: TacticalPolicy,
                                   context, ctx_hours, rng, config,
                                   time_offset_h=offset, engine=engine))
             offset += ctx_hours
+    if all(part.has_block for part in parts):
+        records: "List[IncidentRecord] | RecordBlock" = RecordBlock.concat(
+            [part.record_block for part in parts]).canonical_sort()
+    else:
+        records = sorted((r for part in parts for r in part.records),
+                         key=_record_sort_key)
     # Construct directly (rather than via merge_many) so the result's
     # total is the *requested* hours bit-for-bit, not a re-summation.
     return SimulationResult(
@@ -434,8 +562,7 @@ def simulate_mix(policy: TacticalPolicy,
         hours=hours,
         context_hours={context: ctx_hours
                        for (context, _), ctx_hours in zip(contexts, part_hours)},
-        records=sorted((r for part in parts for r in part.records),
-                       key=_record_sort_key),
+        records=records,
         encounters_resolved=sum(p.encounters_resolved for p in parts),
         hard_braking_demands=sum(p.hard_braking_demands for p in parts),
         hard_braking_threshold_ms2=parts[0].hard_braking_threshold_ms2,

@@ -69,11 +69,35 @@ class TestWorkerCountIndependence:
         return {workers: _fleet(world, workers=workers, telemetry=True)[1]
                 for workers in (1, 2, 4)}
 
+    @staticmethod
+    def _simulation_counters(metrics):
+        """Counters describing the *simulation* — the worker-independent
+        set.  Transport counters (``parallel.bytes_shipped``,
+        ``parallel.transport.*``) describe how chunk bytes crossed the
+        pool boundary and legitimately vary with worker count: a
+        single-worker run ships nothing inline, a pool run ships every
+        chunk."""
+        return {name: value for name, value in metrics.counters().items()
+                if name != "parallel.bytes_shipped"
+                and not name.startswith("parallel.transport.")}
+
     def test_results_already_pinned_counters_match(self, snapshots):
-        reference = snapshots[1].metrics
+        reference = self._simulation_counters(snapshots[1].metrics)
         for workers in (2, 4):
             metrics = snapshots[workers].metrics
-            assert metrics.counters() == reference.counters()
+            assert self._simulation_counters(metrics) == reference
+
+    def test_pool_runs_report_transport(self, snapshots):
+        """Pool runs account for every chunk crossing the boundary;
+        the inline (workers=1) run ships nothing."""
+        inline = snapshots[1].metrics.counters()
+        assert "parallel.bytes_shipped" not in inline
+        for workers in (2, 4):
+            counters = snapshots[workers].metrics.counters()
+            shipped = sum(value for name, value in counters.items()
+                          if name.startswith("parallel.transport."))
+            assert shipped == counters["parallel.chunks"]
+            assert counters["parallel.bytes_shipped"] > 0
 
     def test_histograms_match(self, snapshots):
         reference = snapshots[1].metrics.instruments

@@ -12,7 +12,6 @@ makes "corrupted" detectable in the first place.
 
 from __future__ import annotations
 
-import dataclasses
 import math
 import warnings
 
@@ -154,7 +153,7 @@ class TestValidator:
 
     def _corrupt(self, output, **changes):
         return _ChunkOutput(
-            result=dataclasses.replace(output.result, **changes),
+            result=output.result.replaced(**changes),
             telemetry=output.telemetry)
 
     def test_nan_hours_rejected(self, chunk_and_output):

@@ -98,9 +98,10 @@ class TestExactSingleEncounterAgreement:
                     scalar_records, scalar_hard = _scalar_reference(
                         encounter, policy, perception, braking, config,
                         np.random.default_rng(seed))
-                    vector_records, vector_hard = resolve_batch(
+                    vector_block, vector_hard = resolve_batch(
                         batch, policy, perception, braking, config,
                         np.random.default_rng(seed))
+                    vector_records = vector_block.to_records()
                     assert sorted(scalar_records, key=_record_key) \
                         == sorted(vector_records, key=_record_key), (
                             f"sight={sight}, {counterpart}, seed={seed}")
@@ -129,9 +130,10 @@ class TestExactSingleEncounterAgreement:
             scalar_records, scalar_hard = _scalar_reference(
                 encounter, policy, perception, braking, config,
                 np.random.default_rng(seed))
-            vector_records, vector_hard = resolve_batch(
+            vector_block, vector_hard = resolve_batch(
                 batch, policy, perception, braking, config,
                 np.random.default_rng(seed))
+            vector_records = vector_block.to_records()
             assert sorted(scalar_records, key=_record_key) \
                 == sorted(vector_records, key=_record_key)
             assert scalar_hard == vector_hard
@@ -154,9 +156,10 @@ class TestExactSingleEncounterAgreement:
             scalar_records, scalar_hard = _scalar_reference(
                 encounter, policy, perception, braking, config,
                 np.random.default_rng(0))
-            vector_records, vector_hard = resolve_batch(
+            vector_block, vector_hard = resolve_batch(
                 batch, policy, perception, braking, config,
                 np.random.default_rng(0))
+            vector_records = vector_block.to_records()
             assert sorted(scalar_records, key=_record_key) \
                 == sorted(vector_records, key=_record_key)
             assert scalar_hard == vector_hard
@@ -186,9 +189,10 @@ class TestExactDeterministicBatchAgreement:
                 np.random.default_rng(1))
             scalar_records.extend(records)
             scalar_hard += hard
-        vector_records, vector_hard = resolve_batch(
+        vector_block, vector_hard = resolve_batch(
             batch, policy, perception, braking, config,
             np.random.default_rng(1))
+        vector_records = vector_block.to_records()
         assert sorted(scalar_records, key=_record_key) \
             == sorted(vector_records, key=_record_key)
         assert scalar_hard == vector_hard
