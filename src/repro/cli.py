@@ -161,6 +161,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "multiplier")
     _add_parallel_flags(fleet)
 
+    watch = sub.add_parser(
+        "watch", help="render a campaign's live flight-recorder status")
+    watch.add_argument("path", type=Path,
+                       help="a --flight-recorder directory or its "
+                            "status.json")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between refreshes (default 2)")
+    watch.add_argument("--once", action="store_true",
+                       help="render the current status once and exit")
+
     return parser
 
 
@@ -207,6 +217,21 @@ def _add_parallel_flags(sub_parser: argparse.ArgumentParser) -> None:
              "directory as digest-signed repro.record-block/v1 parts "
              "(atomic writes, O(chunk) resident memory; the simulated "
              "draws are bitwise unaffected)")
+    sub_parser.add_argument(
+        "--flight-recorder", type=Path, default=None,
+        help="record the campaign's flight data into this directory: a "
+             "digest-chained repro.event-log/v1 journal plus an "
+             "atomically updated status.json that 'repro watch DIR' "
+             "renders live (the simulated draws are bitwise unaffected); "
+             "with --resume an existing journal's chain is continued")
+    sub_parser.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="export the run's span tree and journal events as Chrome "
+             "trace-event JSON (chrome://tracing, Perfetto)")
+    sub_parser.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="export the run's merged metrics as Prometheus text "
+             "exposition")
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -361,6 +386,49 @@ def _open_record_sink(args: argparse.Namespace):
     return RecordSink(args.record_sink)
 
 
+def _open_recorder(args: argparse.Namespace, goals=None, types=None):
+    """The --flight-recorder directory as a context, or a no-op.
+
+    A pre-existing journal without ``--resume`` raises
+    ``FileExistsError`` — the same same-path discipline (and exit code
+    2) as ``--checkpoint``.
+    """
+    if getattr(args, "flight_recorder", None) is None:
+        return nullcontext(None)
+    from repro.obs import FlightRecorder
+    return FlightRecorder(args.flight_recorder, goals=goals, types=types,
+                          resume=bool(getattr(args, "resume", False)))
+
+
+def _campaign_session(args: argparse.Namespace):
+    """A telemetry session when any consumer of one was requested."""
+    if args.telemetry is None and args.trace_out is None \
+            and args.metrics_out is None:
+        return nullcontext()
+    from repro.obs import telemetry_session
+    return telemetry_session()
+
+
+def _write_exports(args: argparse.Namespace, session, recorder) -> None:
+    """The --trace-out / --metrics-out leg, after the campaign ended."""
+    if session is None or (args.trace_out is None
+                           and args.metrics_out is None):
+        return
+    from repro.obs import (read_journal, write_chrome_trace,
+                           write_prometheus)
+
+    snapshot = session.snapshot()
+    if args.trace_out is not None:
+        events = ()
+        if recorder is not None:
+            events, _ = read_journal(recorder.journal_path)
+        write_chrome_trace(args.trace_out, snapshot.spans, events)
+        print(f"trace exported to {args.trace_out}")
+    if args.metrics_out is not None:
+        write_prometheus(args.metrics_out, snapshot.metrics)
+        print(f"metrics exported to {args.metrics_out}")
+
+
 def _scaled_goals(scale: float):
     """The sim-scale goal set both simulation subcommands verify against."""
     from repro.core import (allocate_lp, derive_safety_goals, example_norm,
@@ -374,7 +442,7 @@ def _scaled_goals(scale: float):
 
 def _campaign_telemetry(args: argparse.Namespace, session, campaign,
                         goals, types, *, command: str, summary=None,
-                        failure_log=None):
+                        failure_log=None, event_log=None):
     """Budget utilisation + manifest for one telemetry-enabled campaign.
 
     Returns ``(snapshot, budget_report)`` and writes the
@@ -400,7 +468,8 @@ def _campaign_telemetry(args: argparse.Namespace, session, campaign,
         n_chunks=len(plan_chunks(args.hours, chunk_hours)),
         budget_report=budget_report, summary=summary,
         failure_log=(None if not failure_log
-                     else [entry.to_dict() for entry in failure_log]))
+                     else [entry.to_dict() for entry in failure_log]),
+        event_log=event_log)
     manifest.write(args.telemetry)
     print(f"telemetry manifest written to {args.telemetry}")
     return snapshot, budget_report
@@ -415,17 +484,22 @@ def _cmd_dossier(args: argparse.Namespace) -> int:
 
     goals, types = _scaled_goals(args.scale)
 
-    if args.telemetry is not None:
-        from repro.obs import telemetry_session
-        context = telemetry_session()
-    else:
-        context = nullcontext()
+    context = _campaign_session(args)
     failure_sink: list = []
     try:
-        with context as session, _open_record_sink(args) as record_sink:
+        with context as session, _open_record_sink(args) as record_sink, \
+                _open_recorder(args, goals, types) as recorder:
+            if recorder is not None and args.resume \
+                    and args.checkpoint is not None \
+                    and Path(args.checkpoint).exists():
+                recorder.observe_restored_checkpoint(args.checkpoint)
+            progress = None
+            if recorder is not None:
+                progress = recorder.on_progress
             campaign = _run_campaign(
                 cautious_policy(), args.hours, args.seed, args.workers,
-                args.chunk_hours, args.engine, retry=_retry_policy(args),
+                args.chunk_hours, args.engine, progress=progress,
+                retry=_retry_policy(args),
                 checkpoint=args.checkpoint, resume=args.resume,
                 failure_sink=failure_sink, record_sink=record_sink)
     except (FileExistsError, CheckpointMismatchError) as exc:
@@ -441,10 +515,13 @@ def _cmd_dossier(args: argparse.Namespace) -> int:
     counts, _ = type_counts(campaign, types)
     report = verify_against_counts(goals, counts, campaign.hours)
     snapshot = budget_report = None
-    if session is not None:
+    if args.telemetry is not None and session is not None:
         snapshot, budget_report = _campaign_telemetry(
             args, session, campaign, goals, types, command="repro dossier",
-            failure_log=failure_sink)
+            failure_log=failure_sink,
+            event_log=(None if recorder is None
+                       else str(recorder.journal_path)))
+    _write_exports(args, session, recorder)
     text = build_dossier(goals, report, telemetry=snapshot,
                          budget_utilisation=budget_report)
     if args.out is not None:
@@ -533,6 +610,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         # Chunks restored from a checkpoint are excluded via the baseline
         # so a resumed campaign's rate/ETA reflect work actually done
         # *this* run, not the banked exposure.
+        from repro.obs import format_bytes
         eta = meter.eta_s(update.hours_done, update.hours_total,
                           baseline=update.hours_resumed)
         eta_text = f"{eta:.0f} s" if math.isfinite(eta) else "--"
@@ -545,21 +623,35 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
               f"{update.hard_braking_demands} hard-braking demands | "
               f"{meter.rate_per_s(update.chunks_done, baseline=update.chunks_resumed):.2f} chunks/s, "
               f"{meter.rate_per_s(update.encounters_resolved):.0f} "
-              f"encounters/s, ETA {eta_text}",
+              f"encounters/s, ETA {eta_text} | "
+              f"{update.transport or '?'}, "
+              f"{format_bytes(update.bytes_shipped)} shipped",
               file=sys.stderr)
 
-    if args.telemetry is not None:
-        from repro.obs import telemetry_session
-        context = telemetry_session()
-    else:
-        context = nullcontext()
+    context = _campaign_session(args)
+    recorder_goals = recorder_types = None
+    if args.flight_recorder is not None:
+        recorder_goals, recorder_types = _scaled_goals(args.scale)
     failure_sink: list = []
     try:
-        with context as session, _open_record_sink(args) as record_sink:
+        with context as session, _open_record_sink(args) as record_sink, \
+                _open_recorder(args, recorder_goals,
+                               recorder_types) as recorder:
+            if recorder is not None and args.resume \
+                    and args.checkpoint is not None \
+                    and Path(args.checkpoint).exists():
+                recorder.observe_restored_checkpoint(args.checkpoint)
+            progress = None
+            if recorder is not None or args.progress:
+                def progress(update) -> None:
+                    if recorder is not None:
+                        recorder.on_progress(update)
+                    if args.progress:
+                        show_progress(update)
             campaign = _run_campaign(
                 policy, args.hours, args.seed, args.workers,
                 args.chunk_hours, args.engine,
-                progress=show_progress if args.progress else None,
+                progress=progress,
                 retry=_retry_policy(args), checkpoint=args.checkpoint,
                 resume=args.resume, failure_sink=failure_sink,
                 record_sink=record_sink)
@@ -622,14 +714,17 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if failure_sink:
         print(f"  recovered faults:      {len(failure_sink)} "
               f"(campaign result unaffected; see telemetry failure log)")
-    if session is not None:
+    if args.telemetry is not None and session is not None:
         goals, goal_types = _scaled_goals(args.scale)
         _, budget_report = _campaign_telemetry(
             args, session, campaign, goals, goal_types,
             command="repro fleet", summary=summary,
-            failure_log=failure_sink)
+            failure_log=failure_sink,
+            event_log=(None if recorder is None
+                       else str(recorder.journal_path)))
         print()
         print(budget_report.render())
+    _write_exports(args, session, recorder)
     if args.json is not None:
         args.json.write_text(json.dumps(summary, indent=2))
         print(f"summary written to {args.json}")
@@ -663,6 +758,33 @@ def _cmd_review(args: argparse.Namespace) -> int:
     return 1 if blockers else 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import read_status, render_status
+    from repro.obs.status import STATUS_FILENAME
+
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / STATUS_FILENAME
+    terminal = {"finished", "failed", "interrupted"}
+    while True:
+        if not path.exists():
+            if args.once:
+                print(f"no status artifact at {path}", file=sys.stderr)
+                return 2
+            print(f"waiting for {path} ...", file=sys.stderr)
+            time.sleep(args.interval)
+            continue
+        doc = read_status(path)
+        print(render_status(doc))
+        state = doc.get("state")
+        if args.once or state in terminal:
+            return 1 if state == "failed" else 0
+        time.sleep(args.interval)
+        print()
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "goals": _cmd_goals,
@@ -670,6 +792,7 @@ _COMMANDS = {
     "review": _cmd_review,
     "dossier": _cmd_dossier,
     "fleet": _cmd_fleet,
+    "watch": _cmd_watch,
 }
 
 

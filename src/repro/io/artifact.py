@@ -411,6 +411,7 @@ def load_builtin_schemas() -> Tuple[ArtifactSchema, ...]:
     """Import every module that registers a built-in artifact schema and
     return the full registry (used by the fuzz tier and tooling)."""
     from ..core import serialize  # noqa: F401  (registers on import)
+    from ..obs import events  # noqa: F401
     from ..obs import manifest  # noqa: F401
     from ..traffic import checkpoint  # noqa: F401
     from ..traffic import records  # noqa: F401

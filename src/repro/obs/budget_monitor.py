@@ -37,11 +37,38 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Mapping, Tuple
 
 from ..stats.poisson import rate_confidence_interval
+from .events import journal_event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from ..core.safety_goals import SafetyGoalSet
 
-__all__ = ["BudgetUtilisation", "BudgetUtilisationReport", "BudgetMonitor"]
+__all__ = ["BudgetUtilisation", "BudgetUtilisationReport", "BudgetMonitor",
+           "classified_counts"]
+
+
+def classified_counts(result, types) -> Dict[str, int]:
+    """Classify a ``SimulationResult`` into per-type incident counts.
+
+    The single classification path shared by :meth:`BudgetMonitor.
+    observe_result` and the flight recorder's journal entries — using
+    one code path is what makes journal replay reproduce the monitor's
+    table *exactly*.  Records matching no type are outside every budget
+    and dropped (their completeness story belongs to the MECE
+    certificate, not to the monitor).
+    """
+    if getattr(result, "has_block", False):
+        # Columnar fast path: count via whole-column masks without
+        # materialising IncidentRecord objects.
+        from ..traffic.records import \
+            classify_block_counts  # lazy: avoid cycles
+        counts, _ = classify_block_counts(result.record_block, list(types))
+        return counts
+    from ..core.incident import classify_records  # lazy: avoid cycles
+
+    buckets = classify_records(result.records, list(types))
+    return {type_id: len(records)
+            for type_id, records in buckets.items()
+            if type_id != "<unclassified>"}
 
 
 @dataclass(frozen=True)
@@ -90,6 +117,23 @@ class BudgetUtilisation:
             return 0.0
         return self.utilisation_upper - self.utilisation_lower
 
+    @property
+    def verdict(self) -> str:
+        """``"demonstrated"`` / ``"violated"`` / ``"inconclusive"``.
+
+        The same settlement rule as :attr:`verdict_uncertainty`, named:
+        the whole CI below the budget line demonstrates compliance, the
+        whole CI above it demonstrates violation, anything straddling is
+        still open.  The flight recorder journals every transition of
+        this value (``budget.verdict`` events), so a journal replay can
+        reconstruct when each budget settled.
+        """
+        if self.utilisation_upper <= 1.0:
+            return "demonstrated"
+        if self.utilisation_lower > 1.0:
+            return "violated"
+        return "inconclusive"
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "kind": self.kind,
@@ -104,6 +148,7 @@ class BudgetUtilisation:
             "utilisation_lower": self.utilisation_lower,
             "utilisation_upper": self.utilisation_upper,
             "confidence": self.confidence,
+            "verdict": self.verdict,
         }
 
 
@@ -202,6 +247,9 @@ class BudgetMonitor:
         self._counts: Dict[str, int] = {
             type_id: 0 for type_id in goals.allocation.type_ids}
         self._exposure_parts: List[float] = []
+        # Last verdict seen per budget id, so utilisation() can journal
+        # only *transitions* (budget.verdict events), not every query.
+        self._verdicts: Dict[str, str] = {}
 
     @property
     def confidence(self) -> float:
@@ -251,22 +299,7 @@ class BudgetMonitor:
         completeness story belongs to the MECE certificate, not to the
         monitor).
         """
-        if getattr(result, "has_block", False):
-            # Columnar fast path: count via whole-column masks without
-            # materialising IncidentRecord objects.
-            from ..traffic.records import \
-                classify_block_counts  # lazy: avoid cycles
-            counts, _ = classify_block_counts(result.record_block,
-                                              list(types))
-            self.observe_counts(counts, result.hours)
-            return
-        from ..core.incident import classify_records  # lazy: avoid cycles
-
-        buckets = classify_records(result.records, list(types))
-        counts = {type_id: len(records)
-                  for type_id, records in buckets.items()
-                  if type_id != "<unclassified>"}
-        self.observe_counts(counts, result.hours)
+        self.observe_counts(classified_counts(result, types), result.hours)
 
     def utilisation(self) -> BudgetUtilisationReport:
         """The utilisation table for everything observed so far."""
@@ -309,5 +342,29 @@ class BudgetMonitor:
                 budget_rate=budget, observed=observed, exposure=exposure,
                 rate=load, rate_lower=lower, rate_upper=upper,
                 confidence=confidence))
-        return BudgetUtilisationReport(rows=tuple(rows), exposure=exposure,
-                                       confidence=confidence)
+        report = BudgetUtilisationReport(rows=tuple(rows), exposure=exposure,
+                                         confidence=confidence)
+        self._journal_transitions(report)
+        return report
+
+    def _journal_transitions(self, report: BudgetUtilisationReport) -> None:
+        """Emit a ``budget.verdict`` journal event per verdict change.
+
+        First sight of a budget counts as a transition from ``None`` —
+        the journal then carries the complete verdict history, and a
+        replay that recomputes the table sees the same transitions.
+        A no-op (one global read) without an active journal.
+        """
+        for row in report.rows:
+            previous = self._verdicts.get(row.budget_id)
+            verdict = row.verdict
+            if verdict == previous:
+                continue
+            self._verdicts[row.budget_id] = verdict
+            journal_event(
+                "budget.verdict", budget_id=row.budget_id, kind=row.kind,
+                verdict=verdict, previous=previous,
+                utilisation=row.utilisation,
+                utilisation_lower=row.utilisation_lower,
+                utilisation_upper=row.utilisation_upper,
+                exposure=report.exposure)

@@ -1,0 +1,509 @@
+"""The campaign flight recorder's structured event journal.
+
+A fleet campaign's *final* manifest proves what the run concluded; the
+QRN evidence argument (Sec. III / Eq. 1) also needs an auditable record
+of how it got there — chunks committed and restored, faults retried,
+pools rebuilt, checkpoints flushed, budget verdicts flipping as the CIs
+tightened.  This module is that record: a typed, append-only **event
+journal** written as digest-chained JSONL through the :mod:`repro.io`
+boundary.
+
+Format.  Each line of ``journal.jsonl`` is one complete
+``repro.event-log/v1`` artifact envelope (schema tag + payload sha256,
+exactly the DESIGN §10 discipline), serialised in canonical compact
+form.  Entries are chained: entry *N*'s ``prev`` field must equal entry
+*N−1*'s ``payload_sha256`` (``None`` for the genesis entry), and ``seq``
+must count 0,1,2,…  Any truncation, reorder, edit, or splice therefore
+fails :func:`read_journal` with a typed
+:class:`~repro.errors.CorruptArtifactError` — the journal is
+tamper-evident end to end, including across a kill-and-resume that
+reopens the same file.
+
+Emission.  Hot paths mirror the :mod:`~repro.obs.session` telemetry
+pattern exactly: :func:`journal_event` reads one module global and
+returns immediately when no journal is installed (benchmarked in
+``benchmarks/bench_observer_overhead.py``), so campaigns without a
+flight recorder pay one attribute load + ``None`` check per emission
+site — and emission sites sit at chunk/campaign granularity, never per
+encounter.  Nothing here reads or advances an RNG stream (DESIGN §8):
+the golden pins run bit-for-bit with the recorder on and off.
+
+Replay.  :func:`replay_journal` folds a verified journal back into the
+campaign's counters and per-chunk classified counts; feeding those
+through a fresh :class:`~repro.obs.budget_monitor.BudgetMonitor`
+reproduces the run manifest's budget-utilisation table *exactly* —
+integer counts sum exactly and exposure parts pool through ``math.fsum``
+(order-independent correctly-rounded sums), the same discipline as
+:meth:`SimulationResult.merge_many`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
+
+from ..errors import CorruptArtifactError
+from ..io.artifact import (ARTIFACTS, DIGEST_KEY, ArtifactSchema,
+                           parse_artifact_text, register_artifact)
+from ..io.validate import Int, Json, MapOf, NullOr, Record, Str
+
+__all__ = ["EVENT_LOG_SCHEMA", "EVENT_LOG_SCHEMA_NAME", "EVENT_KINDS",
+           "EventRecord", "EventJournal", "read_journal", "replay_journal",
+           "JournalReplay", "journal_event", "active_journal",
+           "recording_journal"]
+
+EVENT_LOG_SCHEMA_NAME = "repro.event-log"
+EVENT_LOG_SCHEMA = f"{EVENT_LOG_SCHEMA_NAME}/v1"
+
+EVENT_KINDS = (
+    # campaign lifecycle
+    "campaign.started", "campaign.resumed", "campaign.finished",
+    "campaign.failed",
+    # chunk lifecycle (committed = executed this run; restored = banked
+    # in a checkpoint by an earlier run and fed back on resume)
+    "chunk.committed", "chunk.restored",
+    # fault-tolerance path (DESIGN §9)
+    "chunk.failed", "chunk.retry", "chunk.quarantined",
+    "pool.rebuilt", "pool.degraded",
+    # persistence + verdict evolution
+    "checkpoint.committed", "budget.verdict",
+    # rare-event accelerator alarms (DESIGN §11)
+    "degeneracy.alarm",
+)
+"""The closed event taxonomy.  ``EventRecord`` rejects anything else —
+an unknown kind in a journal file is corruption, not forward compat."""
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat()
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One journal entry: position in the chain + typed event payload.
+
+    ``seq`` is the 0-based position, ``prev`` the previous entry's
+    payload digest (``None`` at genesis) — together they make the file
+    an append-only hash chain.  ``data`` carries the kind-specific
+    payload (chunk index, counts, failure details, …) as plain JSON.
+    """
+
+    seq: int
+    ts_utc: str
+    kind: str
+    data: Dict[str, object] = field(default_factory=dict)
+    prev: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError(f"event seq must be >= 0, got {self.seq}")
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; expected one of "
+                f"{EVENT_KINDS}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"seq": self.seq, "ts_utc": self.ts_utc, "kind": self.kind,
+                "data": dict(self.data), "prev": self.prev}
+
+
+# -- reading + chain verification -----------------------------------------
+
+def _chain_error(path: object, lineno: int, message: str,
+                 ) -> CorruptArtifactError:
+    return CorruptArtifactError(
+        f"event journal chain broken at line {lineno}: {message}",
+        source=path, schema=EVENT_LOG_SCHEMA)
+
+
+def _iter_journal_lines(path: Path) -> Iterator[Tuple[int, str]]:
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CorruptArtifactError(
+            f"cannot read event journal: {exc.strerror or exc}",
+            source=path, schema=EVENT_LOG_SCHEMA) from exc
+    except UnicodeDecodeError as exc:
+        raise CorruptArtifactError(
+            f"event journal is not valid UTF-8: {exc}",
+            source=path, schema=EVENT_LOG_SCHEMA) from exc
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.strip():
+            yield lineno, line
+
+
+def read_journal(path: Union[str, Path],
+                 ) -> Tuple[List[EventRecord], Optional[str]]:
+    """Read + verify one journal file end to end.
+
+    Returns ``(records, head_digest)`` where ``head_digest`` is the last
+    entry's payload sha256 (``None`` for an empty journal) — exactly
+    what an appender needs to continue the chain.  Every line is loaded
+    through the artifact boundary (digest + spec + typed errors), then
+    the chain itself is checked: contiguous ``seq`` from 0 and each
+    ``prev`` equal to the previous entry's digest.  All failures are
+    typed :class:`~repro.errors.ArtifactError` subclasses.
+    """
+    records: List[EventRecord] = []
+    head: Optional[str] = None
+    for lineno, line in _iter_journal_lines(Path(path)):
+        source = f"{path}:{lineno}"
+        envelope = parse_artifact_text(line, source=source)
+        record = ARTIFACTS.load_dict(envelope, EVENT_LOG_SCHEMA_NAME,
+                                     source=source)
+        assert isinstance(record, EventRecord)
+        digest = envelope.get(DIGEST_KEY) if isinstance(envelope, dict) \
+            else None
+        if not isinstance(digest, str):
+            raise _chain_error(path, lineno, "entry carries no payload "
+                              "digest (chain link missing)")
+        if record.seq != len(records):
+            raise _chain_error(
+                path, lineno, f"expected seq {len(records)}, found "
+                f"{record.seq} (entries dropped, duplicated or reordered)")
+        if record.prev != head:
+            raise _chain_error(
+                path, lineno, f"prev digest {record.prev!r} does not match "
+                f"the preceding entry's digest {head!r}")
+        records.append(record)
+        head = digest
+    return records, head
+
+
+# -- the append-only writer ------------------------------------------------
+
+class EventJournal:
+    """Append-only, digest-chained journal writer.
+
+    Open with :meth:`open` (``resume=True`` verifies an existing file
+    and continues its chain — the same same-path discipline as
+    ``--checkpoint``/``--resume``).  Every :meth:`emit` writes one fully
+    signed envelope line and flushes, so a kill at any instant leaves a
+    valid (merely shorter) chain.  The journal is coordinator-local:
+    entries emitted from a forked worker process are refused (the pid
+    guard), keeping the chain single-writer by construction.
+    """
+
+    def __init__(self, path: Path, handle, seq: int,
+                 head: Optional[str]) -> None:
+        self._path = Path(path)
+        self._handle = handle
+        self._seq = seq
+        self._head = head
+        self._pid = os.getpid()
+        self._observers: List[Callable[[EventRecord], None]] = []
+
+    @classmethod
+    def open(cls, path: Union[str, Path], *,
+             resume: bool = False) -> "EventJournal":
+        path = Path(path)
+        seq, head = 0, None
+        if path.exists():
+            if not resume:
+                raise FileExistsError(
+                    f"event journal {path} already exists; pass "
+                    f"resume=True (CLI: --resume) to continue its chain, "
+                    f"or remove it to start over")
+            records, head = read_journal(path)
+            seq = len(records)
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        handle = path.open("a", encoding="utf-8")
+        return cls(path, handle, seq, head)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def seq(self) -> int:
+        """The next entry's sequence number."""
+        return self._seq
+
+    @property
+    def head(self) -> Optional[str]:
+        """The last written entry's payload digest (``None`` if empty)."""
+        return self._head
+
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    def add_observer(self, observer: Callable[[EventRecord], None]) -> None:
+        """Call ``observer(record)`` after every successful append (the
+        flight recorder's live-status hook)."""
+        self._observers.append(observer)
+
+    def emit(self, kind: str,
+             data: Optional[Mapping[str, object]] = None) -> EventRecord:
+        """Append one event and advance the chain."""
+        if os.getpid() != self._pid:
+            raise RuntimeError(
+                f"event journal {self._path} crossed a process boundary "
+                f"(opened in pid {self._pid}, emit from {os.getpid()}); "
+                f"the chain is single-writer")
+        if self._handle is None:
+            raise ValueError(f"event journal {self._path} is closed")
+        record = EventRecord(seq=self._seq, ts_utc=_utc_now(), kind=kind,
+                             data=dict(data or {}), prev=self._head)
+        envelope = ARTIFACTS.dump_dict(EVENT_LOG_SCHEMA_NAME, record,
+                                       source=self._path)
+        self._handle.write(
+            json.dumps(envelope, sort_keys=True,
+                       separators=(",", ":")) + "\n")
+        self._handle.flush()
+        self._head = envelope[DIGEST_KEY]  # type: ignore[assignment]
+        self._seq += 1
+        for observer in self._observers:
+            observer(record)
+        return record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# -- the no-op disabled path ----------------------------------------------
+
+_ACTIVE_JOURNAL: Optional[EventJournal] = None
+
+
+def active_journal() -> Optional[EventJournal]:
+    """The installed journal, or ``None`` — the emission-site guard."""
+    return _ACTIVE_JOURNAL
+
+
+def journal_event(kind: str, /, **data: object) -> Optional[EventRecord]:
+    """Emit one event iff a journal is installed *in this process*.
+
+    The disabled path is one module-global read and a ``None`` check —
+    the exact :func:`~repro.obs.session.active_session` discipline.  In
+    a forked worker the inherited journal is silently skipped (pid
+    guard), and an emission failure (disk full, closed handle) degrades
+    to a ``RuntimeWarning``: observability must never abort a campaign.
+    """
+    journal = _ACTIVE_JOURNAL
+    if journal is None:
+        return None
+    if os.getpid() != journal.pid:
+        return None
+    try:
+        return journal.emit(kind, data)
+    except Exception as exc:  # noqa: BLE001 - recording is best-effort
+        warnings.warn(
+            f"event journal emit failed ({type(exc).__name__}: {exc}); "
+            f"continuing without this entry",
+            RuntimeWarning, stacklevel=2)
+        return None
+
+
+@contextmanager
+def recording_journal(journal: EventJournal) -> Iterator[EventJournal]:
+    """Install ``journal`` as the process-wide emission target.
+
+    Re-entrant like :func:`~repro.obs.session.telemetry_session`: the
+    previous journal (if any) is saved and restored, so nested scopes
+    compose.  Closing the journal is the caller's business — this only
+    manages the module global.
+    """
+    global _ACTIVE_JOURNAL
+    previous = _ACTIVE_JOURNAL
+    _ACTIVE_JOURNAL = journal
+    try:
+        yield journal
+    finally:
+        _ACTIVE_JOURNAL = previous
+
+
+# -- replay ----------------------------------------------------------------
+
+@dataclass
+class JournalReplay:
+    """What a verified journal reconstructs about its campaign.
+
+    ``chunks`` maps chunk index → the *latest* chunk event's data for
+    that index (``chunk.committed`` and ``chunk.restored`` carry the
+    same counter payload; on a resumed journal the restored re-emission
+    simply confirms the earlier commit).  All totals derive from it in
+    chunk-index order, so replay is independent of completion order —
+    the same invariance the merge contract gives the real campaign.
+    """
+
+    campaign: Dict[str, object] = field(default_factory=dict)
+    chunks: Dict[int, Dict[str, object]] = field(default_factory=dict)
+    failures: List[Dict[str, object]] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    quarantined: List[int] = field(default_factory=list)
+    pool_rebuilds: int = 0
+    pool_degraded: bool = False
+    checkpoint_commits: int = 0
+    verdicts: Dict[str, str] = field(default_factory=dict)
+    degeneracy_alarms: List[Dict[str, object]] = field(default_factory=list)
+    started: int = 0
+    resumed: int = 0
+    finished: Optional[Dict[str, object]] = None
+    failed: Optional[Dict[str, object]] = None
+
+    def _chunk_values(self, key: str) -> List[object]:
+        return [self.chunks[index][key] for index in sorted(self.chunks)]
+
+    @property
+    def hours(self) -> float:
+        """fsum-pooled exposure over all chunks, in index order."""
+        return math.fsum(float(v)  # type: ignore[arg-type]
+                         for v in self._chunk_values("hours"))
+
+    @property
+    def encounters_resolved(self) -> int:
+        return sum(int(v) for v in self._chunk_values("encounters"))  # type: ignore[call-overload]
+
+    @property
+    def incidents_found(self) -> int:
+        return sum(int(v) for v in self._chunk_values("records"))  # type: ignore[call-overload]
+
+    @property
+    def collisions(self) -> int:
+        return sum(int(v) for v in self._chunk_values("collisions"))  # type: ignore[call-overload]
+
+    @property
+    def hard_braking_demands(self) -> int:
+        return sum(int(v)  # type: ignore[call-overload]
+                   for v in self._chunk_values("hard_braking_demands"))
+
+    def type_counts(self) -> Dict[str, int]:
+        """Classified incident counts summed over chunks (exact)."""
+        counts: Dict[str, int] = {}
+        for index in sorted(self.chunks):
+            for type_id, count in dict(
+                    self.chunks[index].get("type_counts", {})).items():  # type: ignore[call-overload]
+                counts[type_id] = counts.get(type_id, 0) + int(count)  # type: ignore[arg-type]
+        return counts
+
+    def budget_report(self, goals, *, confidence: float = 0.95):
+        """Rebuild the budget-utilisation table from chunk events alone.
+
+        Feeds each chunk's classified counts + exposure, in index order,
+        into a fresh :class:`~repro.obs.budget_monitor.BudgetMonitor`.
+        Counts sum exactly and the monitor fsum-pools exposure parts, so
+        the result is *bit-for-bit* the table a monitor fed the merged
+        campaign in one observation produces — the replay ≡ manifest
+        invariant the flight-recorder tests pin.
+        """
+        from .budget_monitor import BudgetMonitor  # lazy: avoid cycles
+
+        monitor = BudgetMonitor(goals, confidence=confidence)
+        for index in sorted(self.chunks):
+            data = self.chunks[index]
+            monitor.observe_counts(
+                {str(k): int(v)  # type: ignore[arg-type]
+                 for k, v in dict(data.get("type_counts", {})).items()},  # type: ignore[call-overload]
+                float(data["hours"]))  # type: ignore[arg-type]
+        return monitor.utilisation()
+
+
+def replay_journal(events: Union[str, Path, Sequence[EventRecord]],
+                   ) -> JournalReplay:
+    """Fold a journal (path or pre-read records) into a :class:`JournalReplay`.
+
+    A path is first verified end to end by :func:`read_journal` — a
+    broken chain never replays.  Chunk events deduplicate by index with
+    the latest occurrence winning, which is what makes a kill-and-resume
+    journal (run 1's commits + run 2's restores + run 2's commits)
+    replay to exactly one record per chunk.
+    """
+    if isinstance(events, (str, Path)):
+        records, _ = read_journal(events)
+    else:
+        records = list(events)
+    replay = JournalReplay()
+    for record in records:
+        data = dict(record.data)
+        kind = record.kind
+        if kind == "campaign.started":
+            replay.started += 1
+            replay.campaign = data
+        elif kind == "campaign.resumed":
+            replay.resumed += 1
+        elif kind == "campaign.finished":
+            replay.finished = data
+        elif kind == "campaign.failed":
+            replay.failed = data
+        elif kind in ("chunk.committed", "chunk.restored"):
+            replay.chunks[int(data["chunk_index"])] = data  # type: ignore[arg-type]
+        elif kind == "chunk.failed":
+            replay.failures.append(data)
+            if data.get("kind") == "timeout":
+                replay.timeouts += 1
+        elif kind == "chunk.retry":
+            replay.retries += 1
+        elif kind == "chunk.quarantined":
+            replay.quarantined.append(int(data["chunk_index"]))  # type: ignore[arg-type]
+        elif kind == "pool.rebuilt":
+            replay.pool_rebuilds += 1
+        elif kind == "pool.degraded":
+            replay.pool_degraded = True
+        elif kind == "checkpoint.committed":
+            replay.checkpoint_commits += 1
+        elif kind == "budget.verdict":
+            replay.verdicts[str(data["budget_id"])] = str(data["verdict"])
+        elif kind == "degeneracy.alarm":
+            replay.degeneracy_alarms.append(data)
+    return replay
+
+
+# -- artifact schema registration ------------------------------------------
+
+def _load_event(data: Mapping[str, object]) -> EventRecord:
+    return EventRecord(
+        seq=int(data["seq"]),  # type: ignore[arg-type]
+        ts_utc=str(data["ts_utc"]),
+        kind=str(data["kind"]),
+        data=dict(data["data"]),  # type: ignore[call-overload]
+        prev=(None if data["prev"] is None else str(data["prev"])),
+    )
+
+
+def _example_event() -> EventRecord:
+    """A small deterministic entry for the fuzz tier."""
+    return EventRecord(
+        seq=3, ts_utc="2026-01-01T00:00:00+00:00", kind="chunk.committed",
+        data={"chunk_index": 3, "hours": 125.0, "encounters": 1351,
+              "records": 21, "collisions": 1, "hard_braking_demands": 1,
+              "type_counts": {"I3": 1, "I7": 2}},
+        prev="sha256:" + "ab" * 32)
+
+
+_EVENT_SPEC = Record(required={
+    "seq": Int(),
+    "ts_utc": Str(),
+    "kind": Str(),
+    "data": MapOf(Json()),
+    "prev": NullOr(Str()),
+})
+
+register_artifact(ArtifactSchema(
+    name=EVENT_LOG_SCHEMA_NAME,
+    version=1,
+    spec=_EVENT_SPEC,
+    load=_load_event,
+    dump=EventRecord.to_dict,
+    label="event-log entry",
+    example=_example_event,
+))

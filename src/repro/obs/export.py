@@ -1,0 +1,198 @@
+"""Export telemetry to external viewer/scraper formats.
+
+The flight recorder's outward-facing leg: anything the :mod:`repro.obs`
+layer captured can leave the process in two industry formats without
+adding a single dependency —
+
+* **Chrome trace-event JSON** (``chrome://tracing``, Perfetto, speedscope):
+  the aggregated :class:`~repro.obs.tracing.SpanNode` tree becomes
+  nested ``"X"`` (complete) events on a synthetic timeline, and journal
+  :class:`~repro.obs.events.EventRecord` entries become ``"i"``
+  (instant) events on their own track with real wall-clock offsets.
+  The span tree is *aggregated* (one node per name per parent, DESIGN
+  §8), so the synthetic timeline shows each node once with its total
+  duration — proportions and nesting are faithful, start offsets are
+  reconstructed, not measured.
+* **Prometheus text exposition** (version 0.0.4): every counter, gauge
+  and histogram in a :class:`~repro.obs.metrics.MetricsSnapshot`,
+  histograms with the conventional cumulative ``_bucket{le=...}`` /
+  ``_sum`` / ``_count`` series, instrument names sanitised to the
+  Prometheus grammar.
+
+Both writers go through :func:`~repro.io.atomic.atomic_write_text`, so
+a half-written export can never be observed.  Exporting reads frozen
+snapshots only — it cannot perturb a campaign, and touches no RNG.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from datetime import datetime
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..io.atomic import atomic_write_text
+from .events import EventRecord
+from .metrics import (CounterSnapshot, GaugeSnapshot, HistogramSnapshot,
+                      MetricsSnapshot)
+from .tracing import SpanNode
+
+__all__ = ["chrome_trace_events", "chrome_trace_json", "write_chrome_trace",
+           "prometheus_text", "write_prometheus"]
+
+_SPAN_PID = 1
+_JOURNAL_PID = 2
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _span_args(node: SpanNode) -> Dict[str, object]:
+    args: Dict[str, object] = {"count": node.count,
+                               "total_s": node.total_s}
+    if node.count:
+        args["min_s"] = node.min_s
+        args["max_s"] = node.max_s
+    return args
+
+
+def _emit_span(node: SpanNode, start_us: float,
+               out: List[Dict[str, object]]) -> None:
+    out.append({
+        "name": node.name or "<root>",
+        "ph": "X", "cat": "span",
+        "ts": round(start_us, 3),
+        "dur": round(max(node.total_s, 0.0) * 1e6, 3),
+        "pid": _SPAN_PID, "tid": 1,
+        "args": _span_args(node),
+    })
+    cursor = start_us
+    for name in sorted(node.children):
+        child = node.children[name]
+        _emit_span(child, cursor, out)
+        cursor += max(child.total_s, 0.0) * 1e6
+
+
+def _event_ts_s(record: EventRecord) -> Optional[float]:
+    try:
+        return datetime.fromisoformat(record.ts_utc).timestamp()
+    except ValueError:
+        return None
+
+
+def chrome_trace_events(spans: Optional[SpanNode] = None,
+                        events: Sequence[EventRecord] = (),
+                        ) -> List[Dict[str, object]]:
+    """The ``traceEvents`` list for one run.
+
+    Spans land on pid 1 ("spans", synthetic timeline from the aggregated
+    tree); journal events land on pid 2 ("journal") as instant events at
+    their real wall-clock offsets from the first entry.  Either input
+    may be omitted.
+    """
+    trace: List[Dict[str, object]] = [
+        {"name": "process_name", "ph": "M", "pid": _SPAN_PID, "tid": 1,
+         "args": {"name": "spans (aggregated, synthetic timeline)"}},
+        {"name": "process_name", "ph": "M", "pid": _JOURNAL_PID, "tid": 1,
+         "args": {"name": "journal events"}},
+    ]
+    if spans is not None:
+        cursor = 0.0
+        # The root is the tracer's anonymous anchor; its children are
+        # the real top-level spans, laid out sequentially from t=0.
+        for name in sorted(spans.children):
+            child = spans.children[name]
+            _emit_span(child, cursor, trace)
+            cursor += max(child.total_s, 0.0) * 1e6
+    stamps = [(record, _event_ts_s(record)) for record in events]
+    origin = min((ts for _, ts in stamps if ts is not None), default=None)
+    for record, ts in stamps:
+        offset_us = 0.0 if ts is None or origin is None \
+            else (ts - origin) * 1e6
+        trace.append({
+            "name": record.kind,
+            "ph": "i", "s": "p", "cat": "journal",
+            "ts": round(offset_us, 3),
+            "pid": _JOURNAL_PID, "tid": 1,
+            "args": {"seq": record.seq, "ts_utc": record.ts_utc,
+                     "data": dict(record.data)},
+        })
+    return trace
+
+
+def chrome_trace_json(spans: Optional[SpanNode] = None,
+                      events: Sequence[EventRecord] = ()) -> str:
+    document = {"traceEvents": chrome_trace_events(spans, events),
+                "displayTimeUnit": "ms"}
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def write_chrome_trace(path: Union[str, Path],
+                       spans: Optional[SpanNode] = None,
+                       events: Sequence[EventRecord] = ()) -> Path:
+    """Atomically write a Chrome trace-event file; returns the path."""
+    path = Path(path)
+    atomic_write_text(path, chrome_trace_json(spans, events))
+    return path
+
+
+# -- Prometheus text exposition --------------------------------------------
+
+def _metric_name(name: str, prefix: str) -> str:
+    flat = _METRIC_NAME_RE.sub("_", f"{prefix}_{name}" if prefix else name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, bool) or isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(int(bound) if float(bound).is_integer() else bound)
+
+
+def prometheus_text(metrics: MetricsSnapshot, *,
+                    prefix: str = "repro") -> str:
+    """Render one metrics snapshot as Prometheus exposition text.
+
+    Dotted instrument names flatten to underscores under ``prefix``
+    (``sim.encounters`` → ``repro_sim_encounters``); histograms emit
+    the conventional cumulative ``_bucket{le="…"}``/``_sum``/``_count``
+    triple with a closing ``le="+Inf"`` bucket.
+    """
+    lines: List[str] = []
+    for name in sorted(metrics.instruments):
+        snap = metrics.instruments[name]
+        flat = _metric_name(name, prefix)
+        if isinstance(snap, CounterSnapshot):
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat} {_format_value(snap.value)}")
+        elif isinstance(snap, GaugeSnapshot):
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_format_value(snap.value)}")
+        elif isinstance(snap, HistogramSnapshot):
+            lines.append(f"# TYPE {flat} histogram")
+            cumulative = 0
+            for bound, bucket in zip(snap.bounds, snap.bucket_counts):
+                cumulative += bucket
+                lines.append(
+                    f'{flat}_bucket{{le="{_format_bound(bound)}"}} '
+                    f"{cumulative}")
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {snap.count}')
+            lines.append(f"{flat}_sum {_format_value(snap.sum)}")
+            lines.append(f"{flat}_count {snap.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(path: Union[str, Path], metrics: MetricsSnapshot, *,
+                     prefix: str = "repro") -> Path:
+    """Atomically write one Prometheus exposition file; returns the path."""
+    path = Path(path)
+    atomic_write_text(path, prometheus_text(metrics, prefix=prefix))
+    return path

@@ -106,6 +106,14 @@ class RunManifest:
     ``None`` for fault-free runs and manifests written before the
     fault-tolerance layer existed (additive, still schema v1)."""
 
+    event_log: Optional[str] = None
+    """Pointer to the campaign's flight-recorder journal (the
+    ``repro.event-log/v1`` JSONL file), when one was recorded.  ``None``
+    for recorder-less runs and manifests written before the flight
+    recorder existed (additive, still schema v1): replaying the pointed
+    journal must reconstruct this manifest's counters and budget table
+    exactly."""
+
     def to_dict(self) -> Dict[str, object]:
         data: Dict[str, object] = {
             "schema": self.schema,
@@ -127,6 +135,7 @@ class RunManifest:
             "budget_utilisation": self.budget_utilisation,
             "summary": dict(self.summary),
             "failure_log": self.failure_log,
+            "event_log": self.event_log,
         }
         return data
 
@@ -170,6 +179,7 @@ def build_manifest(snapshot: TelemetrySnapshot, *, command: str,
                    budget_report=None,
                    summary: Optional[Mapping[str, object]] = None,
                    failure_log: Optional[Sequence[Mapping[str, object]]] = None,
+                   event_log: Optional[str] = None,
                    ) -> RunManifest:
     """Assemble a :class:`RunManifest` from a frozen telemetry snapshot.
 
@@ -205,6 +215,7 @@ def build_manifest(snapshot: TelemetrySnapshot, *, command: str,
         summary={} if summary is None else dict(summary),
         failure_log=(None if failure_log is None
                      else [dict(row) for row in failure_log]),
+        event_log=None if event_log is None else str(event_log),
     )
 
 
@@ -247,6 +258,8 @@ def _load_manifest(data: Mapping[str, object]) -> RunManifest:
         failure_log=(
             None if data.get("failure_log") is None
             else [dict(row) for row in data["failure_log"]]),  # type: ignore[union-attr]
+        event_log=(None if data.get("event_log") is None
+                   else str(data["event_log"])),
     )
 
 
@@ -277,6 +290,7 @@ def _example_manifest() -> RunManifest:
         summary={"incidents": 7},
         failure_log=[{"chunk_index": 2, "attempt": 1, "kind": "exception",
                       "message": "boom"}],
+        event_log="out/flight/journal.jsonl",
     )
 
 
@@ -304,6 +318,7 @@ _MANIFEST_SPEC = Record(
         "budget_utilisation": NullOr(ListOf(Json())),
         "summary": Json(),
         "failure_log": NullOr(ListOf(Json())),
+        "event_log": NullOr(Str()),
     })
 
 register_artifact(ArtifactSchema(

@@ -1,0 +1,107 @@
+"""Per-chunk resource profiling folded into the mergeable metrics.
+
+The flight recorder's fourth leg: every chunk execution (worker process
+*or* inline) records wall time, CPU time, peak RSS and worker
+utilisation into its own fresh telemetry session, and the ordinary
+chunk-snapshot merge carries them to the coordinator — no side channel,
+no new transport.  Gauges merge by maximum (high-water marks survive
+any merge order) and histograms by bucket addition, the same
+associative discipline as every other instrument (DESIGN §8).
+
+Instruments:
+
+* ``profile.chunk_wall_s`` / ``profile.chunk_cpu_s`` — histograms over
+  :data:`TIME_BUCKETS`; their ``sum``/``count`` give campaign-aggregate
+  wall/CPU totals and the per-chunk distribution.
+* ``profile.chunk_wall_s_max`` / ``profile.chunk_cpu_s_max`` — gauges:
+  the slowest chunk's cost, the number a capacity planner wants first.
+* ``profile.rss_peak_mb`` — gauge: the worker's peak resident set
+  (``getrusage``; absent on platforms without :mod:`resource`).
+* ``profile.worker_utilisation`` — gauge: CPU seconds / wall seconds
+  for the chunk, ≈1.0 for a compute-bound worker, ≪1 when the chunk
+  spent its life blocked.
+
+Timings and memory are observability, never part of a determinism
+contract, and nothing here touches an RNG stream: the golden pins hold
+bit-for-bit with profiling on (it rides the telemetry flag) and off.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .session import active_session
+
+__all__ = ["TIME_BUCKETS", "profile_chunk", "rss_peak_mb"]
+
+TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 60.0, 120.0, 300.0, 600.0)
+"""Histogram bounds for per-chunk timings: 1 ms … 10 min, roughly
+1–2.5–5 per decade.  Chunks land mid-range on today's hardware; the
+tails catch pathological chunks without unbounded buckets."""
+
+
+def rss_peak_mb() -> Optional[float]:
+    """This process's peak resident set size in MiB, or ``None``.
+
+    Uses ``getrusage(RUSAGE_SELF).ru_maxrss`` — kibibytes on Linux,
+    bytes on macOS, unavailable (no :mod:`resource` module) on Windows;
+    callers must treat ``None`` as "platform cannot say", never 0.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def _high_water(registry: MetricsRegistry, name: str, value: float) -> None:
+    gauge = registry.gauge(name)
+    gauge.set(max(gauge.value, value))
+
+
+@contextmanager
+def profile_chunk(registry: Optional[MetricsRegistry] = None,
+                  ) -> Iterator[None]:
+    """Record one chunk execution's resource profile.
+
+    With no explicit ``registry`` the active session's is used, and when
+    telemetry is disabled the body runs entirely unobserved — the same
+    one-global-read guard as every other instrumentation site.  The
+    profile is recorded even when the body raises (a chunk that died
+    after 40 s of work is exactly the chunk worth profiling); the
+    exception propagates untouched.
+    """
+    if registry is None:
+        session = active_session()
+        if session is None:
+            yield
+            return
+        registry = session.metrics
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    try:
+        yield
+    finally:
+        wall_s = max(time.perf_counter() - wall_start, 0.0)
+        cpu_s = max(time.process_time() - cpu_start, 0.0)
+        registry.histogram("profile.chunk_wall_s",
+                           TIME_BUCKETS).observe(wall_s)
+        registry.histogram("profile.chunk_cpu_s",
+                           TIME_BUCKETS).observe(cpu_s)
+        _high_water(registry, "profile.chunk_wall_s_max", wall_s)
+        _high_water(registry, "profile.chunk_cpu_s_max", cpu_s)
+        if wall_s > 0.0:
+            _high_water(registry, "profile.worker_utilisation",
+                        cpu_s / wall_s)
+        peak_mb = rss_peak_mb()
+        if peak_mb is not None:
+            _high_water(registry, "profile.rss_peak_mb", peak_mb)

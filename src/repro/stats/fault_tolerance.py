@@ -39,7 +39,30 @@ __all__ = [
     "RetryPolicy",
     "CampaignPartialFailure",
     "RETRY_STREAM_TAG",
+    "journal_chunk_failure",
 ]
+
+
+def journal_chunk_failure(failure: "ChunkFailure", *, quarantined: bool,
+                          backoff_s: Optional[float] = None) -> None:
+    """Journal one recorded fault into the campaign flight recorder.
+
+    Emits ``chunk.failed`` for the fault itself, then either
+    ``chunk.quarantined`` (attempts exhausted) or ``chunk.retry`` (with
+    the scheduled backoff).  A no-op without an active journal — the
+    same one-global-read guard as the telemetry counters next to it —
+    and, like them, pure observation: journaling a fault can never
+    change what gets retried.
+    """
+    from ..obs.events import journal_event  # lazy: keep the policy
+    # module import-light (obs pulls in the artifact boundary)
+    journal_event("chunk.failed", **failure.to_dict())
+    if quarantined:
+        journal_event("chunk.quarantined", chunk_index=failure.chunk_index,
+                      attempts=failure.attempt, kind=failure.kind)
+    elif backoff_s is not None:
+        journal_event("chunk.retry", chunk_index=failure.chunk_index,
+                      attempt=failure.attempt, backoff_s=float(backoff_s))
 
 FAILURE_KINDS = ("exception", "timeout", "pool_broken", "invalid")
 """The fault taxonomy (DESIGN §9):

@@ -165,6 +165,8 @@ class WeightDiagnostics:
         if self.count == 0:
             return self
         if self.ess_fraction < min_ess_fraction:
+            self._journal_alarm("ess_collapse",
+                                threshold=min_ess_fraction)
             raise WeightDegeneracyError(
                 f"importance weights are degenerate: ESS "
                 f"{self.ess:.1f} of {self.count} samples "
@@ -172,11 +174,24 @@ class WeightDiagnostics:
                 f"the proposal tilt is too aggressive for this workload",
                 self)
         if self.max_weight_fraction > max_weight_share:
+            self._journal_alarm("weight_concentration",
+                                threshold=max_weight_share)
             raise WeightDegeneracyError(
                 f"one sample carries {self.max_weight_fraction:.1%} of the "
                 f"total importance weight (> {max_weight_share:.0%}) — "
                 f"error bars on this estimate are unreliable", self)
         return self
+
+    def _journal_alarm(self, reason: str, *, threshold: float) -> None:
+        """Flight-recorder leg of a degeneracy gate trip.
+
+        The alarm lands in the journal *before* the typed raise, so an
+        aborted accelerated campaign still carries the diagnostics that
+        killed it (a no-op without an active journal).
+        """
+        from ..obs.events import journal_event  # lazy: keep stats light
+        journal_event("degeneracy.alarm", reason=reason,
+                      threshold=float(threshold), **self.to_dict())
 
     def to_dict(self) -> dict:
         return {

@@ -53,9 +53,10 @@ from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
 
 import numpy as np
 
+from ..obs.events import journal_event
 from ..obs.session import active_session, maybe_span
 from .fault_tolerance import (CampaignPartialFailure, ChunkFailure,
-                              RetryPolicy)
+                              RetryPolicy, journal_chunk_failure)
 
 __all__ = ["Chunk", "ChunkProgress", "plan_chunks", "run_chunked",
            "default_worker_count"]
@@ -302,10 +303,13 @@ class _ResilientRun:
             self.quarantined.append(chunk.index)
             if metrics is not None:
                 metrics.counter("parallel.quarantined").inc()
+            journal_chunk_failure(failure, quarantined=True)
             return None
         if metrics is not None:
             metrics.counter("parallel.retries").inc()
-        return self.retry.backoff_s(count, self.backoff_rng)
+        backoff = self.retry.backoff_s(count, self.backoff_rng)
+        journal_chunk_failure(failure, quarantined=False, backoff_s=backoff)
+        return backoff
 
     def _schedule_retry(self, chunk: Chunk, delay: float) -> None:
         self.delayed.append((time.monotonic() + delay, chunk))
@@ -412,6 +416,8 @@ class _ResilientRun:
         metrics = self._metrics()
         if metrics is not None:
             metrics.counter("parallel.degraded_inline").inc()
+        journal_event("pool.degraded", rebuilds=self.pool_rebuilds,
+                      max_pool_rebuilds=self.retry.max_pool_rebuilds)
         warnings.warn(
             f"process pool broke {self.pool_rebuilds} time(s), exceeding "
             f"max_pool_rebuilds={self.retry.max_pool_rebuilds}; degrading "
@@ -429,6 +435,8 @@ class _ResilientRun:
         if self.pool_rebuilds > self.retry.max_pool_rebuilds:
             self._degrade()
             return None
+        journal_event("pool.rebuilt", rebuilds=self.pool_rebuilds,
+                      max_workers=max_workers)
         return ProcessPoolExecutor(max_workers=max_workers)
 
     def _execute_pool(self) -> None:

@@ -48,6 +48,7 @@ from ..errors import ArtifactValidationError
 from ..io.artifact import ARTIFACTS, ArtifactSchema, register_artifact
 from ..io.validate import (Bool, Int, Json, ListOf, MapOf, NullOr, Number,
                            Record, Str)
+from ..obs.events import journal_event
 from ..obs.session import TelemetrySnapshot
 from .simulator import SimulationResult
 
@@ -214,6 +215,8 @@ class CampaignCheckpoint:
         """Persist one committed chunk (atomic rewrite)."""
         self.chunks[index] = _ChunkEntry(result=result, telemetry=telemetry)
         self.save()
+        journal_event("checkpoint.committed", chunk_index=int(index),
+                      path=str(self.path), chunks_banked=len(self.chunks))
 
     def completed_results(self) -> Dict[int, SimulationResult]:
         return {index: entry.result

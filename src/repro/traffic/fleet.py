@@ -45,6 +45,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
+from ..obs.events import journal_event
+from ..obs.profiling import profile_chunk
 from ..obs.session import (TelemetrySnapshot, active_session, maybe_span,
                            telemetry_session)
 from ..stats.fault_tolerance import (CampaignPartialFailure, ChunkFailure,
@@ -114,6 +116,15 @@ class FleetProgress:
     campaign (restored + this process), so completion fractions stay
     honest while rate/ETA displays can subtract the baseline (see
     ``repro fleet --progress``).
+
+    ``transport``/``bytes_shipped`` surface the chunk-transport story
+    live: which transport the campaign resolved to and the cumulative
+    payload bytes that actually crossed the pool boundary so far
+    (coordinator-side measurement, independent of the telemetry flag).
+    ``result`` carries the just-committed chunk's own
+    :class:`SimulationResult` so observers (the flight recorder) can
+    classify it per chunk — all three are observability, never part of
+    the deterministic result.
     """
 
     chunk_index: int
@@ -126,6 +137,9 @@ class FleetProgress:
     hard_braking_demands: int
     chunks_resumed: int = 0
     hours_resumed: float = 0.0
+    transport: Optional[str] = None
+    bytes_shipped: int = 0
+    result: Optional[SimulationResult] = None
 
 
 @dataclass(frozen=True)
@@ -196,10 +210,12 @@ def _simulate_chunk(task: _ChunkTask, chunk: Chunk,
             time_offset_h=chunk.start, engine=task.engine)
         return _pack_output(result, None, task.transport)
     with telemetry_session() as session:
-        result = simulate_mix(task.policy, task.generator, task.perception,
-                              task.braking, task.mix, chunk.size, rng,
-                              task.config, time_offset_h=chunk.start,
-                              engine=task.engine)
+        with profile_chunk():
+            result = simulate_mix(task.policy, task.generator,
+                                  task.perception, task.braking, task.mix,
+                                  chunk.size, rng, task.config,
+                                  time_offset_h=chunk.start,
+                                  engine=task.engine)
     return _pack_output(result, session.snapshot(), task.transport)
 
 
@@ -232,16 +248,20 @@ def _pack_output(result: SimulationResult,
                         telemetry=telemetry, transport="pickle")
 
 
-def _receive_chunk_output(output: object) -> object:
+def _receive_chunk_output(output: object,
+                          stats: Optional[Dict[str, int]] = None) -> object:
     """Coordinator side of the chunk transport (the ``unpack`` hook).
 
     Rehydrates a shipped :class:`_ChunkOutput` — for ``"shm"`` that
     means attaching, copying out and unlinking the segment — and records
     the transfer telemetry (``parallel.bytes_shipped``,
-    ``parallel.transport.*``).  Anything that is not a shipped output
-    (inline results, restored checkpoints, chaos-harness garbage) passes
-    through untouched; the returned output has ``transport=None``, so a
-    second unpack is a no-op.
+    ``parallel.transport.*``).  ``stats`` (coordinator-local, optional)
+    accumulates the same measurements session-independently so progress
+    displays can surface them without requiring ``--telemetry``.
+    Anything that is not a shipped output (inline results, restored
+    checkpoints, chaos-harness garbage) passes through untouched; the
+    returned output has ``transport=None``, so a second unpack is a
+    no-op.
     """
     if not isinstance(output, _ChunkOutput) or output.transport is None:
         return output
@@ -251,6 +271,9 @@ def _receive_chunk_output(output: object) -> object:
         nbytes = output.shipped.nbytes
     else:
         nbytes = result.record_block.nbytes
+    if stats is not None:
+        stats["bytes"] = stats.get("bytes", 0) + int(nbytes)
+        stats[output.transport] = stats.get(output.transport, 0) + 1
     session = active_session()
     if session is not None:
         session.metrics.counter("parallel.bytes_shipped").inc(nbytes)
@@ -534,6 +557,10 @@ def run_fleet(policy: TacticalPolicy,
                 record_sink.append(output.result.record_block,
                                    key=chunk.index)
 
+    # Coordinator-local transfer measurements (bytes + chunks per
+    # transport kind) — fed by the unpack hook, surfaced via progress.
+    transfer: Dict[str, int] = {}
+
     adapter: Optional[Callable[[ChunkProgress], None]] = None
     if progress is not None:
         totals = {
@@ -560,12 +587,23 @@ def run_fleet(policy: TacticalPolicy,
                 hard_braking_demands=totals["demands"],
                 chunks_resumed=update.chunks_resumed,
                 hours_resumed=update.units_resumed,
+                transport=transport,
+                bytes_shipped=transfer.get("bytes", 0),
+                result=result,
             ))
 
     worker = functools.partial(_simulate_chunk, task)
     if wrap_worker is not None:
         worker = wrap_worker(worker)
 
+    journal_event("campaign.started", seed=int(seed), hours=float(hours),
+                  chunk_hours=float(chunk_hours), engine=engine,
+                  policy=policy.name,
+                  mix={str(k): float(v) for k, v in sorted(mix.items())},
+                  n_chunks=len(chunks),
+                  workers=None if workers is None else int(workers),
+                  transport=transport,
+                  chunks_restored=len(restored_results))
     with maybe_span("run_fleet"):
         try:
             outputs = run_chunked(
@@ -574,8 +612,14 @@ def run_fleet(policy: TacticalPolicy,
                 validator=validate_chunk_output if validate else None,
                 completed=completed, on_commit=on_commit,
                 failure_sink=failure_sink,
-                unpack=_receive_chunk_output)
+                unpack=functools.partial(_receive_chunk_output,
+                                         stats=transfer))
         except CampaignPartialFailure as exc:
+            journal_event("campaign.failed",
+                          quarantined=[int(i) for i in exc.quarantined],
+                          chunks_total=exc.chunks_total,
+                          chunks_completed=len(exc.completed),
+                          failure_count=len(exc.failures))
             # Re-raise with domain results (not private _ChunkOutput
             # wrappers) so callers can merge/report what survived.
             raise CampaignPartialFailure(
@@ -585,6 +629,13 @@ def run_fleet(policy: TacticalPolicy,
                 quarantined=exc.quarantined,
                 chunks_total=exc.chunks_total) from None
         merged = SimulationResult.merge_many([o.result for o in outputs])
+        journal_event("campaign.finished", hours=float(merged.hours),
+                      encounters=int(merged.encounters_resolved),
+                      records=int(merged.num_records),
+                      collisions=int(merged.collision_count()),
+                      hard_braking_demands=int(merged.hard_braking_demands),
+                      chunks=len(chunks),
+                      bytes_shipped=transfer.get("bytes", 0))
         if session is not None:
             gauge = session.metrics.gauge("fleet.chunks_total")
             gauge.set(max(gauge.value, float(len(chunks))))

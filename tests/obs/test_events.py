@@ -1,0 +1,292 @@
+"""Unit tests for the digest-chained event journal (DESIGN §13).
+
+The journal's contract is tamper evidence: any truncation (except a
+clean suffix cut), edit, reorder or splice must fail ``read_journal``
+with a *typed* artifact error, and a kill-and-reopen must continue the
+same chain.  The emission guard mirrors the telemetry session: no
+journal installed → one global read, no work, no error.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ArtifactError, CorruptArtifactError
+from repro.obs import (EVENT_KINDS, EventJournal, EventRecord,
+                       active_journal, journal_event, read_journal,
+                       recording_journal, replay_journal)
+
+
+def _write_events(path, n=5):
+    with EventJournal.open(path) as journal:
+        journal.emit("campaign.started", {"seed": 7, "hours": 100.0})
+        for index in range(n - 1):
+            journal.emit("chunk.committed",
+                         {"chunk_index": index, "hours": 25.0,
+                          "encounters": 100 + index, "records": index,
+                          "collisions": 0, "hard_braking_demands": 0,
+                          "type_counts": {"I1": index}})
+    return path
+
+
+class TestChainRoundTrip:
+    def test_round_trip_preserves_records(self, tmp_path):
+        path = _write_events(tmp_path / "journal.jsonl")
+        records, head = read_journal(path)
+        assert [r.seq for r in records] == [0, 1, 2, 3, 4]
+        assert records[0].kind == "campaign.started"
+        assert records[0].prev is None
+        assert records[1].data["chunk_index"] == 0
+        assert isinstance(head, str) and head.startswith("sha256:")
+
+    def test_empty_journal_reads_empty(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("")
+        records, head = read_journal(path)
+        assert records == [] and head is None
+
+    def test_each_line_is_one_complete_envelope(self, tmp_path):
+        path = _write_events(tmp_path / "journal.jsonl", n=3)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            envelope = json.loads(line)
+            assert envelope["schema"] == "repro.event-log/v1"
+            assert envelope["payload_sha256"].startswith("sha256:")
+
+    def test_prev_links_the_chain(self, tmp_path):
+        path = _write_events(tmp_path / "journal.jsonl", n=4)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["prev"] is None
+        for before, after in zip(lines, lines[1:]):
+            assert after["prev"] == before["payload_sha256"]
+
+
+class TestTamperEvidence:
+    def _corrupt(self, path, mutate):
+        lines = path.read_text().splitlines()
+        mutate(lines)
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_edited_payload_fails_typed(self, tmp_path):
+        path = _write_events(tmp_path / "journal.jsonl")
+        self._corrupt(path, lambda lines: lines.__setitem__(
+            2, lines[2].replace('"encounters":101', '"encounters":9999')))
+        with pytest.raises(ArtifactError):
+            read_journal(path)
+
+    def test_deleted_middle_line_fails(self, tmp_path):
+        path = _write_events(tmp_path / "journal.jsonl")
+        self._corrupt(path, lambda lines: lines.pop(2))
+        with pytest.raises(CorruptArtifactError, match="chain broken"):
+            read_journal(path)
+
+    def test_reordered_lines_fail(self, tmp_path):
+        path = _write_events(tmp_path / "journal.jsonl")
+
+        def swap(lines):
+            lines[1], lines[2] = lines[2], lines[1]
+
+        self._corrupt(path, swap)
+        with pytest.raises(CorruptArtifactError, match="chain broken"):
+            read_journal(path)
+
+    def test_duplicated_line_fails(self, tmp_path):
+        path = _write_events(tmp_path / "journal.jsonl")
+        self._corrupt(path, lambda lines: lines.insert(2, lines[2]))
+        with pytest.raises(CorruptArtifactError, match="chain broken"):
+            read_journal(path)
+
+    def test_spliced_foreign_entry_fails(self, tmp_path):
+        a = _write_events(tmp_path / "a.jsonl")
+        b = _write_events(tmp_path / "b" / "journal.jsonl", n=7)
+        foreign = b.read_text().splitlines()[5]
+        self._corrupt(a, lambda lines: lines.append(foreign))
+        with pytest.raises(CorruptArtifactError, match="chain broken"):
+            read_journal(a)
+
+    def test_truncated_tail_byte_fails(self, tmp_path):
+        path = _write_events(tmp_path / "journal.jsonl")
+        path.write_text(path.read_text()[:-10])
+        with pytest.raises(ArtifactError):
+            read_journal(path)
+
+    def test_clean_suffix_cut_still_verifies(self, tmp_path):
+        """A kill between appends leaves whole lines; the shorter chain
+        is valid — that is the crash-consistency contract."""
+        path = _write_events(tmp_path / "journal.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")
+        records, _ = read_journal(path)
+        assert [r.seq for r in records] == [0, 1, 2]
+
+    def test_unknown_kind_is_corruption(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            EventRecord(seq=0, ts_utc="t", kind="coffee.break")
+
+    def test_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(CorruptArtifactError):
+            read_journal(tmp_path / "nope.jsonl")
+
+
+class TestResume:
+    def test_resume_continues_the_chain(self, tmp_path):
+        path = _write_events(tmp_path / "journal.jsonl", n=3)
+        with EventJournal.open(path, resume=True) as journal:
+            assert journal.seq == 3
+            journal.emit("campaign.finished", {"hours": 100.0})
+        records, _ = read_journal(path)
+        assert [r.seq for r in records] == [0, 1, 2, 3]
+        assert records[-1].kind == "campaign.finished"
+        assert records[-1].prev is not None
+
+    def test_existing_file_without_resume_raises(self, tmp_path):
+        path = _write_events(tmp_path / "journal.jsonl")
+        with pytest.raises(FileExistsError, match="--resume"):
+            EventJournal.open(path)
+
+    def test_resume_refuses_a_broken_chain(self, tmp_path):
+        path = _write_events(tmp_path / "journal.jsonl")
+        lines = path.read_text().splitlines()
+        del lines[1]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CorruptArtifactError):
+            EventJournal.open(path, resume=True)
+
+    def test_emit_after_close_is_refused(self, tmp_path):
+        journal = EventJournal.open(tmp_path / "journal.jsonl")
+        journal.close()
+        with pytest.raises(ValueError, match="closed"):
+            journal.emit("campaign.started", {})
+
+
+class TestEmissionGuard:
+    def test_disabled_by_default(self):
+        assert active_journal() is None
+        assert journal_event("campaign.started", seed=1) is None
+
+    def test_recording_scope_installs_and_restores(self, tmp_path):
+        with EventJournal.open(tmp_path / "journal.jsonl") as journal:
+            with recording_journal(journal):
+                assert active_journal() is journal
+                record = journal_event("campaign.started", seed=1)
+                assert record is not None and record.seq == 0
+            assert active_journal() is None
+
+    def test_scopes_nest_and_restore(self, tmp_path):
+        with EventJournal.open(tmp_path / "a.jsonl") as outer, \
+                EventJournal.open(tmp_path / "b.jsonl") as inner:
+            with recording_journal(outer):
+                with recording_journal(inner):
+                    assert active_journal() is inner
+                assert active_journal() is outer
+
+    def test_payload_may_carry_a_kind_key(self, tmp_path):
+        """`kind` is positional-only, so failure payloads that classify
+        themselves (kind="timeout") pass through untouched."""
+        with EventJournal.open(tmp_path / "journal.jsonl") as journal:
+            with recording_journal(journal):
+                record = journal_event("chunk.failed", chunk_index=2,
+                                       kind="timeout", attempt=1)
+        assert record.kind == "chunk.failed"
+        assert record.data["kind"] == "timeout"
+
+    def test_emit_failure_degrades_to_warning(self, tmp_path):
+        journal = EventJournal.open(tmp_path / "journal.jsonl")
+        journal.close()
+        with recording_journal(journal):
+            with pytest.warns(RuntimeWarning, match="emit failed"):
+                assert journal_event("campaign.started") is None
+
+    def test_foreign_pid_is_silently_skipped(self, tmp_path):
+        with EventJournal.open(tmp_path / "journal.jsonl") as journal:
+            journal._pid = journal.pid + 1  # simulate a forked worker
+            with recording_journal(journal):
+                assert journal_event("campaign.started") is None
+        records, _ = read_journal(tmp_path / "journal.jsonl")
+        assert records == []
+
+    def test_observer_sees_every_append(self, tmp_path):
+        seen = []
+        with EventJournal.open(tmp_path / "journal.jsonl") as journal:
+            journal.add_observer(seen.append)
+            journal.emit("campaign.started", {})
+            journal.emit("campaign.finished", {})
+        assert [r.kind for r in seen] == ["campaign.started",
+                                          "campaign.finished"]
+
+
+class TestReplay:
+    def test_replay_totals(self, tmp_path):
+        path = _write_events(tmp_path / "journal.jsonl", n=5)
+        replay = replay_journal(path)
+        assert replay.started == 1
+        assert sorted(replay.chunks) == [0, 1, 2, 3]
+        assert replay.hours == pytest.approx(100.0)
+        assert replay.encounters_resolved == 100 + 101 + 102 + 103
+        assert replay.incidents_found == 0 + 1 + 2 + 3
+        assert replay.type_counts() == {"I1": 6}
+
+    def test_replay_dedups_chunks_latest_wins(self, tmp_path):
+        with EventJournal.open(tmp_path / "journal.jsonl") as journal:
+            payload = {"chunk_index": 0, "hours": 25.0, "encounters": 100,
+                       "records": 2, "collisions": 0,
+                       "hard_braking_demands": 0, "type_counts": {"I1": 2}}
+            journal.emit("chunk.committed", payload)
+            journal.emit("chunk.restored", payload)  # resume re-emission
+        replay = replay_journal(tmp_path / "journal.jsonl")
+        assert sorted(replay.chunks) == [0]
+        assert replay.hours == pytest.approx(25.0)
+        assert replay.incidents_found == 2
+
+    def test_replay_fault_counters(self, tmp_path):
+        with EventJournal.open(tmp_path / "journal.jsonl") as journal:
+            journal.emit("chunk.failed", {"chunk_index": 1, "attempt": 1,
+                                          "kind": "timeout"})
+            journal.emit("chunk.retry", {"chunk_index": 1, "attempt": 1,
+                                         "backoff_s": 0.1})
+            journal.emit("chunk.failed", {"chunk_index": 1, "attempt": 2,
+                                          "kind": "crash"})
+            journal.emit("chunk.quarantined", {"chunk_index": 1,
+                                               "attempts": 2,
+                                               "kind": "crash"})
+            journal.emit("pool.rebuilt", {"rebuilds": 1, "max_workers": 2})
+            journal.emit("checkpoint.committed", {"chunk_index": 0,
+                                                  "path": "c.json",
+                                                  "chunks_banked": 1})
+        replay = replay_journal(tmp_path / "journal.jsonl")
+        assert len(replay.failures) == 2
+        assert replay.timeouts == 1
+        assert replay.retries == 1
+        assert replay.quarantined == [1]
+        assert replay.pool_rebuilds == 1
+        assert replay.checkpoint_commits == 1
+
+    def test_replay_verdict_latest_wins(self, tmp_path):
+        with EventJournal.open(tmp_path / "journal.jsonl") as journal:
+            journal.emit("budget.verdict",
+                         {"budget_id": "I1", "verdict": "inconclusive"})
+            journal.emit("budget.verdict",
+                         {"budget_id": "I1", "verdict": "demonstrated"})
+        replay = replay_journal(tmp_path / "journal.jsonl")
+        assert replay.verdicts == {"I1": "demonstrated"}
+
+    def test_replay_refuses_broken_chain(self, tmp_path):
+        path = _write_events(tmp_path / "journal.jsonl")
+        lines = path.read_text().splitlines()
+        del lines[2]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CorruptArtifactError):
+            replay_journal(path)
+
+
+class TestTaxonomy:
+    def test_all_kinds_are_emittable(self, tmp_path):
+        with EventJournal.open(tmp_path / "journal.jsonl") as journal:
+            for kind in EVENT_KINDS:
+                journal.emit(kind, {"chunk_index": 0, "budget_id": "I1",
+                                    "verdict": "demonstrated"})
+        records, _ = read_journal(tmp_path / "journal.jsonl")
+        assert [r.kind for r in records] == list(EVENT_KINDS)

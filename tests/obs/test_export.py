@@ -1,0 +1,125 @@
+"""Unit tests for the Chrome-trace and Prometheus export leg."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (EventRecord, MetricsRegistry, SpanNode,
+                       chrome_trace_events, chrome_trace_json,
+                       prometheus_text, write_chrome_trace,
+                       write_prometheus)
+
+
+def _span_tree() -> SpanNode:
+    root = SpanNode("")
+    fleet = root.child("run_fleet")
+    fleet.add(4.0)
+    chunk = fleet.child("chunk")
+    chunk.add(1.5)
+    chunk.add(2.5)
+    return root
+
+
+def _events():
+    return [
+        EventRecord(seq=0, ts_utc="2026-01-01T00:00:00+00:00",
+                    kind="campaign.started", data={"seed": 7}),
+        EventRecord(seq=1, ts_utc="2026-01-01T00:00:02+00:00",
+                    kind="chunk.committed", data={"chunk_index": 0},
+                    prev="sha256:" + "00" * 32),
+    ]
+
+
+class TestChromeTrace:
+    def test_span_tree_becomes_nested_complete_events(self):
+        trace = chrome_trace_events(_span_tree())
+        spans = [e for e in trace if e.get("ph") == "X"]
+        by_name = {e["name"]: e for e in spans}
+        assert set(by_name) == {"run_fleet", "chunk"}
+        assert by_name["run_fleet"]["dur"] == pytest.approx(4.0e6)
+        assert by_name["chunk"]["dur"] == pytest.approx(4.0e6)
+        assert by_name["chunk"]["args"]["count"] == 2
+        # The child starts at its parent's synthetic start.
+        assert by_name["chunk"]["ts"] == by_name["run_fleet"]["ts"]
+
+    def test_siblings_lay_out_sequentially(self):
+        root = SpanNode("")
+        a = root.child("a")
+        a.add(1.0)
+        b = root.child("b")
+        b.add(2.0)
+        trace = chrome_trace_events(root)
+        spans = {e["name"]: e for e in trace if e.get("ph") == "X"}
+        assert spans["a"]["ts"] == 0.0
+        assert spans["b"]["ts"] == pytest.approx(1.0e6)
+
+    def test_journal_events_become_instants_with_offsets(self):
+        trace = chrome_trace_events(None, _events())
+        instants = [e for e in trace if e.get("ph") == "i"]
+        assert [e["name"] for e in instants] == ["campaign.started",
+                                                 "chunk.committed"]
+        assert instants[0]["ts"] == 0.0
+        assert instants[1]["ts"] == pytest.approx(2.0e6)  # +2 s wall clock
+        assert instants[1]["args"]["data"] == {"chunk_index": 0}
+        # Spans and journal events live on separate tracks.
+        assert {e["pid"] for e in instants} == {2}
+
+    def test_process_metadata_present(self):
+        trace = chrome_trace_events()
+        assert [e["ph"] for e in trace] == ["M", "M"]
+
+    def test_json_document_shape(self):
+        doc = json.loads(chrome_trace_json(_span_tree(), _events()))
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_writer_is_loadable(self, tmp_path):
+        out = write_chrome_trace(tmp_path / "trace.json", _span_tree(),
+                                 _events())
+        doc = json.loads(out.read_text())
+        assert any(e.get("cat") == "journal" for e in doc["traceEvents"])
+
+
+class TestPrometheus:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("fleet.chunks").inc(4)
+        registry.gauge("profile.rss_peak_mb").set(123.5)
+        hist = registry.histogram("profile.chunk_wall_s", (0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.7, 5.0):
+            hist.observe(value)
+        return registry
+
+    def test_counter_and_gauge_lines(self):
+        text = prometheus_text(self._registry().snapshot())
+        assert "# TYPE repro_fleet_chunks counter\n" \
+               "repro_fleet_chunks 4" in text
+        assert "# TYPE repro_profile_rss_peak_mb gauge\n" \
+               "repro_profile_rss_peak_mb 123.5" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = prometheus_text(self._registry().snapshot())
+        assert 'repro_profile_chunk_wall_s_bucket{le="0.1"} 1' in text
+        assert 'repro_profile_chunk_wall_s_bucket{le="1"} 3' in text
+        assert 'repro_profile_chunk_wall_s_bucket{le="10"} 4' in text
+        assert 'repro_profile_chunk_wall_s_bucket{le="+Inf"} 4' in text
+        assert "repro_profile_chunk_wall_s_count 4" in text
+        assert "repro_profile_chunk_wall_s_sum 6.25" in text
+
+    def test_names_sanitised_to_prometheus_grammar(self):
+        registry = MetricsRegistry()
+        registry.counter("parallel.bytes-shipped/total").inc()
+        text = prometheus_text(registry.snapshot())
+        assert "repro_parallel_bytes_shipped_total 1" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert prometheus_text(MetricsRegistry().snapshot()) == ""
+
+    def test_writer_round_trip(self, tmp_path):
+        out = write_prometheus(tmp_path / "metrics.prom",
+                               self._registry().snapshot())
+        text = out.read_text()
+        assert text.endswith("\n")
+        assert text == prometheus_text(self._registry().snapshot())

@@ -1,0 +1,78 @@
+"""Unit tests for per-chunk resource profiling."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.obs import (TIME_BUCKETS, MetricsRegistry, TelemetrySnapshot,
+                       profile_chunk, rss_peak_mb, telemetry_session)
+
+
+class TestProfileChunk:
+    def test_records_into_explicit_registry(self):
+        registry = MetricsRegistry()
+        with profile_chunk(registry):
+            sum(range(1000))
+        snap = registry.snapshot()
+        wall = snap.instruments["profile.chunk_wall_s"]
+        assert wall.count == 1
+        assert wall.bounds == TIME_BUCKETS
+        assert snap.instruments["profile.chunk_cpu_s"].count == 1
+        assert snap.instruments["profile.chunk_wall_s_max"].value >= 0.0
+        utilisation = snap.instruments["profile.worker_utilisation"].value
+        assert 0.0 <= utilisation
+
+    def test_uses_active_session_registry(self):
+        with telemetry_session() as session:
+            with profile_chunk():
+                pass
+        snap = session.snapshot().metrics
+        assert snap.instruments["profile.chunk_wall_s"].count == 1
+
+    def test_noop_without_session(self):
+        # Nothing to record into and nothing raised — the disabled path.
+        with profile_chunk():
+            pass
+
+    def test_records_even_when_body_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with profile_chunk(registry):
+                raise RuntimeError("chunk died")
+        assert registry.snapshot().instruments[
+            "profile.chunk_wall_s"].count == 1
+
+    def test_gauges_merge_by_maximum(self):
+        def one_profiled_chunk() -> TelemetrySnapshot:
+            with telemetry_session() as session:
+                with profile_chunk():
+                    pass
+            return session.snapshot()
+
+        merged = TelemetrySnapshot.merge_many(
+            [one_profiled_chunk(), one_profiled_chunk()])
+        # Histograms add; the high-water gauges survive as a maximum.
+        assert merged.metrics.instruments["profile.chunk_wall_s"].count == 2
+        wall_max = merged.metrics.instruments["profile.chunk_wall_s_max"]
+        assert wall_max.value >= 0.0
+
+    def test_rss_gauge_present_on_posix(self):
+        registry = MetricsRegistry()
+        with profile_chunk(registry):
+            pass
+        instruments = registry.snapshot().instruments
+        if rss_peak_mb() is None:  # pragma: no cover - Windows
+            assert "profile.rss_peak_mb" not in instruments
+        else:
+            assert instruments["profile.rss_peak_mb"].value > 0.0
+
+
+class TestRssPeak:
+    @pytest.mark.skipif(sys.platform == "win32",
+                        reason="no resource module on Windows")
+    def test_positive_and_plausible(self):
+        peak = rss_peak_mb()
+        assert peak is not None
+        assert 1.0 < peak < 1024.0 * 64  # between 1 MiB and 64 GiB

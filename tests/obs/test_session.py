@@ -50,6 +50,41 @@ class TestActivation:
                 pass
         assert session.snapshot().spans.child("work").count == 1
 
+    def test_three_level_nesting_restores_each_scope(self):
+        """A recorder-wrapped CLI run nests coordinator, fleet and
+        inline-chunk sessions three deep; every exit must restore its
+        exact predecessor, not merely *a* session."""
+        with telemetry_session() as a:
+            with telemetry_session() as b:
+                with telemetry_session() as c:
+                    assert active_session() is c
+                    c.metrics.counter("n").inc(100)
+                assert active_session() is b
+                b.metrics.counter("n").inc(10)
+            assert active_session() is a
+            a.metrics.counter("n").inc(1)
+        assert active_session() is None
+        assert (a.metrics.counter("n").value,
+                b.metrics.counter("n").value,
+                c.metrics.counter("n").value) == (1, 10, 100)
+
+    def test_nested_scope_restores_outer_after_inner_exception(self):
+        with telemetry_session() as outer:
+            with pytest.raises(RuntimeError):
+                with telemetry_session():
+                    raise RuntimeError("inner chunk died")
+            assert active_session() is outer
+        assert active_session() is None
+
+    def test_every_scope_gets_a_fresh_session(self):
+        with telemetry_session() as session:
+            session.metrics.counter("n").inc()
+            with telemetry_session() as inner:
+                assert inner is not session
+                assert inner.metrics.counter("n").value == 0
+            assert active_session() is session
+        assert active_session() is None
+
 
 class TestSnapshot:
     def _session_snapshot(self, count: int) -> TelemetrySnapshot:
@@ -74,6 +109,45 @@ class TestSnapshot:
     def test_merge_many_rejects_empty(self):
         with pytest.raises(ValueError):
             TelemetrySnapshot.merge_many([])
+
+    def test_merge_many_sums_histograms(self):
+        def one(value: float) -> TelemetrySnapshot:
+            with telemetry_session() as session:
+                session.metrics.histogram(
+                    "h", bounds=(1.0, 10.0)).observe(value)
+            return session.snapshot()
+
+        merged = TelemetrySnapshot.merge_many([one(0.5), one(5.0), one(50.0)])
+        histogram = merged.metrics.instruments["h"]
+        assert histogram.count == 3
+        assert histogram.bucket_counts == (1, 1, 1)  # incl. overflow bucket
+
+    def test_merge_many_rejects_conflicting_histogram_bounds(self):
+        """Two chunk sessions that registered the same histogram with
+        different bucket bounds must fail the merge loudly — silently
+        picking one set would mis-bucket the other's observations."""
+        def one(bounds) -> TelemetrySnapshot:
+            with telemetry_session() as session:
+                session.metrics.histogram("h", bounds=bounds).observe(1.5)
+            return session.snapshot()
+
+        with pytest.raises(ValueError,
+                           match="conflicting bucket bounds"):
+            TelemetrySnapshot.merge_many([one((1.0, 2.0)), one((1.0, 3.0))])
+
+    def test_merge_many_rejects_conflicting_instrument_kinds(self):
+        def counter_snap() -> TelemetrySnapshot:
+            with telemetry_session() as session:
+                session.metrics.counter("x").inc()
+            return session.snapshot()
+
+        def gauge_snap() -> TelemetrySnapshot:
+            with telemetry_session() as session:
+                session.metrics.gauge("x").set(1.0)
+            return session.snapshot()
+
+        with pytest.raises(ValueError, match="conflicting kinds"):
+            TelemetrySnapshot.merge_many([counter_snap(), gauge_snap()])
 
     def test_dict_round_trip(self):
         snap = self._session_snapshot(5)

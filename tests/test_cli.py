@@ -605,3 +605,130 @@ class TestFleetAccelerated:
                      "--accel-replications", "1", "--accel-hours", "1"])
         assert code == 2
         assert ">= 2 replications" in capsys.readouterr().err
+
+
+class TestFlightRecorderCLI:
+    def _fleet(self, tmp_path, *extra):
+        return main(["fleet", "--hours", "120", "--seed", "3",
+                     "--chunk-hours", "40", "--flight-recorder",
+                     str(tmp_path / "flight"), *extra])
+
+    def test_recorder_writes_journal_and_status(self, tmp_path, capsys):
+        from repro.obs import read_journal, read_status, replay_journal
+
+        assert self._fleet(tmp_path) == 0
+        capsys.readouterr()
+        flight = tmp_path / "flight"
+        records, head = read_journal(flight / "journal.jsonl")
+        assert head is not None
+        kinds = [r.kind for r in records]
+        assert kinds[0] == "campaign.started"
+        assert "campaign.finished" in kinds
+        replay = replay_journal(records)
+        assert sorted(replay.chunks) == [0, 1, 2]
+        doc = read_status(flight / "status.json")
+        assert doc["state"] == "finished"
+        assert doc["chunks_done"] == 3
+
+    def test_existing_journal_without_resume_exits_2(self, tmp_path,
+                                                     capsys):
+        assert self._fleet(tmp_path) == 0
+        assert self._fleet(tmp_path) == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_manifest_points_at_event_log(self, tmp_path, capsys):
+        from repro.obs import RunManifest
+
+        manifest_path = tmp_path / "manifest.json"
+        assert self._fleet(tmp_path, "--telemetry",
+                           str(manifest_path)) == 0
+        capsys.readouterr()
+        manifest = RunManifest.read(manifest_path)
+        assert manifest.event_log == str(tmp_path / "flight" /
+                                         "journal.jsonl")
+
+    def test_progress_line_surfaces_transport_and_bytes(self, capsys):
+        assert main(["fleet", "--hours", "60", "--seed", "1",
+                     "--chunk-hours", "20", "--workers", "2",
+                     "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "shipped" in err
+        assert ("shm," in err) or ("pickle," in err)
+
+    def test_trace_and_metrics_export(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.prom"
+        assert self._fleet(tmp_path, "--trace-out", str(trace),
+                           "--metrics-out", str(metrics)) == 0
+        out = capsys.readouterr().out
+        assert "trace exported" in out and "metrics exported" in out
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "campaign.started" in names  # journal instants present
+        assert "run_fleet" in names         # span timeline present
+        assert "# TYPE repro_fleet_chunks_total gauge" \
+            in metrics.read_text()
+
+    def test_exports_without_recorder_still_work(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["fleet", "--hours", "60", "--seed", "1",
+                     "--chunk-hours", "20", "--trace-out",
+                     str(trace)]) == 0
+        capsys.readouterr()
+        doc = json.loads(trace.read_text())
+        assert any(e.get("cat") == "span" for e in doc["traceEvents"])
+
+    def test_dossier_supports_recorder(self, tmp_path, capsys):
+        from repro.obs import read_status
+
+        assert main(["dossier", "--hours", "60", "--seed", "2",
+                     "--chunk-hours", "20", "--flight-recorder",
+                     str(tmp_path / "flight")]) == 0
+        capsys.readouterr()
+        doc = read_status(tmp_path / "flight" / "status.json")
+        assert doc["state"] == "finished"
+        assert isinstance(doc["budget"], list) and doc["budget"]
+
+
+class TestWatch:
+    def _record(self, tmp_path):
+        flight = tmp_path / "flight"
+        assert main(["fleet", "--hours", "120", "--seed", "3",
+                     "--chunk-hours", "40", "--flight-recorder",
+                     str(flight)]) == 0
+        return flight
+
+    def test_watch_once_renders_status(self, tmp_path, capsys):
+        flight = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["watch", str(flight), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign finished" in out
+        assert "chunks 3/3" in out
+        assert "Budget utilisation (live)" in out
+        assert "journal:" in out
+
+    def test_watch_accepts_status_file_path(self, tmp_path, capsys):
+        flight = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["watch", str(flight / "status.json"),
+                     "--once"]) == 0
+        assert "campaign finished" in capsys.readouterr().out
+
+    def test_watch_terminal_state_exits_without_once(self, tmp_path,
+                                                     capsys):
+        # A finished campaign terminates the loop on the first render.
+        flight = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["watch", str(flight)]) == 0
+
+    def test_watch_missing_status_once_exits_2(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "nothing"), "--once"]) == 2
+        assert "no status artifact" in capsys.readouterr().err
+
+    def test_watch_corrupt_status_is_typed_error(self, tmp_path, capsys):
+        flight = self._record(tmp_path)
+        (flight / "status.json").write_text('{"schema": "other/v9"}')
+        capsys.readouterr()
+        assert main(["watch", str(flight), "--once"]) == 4
+        assert "error:" in capsys.readouterr().err

@@ -177,6 +177,34 @@ class TestProgressUnderRetries:
         assert all(u.hours_resumed == 0.0 for u in updates)
 
 
+class TestTransportVisibility:
+    """Progress surfaces the chunk-output transport and cumulative
+    shipped bytes — session-independently (no --telemetry needed)."""
+
+    def test_inline_run_reports_inline_transport(self, world):
+        updates = []
+        _run(world, progress=updates.append)
+        assert all(u.transport == "inline" for u in updates)
+        assert all(u.bytes_shipped == 0 for u in updates)
+
+    def test_pooled_run_reports_transport_and_bytes(self, world):
+        updates = []
+        _run(world, progress=updates.append, workers=2)
+        assert all(u.transport in ("shm", "pickle") for u in updates)
+        shipped = [u.bytes_shipped for u in updates]
+        assert shipped == sorted(shipped)  # cumulative, monotone
+        assert shipped[-1] > 0
+
+    def test_each_update_carries_its_chunk_result(self, world):
+        updates = []
+        merged = _run(world, progress=updates.append)
+        assert all(u.result is not None for u in updates)
+        total = math.fsum(u.result.hours for u in updates)
+        assert total == pytest.approx(merged.hours)
+        assert sum(u.result.encounters_resolved for u in updates) == \
+            merged.encounters_resolved
+
+
 class TestProgressIsPureObservation:
     def test_callback_presence_does_not_change_result(self, world):
         silent = _run(world)
