@@ -34,6 +34,15 @@ still cannot finish exits with code 3 and prints its failure log; a
 ``Ctrl-C`` exits with the conventional 130 after the checkpoint (if any)
 has been flushed.
 
+The campaign service (DESIGN §14): ``repro serve --spool DIR`` runs the
+crash-safe local job daemon; ``repro submit`` posts a campaign spec to
+it (idempotent — the job id is the spec digest, a completed spec is a
+cache hit); ``repro jobs`` lists/inspects job records; ``repro cancel``
+cancels one.  All client commands discover the daemon through the
+spool's ``endpoint.json``, and every refusal is a typed one-line
+``error:`` diagnostic (exit 4), including 429 backpressure with its
+retry-after hint.
+
 Artifact I/O (DESIGN §10): every JSON artifact the CLI reads — stored
 goal sets, campaign checkpoints, inline ``--counts`` payloads — goes
 through the :mod:`repro.io` boundary.  A corrupt, truncated, or
@@ -160,6 +169,68 @@ def build_parser() -> argparse.ArgumentParser:
                        help="IS proposal: braking-fault occupancy "
                             "multiplier")
     _add_parallel_flags(fleet)
+
+    serve = sub.add_parser(
+        "serve", help="run the crash-safe campaign service daemon")
+    serve.add_argument("--spool", type=Path, required=True,
+                       help="the durable spool directory (job records, "
+                            "results, checkpoints, service journal)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0: pick a free port; the "
+                            "bound address is published to the spool's "
+                            "endpoint.json)")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="bounded admission queue size; beyond it "
+                            "submissions get a typed 429 with Retry-After "
+                            "(default 16)")
+    serve.add_argument("--max-runners", type=int, default=2,
+                       help="concurrent campaign runner processes "
+                            "(default 2)")
+    serve.add_argument("--lease-ttl", type=float, default=30.0,
+                       help="seconds without heartbeat progress before a "
+                            "runner is declared hung and its job requeued "
+                            "(default 30)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="runner attempts per job before it is marked "
+                            "failed (default 3)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign spec to a running service")
+    submit.add_argument("--spool", type=Path, required=True,
+                        help="the daemon's spool (its endpoint.json names "
+                             "the live address)")
+    submit.add_argument("--policy",
+                        choices=["cautious", "nominal", "aggressive"],
+                        default="nominal")
+    submit.add_argument("--hours", type=float, default=2000.0)
+    submit.add_argument("--seed", type=int, default=2020)
+    submit.add_argument("--chunk-hours", type=float, default=None)
+    submit.add_argument("--workers", type=int, default=None)
+    submit.add_argument("--engine", choices=["vectorized", "scalar"],
+                        default="vectorized")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", choices=["high", "normal", "low"],
+                        default="normal")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job reaches a terminal state "
+                             "(exit 0 done, 1 failed/cancelled)")
+    submit.add_argument("--poll-interval", type=float, default=0.2,
+                        help="seconds between --wait polls (default 0.2)")
+
+    jobs = sub.add_parser(
+        "jobs", help="list a service's job records (or inspect one)")
+    jobs.add_argument("--spool", type=Path, required=True)
+    jobs.add_argument("job_id", nargs="?", default=None,
+                      help="inspect this job (record + checkpoint "
+                           "progress) instead of listing")
+    jobs.add_argument("--json", action="store_true",
+                      help="print raw JSON instead of the table")
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel one service job")
+    cancel.add_argument("--spool", type=Path, required=True)
+    cancel.add_argument("job_id")
 
     watch = sub.add_parser(
         "watch", help="render a campaign's live flight-recorder status")
@@ -340,11 +411,19 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if not report.any_violated else 1
 
 
-_DEFAULT_MIX = {"urban": 0.5, "suburban": 0.2, "rural": 0.2, "highway": 0.1}
+def _default_mix() -> Dict[str, float]:
+    """The canonical context mix (one definition, in :mod:`repro.traffic`)."""
+    from repro.traffic import DEFAULT_MIX
+    return dict(DEFAULT_MIX)
 
 
 def _retry_policy(args: argparse.Namespace):
-    """The :class:`~repro.stats.RetryPolicy` the CLI flags describe."""
+    """The :class:`~repro.stats.RetryPolicy` the CLI flags describe.
+
+    Out-of-range values (``--chunk-timeout 0``, a negative
+    ``--max-attempts``) are caught at this boundary and surface as a
+    one-line typed diagnostic (exit 4), never a constructor traceback.
+    """
     from repro.stats import RetryPolicy
 
     overrides = {}
@@ -352,7 +431,10 @@ def _retry_policy(args: argparse.Namespace):
         overrides["max_attempts"] = args.max_attempts
     if getattr(args, "chunk_timeout", None) is not None:
         overrides["timeout_s"] = args.chunk_timeout
-    return RetryPolicy(**overrides)
+    try:
+        return RetryPolicy(**overrides)
+    except ValueError as exc:
+        raise ReproError(f"invalid retry policy: {exc}") from exc
 
 
 def _run_campaign(policy, hours: float, seed: int,
@@ -368,7 +450,7 @@ def _run_campaign(policy, hours: float, seed: int,
 
     world = EncounterGenerator(default_context_profiles())
     return run_fleet(
-        policy, world, default_perception(), BrakingSystem(), _DEFAULT_MIX,
+        policy, world, default_perception(), BrakingSystem(), _default_mix(),
         hours, seed, workers=workers,
         chunk_hours=DEFAULT_CHUNK_HOURS if chunk_hours is None
         else chunk_hours,
@@ -463,7 +545,7 @@ def _campaign_telemetry(args: argparse.Namespace, session, campaign,
                    else args.chunk_hours)
     manifest = build_manifest(
         snapshot, command=command, seed=args.seed, engine=args.engine,
-        policy=campaign.policy_name, hours=args.hours, mix=_DEFAULT_MIX,
+        policy=campaign.policy_name, hours=args.hours, mix=_default_mix(),
         workers=args.workers, chunk_hours=chunk_hours,
         n_chunks=len(plan_chunks(args.hours, chunk_hours)),
         budget_report=budget_report, summary=summary,
@@ -558,7 +640,7 @@ def _cmd_accelerated(args: argparse.Namespace, policy) -> int:
     try:
         rate = accelerated_collision_rate(
             policy, world, default_perception(), BrakingSystem(),
-            _DEFAULT_MIX, accelerator=args.accelerator, seed=args.seed,
+            _default_mix(), accelerator=args.accelerator, seed=args.seed,
             tilt=tilt, replications_per_stratum=args.accel_replications,
             hours_per_replication=args.accel_hours)
     except WeightDegeneracyError as exc:
@@ -593,11 +675,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.core import figure5_incident_types
     from repro.obs import ThroughputMeter
     from repro.stats import CampaignPartialFailure
-    from repro.traffic import (CheckpointMismatchError, aggressive_policy,
-                               cautious_policy, nominal_policy, type_counts)
+    from repro.traffic import (CheckpointMismatchError, policy_by_name,
+                               type_counts)
 
-    policy = {"cautious": cautious_policy, "nominal": nominal_policy,
-              "aggressive": aggressive_policy}[args.policy]()
+    policy = policy_by_name(args.policy)
 
     if args.accelerator != "none":
         return _cmd_accelerated(args, policy)
@@ -660,7 +741,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         return 2
     except CampaignPartialFailure as exc:
         print(f"fleet campaign failed partially: {exc}", file=sys.stderr)
-        for failure in exc.failures:
+        # Deterministic diagnostics: the append order of the failure log
+        # depends on thread timing, so sort by (chunk, attempt) before
+        # printing — identical campaigns print identical reports.
+        for failure in sorted(exc.failures,
+                              key=lambda f: (f.chunk_index, f.attempt)):
             print(f"  chunk {failure.chunk_index} attempt "
                   f"{failure.attempt} [{failure.kind}]: {failure.message}",
                   file=sys.stderr)
@@ -758,6 +843,102 @@ def _cmd_review(args: argparse.Namespace) -> int:
     return 1 if blockers else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    try:
+        return serve(args.spool, host=args.host, port=args.port,
+                     queue_limit=args.queue_limit,
+                     max_runners=args.max_runners,
+                     lease_ttl_s=args.lease_ttl,
+                     max_attempts=args.max_attempts)
+    except ValueError as exc:
+        # Bad knobs (e.g. --queue-limit 0) fail the CLI contract way:
+        # one `error:` line, exit 4, no traceback.
+        raise ReproError(f"invalid service configuration: {exc}") from exc
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service import TERMINAL_STATES, ServiceClient
+
+    spec: Dict[str, object] = {"policy": args.policy,
+                               "hours": args.hours, "seed": args.seed,
+                               "engine": args.engine}
+    if args.chunk_hours is not None:
+        spec["chunk_hours"] = args.chunk_hours
+    if args.workers is not None:
+        spec["workers"] = args.workers
+    client = ServiceClient.from_spool(args.spool)
+    reply = client.submit(spec, tenant=args.tenant,
+                          priority=args.priority)
+    job = reply["job"]
+    verb = ("cached" if reply["cached"]
+            else "accepted" if reply["created"] else "already submitted")
+    print(f"job {job['job_id']} {verb} "
+          f"(state {job['state']}, tenant {job['tenant']}, "
+          f"priority {job['priority']})")
+    if not args.wait:
+        return 0
+    while job["state"] not in TERMINAL_STATES:
+        time.sleep(args.poll_interval)
+        job = client.job(str(job["job_id"]))["job"]
+    print(f"job {job['job_id']} finished: {job['state']}"
+          + (f" ({job['error']})" if job.get("error") else ""))
+    return 0 if job["state"] == "done" else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient.from_spool(args.spool)
+    if args.job_id is not None:
+        status = client.job(args.job_id)
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        job = status["job"]
+        print(f"job {job['job_id']}: {job['state']} "
+              f"(tenant {job['tenant']}, priority {job['priority']}, "
+              f"attempts {job['attempts']})")
+        checkpoint = status.get("checkpoint")
+        if checkpoint:
+            print(f"  checkpoint: {checkpoint['chunks_banked']} chunks "
+                  f"banked, {checkpoint['hours_banked']:g} h "
+                  f"(indices {checkpoint['chunk_indices']})")
+        if job.get("chunks_resumed") is not None:
+            print(f"  chunks resumed on final attempt: "
+                  f"{job['chunks_resumed']}")
+        if job.get("error"):
+            print(f"  error: {job['error']}")
+        return 0
+    jobs = client.jobs()
+    if args.json:
+        print(json.dumps({"jobs": jobs}, indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        print("no jobs in the spool")
+        return 0
+    for job in jobs:
+        print(f"{job['job_id']}  {job['state']:<9}  "
+              f"tenant={job['tenant']}  priority={job['priority']}  "
+              f"attempts={job['attempts']}  "
+              f"hours={job['spec']['hours']:g}  "
+              f"seed={job['spec']['seed']}")
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient.from_spool(args.spool)
+    reply = client.cancel(args.job_id)
+    job = reply["job"]
+    print(f"job {job['job_id']} cancelled (was tenant {job['tenant']})")
+    return 0
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     import time
 
@@ -792,6 +973,10 @@ _COMMANDS = {
     "review": _cmd_review,
     "dossier": _cmd_dossier,
     "fleet": _cmd_fleet,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "cancel": _cmd_cancel,
     "watch": _cmd_watch,
 }
 

@@ -47,8 +47,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
-                    Sequence, Tuple, Union)
+from typing import (Callable, ClassVar, Dict, Iterator, List, Mapping,
+                    Optional, Sequence, Tuple, Union)
 
 from ..errors import CorruptArtifactError
 from ..io.artifact import (ARTIFACTS, DIGEST_KEY, ArtifactSchema,
@@ -56,9 +56,9 @@ from ..io.artifact import (ARTIFACTS, DIGEST_KEY, ArtifactSchema,
 from ..io.validate import Int, Json, MapOf, NullOr, Record, Str
 
 __all__ = ["EVENT_LOG_SCHEMA", "EVENT_LOG_SCHEMA_NAME", "EVENT_KINDS",
-           "EventRecord", "EventJournal", "read_journal", "replay_journal",
-           "JournalReplay", "journal_event", "active_journal",
-           "recording_journal"]
+           "EventRecord", "EventJournal", "read_journal",
+           "read_chained_journal", "replay_journal", "JournalReplay",
+           "journal_event", "active_journal", "recording_journal"]
 
 EVENT_LOG_SCHEMA_NAME = "repro.event-log"
 EVENT_LOG_SCHEMA = f"{EVENT_LOG_SCHEMA_NAME}/v1"
@@ -79,7 +79,10 @@ EVENT_KINDS = (
     "degeneracy.alarm",
 )
 """The closed event taxonomy.  ``EventRecord`` rejects anything else —
-an unknown kind in a journal file is corruption, not forward compat."""
+an unknown kind in a journal file is corruption, not forward compat.
+Chained journals with a *different* taxonomy (the campaign service's
+``repro.service-journal/v1``) subclass :class:`EventRecord` and override
+``KINDS`` — the chain discipline is shared, the vocabulary is not."""
 
 
 def _utc_now() -> str:
@@ -96,6 +99,8 @@ class EventRecord:
     payload (chunk index, counts, failure details, …) as plain JSON.
     """
 
+    KINDS: ClassVar[Tuple[str, ...]] = EVENT_KINDS
+
     seq: int
     ts_utc: str
     kind: str
@@ -105,10 +110,10 @@ class EventRecord:
     def __post_init__(self) -> None:
         if self.seq < 0:
             raise ValueError(f"event seq must be >= 0, got {self.seq}")
-        if self.kind not in EVENT_KINDS:
+        if self.kind not in type(self).KINDS:
             raise ValueError(
                 f"unknown event kind {self.kind!r}; expected one of "
-                f"{EVENT_KINDS}")
+                f"{type(self).KINDS}")
 
     def to_dict(self) -> Dict[str, object]:
         return {"seq": self.seq, "ts_utc": self.ts_utc, "kind": self.kind,
@@ -117,65 +122,81 @@ class EventRecord:
 
 # -- reading + chain verification -----------------------------------------
 
-def _chain_error(path: object, lineno: int, message: str,
-                 ) -> CorruptArtifactError:
+def _chain_error(path: object, lineno: int, message: str, *,
+                 schema: str = EVENT_LOG_SCHEMA) -> CorruptArtifactError:
     return CorruptArtifactError(
         f"event journal chain broken at line {lineno}: {message}",
-        source=path, schema=EVENT_LOG_SCHEMA)
+        source=path, schema=schema)
 
 
-def _iter_journal_lines(path: Path) -> Iterator[Tuple[int, str]]:
+def _iter_journal_lines(path: Path, *,
+                        schema: str = EVENT_LOG_SCHEMA,
+                        ) -> Iterator[Tuple[int, str]]:
     try:
         text = Path(path).read_text(encoding="utf-8")
     except OSError as exc:
         raise CorruptArtifactError(
             f"cannot read event journal: {exc.strerror or exc}",
-            source=path, schema=EVENT_LOG_SCHEMA) from exc
+            source=path, schema=schema) from exc
     except UnicodeDecodeError as exc:
         raise CorruptArtifactError(
             f"event journal is not valid UTF-8: {exc}",
-            source=path, schema=EVENT_LOG_SCHEMA) from exc
+            source=path, schema=schema) from exc
     for lineno, line in enumerate(text.splitlines(), start=1):
         if line.strip():
             yield lineno, line
 
 
-def read_journal(path: Union[str, Path],
-                 ) -> Tuple[List[EventRecord], Optional[str]]:
-    """Read + verify one journal file end to end.
+def read_chained_journal(path: Union[str, Path], *,
+                         schema_name: str = EVENT_LOG_SCHEMA_NAME,
+                         ) -> Tuple[List[EventRecord], Optional[str]]:
+    """Read + verify one digest-chained journal file end to end.
 
     Returns ``(records, head_digest)`` where ``head_digest`` is the last
     entry's payload sha256 (``None`` for an empty journal) — exactly
     what an appender needs to continue the chain.  Every line is loaded
-    through the artifact boundary (digest + spec + typed errors), then
-    the chain itself is checked: contiguous ``seq`` from 0 and each
-    ``prev`` equal to the previous entry's digest.  All failures are
-    typed :class:`~repro.errors.ArtifactError` subclasses.
+    through the artifact boundary (digest + spec + typed errors) against
+    ``schema_name``, then the chain itself is checked: contiguous
+    ``seq`` from 0 and each ``prev`` equal to the previous entry's
+    digest.  All failures are typed
+    :class:`~repro.errors.ArtifactError` subclasses.
     """
+    schema_tag = f"{schema_name}/v{ARTIFACTS.get(schema_name).version}"
     records: List[EventRecord] = []
     head: Optional[str] = None
-    for lineno, line in _iter_journal_lines(Path(path)):
+    for lineno, line in _iter_journal_lines(Path(path), schema=schema_tag):
         source = f"{path}:{lineno}"
         envelope = parse_artifact_text(line, source=source)
-        record = ARTIFACTS.load_dict(envelope, EVENT_LOG_SCHEMA_NAME,
-                                     source=source)
+        record = ARTIFACTS.load_dict(envelope, schema_name, source=source)
         assert isinstance(record, EventRecord)
         digest = envelope.get(DIGEST_KEY) if isinstance(envelope, dict) \
             else None
         if not isinstance(digest, str):
             raise _chain_error(path, lineno, "entry carries no payload "
-                              "digest (chain link missing)")
+                              "digest (chain link missing)",
+                              schema=schema_tag)
         if record.seq != len(records):
             raise _chain_error(
                 path, lineno, f"expected seq {len(records)}, found "
-                f"{record.seq} (entries dropped, duplicated or reordered)")
+                f"{record.seq} (entries dropped, duplicated or reordered)",
+                schema=schema_tag)
         if record.prev != head:
             raise _chain_error(
                 path, lineno, f"prev digest {record.prev!r} does not match "
-                f"the preceding entry's digest {head!r}")
+                f"the preceding entry's digest {head!r}", schema=schema_tag)
         records.append(record)
         head = digest
     return records, head
+
+
+def read_journal(path: Union[str, Path],
+                 ) -> Tuple[List[EventRecord], Optional[str]]:
+    """Read + verify one flight-recorder journal (``repro.event-log/v1``).
+
+    The event-log specialisation of :func:`read_chained_journal` — see
+    there for the chain contract.
+    """
+    return read_chained_journal(path, schema_name=EVENT_LOG_SCHEMA_NAME)
 
 
 # -- the append-only writer ------------------------------------------------
@@ -190,7 +211,15 @@ class EventJournal:
     valid (merely shorter) chain.  The journal is coordinator-local:
     entries emitted from a forked worker process are refused (the pid
     guard), keeping the chain single-writer by construction.
+
+    Subclasses may override ``SCHEMA_NAME`` and ``RECORD_TYPE`` to chain
+    a different closed event taxonomy under a different artifact schema
+    (the campaign service's :class:`~repro.service.journal.ServiceJournal`
+    does exactly this); the append/verify machinery is shared.
     """
+
+    SCHEMA_NAME: ClassVar[str] = EVENT_LOG_SCHEMA_NAME
+    RECORD_TYPE: ClassVar[type] = EventRecord
 
     def __init__(self, path: Path, handle, seq: int,
                  head: Optional[str]) -> None:
@@ -212,7 +241,8 @@ class EventJournal:
                     f"event journal {path} already exists; pass "
                     f"resume=True (CLI: --resume) to continue its chain, "
                     f"or remove it to start over")
-            records, head = read_journal(path)
+            records, head = read_chained_journal(
+                path, schema_name=cls.SCHEMA_NAME)
             seq = len(records)
         else:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -252,9 +282,10 @@ class EventJournal:
                 f"the chain is single-writer")
         if self._handle is None:
             raise ValueError(f"event journal {self._path} is closed")
-        record = EventRecord(seq=self._seq, ts_utc=_utc_now(), kind=kind,
-                             data=dict(data or {}), prev=self._head)
-        envelope = ARTIFACTS.dump_dict(EVENT_LOG_SCHEMA_NAME, record,
+        record = type(self).RECORD_TYPE(
+            seq=self._seq, ts_utc=_utc_now(), kind=kind,
+            data=dict(data or {}), prev=self._head)
+        envelope = ARTIFACTS.dump_dict(type(self).SCHEMA_NAME, record,
                                        source=self._path)
         self._handle.write(
             json.dumps(envelope, sort_keys=True,

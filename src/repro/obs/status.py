@@ -197,7 +197,7 @@ class FlightRecorder:
                  types=None, confidence: float = 0.95,
                  resume: bool = False,
                  status_interval_s: float = 0.25,
-                 clock: Callable[[], float] = time.perf_counter):
+                 clock: Callable[[], float] = time.monotonic):
         self._dir = Path(directory)
         self._journal = EventJournal.open(self._dir / JOURNAL_FILENAME,
                                           resume=resume)

@@ -1,0 +1,38 @@
+"""The campaign service: a crash-safe local job daemon (DESIGN §14).
+
+``repro serve`` turns the deterministic campaign engine into a durable
+queue: submissions become content-addressed ``repro.job-record/v1``
+artifacts in a spool, a fair-share scheduler leases them to supervised
+runner processes, and every lifecycle step lands in a digest-chained
+service journal.  ``kill -9`` at any instant loses no accepted job —
+recovery replays the spool and resumes from checkpoints bit-for-bit.
+"""
+
+from .client import ServiceClient, ServiceClientError, read_endpoint
+from .jobs import (JOB_RECORD_SCHEMA, JOB_RECORD_SCHEMA_NAME, JOB_STATES,
+                   PRIORITY_CLASSES, TERMINAL_STATES, CampaignSpec,
+                   DrainingError, InvalidSubmissionError, JobRecord,
+                   JobStateError, Lease, QueueFullError, ServiceError,
+                   SpoolError, UnknownJobError)
+from .journal import (SERVICE_EVENT_KINDS, SERVICE_JOURNAL_SCHEMA,
+                      SERVICE_JOURNAL_SCHEMA_NAME, ServiceEventRecord,
+                      ServiceJournal, read_service_journal)
+from .leases import LeaseTable
+from .scheduler import FairShareScheduler, QueueEntry
+from .server import CampaignService, serve
+from .store import (JOB_RESULT_SCHEMA, JOB_RESULT_SCHEMA_NAME, JobResult,
+                    JobStore)
+from .supervisor import Supervisor
+
+__all__ = [
+    "JOB_RECORD_SCHEMA", "JOB_RECORD_SCHEMA_NAME", "JOB_RESULT_SCHEMA",
+    "JOB_RESULT_SCHEMA_NAME", "JOB_STATES", "PRIORITY_CLASSES",
+    "SERVICE_EVENT_KINDS", "SERVICE_JOURNAL_SCHEMA",
+    "SERVICE_JOURNAL_SCHEMA_NAME", "TERMINAL_STATES", "CampaignService",
+    "CampaignSpec", "DrainingError", "FairShareScheduler",
+    "InvalidSubmissionError", "JobRecord", "JobResult", "JobStateError",
+    "JobStore", "Lease", "LeaseTable", "QueueEntry", "QueueFullError",
+    "ServiceClient", "ServiceClientError", "ServiceError",
+    "ServiceEventRecord", "ServiceJournal", "SpoolError", "Supervisor",
+    "UnknownJobError", "read_endpoint", "read_service_journal", "serve",
+]

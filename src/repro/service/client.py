@@ -1,0 +1,168 @@
+"""A stdlib HTTP client for the campaign service.
+
+Thin on purpose: the wire contract *is* the contract, and the client's
+one job is to translate it faithfully — JSON in, JSON out, and every
+typed error envelope re-raised as a :class:`ServiceClientError` that
+keeps the server's ``kind``, status and ``retry_after_s`` intact (a 429
+reaches CLI code as a typed, retryable refusal, exit 4, never a
+traceback).
+
+``ServiceClient.from_spool`` discovers a running daemon through the
+``endpoint.json`` the daemon publishes at bind time, so tests and the
+CLI never have to guess a port.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from ..errors import ReproError
+from ..io import ArtifactError, parse_artifact_bytes, parse_artifact_text
+from .store import ENDPOINT_FILENAME
+
+__all__ = ["ServiceClient", "ServiceClientError", "read_endpoint"]
+
+
+class ServiceClientError(ReproError):
+    """A refusal (or transport failure) talking to the campaign daemon.
+
+    Carries the server's machine-readable ``kind``, the HTTP status and
+    any ``retry_after_s`` hint from the typed error envelope.
+    """
+
+    def __init__(self, message: str, *, kind: str = "transport",
+                 http_status: Optional[int] = None,
+                 retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.kind = kind
+        self.http_status = http_status
+        self.retry_after_s = retry_after_s
+
+
+def read_endpoint(spool: Union[str, Path]) -> Dict[str, object]:
+    """The live daemon's published address, from ``endpoint.json``."""
+    path = Path(spool) / ENDPOINT_FILENAME
+    try:
+        document = parse_artifact_text(path.read_text(encoding="utf-8"),
+                                       source=path)
+    except OSError as exc:
+        raise ServiceClientError(
+            f"no service endpoint at {path} — is `repro serve` running "
+            f"against this spool?", kind="no-endpoint") from exc
+    except ArtifactError as exc:
+        raise ServiceClientError(
+            f"endpoint file {path} is not valid JSON: {exc}",
+            kind="no-endpoint") from exc
+    if not isinstance(document, dict) or "url" not in document:
+        raise ServiceClientError(
+            f"endpoint file {path} is missing the service url",
+            kind="no-endpoint")
+    return document
+
+
+class ServiceClient:
+    """Blocking JSON client for one campaign daemon."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    @classmethod
+    def from_spool(cls, spool: Union[str, Path], *,
+                   timeout_s: float = 30.0) -> "ServiceClient":
+        endpoint = read_endpoint(spool)
+        return cls(str(endpoint["url"]), timeout_s=timeout_s)
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Mapping[str, object]] = None,
+                 ) -> Dict[str, object]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.base_url + path, data=data,
+                                         headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as reply:
+                document = parse_artifact_bytes(reply.read(),
+                                                source=self.base_url + path)
+                assert isinstance(document, dict)
+                return document
+        except urllib.error.HTTPError as exc:
+            raise self._translate(exc) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                f"cannot reach campaign service at {self.base_url}: "
+                f"{exc.reason}", kind="transport") from exc
+        except (OSError, http.client.HTTPException) as exc:
+            # e.g. RemoteDisconnected when the daemon dies mid-request —
+            # urllib surfaces it raw, not as a URLError.
+            raise ServiceClientError(
+                f"connection to campaign service at {self.base_url} "
+                f"failed: {exc}", kind="transport") from exc
+
+    @staticmethod
+    def _translate(exc: urllib.error.HTTPError) -> ServiceClientError:
+        kind, message, retry_after_s = "http", f"HTTP {exc.code}", None
+        try:
+            envelope = parse_artifact_bytes(exc.read())
+            error = envelope["error"]
+            kind = str(error["kind"])
+            message = str(error["message"])
+            if "retry_after_s" in error:
+                retry_after_s = float(error["retry_after_s"])
+        except Exception:  # noqa: BLE001 - the envelope is best-effort
+            pass
+        return ServiceClientError(message, kind=kind,
+                                  http_status=exc.code,
+                                  retry_after_s=retry_after_s)
+
+    # -- API ---------------------------------------------------------------
+
+    def submit(self, spec: Mapping[str, object], *,
+               tenant: str = "default", priority: str = "normal",
+               ) -> Dict[str, object]:
+        return self._request("POST", "/v1/jobs", {
+            "spec": dict(spec), "tenant": tenant, "priority": priority})
+
+    def jobs(self) -> List[Dict[str, object]]:
+        reply = self._request("GET", "/v1/jobs")
+        return list(reply["jobs"])  # type: ignore[arg-type]
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel", {})
+
+    def status(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/status")
+
+    def metrics_text(self) -> str:
+        request = urllib.request.Request(self.base_url + "/v1/metrics")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as reply:
+                return reply.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise self._translate(exc) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                f"cannot reach campaign service at {self.base_url}: "
+                f"{exc.reason}", kind="transport") from exc
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServiceClientError(
+                f"connection to campaign service at {self.base_url} "
+                f"failed: {exc}", kind="transport") from exc

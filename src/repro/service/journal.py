@@ -1,0 +1,114 @@
+"""The service journal: the daemon's digest-chained audit trail.
+
+Same chain discipline as the campaign flight recorder
+(:mod:`repro.obs.events` — every line a fully signed
+``repro.service-journal/v1`` envelope, ``prev`` linking to the previous
+entry's payload digest, ``seq`` contiguous from 0) but with the
+*service* vocabulary: admissions, cache hits, rejects, leases, requeues,
+completions, drains.  A kill at any instant leaves a valid (merely
+shorter) chain; the daemon reopens it with ``resume=True`` on every
+boot, so one spool's journal spans every daemon incarnation and tells
+the whole recovery story end to end — which is exactly what the service
+chaos tier replays to prove no accepted job was lost or double-run.
+
+The journal is the *audit* leg, not the *recovery* leg: recovery reads
+the job records (each one atomically holds its latest state), so a
+journal-append chaos kill between a record write and its journal entry
+loses an audit line, never a job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, List, Optional, Tuple, Union
+
+from ..io.artifact import ArtifactSchema, register_artifact
+from ..io.validate import Int, Json, MapOf, NullOr, Record, Str
+from ..obs.events import EventJournal, EventRecord, read_chained_journal
+
+__all__ = ["SERVICE_JOURNAL_SCHEMA", "SERVICE_JOURNAL_SCHEMA_NAME",
+           "SERVICE_EVENT_KINDS", "ServiceEventRecord", "ServiceJournal",
+           "read_service_journal"]
+
+SERVICE_JOURNAL_SCHEMA_NAME = "repro.service-journal"
+SERVICE_JOURNAL_SCHEMA = f"{SERVICE_JOURNAL_SCHEMA_NAME}/v1"
+
+SERVICE_EVENT_KINDS = (
+    # daemon lifecycle
+    "service.started", "service.recovered", "service.draining",
+    "service.drained", "service.stopped",
+    # admission
+    "job.submitted", "job.cached", "job.rejected",
+    # execution lifecycle
+    "job.leased", "job.requeued", "job.completed", "job.failed",
+    "job.cancelled",
+)
+"""The closed service-event taxonomy — the service sibling of
+:data:`~repro.obs.events.EVENT_KINDS`."""
+
+
+@dataclass(frozen=True)
+class ServiceEventRecord(EventRecord):
+    """One service-journal entry (the chain shape of
+    :class:`~repro.obs.events.EventRecord`, the service vocabulary)."""
+
+    KINDS: ClassVar[Tuple[str, ...]] = SERVICE_EVENT_KINDS
+
+
+class ServiceJournal(EventJournal):
+    """Append-only, digest-chained writer for service events.
+
+    All machinery — open/resume, signed append + flush, pid guard,
+    observers — is inherited; only the schema and record type differ.
+    """
+
+    SCHEMA_NAME: ClassVar[str] = SERVICE_JOURNAL_SCHEMA_NAME
+    RECORD_TYPE: ClassVar[type] = ServiceEventRecord
+
+
+def read_service_journal(path: Union[str, "object"],
+                         ) -> Tuple[List[EventRecord], Optional[str]]:
+    """Read + verify one service journal end to end (chain contract of
+    :func:`~repro.obs.events.read_chained_journal`)."""
+    return read_chained_journal(path,  # type: ignore[arg-type]
+                                schema_name=SERVICE_JOURNAL_SCHEMA_NAME)
+
+
+# -- artifact schema registration ------------------------------------------
+
+def _load_service_event(data) -> ServiceEventRecord:
+    return ServiceEventRecord(
+        seq=int(data["seq"]),
+        ts_utc=str(data["ts_utc"]),
+        kind=str(data["kind"]),
+        data=dict(data["data"]),
+        prev=(None if data["prev"] is None else str(data["prev"])),
+    )
+
+
+def _example_service_event() -> ServiceEventRecord:
+    """A small deterministic entry for the fuzz tier."""
+    return ServiceEventRecord(
+        seq=2, ts_utc="2026-01-01T00:00:00+00:00", kind="job.leased",
+        data={"job_id": "j-0123456789abcdef", "tenant": "acme",
+              "attempt": 1, "lease_id": 1, "pid": 4242},
+        prev="sha256:" + "cd" * 32)
+
+
+_SERVICE_EVENT_SPEC = Record(required={
+    "seq": Int(),
+    "ts_utc": Str(),
+    "kind": Str(),
+    "data": MapOf(Json()),
+    "prev": NullOr(Str()),
+})
+
+register_artifact(ArtifactSchema(
+    name=SERVICE_JOURNAL_SCHEMA_NAME,
+    version=1,
+    spec=_SERVICE_EVENT_SPEC,
+    load=_load_service_event,
+    dump=ServiceEventRecord.to_dict,
+    label="service-journal entry",
+    example=_example_service_event,
+))

@@ -1,0 +1,95 @@
+"""Lease-and-heartbeat supervision of runner processes.
+
+A lease is the supervisor's claim that exactly one runner owns a job.
+Two failure detectors retire a lease:
+
+* **Epoch death.**  Every lease names the granting daemon's boot epoch.
+  On restart the new daemon's epoch differs, so every persisted lease
+  from the previous incarnation is *dead by construction* — hard-kill
+  recovery requeues them without consulting any clock.
+* **Heartbeat expiry.**  Within one daemon's lifetime, a runner proves
+  liveness by bumping its heartbeat file; the :class:`LeaseTable`
+  watches for progress on a ``time.monotonic`` clock (injectable for
+  tests — wall-clock steps must not kill healthy runners, the same
+  discipline as the flight recorder's status throttle).  A lease whose
+  heartbeat has not advanced within ``ttl_s`` is expired: the runner is
+  presumed hung or dead, gets killed, and the job is requeued to resume
+  from its checkpoint.
+
+Losing a heartbeat write is harmless (the next one renews); a *stale
+kill* of a healthy runner is also safe — requeue resumes bit-for-bit
+from the checkpoint, the same guarantee as any other crash.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from .jobs import Lease
+
+__all__ = ["Lease", "LeaseTable", "LeaseState"]
+
+
+@dataclass
+class LeaseState:
+    """Supervisor-side view of one live lease."""
+
+    lease: Lease
+    job_id: str
+    last_beat: Optional[int]
+    last_progress: float  # monotonic time of the last observed advance
+
+
+class LeaseTable:
+    """Grants, renewals and expiry for one daemon epoch."""
+
+    def __init__(self, epoch: str, *, ttl_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
+        self.epoch = epoch
+        self.ttl_s = float(ttl_s)
+        self._clock = clock
+        self._next_lease_id = 1
+        self._live: Dict[str, LeaseState] = {}
+
+    def grant(self, job_id: str, pid: int) -> Lease:
+        if job_id in self._live:
+            raise ValueError(f"job {job_id} already holds a live lease")
+        lease = Lease(lease_id=self._next_lease_id, epoch=self.epoch,
+                      pid=pid, ttl_s=self.ttl_s)
+        self._next_lease_id += 1
+        self._live[job_id] = LeaseState(lease=lease, job_id=job_id,
+                                        last_beat=None,
+                                        last_progress=self._clock())
+        return lease
+
+    def observe_beat(self, job_id: str, beat: Optional[int]) -> None:
+        """Feed the latest heartbeat counter read from the spool; any
+        advance (including the first observation) renews the lease."""
+        state = self._live.get(job_id)
+        if state is None:
+            return
+        if beat is not None and beat != state.last_beat:
+            state.last_beat = beat
+            state.last_progress = self._clock()
+
+    def expired(self, job_id: str) -> bool:
+        """True iff the lease exists and its heartbeat has gone stale."""
+        state = self._live.get(job_id)
+        if state is None:
+            return False
+        return self._clock() - state.last_progress > self.ttl_s
+
+    def release(self, job_id: str) -> Optional[Lease]:
+        state = self._live.pop(job_id, None)
+        return None if state is None else state.lease
+
+    def live_jobs(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._live))
+
+    def get(self, job_id: str) -> Optional[Lease]:
+        state = self._live.get(job_id)
+        return None if state is None else state.lease

@@ -1,0 +1,128 @@
+"""Admission control + deterministic fair-share scheduling.
+
+A pure in-memory data structure (the durable truth is the job records;
+the scheduler is rebuilt from them on boot), with three properties the
+service tests pin:
+
+* **Bounded.**  ``submit`` refuses beyond ``queue_limit`` with a typed
+  :class:`~repro.service.jobs.QueueFullError` carrying a deterministic
+  ``retry_after_s`` — backpressure is a value, not a hang.  Requeues of
+  already-admitted jobs (``force=True``) bypass the bound: a job that
+  survived a crash must never be bounced by its own recovery.
+* **Priority classes are strict.**  ``high`` drains before ``normal``
+  before ``low`` (:data:`~repro.service.jobs.PRIORITY_CLASSES`).
+* **Fair-share within a class is deterministic round-robin.**  Tenants
+  take turns in lexicographic rotation (the rotor remembers the last
+  tenant served per class); within one tenant, jobs run in admission
+  order (``submit_seq``).  Given the same submissions, the dispatch
+  order is bit-for-bit reproducible — scheduling is part of the
+  service's determinism story, not an implementation accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .jobs import PRIORITY_CLASSES, QueueFullError
+
+__all__ = ["QueueEntry", "FairShareScheduler"]
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One queued job's scheduling key."""
+
+    job_id: str
+    tenant: str
+    priority: str
+    submit_seq: int
+
+
+class FairShareScheduler:
+    """Bounded multi-tenant priority queue with round-robin fair share."""
+
+    def __init__(self, queue_limit: int = 16):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.queue_limit = int(queue_limit)
+        # priority -> tenant -> admission-ordered entries
+        self._queues: Dict[str, Dict[str, List[QueueEntry]]] = {
+            priority: {} for priority in PRIORITY_CLASSES}
+        # priority -> last tenant served (the fair-share rotor)
+        self._rotor: Dict[str, Optional[str]] = {
+            priority: None for priority in PRIORITY_CLASSES}
+
+    # -- admission --------------------------------------------------------
+
+    def depth(self) -> int:
+        return sum(len(entries) for tenants in self._queues.values()
+                   for entries in tenants.values())
+
+    def retry_after_s(self) -> float:
+        """Deterministic back-off hint: scale with what is queued."""
+        return 1.0 + 0.5 * self.depth()
+
+    def submit(self, entry: QueueEntry, *, force: bool = False) -> None:
+        if entry.priority not in PRIORITY_CLASSES:
+            raise ValueError(f"unknown priority {entry.priority!r}")
+        if not force and self.depth() >= self.queue_limit:
+            raise QueueFullError(self.depth(), self.queue_limit,
+                                 self.retry_after_s())
+        tenant_queues = self._queues[entry.priority]
+        queue = tenant_queues.setdefault(entry.tenant, [])
+        queue.append(entry)
+        queue.sort(key=lambda e: e.submit_seq)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _next_tenant(self, priority: str) -> Optional[str]:
+        tenants = sorted(t for t, q in self._queues[priority].items() if q)
+        if not tenants:
+            return None
+        last = self._rotor[priority]
+        if last is not None:
+            for tenant in tenants:
+                if tenant > last:
+                    return tenant
+        return tenants[0]
+
+    def next_job(self) -> Optional[QueueEntry]:
+        """Pop the next entry to lease, or ``None`` when idle."""
+        for priority in PRIORITY_CLASSES:
+            tenant = self._next_tenant(priority)
+            if tenant is None:
+                continue
+            queue = self._queues[priority][tenant]
+            entry = queue.pop(0)
+            self._rotor[priority] = tenant
+            return entry
+        return None
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def remove(self, job_id: str) -> bool:
+        """Drop a queued job (cancellation); True iff it was queued."""
+        for tenants in self._queues.values():
+            for queue in tenants.values():
+                for index, entry in enumerate(queue):
+                    if entry.job_id == job_id:
+                        del queue[index]
+                        return True
+        return False
+
+    def queued_ids(self) -> Tuple[str, ...]:
+        """Every queued job id, in the order dispatch would serve them
+        (non-destructive preview, mainly for status/tests)."""
+        preview = FairShareScheduler(queue_limit=max(1, self.depth()))
+        preview._queues = {
+            priority: {tenant: list(queue)
+                       for tenant, queue in tenants.items()}
+            for priority, tenants in self._queues.items()}
+        preview._rotor = dict(self._rotor)
+        order: List[str] = []
+        while True:
+            entry = preview.next_job()
+            if entry is None:
+                return tuple(order)
+            order.append(entry.job_id)

@@ -1,0 +1,290 @@
+"""The supervisor: leases jobs to runner processes and survives them.
+
+One daemon thread ticks over three duties, all under the service lock:
+
+* **Reap** — collect exited runners.  Exit 0 with a result artifact on
+  disk is a completion; exit 130 during drain parks the job back in
+  ``queued`` (its checkpoint holds the progress) for the *next* daemon;
+  anything else is a crash, requeued up to ``max_attempts`` service
+  attempts and then failed with the runner's parked diagnostic.
+* **Watch heartbeats** — a lease whose heartbeat file stops advancing
+  for a TTL is expired: the runner is SIGKILLed and the next reap
+  requeues the job (resume from checkpoint makes a stale kill safe).
+* **Fill slots** — while below ``max_runners`` and not draining, pull
+  the scheduler's next fair-share pick and grant it a lease.  The grant
+  order is the crash-safety choreography: *persist* the ``leased``
+  record (with the daemon's epoch) first, journal it, and only then
+  spawn — a kill at any instant between leaves a record whose dead
+  epoch recovery requeues, never a lost or double-run job.
+
+A cache check guards every grant: if the spec's result artifact already
+exists (committed by a runner the previous daemon never got to reap),
+the job completes on the spot with zero compute.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from ..testing.chaos import service_chaos
+from .jobs import JobRecord
+from .leases import LeaseTable
+from .scheduler import FairShareScheduler, QueueEntry
+from .store import JobResult, JobStore
+
+__all__ = ["Supervisor"]
+
+
+class Supervisor:
+    """Process supervision for one daemon epoch."""
+
+    def __init__(self, store: JobStore, scheduler: FairShareScheduler,
+                 emit: Callable[..., None], metrics, lock: threading.RLock,
+                 *, epoch: str, max_runners: int = 2,
+                 lease_ttl_s: float = 30.0, max_attempts: int = 3,
+                 poll_interval_s: float = 0.05,
+                 clock: Callable[[], float] = time.monotonic):
+        self._store = store
+        self._scheduler = scheduler
+        self._emit = emit
+        self._metrics = metrics
+        self._lock = lock
+        self.epoch = epoch
+        self.max_runners = int(max_runners)
+        self.max_attempts = int(max_attempts)
+        self.poll_interval_s = float(poll_interval_s)
+        self.draining = False
+        self._leases = LeaseTable(epoch, ttl_s=lease_ttl_s, clock=clock)
+        self._runners: Dict[str, subprocess.Popen] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._loop,
+                                        name="service-supervisor",
+                                        daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.tick()
+            self._stop.wait(self.poll_interval_s)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def tick(self) -> None:
+        with self._lock:
+            self._reap()
+            self._watch_heartbeats()
+            self._fill_slots()
+            self._metrics.gauge("service.queue_depth").set(
+                self._scheduler.depth())
+            self._metrics.gauge("service.running").set(len(self._runners))
+
+    # -- recovery (before the loop starts) --------------------------------
+
+    def recover(self) -> Dict[str, int]:
+        """Fold the spool's job records back into live state after boot.
+
+        Queued jobs re-enter the queue in their original admission
+        order; leased/running records hold leases from a dead epoch and
+        are either completed from a cached result (the runner finished,
+        the old daemon never noticed) or requeued to resume from their
+        checkpoint.  Terminal records are left alone.
+        """
+        counts = {"queued": 0, "requeued": 0, "completed": 0}
+        with self._lock:
+            for record in self._store.iter_jobs():
+                if record.state == "queued":
+                    self._enqueue(record, force=True)
+                    counts["queued"] += 1
+                elif record.state in ("leased", "running"):
+                    if self._store.has_result(record.spec_digest):
+                        result = self._store.load_result(record.spec_digest)
+                        self._complete(record, result, cached=True)
+                        counts["completed"] += 1
+                    else:
+                        record = record.advanced("queued", lease=None)
+                        self._store.save_job(record)
+                        self._emit("job.requeued", job_id=record.job_id,
+                                   tenant=record.tenant, reason="recovery",
+                                   attempts=record.attempts)
+                        self._metrics.counter("service.requeued").inc()
+                        self._enqueue(record, force=True)
+                        counts["requeued"] += 1
+        return counts
+
+    # -- queue plumbing ---------------------------------------------------
+
+    def _enqueue(self, record: JobRecord, *, force: bool = False) -> None:
+        self._scheduler.submit(
+            QueueEntry(job_id=record.job_id, tenant=record.tenant,
+                       priority=record.priority,
+                       submit_seq=record.submit_seq),
+            force=force)
+
+    # -- reaping ----------------------------------------------------------
+
+    def _reap(self) -> None:
+        for job_id, proc in list(self._runners.items()):
+            returncode = proc.poll()
+            if returncode is None:
+                continue
+            del self._runners[job_id]
+            self._leases.release(job_id)
+            record = self._store.load_job(job_id)
+            if record.state == "cancelled":
+                self._store.clear_runner_state(job_id)
+                continue
+            if returncode == 0 \
+                    and self._store.has_result(record.spec_digest):
+                result = self._store.load_result(record.spec_digest)
+                self._complete(record, result, cached=False)
+            elif returncode == 130 and self.draining:
+                # Graceful drain: the checkpoint holds the progress;
+                # park the job for the next daemon incarnation.
+                record = record.advanced("queued", lease=None)
+                self._store.save_job(record)
+                self._emit("job.requeued", job_id=job_id,
+                           tenant=record.tenant, reason="drain",
+                           attempts=record.attempts)
+            else:
+                self._handle_crash(record, returncode)
+
+    def _handle_crash(self, record: JobRecord, returncode: int) -> None:
+        if record.attempts >= self.max_attempts:
+            error = (self._store.read_job_error(record.job_id)
+                     or f"runner exited with status {returncode}")
+            record = record.advanced("failed", lease=None, error=error)
+            self._store.save_job(record)
+            self._emit("job.failed", job_id=record.job_id,
+                       tenant=record.tenant, attempts=record.attempts,
+                       returncode=returncode, error=error)
+            self._metrics.counter("service.failed").inc()
+            return
+        record = record.advanced("queued", lease=None)
+        self._store.save_job(record)
+        self._emit("job.requeued", job_id=record.job_id,
+                   tenant=record.tenant, reason="crash",
+                   returncode=returncode, attempts=record.attempts)
+        self._metrics.counter("service.requeued").inc()
+        if not self.draining:
+            self._enqueue(record, force=True)
+
+    def _complete(self, record: JobRecord, result: JobResult, *,
+                  cached: bool) -> None:
+        record = record.advanced("done", lease=None, error=None,
+                                 chunks_resumed=result.chunks_resumed)
+        self._store.save_job(record)
+        self._store.clear_runner_state(record.job_id)
+        self._emit("job.completed", job_id=record.job_id,
+                   tenant=record.tenant, cached=cached,
+                   attempts=record.attempts,
+                   chunks_resumed=result.chunks_resumed,
+                   spec_digest=record.spec_digest)
+        self._metrics.counter("service.completed").inc()
+        if cached:
+            self._metrics.counter("service.cache_hits").inc()
+
+    # -- heartbeats -------------------------------------------------------
+
+    def _watch_heartbeats(self) -> None:
+        for job_id in self._leases.live_jobs():
+            self._leases.observe_beat(job_id,
+                                      self._store.read_beat(job_id))
+            if self._leases.expired(job_id):
+                proc = self._runners.get(job_id)
+                if proc is not None and proc.poll() is None:
+                    proc.kill()  # the next reap requeues from checkpoint
+
+    # -- granting ---------------------------------------------------------
+
+    def _fill_slots(self) -> None:
+        while not self.draining and len(self._runners) < self.max_runners:
+            entry = self._scheduler.next_job()
+            if entry is None:
+                return
+            self._grant(entry)
+
+    def _grant(self, entry: QueueEntry) -> None:
+        record = self._store.load_job(entry.job_id)
+        if record.state != "queued":
+            return  # cancelled (or otherwise moved on) while queued
+        if self._store.has_result(record.spec_digest):
+            result = self._store.load_result(record.spec_digest)
+            self._complete(record, result, cached=True)
+            return
+        lease = self._leases.grant(record.job_id, pid=0)
+        record = record.advanced("leased", lease=lease,
+                                 attempts=record.attempts + 1)
+        self._store.save_job(record)
+        self._emit("job.leased", job_id=record.job_id,
+                   tenant=record.tenant, attempt=record.attempts,
+                   lease_id=lease.lease_id, epoch=lease.epoch)
+        service_chaos("lease-grant")
+        proc = self._spawn(record)
+        self._runners[record.job_id] = proc
+        record = record.advanced(
+            "running",
+            lease=type(lease)(lease_id=lease.lease_id, epoch=lease.epoch,
+                              pid=proc.pid, ttl_s=lease.ttl_s))
+        self._store.save_job(record)
+
+    def _spawn(self, record: JobRecord) -> subprocess.Popen:
+        log_path = Path(self._store.root) / "jobs" / \
+            f"{record.job_id}.log"
+        log = open(log_path, "ab")
+        try:
+            return subprocess.Popen(
+                [sys.executable, "-m", "repro.service.runner",
+                 str(self._store.root), record.job_id],
+                stdin=subprocess.DEVNULL, stdout=log, stderr=log)
+        finally:
+            log.close()
+
+    # -- drain + hard teardown --------------------------------------------
+
+    def interrupt_runner(self, job_id: str) -> None:
+        """SIGTERM one runner (cancellation of a running job)."""
+        proc = self._runners.get(job_id)
+        if proc is not None and proc.poll() is None:
+            proc.terminate()
+
+    def drain(self, timeout_s: float = 30.0) -> None:
+        """Stop granting, interrupt every runner, reap them all.
+
+        Runners flush their checkpoints on SIGTERM and exit 130; the
+        reap path parks their jobs in ``queued`` so a restarted daemon
+        resumes without re-simulating a single committed chunk.
+        """
+        with self._lock:
+            self.draining = True
+            for proc in self._runners.values():
+                if proc.poll() is None:
+                    proc.terminate()
+        deadline = time.monotonic() + timeout_s
+        while True:
+            with self._lock:
+                self._reap()
+                if not self._runners:
+                    return
+                if time.monotonic() > deadline:
+                    for proc in self._runners.values():
+                        if proc.poll() is None:
+                            proc.kill()
+            time.sleep(0.05)
+
+    def running_jobs(self) -> Dict[str, int]:
+        with self._lock:
+            return {job_id: proc.pid
+                    for job_id, proc in self._runners.items()}

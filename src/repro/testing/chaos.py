@@ -46,7 +46,9 @@ result exactly.
 
 from __future__ import annotations
 
+import errno
 import os
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Tuple
@@ -54,7 +56,8 @@ from typing import Any, Callable, Dict, Mapping, Tuple
 import numpy as np
 
 __all__ = ["CHAOS_FAULT_KINDS", "ChaosError", "ChaosScript", "ChaosWorker",
-           "replace_with_garbage"]
+           "replace_with_garbage", "SERVICE_CHAOS_ENV",
+           "SERVICE_CHAOS_DIR_ENV", "service_chaos"]
 
 CHAOS_FAULT_KINDS = ("raise", "exit", "hang", "garbage")
 
@@ -201,3 +204,79 @@ class ChaosWorker:
         if fault == "garbage":
             return self.script.corruptor(result)
         return result
+
+
+# -- service-level chaos ---------------------------------------------------
+#
+# The campaign service (repro serve) is instrumented with named chaos
+# points at its crash-consistency-critical instants — right after a
+# service-journal append, after a lease grant is persisted, after a
+# result artifact is committed, after every runner chunk commit.  The
+# chaos tier scripts faults at those points through two environment
+# variables, which child processes (the daemon, its runners) inherit:
+#
+# ``REPRO_SERVICE_CHAOS``
+#     Semicolon-separated directives.  ``kill@<point>[#<nth>]`` SIGKILLs
+#     the current process the <nth> time (default 1st) that point is
+#     reached *across all processes and restarts*; ``fail@<point>``
+#     raises ``OSError(ENOSPC)`` there every time (a stuck-full spool).
+# ``REPRO_SERVICE_CHAOS_DIR``
+#     An existing shared directory where ``kill`` directives claim their
+#     hit counts via ``O_CREAT | O_EXCL`` marker files — the same
+#     crash-safe claim protocol as :class:`ChaosWorker`, because the
+#     victim of a SIGKILL never gets to update an in-process counter.
+#
+# With neither variable set, :func:`service_chaos` is one environment
+# lookup and a return — the production daemon pays nothing measurable.
+
+SERVICE_CHAOS_ENV = "REPRO_SERVICE_CHAOS"
+SERVICE_CHAOS_DIR_ENV = "REPRO_SERVICE_CHAOS_DIR"
+
+
+def _claim_hit(state_dir: str, directive_index: int) -> int:
+    """Atomically claim this occurrence's 1-based global hit number."""
+    hit = 1
+    while True:
+        marker = os.path.join(state_dir,
+                              f"chaos{directive_index}.hit{hit}")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            hit += 1
+            continue
+        os.close(fd)
+        return hit
+
+
+def service_chaos(point: str) -> None:
+    """Apply any scripted service-chaos directive for ``point``.
+
+    ``kill`` directives terminate the process with ``SIGKILL`` (no
+    cleanup, no atexit — the hard-crash the recovery path must survive);
+    ``fail`` directives raise ``OSError(ENOSPC)`` for the caller's typed
+    error handling to absorb.  Unmatched points return immediately.
+    """
+    spec = os.environ.get(SERVICE_CHAOS_ENV, "")
+    if not spec:
+        return
+    for index, directive in enumerate(spec.split(";")):
+        directive = directive.strip()
+        if "@" not in directive:
+            continue
+        action, _, rest = directive.partition("@")
+        target, _, nth_text = rest.partition("#")
+        if target != point:
+            continue
+        if action == "fail":
+            raise OSError(errno.ENOSPC,
+                          f"injected disk-full at chaos point {point!r}")
+        if action != "kill":
+            continue
+        state_dir = os.environ.get(SERVICE_CHAOS_DIR_ENV)
+        if state_dir is None:
+            raise RuntimeError(
+                f"{SERVICE_CHAOS_ENV} has a kill directive but "
+                f"{SERVICE_CHAOS_DIR_ENV} is unset")
+        nth = int(nth_text) if nth_text else 1
+        if _claim_hit(state_dir, index) == nth:
+            os.kill(os.getpid(), signal.SIGKILL)

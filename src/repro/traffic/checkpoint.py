@@ -52,9 +52,10 @@ from ..obs.events import journal_event
 from ..obs.session import TelemetrySnapshot
 from .simulator import SimulationResult
 
-__all__ = ["CHECKPOINT_SCHEMA", "CHECKPOINT_SCHEMA_NAME",
+__all__ = ["CHECKPOINT_SCHEMA", "CHECKPOINT_SCHEMA_NAME", "RESULT_SPEC",
            "CampaignCheckpoint", "CheckpointMismatchError",
-           "result_to_dict", "result_from_dict"]
+           "result_to_dict", "result_from_dict",
+           "read_checkpoint_progress"]
 
 CHECKPOINT_SCHEMA_NAME = "repro.campaign-checkpoint"
 CHECKPOINT_SCHEMA = f"{CHECKPOINT_SCHEMA_NAME}/v1"
@@ -231,6 +232,20 @@ class CampaignCheckpoint:
         return math.fsum(entry.result.hours
                          for entry in self.chunks.values())
 
+    def chunk_indices(self) -> "tuple[int, ...]":
+        """The committed chunk indices, sorted."""
+        return tuple(sorted(self.chunks))
+
+    def progress(self) -> Dict[str, object]:
+        """A cheap, JSON-ready progress summary (the campaign-service
+        status hook: what a supervisor can say about a running or
+        requeued job without touching the runner)."""
+        return {
+            "chunks_banked": len(self.chunks),
+            "hours_banked": self.units_done(),
+            "chunk_indices": list(self.chunk_indices()),
+        }
+
     # -- persistence ------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
@@ -252,6 +267,21 @@ class CampaignCheckpoint:
         *detect* any later corruption of the bytes.
         """
         ARTIFACTS.save(self.path, CHECKPOINT_SCHEMA_NAME, self)
+
+
+def read_checkpoint_progress(path: "Path | str",
+                             ) -> Optional[Dict[str, object]]:
+    """Load a checkpoint read-only and report its banked progress.
+
+    Returns ``None`` when no checkpoint exists yet (a campaign that has
+    not committed its first chunk).  Corruption still raises the typed
+    :class:`~repro.errors.ArtifactError` taxonomy — a monitoring path
+    must *detect* a damaged checkpoint, not shrug at it.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    return CampaignCheckpoint.load(path).progress()
 
 
 # -- artifact schema registration ----------------------------------------
@@ -305,13 +335,19 @@ _RECORD_SPEC = Record(required={
     "time_h": Number(), "context": Str(), "induced": Bool(),
 })
 
-_RESULT_SPEC = Record(required={
+#: The structural contract of :func:`result_to_dict`'s payload — public
+#: because every artifact embedding a serialised chunk/campaign result
+#: (checkpoints here, the service's ``repro.job-result/v1``) must pin
+#: the *same* shape, or resume and cache-load drift apart.
+RESULT_SPEC = Record(required={
     "policy_name": Str(), "hours": Number(),
     "context_hours": MapOf(Number()),
     "encounters_resolved": Int(), "hard_braking_demands": Int(),
     "hard_braking_threshold_ms2": Number(),
     "records": ListOf(_RECORD_SPEC),
 })
+
+_RESULT_SPEC = RESULT_SPEC
 
 _CHUNK_SPEC = Record(required={
     "result": _RESULT_SPEC,

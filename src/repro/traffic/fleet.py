@@ -64,8 +64,8 @@ from .simulator import (SimulationConfig, SimulationResult, _check_engine,
                         simulate_mix)
 
 __all__ = ["FleetProgress", "run_fleet", "DEFAULT_CHUNK_HOURS",
-           "DEFAULT_RETRY_POLICY", "validate_chunk_output",
-           "CHUNK_TRANSPORTS"]
+           "DEFAULT_RETRY_POLICY", "DEFAULT_MIX", "validate_chunk_output",
+           "CHUNK_TRANSPORTS", "policy_by_name", "POLICY_NAMES"]
 
 CHUNK_TRANSPORTS = ("inline", "shm", "pickle")
 """How a worker ships its chunk result back to the coordinator.
@@ -95,6 +95,32 @@ DEFAULT_RETRY_POLICY = RetryPolicy()
 jitter, no per-chunk timeout (opt in via ``retry=RetryPolicy(timeout_s=…)``
 — a sensible deadline depends on the chunk size and hardware), at most
 2 pool rebuilds before degrading to inline execution."""
+
+DEFAULT_MIX = {"urban": 0.5, "suburban": 0.2, "rural": 0.2, "highway": 0.1}
+"""The default context mix every campaign entry point (CLI, dossier,
+campaign service) shares.  Part of a campaign's RNG-layout identity, so
+the one value must live in one place."""
+
+POLICY_NAMES = ("cautious", "nominal", "aggressive")
+"""The named tactical policies a campaign spec may reference."""
+
+
+def policy_by_name(name: str) -> TacticalPolicy:
+    """Resolve a spec/CLI policy name to its :class:`TacticalPolicy`.
+
+    The one mapping both the CLI and the campaign-service runner use —
+    a spec naming a policy means the same campaign everywhere.
+    """
+    from .policy import aggressive_policy, cautious_policy, nominal_policy
+
+    factories = {"cautious": cautious_policy, "nominal": nominal_policy,
+                 "aggressive": aggressive_policy}
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; choose from "
+                         f"{POLICY_NAMES}") from None
+    return factory()
 
 _VALIDATE_REL_TOL = 1e-6
 """Relative tolerance for the chunk validator's exposure cross-checks.

@@ -318,12 +318,13 @@ def test_everything_written_reloads(tmp_path):
         assert schema.instances_equal(back, schema.example()), schema.name
 
 
-def test_registry_covers_all_eight_artifacts():
+def test_registry_covers_all_builtin_artifacts():
     names = {s.name for s in load_builtin_schemas()}
     assert names == {
         "repro.incident-type", "repro.allocation", "repro.mece-certificate",
         "repro.goal-set", "repro.run-manifest", "repro.campaign-checkpoint",
         "repro.record-block", "repro.event-log",
+        "repro.job-record", "repro.job-result", "repro.service-journal",
     }
 
 

@@ -1,0 +1,131 @@
+"""Campaign-service API types: specs, digests, records, typed errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service import (JOB_STATES, PRIORITY_CLASSES, TERMINAL_STATES,
+                           CampaignSpec, DrainingError,
+                           InvalidSubmissionError, JobRecord, JobStateError,
+                           Lease, QueueFullError, ServiceError, SpoolError,
+                           UnknownJobError)
+
+
+def spec(**overrides) -> CampaignSpec:
+    base = dict(policy="nominal", hours=8.0, seed=2020, chunk_hours=2.0)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestCampaignSpec:
+    def test_digest_is_stable_and_content_addressed(self):
+        a, b = spec(), spec()
+        assert a.digest == b.digest
+        assert a.job_id == b.job_id
+        assert a.job_id.startswith("j-") and len(a.job_id) == 18
+
+    def test_any_field_change_changes_the_job_id(self):
+        base = spec()
+        for other in (spec(seed=777), spec(hours=16.0),
+                      spec(policy="cautious"), spec(chunk_hours=4.0),
+                      spec(engine="scalar"), spec(workers=2),
+                      spec(mix={"urban": 1.0})):
+            assert other.job_id != base.job_id
+
+    def test_mix_key_order_does_not_change_the_digest(self):
+        a = spec(mix={"urban": 0.5, "highway": 0.5})
+        b = spec(mix={"highway": 0.5, "urban": 0.5})
+        assert a.digest == b.digest
+
+    def test_round_trip_through_dict(self):
+        original = spec(workers=3, engine="scalar")
+        assert CampaignSpec.from_dict(original.to_dict()) == original
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            CampaignSpec.from_dict({"policy": "nominal", "hours": 1.0,
+                                    "seed": 1, "turbo": True})
+
+    def test_from_dict_rejects_missing_fields(self):
+        with pytest.raises(ValueError, match="missing"):
+            CampaignSpec.from_dict({"policy": "nominal"})
+
+    @pytest.mark.parametrize("bad", [
+        dict(policy="reckless"), dict(hours=0.0), dict(hours=-1.0),
+        dict(chunk_hours=0.0), dict(engine="quantum"), dict(workers=0),
+        dict(seed=1.5), dict(seed=True), dict(mix={}),
+        dict(mix={"urban": -0.1}),
+    ])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            spec(**bad)
+
+
+class TestJobRecord:
+    def test_new_record_is_queued_with_zero_attempts(self):
+        record = JobRecord.new(spec(), tenant="acme", priority="normal",
+                               submit_seq=0)
+        assert record.state == "queued"
+        assert record.attempts == 0
+        assert record.job_id == spec().job_id
+        assert not record.terminal
+
+    def test_advanced_moves_state_and_refreshes_stamp(self):
+        record = JobRecord.new(spec(), tenant="acme", priority="normal",
+                               submit_seq=0)
+        leased = record.advanced(
+            "leased", attempts=1,
+            lease=Lease(lease_id=1, epoch="e1", pid=42, ttl_s=30.0))
+        assert leased.state == "leased"
+        assert leased.attempts == 1
+        assert leased.lease.epoch == "e1"
+        assert record.state == "queued"  # immutable value object
+
+    def test_terminal_states(self):
+        record = JobRecord.new(spec(), tenant="t", priority="low",
+                               submit_seq=1)
+        for state in TERMINAL_STATES:
+            assert record.advanced(state).terminal
+        assert set(TERMINAL_STATES) < set(JOB_STATES)
+
+    def test_unknown_state_and_priority_rejected(self):
+        record = JobRecord.new(spec(), tenant="t", priority="normal",
+                               submit_seq=0)
+        with pytest.raises(ValueError, match="unknown job state"):
+            record.advanced("paused")
+        with pytest.raises(ValueError, match="unknown priority"):
+            JobRecord.new(spec(), tenant="t", priority="urgent",
+                          submit_seq=0)
+
+    def test_digest_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="digest mismatch"):
+            JobRecord(job_id="j-0", spec=spec(),
+                      spec_digest="sha256:" + "00" * 32, tenant="t",
+                      priority="normal", state="queued", submit_seq=0)
+
+
+class TestServiceErrors:
+    def test_all_service_errors_are_repro_errors_with_exit_4(self):
+        for exc in (ServiceError("x"), InvalidSubmissionError("x"),
+                    UnknownJobError("j-1"), JobStateError("x"),
+                    QueueFullError(3, 3, 2.5), DrainingError(),
+                    SpoolError("x")):
+            assert isinstance(exc, ReproError)
+            assert exc.exit_code == 4
+
+    def test_http_status_taxonomy(self):
+        assert InvalidSubmissionError("x").http_status == 400
+        assert UnknownJobError("j-1").http_status == 404
+        assert JobStateError("x").http_status == 409
+        assert QueueFullError(3, 3, 2.5).http_status == 429
+        assert DrainingError().http_status == 503
+        assert SpoolError("x").http_status == 507
+
+    def test_queue_full_carries_retry_after(self):
+        exc = QueueFullError(4, 4, 3.0)
+        assert exc.retry_after_s == 3.0
+        assert "retry in 3 s" in str(exc)
+
+    def test_priority_classes_are_strict_order(self):
+        assert PRIORITY_CLASSES == ("high", "normal", "low")

@@ -1,0 +1,86 @@
+"""Lease-and-heartbeat supervision on an injectable monotonic clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import LeaseTable
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def table(clock):
+    return LeaseTable("epoch-test", ttl_s=10.0, clock=clock)
+
+
+class TestLeaseTable:
+    def test_grant_carries_epoch_and_increments_ids(self, table):
+        a = table.grant("j-a", pid=101)
+        b = table.grant("j-b", pid=102)
+        assert (a.lease_id, b.lease_id) == (1, 2)
+        assert a.epoch == b.epoch == "epoch-test"
+        assert a.ttl_s == 10.0
+        assert table.live_jobs() == ("j-a", "j-b")
+
+    def test_double_grant_refused(self, table):
+        table.grant("j-a", pid=1)
+        with pytest.raises(ValueError, match="already holds"):
+            table.grant("j-a", pid=2)
+
+    def test_fresh_lease_is_not_expired(self, table, clock):
+        table.grant("j-a", pid=1)
+        clock.now += 9.9
+        assert not table.expired("j-a")
+
+    def test_silence_beyond_ttl_expires(self, table, clock):
+        table.grant("j-a", pid=1)
+        clock.now += 10.1
+        assert table.expired("j-a")
+
+    def test_advancing_beat_renews(self, table, clock):
+        table.grant("j-a", pid=1)
+        clock.now += 8.0
+        table.observe_beat("j-a", 1)
+        clock.now += 8.0
+        assert not table.expired("j-a")  # renewed 8 s ago
+        table.observe_beat("j-a", 2)
+        clock.now += 10.1
+        assert table.expired("j-a")
+
+    def test_stuck_beat_does_not_renew(self, table, clock):
+        table.grant("j-a", pid=1)
+        table.observe_beat("j-a", 7)
+        clock.now += 6.0
+        table.observe_beat("j-a", 7)  # no advance: the runner is hung
+        clock.now += 6.0
+        assert table.expired("j-a")
+
+    def test_missing_beat_is_tolerated_until_ttl(self, table, clock):
+        table.grant("j-a", pid=1)
+        table.observe_beat("j-a", None)
+        clock.now += 5.0
+        assert not table.expired("j-a")
+
+    def test_release_forgets_the_lease(self, table, clock):
+        lease = table.grant("j-a", pid=1)
+        assert table.release("j-a") == lease
+        assert table.release("j-a") is None
+        clock.now += 100.0
+        assert not table.expired("j-a")
+        assert table.get("j-a") is None
+
+    def test_ttl_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            LeaseTable("e", ttl_s=0.0, clock=clock)

@@ -1,0 +1,113 @@
+"""Admission control + fair-share scheduling (deterministic by design)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import FairShareScheduler, QueueEntry, QueueFullError
+
+
+def entry(job_id: str, tenant: str, *, priority: str = "normal",
+          seq: int = 0) -> QueueEntry:
+    return QueueEntry(job_id=job_id, tenant=tenant, priority=priority,
+                      submit_seq=seq)
+
+
+def drain(scheduler: FairShareScheduler) -> list:
+    order = []
+    while True:
+        item = scheduler.next_job()
+        if item is None:
+            return order
+        order.append(item.job_id)
+
+
+class TestFairShare:
+    def test_two_tenants_alternate_deterministically(self):
+        scheduler = FairShareScheduler(queue_limit=16)
+        for seq, (job, tenant) in enumerate([
+                ("a1", "acme"), ("a2", "acme"), ("a3", "acme"),
+                ("b1", "blue"), ("b2", "blue"), ("b3", "blue")]):
+            scheduler.submit(entry(job, tenant, seq=seq))
+        assert drain(scheduler) == ["a1", "b1", "a2", "b2", "a3", "b3"]
+
+    def test_dispatch_order_is_reproducible(self):
+        def build():
+            scheduler = FairShareScheduler(queue_limit=16)
+            submissions = [("a1", "acme", "normal"), ("b1", "blue", "low"),
+                           ("a2", "acme", "high"), ("b2", "blue", "normal"),
+                           ("c1", "coop", "normal"), ("a3", "acme", "normal")]
+            for seq, (job, tenant, priority) in enumerate(submissions):
+                scheduler.submit(entry(job, tenant, priority=priority,
+                                       seq=seq))
+            return drain(scheduler)
+
+        first, second = build(), build()
+        assert first == second
+        # high drains first; within "normal" the rotor alternates
+        # tenants lexicographically; FIFO inside one tenant.
+        assert first == ["a2", "a1", "b2", "c1", "a3", "b1"]
+
+    def test_within_tenant_fifo_by_submit_seq(self):
+        scheduler = FairShareScheduler(queue_limit=16)
+        scheduler.submit(entry("late", "acme", seq=9))
+        scheduler.submit(entry("early", "acme", seq=1))
+        assert drain(scheduler) == ["early", "late"]
+
+    def test_priority_classes_are_strict(self):
+        scheduler = FairShareScheduler(queue_limit=16)
+        scheduler.submit(entry("low", "t", priority="low", seq=0))
+        scheduler.submit(entry("normal", "t", priority="normal", seq=1))
+        scheduler.submit(entry("high", "t", priority="high", seq=2))
+        assert drain(scheduler) == ["high", "normal", "low"]
+
+    def test_queued_ids_previews_without_consuming(self):
+        scheduler = FairShareScheduler(queue_limit=16)
+        scheduler.submit(entry("a1", "acme", seq=0))
+        scheduler.submit(entry("b1", "blue", seq=1))
+        assert scheduler.queued_ids() == ("a1", "b1")
+        assert scheduler.depth() == 2  # preview is non-destructive
+        assert drain(scheduler) == ["a1", "b1"]
+
+
+class TestAdmissionControl:
+    def test_bounded_queue_rejects_with_retry_after(self):
+        scheduler = FairShareScheduler(queue_limit=2)
+        scheduler.submit(entry("a", "t", seq=0))
+        scheduler.submit(entry("b", "t", seq=1))
+        with pytest.raises(QueueFullError) as excinfo:
+            scheduler.submit(entry("c", "t", seq=2))
+        exc = excinfo.value
+        assert exc.http_status == 429
+        assert exc.depth == 2 and exc.limit == 2
+        assert exc.retry_after_s == pytest.approx(1.0 + 0.5 * 2)
+
+    def test_retry_after_scales_with_depth(self):
+        scheduler = FairShareScheduler(queue_limit=8)
+        assert scheduler.retry_after_s() == pytest.approx(1.0)
+        for seq in range(4):
+            scheduler.submit(entry(f"j{seq}", "t", seq=seq))
+        assert scheduler.retry_after_s() == pytest.approx(3.0)
+
+    def test_force_requeue_bypasses_the_bound(self):
+        scheduler = FairShareScheduler(queue_limit=1)
+        scheduler.submit(entry("a", "t", seq=0))
+        scheduler.submit(entry("requeued", "t", seq=1), force=True)
+        assert scheduler.depth() == 2
+
+    def test_remove_drops_a_queued_job(self):
+        scheduler = FairShareScheduler(queue_limit=4)
+        scheduler.submit(entry("a", "t", seq=0))
+        scheduler.submit(entry("b", "t", seq=1))
+        assert scheduler.remove("a") is True
+        assert scheduler.remove("a") is False
+        assert drain(scheduler) == ["b"]
+
+    def test_unknown_priority_rejected(self):
+        scheduler = FairShareScheduler(queue_limit=4)
+        with pytest.raises(ValueError, match="unknown priority"):
+            scheduler.submit(entry("a", "t", priority="urgent", seq=0))
+
+    def test_queue_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FairShareScheduler(queue_limit=0)

@@ -1,0 +1,155 @@
+"""The spool: durable job records, content-addressed results, journal."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.io import ArtifactError
+from repro.io.artifact import ARTIFACTS
+from repro.service import (CampaignSpec, JobRecord, JobResult, JobStore,
+                           ServiceJournal, SpoolError,
+                           read_service_journal)
+from repro.testing.chaos import (SERVICE_CHAOS_DIR_ENV, SERVICE_CHAOS_ENV,
+                                 service_chaos)
+
+
+def spec(**overrides) -> CampaignSpec:
+    base = dict(policy="nominal", hours=8.0, seed=2020, chunk_hours=2.0)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def example_result() -> JobResult:
+    return ARTIFACTS.get("repro.job-result").example()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "spool")
+
+
+class TestJobRecords:
+    def test_save_load_round_trip(self, store):
+        record = JobRecord.new(spec(), tenant="acme", priority="high",
+                               submit_seq=4)
+        store.save_job(record)
+        loaded = store.load_job(record.job_id)
+        assert loaded.spec == record.spec
+        assert loaded.state == "queued"
+        assert loaded.tenant == "acme"
+        assert loaded.priority == "high"
+        assert loaded.submit_seq == 4
+        assert store.has_job(record.job_id)
+
+    def test_iter_jobs_orders_by_submit_seq(self, store):
+        for seq, seed in [(2, 11), (0, 22), (1, 33)]:
+            store.save_job(JobRecord.new(spec(seed=seed), tenant="t",
+                                         priority="normal",
+                                         submit_seq=seq))
+        assert [r.submit_seq for r in store.iter_jobs()] == [0, 1, 2]
+        assert store.max_submit_seq() == 2
+
+    def test_max_submit_seq_on_empty_spool(self, store):
+        assert store.max_submit_seq() == -1
+
+    def test_corrupt_record_is_a_typed_error(self, store):
+        record = JobRecord.new(spec(), tenant="t", priority="normal",
+                               submit_seq=0)
+        store.save_job(record)
+        path = store.job_path(record.job_id)
+        path.write_text(path.read_text().replace("queued", "melted"))
+        with pytest.raises(ArtifactError):
+            store.load_job(record.job_id)
+
+
+class TestResults:
+    def test_result_round_trip_keyed_by_spec_digest(self, store):
+        job_result = example_result()
+        store.save_result(job_result)
+        assert store.has_result(job_result.spec_digest)
+        assert store.load_result(job_result.spec_digest) == job_result
+
+    def test_missing_result(self, store):
+        assert not store.has_result("sha256:" + "00" * 32)
+
+
+class TestHeartbeatsAndErrors:
+    def test_beat_round_trip(self, store):
+        assert store.read_beat("j-x") is None
+        store.beat("j-x", 7)
+        assert store.read_beat("j-x") == 7
+        store.beat("j-x", 8)
+        assert store.read_beat("j-x") == 8
+
+    def test_job_error_round_trip_and_clear(self, store):
+        assert store.read_job_error("j-x") is None
+        store.write_job_error("j-x", "ValueError: boom")
+        store.beat("j-x", 1)
+        assert store.read_job_error("j-x") == "ValueError: boom"
+        store.clear_runner_state("j-x")
+        assert store.read_job_error("j-x") is None
+        assert store.read_beat("j-x") is None
+
+
+class TestServiceJournal:
+    def test_chain_resumes_across_incarnations(self, store):
+        with ServiceJournal.open(store.journal_path) as journal:
+            journal.emit("service.started", {"epoch": "e1"})
+            journal.emit("job.submitted", {"job_id": "j-1"})
+        with ServiceJournal.open(store.journal_path,
+                                 resume=True) as journal:
+            journal.emit("service.started", {"epoch": "e2"})
+        records, head = read_service_journal(store.journal_path)
+        assert [r.kind for r in records] == [
+            "service.started", "job.submitted", "service.started"]
+        assert [r.seq for r in records] == [0, 1, 2]
+        assert records[2].prev is not None and head is not None
+
+    def test_unknown_kind_rejected(self, store):
+        with ServiceJournal.open(store.journal_path) as journal:
+            with pytest.raises(ValueError, match="unknown event kind"):
+                journal.emit("job.teleported", {})
+
+
+class TestServiceChaosDirectives:
+    def test_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv(SERVICE_CHAOS_ENV, raising=False)
+        service_chaos("lease-grant")  # must simply return
+
+    def test_unmatched_point_is_noop(self, monkeypatch):
+        monkeypatch.setenv(SERVICE_CHAOS_ENV, "fail@result-commit")
+        service_chaos("lease-grant")
+
+    def test_fail_directive_raises_enospc(self, monkeypatch):
+        monkeypatch.setenv(SERVICE_CHAOS_ENV, "fail@spool-write:job")
+        with pytest.raises(OSError) as excinfo:
+            service_chaos("spool-write:job")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_fail_directive_surfaces_as_spool_error(self, monkeypatch,
+                                                    store):
+        monkeypatch.setenv(SERVICE_CHAOS_ENV, "fail@spool-write:job")
+        record = JobRecord.new(spec(), tenant="t", priority="normal",
+                               submit_seq=0)
+        with pytest.raises(SpoolError):
+            store.save_job(record)
+        assert not store.has_job(record.job_id)
+
+    def test_kill_without_state_dir_is_an_error(self, monkeypatch):
+        monkeypatch.setenv(SERVICE_CHAOS_ENV, "kill@lease-grant")
+        monkeypatch.delenv(SERVICE_CHAOS_DIR_ENV, raising=False)
+        with pytest.raises(RuntimeError, match="is unset"):
+            service_chaos("lease-grant")
+
+    def test_kill_nth_claims_are_crash_safe(self, monkeypatch, tmp_path):
+        # The nth-hit ledger lives on disk (O_CREAT|O_EXCL markers), so
+        # earlier hits consumed by a process that then died stay
+        # consumed.  Hits 1 and 2 below would precede the kill at #3.
+        monkeypatch.setenv(SERVICE_CHAOS_ENV, "kill@runner-chunk#3")
+        monkeypatch.setenv(SERVICE_CHAOS_DIR_ENV, str(tmp_path))
+        service_chaos("runner-chunk")
+        service_chaos("runner-chunk")
+        assert (tmp_path / "chaos0.hit1").exists()
+        assert (tmp_path / "chaos0.hit2").exists()

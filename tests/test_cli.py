@@ -405,6 +405,102 @@ class TestFleetFaultTolerance:
         assert defaults.max_attempts == 3
         assert defaults.timeout_s is None
 
+    @pytest.mark.parametrize("flags", [
+        ["--chunk-timeout", "0"],
+        ["--chunk-timeout", "-1.5"],
+        ["--max-attempts", "0"],
+        ["--max-attempts", "-3"],
+    ])
+    def test_invalid_retry_knob_is_a_clean_exit_4(self, flags, capsys):
+        """Nonsense retry knobs fail at the CLI boundary: one `error:`
+        line naming the invalid policy, exit 4, no traceback — the
+        campaign never starts."""
+        assert main(self.FLEET + flags) == 4
+        err = capsys.readouterr().err
+        assert "error: invalid retry policy:" in err
+        assert "Traceback" not in err
+
+    def test_partial_failure_report_is_deterministically_ordered(
+            self, monkeypatch, capsys):
+        """The failure log fills in thread-completion order, but the
+        report must not: lines sort by (chunk, attempt) and the
+        quarantined indices are ascending, so identical campaigns print
+        identical diagnostics."""
+        from repro.stats import CampaignPartialFailure, ChunkFailure
+
+        import repro.cli as cli
+
+        scrambled = [
+            ChunkFailure(chunk_index=3, attempt=1, kind="timeout",
+                         message="no heartbeat"),
+            ChunkFailure(chunk_index=1, attempt=2, kind="exception",
+                         message="worker died again"),
+            ChunkFailure(chunk_index=1, attempt=1, kind="exception",
+                         message="worker died"),
+            ChunkFailure(chunk_index=2, attempt=1, kind="invalid",
+                         message="garbage result"),
+        ]
+
+        def partial(*args, **kwargs):
+            raise CampaignPartialFailure(
+                completed={}, failures=scrambled, quarantined=(3, 1, 2),
+                chunks_total=4)
+
+        monkeypatch.setattr(cli, "_run_campaign", partial)
+        assert main(self.FLEET) == 3
+        err = capsys.readouterr().err
+        detail_lines = [line.strip() for line in err.splitlines()
+                        if line.startswith("  chunk ")]
+        assert detail_lines == [
+            "chunk 1 attempt 1 [exception]: worker died",
+            "chunk 1 attempt 2 [exception]: worker died again",
+            "chunk 2 attempt 1 [invalid]: garbage result",
+            "chunk 3 attempt 1 [timeout]: no heartbeat",
+        ]
+        # The exception sorts its quarantine set on construction, so the
+        # summary line is ascending no matter the discovery order.
+        assert "quarantined chunks: 1, 2, 3" in err
+
+    def test_partial_failure_resume_hint_appears_exactly_once(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.stats import CampaignPartialFailure, ChunkFailure
+
+        import repro.cli as cli
+
+        failures = [ChunkFailure(chunk_index=i, attempt=1,
+                                 kind="pool_broken", message="killed")
+                    for i in (2, 0)]
+
+        def partial(*args, **kwargs):
+            raise CampaignPartialFailure(
+                completed={}, failures=failures, quarantined=(2, 0),
+                chunks_total=4)
+
+        monkeypatch.setattr(cli, "_run_campaign", partial)
+        ck = tmp_path / "ck.json"
+        assert main(self.FLEET + ["--checkpoint", str(ck)]) == 3
+        err = capsys.readouterr().err
+        assert err.count("--resume") == 1
+        assert str(ck) in err
+
+    def test_partial_failure_without_checkpoint_has_no_resume_hint(
+            self, monkeypatch, capsys):
+        from repro.stats import CampaignPartialFailure, ChunkFailure
+
+        import repro.cli as cli
+
+        def partial(*args, **kwargs):
+            raise CampaignPartialFailure(
+                completed={}, failures=[
+                    ChunkFailure(chunk_index=0, attempt=1,
+                                 kind="pool_broken", message="killed")],
+                quarantined=(0,), chunks_total=4)
+
+        monkeypatch.setattr(cli, "_run_campaign", partial)
+        assert main(self.FLEET) == 3
+        err = capsys.readouterr().err
+        assert "--resume" not in err
+
     def test_resumed_progress_marks_restored_chunks(self, tmp_path, capsys):
         """--resume --progress annotates the stream with the restored
         baseline so the ETA reflects only this run's work."""
@@ -732,3 +828,29 @@ class TestWatch:
         capsys.readouterr()
         assert main(["watch", str(flight), "--once"]) == 4
         assert "error:" in capsys.readouterr().err
+
+
+class TestServiceCLI:
+    """The service verbs' CLI boundary (no daemon needed)."""
+
+    def test_jobs_without_daemon_is_a_clean_exit_4(self, tmp_path, capsys):
+        assert main(["jobs", "--spool", str(tmp_path)]) == 4
+        err = capsys.readouterr().err
+        assert "error:" in err and "no service endpoint" in err
+        assert "Traceback" not in err
+
+    def test_submit_without_daemon_is_a_clean_exit_4(self, tmp_path,
+                                                     capsys):
+        assert main(["submit", "--spool", str(tmp_path), "--hours", "4",
+                     "--seed", "1"]) == 4
+        assert "no service endpoint" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_knobs(self, tmp_path, capsys):
+        assert main(["serve", "--spool", str(tmp_path),
+                     "--queue-limit", "0"]) == 4
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_validates_priority_locally(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["submit", "--spool", str(tmp_path), "--priority", "vip"])
