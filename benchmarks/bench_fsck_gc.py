@@ -1,0 +1,138 @@
+"""E-FSCK — Storage-integrity tooling cost on a populated spool.
+
+DESIGN §15's operational promise is that the integrity tooling is
+cheap enough to run routinely: ``repro fsck`` audits every artifact in
+one pass (it re-verifies each digest, so the cost is I/O + hashing,
+linear in spool size), ``repro gc`` plans and sweeps in one directory
+scan, and the disk-pressure watchdog adds one ``statvfs`` per
+supervisor tick / admission — nanoseconds against a multi-second
+campaign.
+
+This bench builds a synthetic spool of terminal jobs (record + cached
+result + checkpoint each, plus a journal entry per admission), then
+times a full ``fsck_spool`` audit, a ``plan_gc``/``run_gc`` retention
+sweep, and a tight ``DiskPressureWatchdog.poll()`` loop.  Asserted
+shapes: the audit is clean and covered everything, the sweep collects
+exactly what the policy says, and the per-poll watchdog cost stays in
+microseconds (skipped under smoke — a shared runner cannot time it).
+Results land in ``benchmarks/output/BENCH_fsck_gc.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import smoke_scaled
+
+from repro.io.artifact import ARTIFACTS
+from repro.reporting import render_table
+from repro.service import (CampaignSpec, JobRecord, JobResult, JobStore,
+                           RetentionPolicy, ServiceJournal,
+                           fsck_spool, plan_gc, run_gc)
+from repro.service.pressure import DiskPressureWatchdog
+from repro.traffic import CampaignCheckpoint
+
+N_JOBS = smoke_scaled(1000, 40)
+KEEP_LAST = 8
+N_POLLS = smoke_scaled(10_000, 100)
+POLL_BUDGET_US = 1000.0  # one statvfs; generous even for cold metadata
+
+
+def build_spool(root) -> JobStore:
+    store = JobStore(root)
+    example = ARTIFACTS.get("repro.job-result").example()
+    with ServiceJournal.open(store.journal_path) as journal:
+        journal.emit("service.started", {"epoch": "bench"})
+        for seed in range(N_JOBS):
+            spec = CampaignSpec(policy="nominal", hours=8.0, seed=seed,
+                                chunk_hours=2.0)
+            record = JobRecord.new(spec, tenant="bench",
+                                   priority="normal", submit_seq=seed)
+            record = record.advanced("done")
+            store.save_job(record)
+            store.save_result(JobResult(spec_digest=record.spec_digest,
+                                        job_id=record.job_id,
+                                        result=example.result))
+            CampaignCheckpoint.new(store.checkpoint_path(record.job_id),
+                                   {"seed": seed}).save()
+            journal.emit("job.submitted", {"job_id": record.job_id})
+    return store
+
+
+def test_fsck_gc_watchdog_cost(benchmark, save_artifact, output_dir,
+                               bench_smoke, tmp_path):
+    store = build_spool(tmp_path / "spool")
+
+    start = time.perf_counter()
+    report = fsck_spool(store.root)
+    fsck_s = time.perf_counter() - start
+    # Coverage shape: the audit saw every artifact and found no damage
+    # in a healthy spool.
+    assert report.clean, report.counts()
+    assert report.jobs_checked == N_JOBS
+    assert report.checkpoints_checked == N_JOBS
+    assert report.results_checked == N_JOBS
+    assert report.journal_entries == N_JOBS + 1
+
+    benchmark.pedantic(lambda: fsck_spool(store.root),
+                       rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    plan = plan_gc(store, RetentionPolicy(keep_last=KEEP_LAST))
+    plan_s = time.perf_counter() - start
+    assert len(plan.jobs_collected) == N_JOBS - KEEP_LAST
+
+    start = time.perf_counter()
+    gc_report = run_gc(store.root, RetentionPolicy(keep_last=KEEP_LAST))
+    gc_s = time.perf_counter() - start
+    assert gc_report.jobs_collected == N_JOBS - KEEP_LAST
+    assert gc_report.checkpoints_collected == N_JOBS - KEEP_LAST
+    assert gc_report.bytes_reclaimed > 0
+
+    watchdog = DiskPressureWatchdog(store.root,
+                                    low_free_bytes=1,
+                                    critical_free_bytes=0)
+    watchdog.poll()  # warm
+    start = time.perf_counter()
+    for _ in range(N_POLLS):
+        watchdog.poll()
+    poll_us = (time.perf_counter() - start) / N_POLLS * 1e6
+
+    artifacts_audited = (report.jobs_checked + report.results_checked
+                         + report.checkpoints_checked
+                         + report.journal_entries)
+    rows = [
+        ["fsck (full audit)", f"{fsck_s * 1e3:.1f}",
+         f"{artifacts_audited / fsck_s:,.0f} artifacts/s"],
+        ["gc plan", f"{plan_s * 1e3:.1f}",
+         f"{N_JOBS} terminal jobs ranked"],
+        ["gc sweep", f"{gc_s * 1e3:.1f}",
+         f"{gc_report.bytes_reclaimed:,} bytes reclaimed"],
+        ["watchdog poll", f"{poll_us / 1e3:.4f}",
+         f"{poll_us:.1f} µs/poll over {N_POLLS:,} polls"],
+    ]
+    save_artifact("fsck_gc_cost", render_table(
+        ["operation", "wall clock (ms)", "notes"], rows,
+        title=f"Storage-integrity tooling on a {N_JOBS}-job spool "
+              f"(record+result+checkpoint each)"))
+    (output_dir / "BENCH_fsck_gc.json").write_text(json.dumps({
+        "workload": {"jobs": N_JOBS, "keep_last": KEEP_LAST,
+                     "journal_entries": N_JOBS + 1,
+                     "watchdog_polls": N_POLLS},
+        "fsck_s": fsck_s,
+        "fsck_artifacts_per_s": artifacts_audited / fsck_s,
+        "gc_plan_s": plan_s,
+        "gc_sweep_s": gc_s,
+        "gc_jobs_collected": gc_report.jobs_collected,
+        "gc_bytes_reclaimed": gc_report.bytes_reclaimed,
+        "watchdog_poll_us": poll_us,
+        "watchdog_poll_budget_us": POLL_BUDGET_US,
+    }, indent=2) + "\n")
+
+    if not bench_smoke:
+        # The watchdog rides the supervisor tick *and* the admission
+        # path: it must cost microseconds, not milliseconds.
+        assert poll_us <= POLL_BUDGET_US, (
+            f"watchdog poll costs {poll_us:.1f} µs "
+            f"(> {POLL_BUDGET_US} µs budget)")

@@ -194,6 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-attempts", type=int, default=3,
                        help="runner attempts per job before it is marked "
                             "failed (default 3)")
+    serve.add_argument("--min-free-mb", type=float, default=128.0,
+                       help="free-space low watermark in MiB; below it "
+                            "the daemon degrades to cautious mode and "
+                            "refuses new work with a typed 507 "
+                            "(default 128)")
+    serve.add_argument("--critical-free-mb", type=float, default=32.0,
+                       help="free-space critical watermark in MiB; below "
+                            "it in-flight runners are drained to their "
+                            "checkpoints (default 32)")
 
     submit = sub.add_parser(
         "submit", help="submit a campaign spec to a running service")
@@ -217,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(exit 0 done, 1 failed/cancelled)")
     submit.add_argument("--poll-interval", type=float, default=0.2,
                         help="seconds between --wait polls (default 0.2)")
+    submit.add_argument("--retries", type=int, default=5,
+                        help="honor typed 429/503/507 retry hints with "
+                             "capped exponential backoff this many times "
+                             "before giving up (default 5; 0 disables)")
 
     jobs = sub.add_parser(
         "jobs", help="list a service's job records (or inspect one)")
@@ -231,6 +244,39 @@ def build_parser() -> argparse.ArgumentParser:
         "cancel", help="cancel one service job")
     cancel.add_argument("--spool", type=Path, required=True)
     cancel.add_argument("job_id")
+
+    fsck = sub.add_parser(
+        "fsck", help="audit (and optionally repair) a service spool")
+    fsck.add_argument("--spool", type=Path, required=True,
+                      help="the spool directory to audit (daemon must "
+                           "be stopped for --repair)")
+    fsck.add_argument("--repair", action="store_true",
+                      help="apply the provably-safe repairs (sweep "
+                           "orphans, truncate torn journal tails, requeue "
+                           "dangling work) and quarantine the rest")
+    fsck.add_argument("--json", action="store_true",
+                      help="print the full report as JSON")
+
+    gc = sub.add_parser(
+        "gc", help="reclaim spool space under a retention policy")
+    gc.add_argument("--spool", type=Path, required=True,
+                    help="the spool directory to collect (daemon must "
+                         "be stopped)")
+    gc.add_argument("--keep-last", type=int, default=8,
+                    help="terminal jobs kept per tenant, newest first "
+                         "(default 8)")
+    gc.add_argument("--max-age-days", type=float, default=None,
+                    help="also collect terminal jobs and unreferenced "
+                         "results older than this (default: no age "
+                         "bound)")
+    gc.add_argument("--compact-journal", action="store_true",
+                    help="archive the journal chain and start a fresh "
+                         "one whose genesis entry names the archive")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="compute and print the sweep without deleting "
+                         "anything")
+    gc.add_argument("--json", action="store_true",
+                    help="print the report as JSON")
 
     watch = sub.add_parser(
         "watch", help="render a campaign's live flight-recorder status")
@@ -851,7 +897,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                      queue_limit=args.queue_limit,
                      max_runners=args.max_runners,
                      lease_ttl_s=args.lease_ttl,
-                     max_attempts=args.max_attempts)
+                     max_attempts=args.max_attempts,
+                     low_free_bytes=int(args.min_free_mb * 1024 * 1024),
+                     critical_free_bytes=int(
+                         args.critical_free_mb * 1024 * 1024))
     except ValueError as exc:
         # Bad knobs (e.g. --queue-limit 0) fail the CLI contract way:
         # one `error:` line, exit 4, no traceback.
@@ -870,7 +919,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         spec["chunk_hours"] = args.chunk_hours
     if args.workers is not None:
         spec["workers"] = args.workers
-    client = ServiceClient.from_spool(args.spool)
+    client = ServiceClient.from_spool(args.spool, retries=args.retries)
     reply = client.submit(spec, tenant=args.tenant,
                           priority=args.priority)
     job = reply["job"]
@@ -939,6 +988,54 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.service import fsck_spool
+
+    report = fsck_spool(args.spool, repair=args.repair)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.clean else 1
+    for finding in report.findings:
+        action = f"  [{finding.repair}]" if finding.repair else ""
+        print(f"{finding.kind}: {finding.path}{action}")
+        print(f"  {finding.detail}")
+    summary = ", ".join(f"{kind} x{count}" for kind, count
+                        in sorted(report.counts().items())) or "clean"
+    print(f"fsck {report.root}: {report.jobs_checked} jobs, "
+          f"{report.results_checked} results, "
+          f"{report.checkpoints_checked} checkpoints, "
+          f"{report.journal_entries} journal entries — {summary}"
+          + (" (repaired)" if args.repair and report.findings else ""))
+    return 0 if report.clean else 1
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    from repro.service import RetentionPolicy, run_gc
+
+    try:
+        policy = RetentionPolicy(
+            keep_last=args.keep_last,
+            max_age_s=(None if args.max_age_days is None
+                       else args.max_age_days * 86400.0))
+    except ValueError as exc:
+        raise ReproError(f"invalid retention policy: {exc}") from exc
+    report = run_gc(args.spool, policy,
+                    compact=args.compact_journal, dry_run=args.dry_run)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    verb = "would collect" if report.dry_run else "collected"
+    print(f"gc {report.root}: {verb} {report.jobs_collected} jobs, "
+          f"{report.results_collected} results, "
+          f"{report.checkpoints_collected} checkpoints, "
+          f"{report.scratch_collected} scratch files "
+          f"({report.bytes_reclaimed} bytes); retained "
+          f"{report.jobs_retained} terminal + {report.live_jobs} live")
+    if report.journal_compacted:
+        print(f"journal compacted (archive: {report.journal_archive})")
+    return 0
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     import time
 
@@ -977,6 +1074,8 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
     "cancel": _cmd_cancel,
+    "fsck": _cmd_fsck,
+    "gc": _cmd_gc,
     "watch": _cmd_watch,
 }
 

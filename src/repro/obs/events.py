@@ -58,7 +58,8 @@ from ..io.validate import Int, Json, MapOf, NullOr, Record, Str
 __all__ = ["EVENT_LOG_SCHEMA", "EVENT_LOG_SCHEMA_NAME", "EVENT_KINDS",
            "EventRecord", "EventJournal", "read_journal",
            "read_chained_journal", "replay_journal", "JournalReplay",
-           "journal_event", "active_journal", "recording_journal"]
+           "journal_event", "active_journal", "recording_journal",
+           "JournalScan", "scan_journal", "repair_journal_tail"]
 
 EVENT_LOG_SCHEMA_NAME = "repro.event-log"
 EVENT_LOG_SCHEMA = f"{EVENT_LOG_SCHEMA_NAME}/v1"
@@ -199,6 +200,191 @@ def read_journal(path: Union[str, Path],
     return read_chained_journal(path, schema_name=EVENT_LOG_SCHEMA_NAME)
 
 
+# -- damage triage + suffix-cut repair -------------------------------------
+
+@dataclass
+class JournalScan:
+    """The lenient sibling of :func:`read_chained_journal` (fsck's view).
+
+    ``records`` is the longest valid chain prefix, ``valid_bytes`` the
+    byte length of that prefix in the file (truncating to it yields a
+    journal the strict reader accepts).  ``damage`` describes the first
+    failure past the prefix (``None`` when the whole file verifies), and
+    ``torn_tail`` says whether that damage is *provably* un-acknowledged
+    residue: nothing after the valid prefix parses as a complete signed
+    envelope, so the damage can only be the torn final append of a
+    crashed writer — cutting it loses no committed entry.  Interior
+    damage (a valid-looking envelope exists past the break) is NOT a
+    torn tail: cutting there would discard committed audit data, so
+    repair must quarantine instead.
+    """
+
+    path: Path
+    schema_name: str
+    records: List[EventRecord]
+    head: Optional[str]
+    valid_bytes: int
+    total_bytes: int
+    damage: Optional[str] = None
+    damage_lineno: Optional[int] = None
+    torn_tail: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return self.damage is None
+
+
+def scan_journal(path: Union[str, Path], *,
+                 schema_name: str = EVENT_LOG_SCHEMA_NAME) -> JournalScan:
+    """Triage one chained journal file without raising on damage.
+
+    Walks the file byte-accurately: each newline-terminated line (plus a
+    possible unterminated final fragment) is verified exactly as
+    :func:`read_chained_journal` would — envelope parse, schema load,
+    digest, ``seq`` contiguity, ``prev`` linkage.  The walk stops at the
+    first failure and then classifies it (see :class:`JournalScan`).
+    An unreadable file reports 0 valid bytes with the read error as
+    damage.
+    """
+    path = Path(path)
+    schema_tag = f"{schema_name}/v{ARTIFACTS.get(schema_name).version}"
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        return JournalScan(path=path, schema_name=schema_name, records=[],
+                           head=None, valid_bytes=0, total_bytes=0,
+                           damage=f"cannot read journal: "
+                                  f"{exc.strerror or exc}")
+
+    # Split into (line_bytes, end_offset) pairs; the final fragment (no
+    # trailing newline) is included — a complete valid envelope there is
+    # accepted, matching the strict reader's splitlines behaviour.
+    pieces: List[Tuple[bytes, int]] = []
+    start = 0
+    while start < len(raw):
+        newline = raw.find(b"\n", start)
+        if newline < 0:
+            pieces.append((raw[start:], len(raw)))
+            break
+        pieces.append((raw[start:newline], newline + 1))
+        start = newline + 1
+
+    def _verify(line: str, lineno: int, expect_seq: int,
+                expect_prev: Optional[str]) -> Tuple[EventRecord, str]:
+        source = f"{path}:{lineno}"
+        envelope = parse_artifact_text(line, source=source)
+        record = ARTIFACTS.load_dict(envelope, schema_name, source=source)
+        assert isinstance(record, EventRecord)
+        digest = envelope.get(DIGEST_KEY) if isinstance(envelope, dict) \
+            else None
+        if not isinstance(digest, str):
+            raise _chain_error(path, lineno, "entry carries no payload "
+                              "digest (chain link missing)",
+                              schema=schema_tag)
+        if record.seq != expect_seq:
+            raise _chain_error(
+                path, lineno, f"expected seq {expect_seq}, found "
+                f"{record.seq}", schema=schema_tag)
+        if record.prev != expect_prev:
+            raise _chain_error(
+                path, lineno, f"prev digest {record.prev!r} does not "
+                f"match the preceding entry's digest {expect_prev!r}",
+                schema=schema_tag)
+        return record, digest
+
+    records: List[EventRecord] = []
+    head: Optional[str] = None
+    valid_bytes = 0
+    damage: Optional[str] = None
+    damage_lineno: Optional[int] = None
+    damage_index: Optional[int] = None
+    for index, (line_bytes, end_offset) in enumerate(pieces):
+        lineno = index + 1
+        try:
+            line = line_bytes.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            damage = f"line {lineno} is not valid UTF-8: {exc}"
+            damage_lineno, damage_index = lineno, index
+            break
+        if not line.strip():
+            valid_bytes = end_offset  # blank lines are chain-neutral
+            continue
+        try:
+            record, digest = _verify(line, lineno, len(records), head)
+        except (CorruptArtifactError, ValueError) as exc:
+            damage = str(exc)
+            damage_lineno, damage_index = lineno, index
+            break
+        records.append(record)
+        head = digest
+        valid_bytes = end_offset
+
+    torn_tail = False
+    if damage is not None:
+        assert damage_index is not None
+        torn_tail = not any(
+            _parses_as_envelope(line_bytes, schema_name)
+            for line_bytes, _ in pieces[damage_index + 1:])
+    return JournalScan(path=path, schema_name=schema_name, records=records,
+                       head=head, valid_bytes=valid_bytes,
+                       total_bytes=len(raw), damage=damage,
+                       damage_lineno=damage_lineno, torn_tail=torn_tail)
+
+
+def _parses_as_envelope(line_bytes: bytes, schema_name: str) -> bool:
+    """Does this line alone verify as a complete signed entry?
+
+    Used by :func:`scan_journal` to distinguish a torn tail (nothing
+    committed lies past the break) from interior damage (it does).
+    Chain linkage is deliberately not checked — a committed entry past a
+    garbled line still chains to the *damaged* entry's digest, which can
+    no longer be verified.
+    """
+    try:
+        line = line_bytes.decode("utf-8")
+        if not line.strip():
+            return False
+        envelope = parse_artifact_text(line)
+        ARTIFACTS.load_dict(envelope, schema_name)
+        return isinstance(envelope, dict) \
+            and isinstance(envelope.get(DIGEST_KEY), str)
+    except (CorruptArtifactError, ValueError):
+        return False
+
+
+def repair_journal_tail(path: Union[str, Path], *,
+                        schema_name: str = EVENT_LOG_SCHEMA_NAME,
+                        ) -> JournalScan:
+    """Suffix-cut a torn journal tail in place (the provably-safe repair).
+
+    Returns the post-repair scan.  A clean journal is returned
+    untouched; a torn tail (see :class:`JournalScan`) is truncated back
+    to the valid prefix and fsync'd.  Interior damage raises
+    :class:`~repro.errors.CorruptArtifactError` — discarding committed
+    entries is never safe, the caller must quarantine the file.
+
+    Safety argument: every entry in the valid prefix was fully written
+    and verifies; everything past it parses as no complete envelope, so
+    it can only be the partial final append of a writer that died
+    mid-``write`` — an append whose :meth:`EventJournal.emit` never
+    returned, hence was never acknowledged to any caller.
+    """
+    scan = scan_journal(path, schema_name=schema_name)
+    if scan.clean:
+        return scan
+    if not scan.torn_tail:
+        raise CorruptArtifactError(
+            f"journal damage at line {scan.damage_lineno} is not a torn "
+            f"tail (committed entries exist past the break): "
+            f"{scan.damage}", source=path,
+            schema=f"{schema_name}/v{ARTIFACTS.get(schema_name).version}")
+    with open(scan.path, "r+b") as handle:
+        handle.truncate(scan.valid_bytes)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return scan_journal(path, schema_name=schema_name)
+
+
 # -- the append-only writer ------------------------------------------------
 
 class EventJournal:
@@ -228,6 +414,7 @@ class EventJournal:
         self._seq = seq
         self._head = head
         self._pid = os.getpid()
+        self._poisoned = False
         self._observers: List[Callable[[EventRecord], None]] = []
 
     @classmethod
@@ -244,6 +431,15 @@ class EventJournal:
             records, head = read_chained_journal(
                 path, schema_name=cls.SCHEMA_NAME)
             seq = len(records)
+            # A crash can tear off the final line's newline terminator
+            # while leaving the entry itself complete (the strict read
+            # above accepted it).  Restore the terminator before
+            # appending, or the next entry would concatenate onto the
+            # last one and corrupt the chain.
+            raw = path.read_bytes()
+            if raw and not raw.endswith(b"\n"):
+                with path.open("ab") as tail:
+                    tail.write(b"\n")
         else:
             path.parent.mkdir(parents=True, exist_ok=True)
         handle = path.open("a", encoding="utf-8")
@@ -274,28 +470,71 @@ class EventJournal:
 
     def emit(self, kind: str,
              data: Optional[Mapping[str, object]] = None) -> EventRecord:
-        """Append one event and advance the chain."""
+        """Append one event and advance the chain.
+
+        A failed append **poisons** the journal: the handle is closed
+        and every later :meth:`emit` raises.  This is deliberate — after
+        a torn or errored write the file may end in a damaged fragment,
+        and appending past it would turn a provably-safe suffix cut
+        (``repro fsck`` truncates the torn tail) into unrepairable
+        interior damage.  The chain state (``seq``/``head``) is never
+        advanced on failure.
+        """
+        from ..testing.chaos import fs_chaos, fs_fault
+
         if os.getpid() != self._pid:
             raise RuntimeError(
                 f"event journal {self._path} crossed a process boundary "
                 f"(opened in pid {self._pid}, emit from {os.getpid()}); "
                 f"the chain is single-writer")
         if self._handle is None:
-            raise ValueError(f"event journal {self._path} is closed")
+            raise ValueError(f"event journal {self._path} is closed"
+                             + (" (poisoned by an earlier failed append)"
+                                if self._poisoned else ""))
         record = type(self).RECORD_TYPE(
             seq=self._seq, ts_utc=_utc_now(), kind=kind,
             data=dict(data or {}), prev=self._head)
         envelope = ARTIFACTS.dump_dict(type(self).SCHEMA_NAME, record,
                                        source=self._path)
-        self._handle.write(
-            json.dumps(envelope, sort_keys=True,
-                       separators=(",", ":")) + "\n")
-        self._handle.flush()
+        line = json.dumps(envelope, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        point = f"journal-append:{type(self).SCHEMA_NAME}"
+        try:
+            fault = fs_chaos(point)
+            if fault == "enospc":
+                raise fs_fault(fault, point)
+            if fault == "torn":
+                # A prefix of the line lands, then the write errors —
+                # the journal now ends in a genuinely torn tail.
+                self._handle.write(line[:max(1, len(line) // 2)])
+                self._handle.flush()
+                raise fs_fault(fault, point)
+            self._handle.write(line)
+            self._handle.flush()
+            if fault in ("eio", "shortfsync"):
+                # The line is on disk but the durability step "failed":
+                # for ``eio`` the chain must not advance (the caller
+                # retries or degrades); the suffix-cut repair handles
+                # the maybe-durable last line either way.
+                raise fs_fault(fault, point)
+        except OSError:
+            self._poison()
+            raise
         self._head = envelope[DIGEST_KEY]  # type: ignore[assignment]
         self._seq += 1
         for observer in self._observers:
             observer(record)
         return record
+
+    def _poison(self) -> None:
+        """Close the handle after a failed append (see :meth:`emit`)."""
+        self._poisoned = True
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - double-fault close
+                pass
+            self._handle = None
 
     def close(self) -> None:
         if self._handle is not None:

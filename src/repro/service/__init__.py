@@ -8,16 +8,23 @@ service journal.  ``kill -9`` at any instant loses no accepted job —
 recovery replays the spool and resumes from checkpoints bit-for-bit.
 """
 
-from .client import ServiceClient, ServiceClientError, read_endpoint
+from .client import (RETRYABLE_STATUSES, ServiceClient, ServiceClientError,
+                     read_endpoint)
+from .fsck import (FINDING_KINDS, REPAIR_ACTIONS, Finding, FsckReport,
+                   daemon_pid, fsck_spool)
+from .gc import (GcPlan, GcReport, RetentionPolicy, compact_journal,
+                 plan_gc, run_gc)
 from .jobs import (JOB_RECORD_SCHEMA, JOB_RECORD_SCHEMA_NAME, JOB_STATES,
                    PRIORITY_CLASSES, TERMINAL_STATES, CampaignSpec,
-                   DrainingError, InvalidSubmissionError, JobRecord,
-                   JobStateError, Lease, QueueFullError, ServiceError,
-                   SpoolError, UnknownJobError)
+                   DiskPressureError, DrainingError, InvalidSubmissionError,
+                   JobRecord, JobStateError, Lease, QueueFullError,
+                   ServiceError, SpoolError, UnknownJobError)
 from .journal import (SERVICE_EVENT_KINDS, SERVICE_JOURNAL_SCHEMA,
                       SERVICE_JOURNAL_SCHEMA_NAME, ServiceEventRecord,
-                      ServiceJournal, read_service_journal)
+                      ServiceJournal, read_service_journal,
+                      repair_service_journal_tail, scan_service_journal)
 from .leases import LeaseTable
+from .pressure import (PRESSURE_MODES, DiskPressureWatchdog)
 from .scheduler import FairShareScheduler, QueueEntry
 from .server import CampaignService, serve
 from .store import (JOB_RESULT_SCHEMA, JOB_RESULT_SCHEMA_NAME, JobResult,
@@ -25,14 +32,20 @@ from .store import (JOB_RESULT_SCHEMA, JOB_RESULT_SCHEMA_NAME, JobResult,
 from .supervisor import Supervisor
 
 __all__ = [
-    "JOB_RECORD_SCHEMA", "JOB_RECORD_SCHEMA_NAME", "JOB_RESULT_SCHEMA",
-    "JOB_RESULT_SCHEMA_NAME", "JOB_STATES", "PRIORITY_CLASSES",
-    "SERVICE_EVENT_KINDS", "SERVICE_JOURNAL_SCHEMA",
+    "FINDING_KINDS", "JOB_RECORD_SCHEMA", "JOB_RECORD_SCHEMA_NAME",
+    "JOB_RESULT_SCHEMA", "JOB_RESULT_SCHEMA_NAME", "JOB_STATES",
+    "PRESSURE_MODES", "PRIORITY_CLASSES", "REPAIR_ACTIONS",
+    "RETRYABLE_STATUSES", "SERVICE_EVENT_KINDS", "SERVICE_JOURNAL_SCHEMA",
     "SERVICE_JOURNAL_SCHEMA_NAME", "TERMINAL_STATES", "CampaignService",
-    "CampaignSpec", "DrainingError", "FairShareScheduler",
-    "InvalidSubmissionError", "JobRecord", "JobResult", "JobStateError",
-    "JobStore", "Lease", "LeaseTable", "QueueEntry", "QueueFullError",
-    "ServiceClient", "ServiceClientError", "ServiceError",
-    "ServiceEventRecord", "ServiceJournal", "SpoolError", "Supervisor",
-    "UnknownJobError", "read_endpoint", "read_service_journal", "serve",
+    "CampaignSpec", "DiskPressureError", "DiskPressureWatchdog",
+    "DrainingError", "FairShareScheduler", "Finding", "FsckReport",
+    "GcPlan", "GcReport", "InvalidSubmissionError", "JobRecord",
+    "JobResult", "JobStateError", "JobStore", "Lease", "LeaseTable",
+    "QueueEntry", "QueueFullError", "RetentionPolicy", "ServiceClient",
+    "ServiceClientError", "ServiceError", "ServiceEventRecord",
+    "ServiceJournal", "SpoolError", "Supervisor", "UnknownJobError",
+    "compact_journal", "daemon_pid", "fsck_spool", "plan_gc",
+    "read_endpoint", "read_service_journal",
+    "repair_service_journal_tail", "run_gc", "scan_service_journal",
+    "serve",
 ]

@@ -14,18 +14,25 @@ CLI never have to guess a port.
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
+import time
 import urllib.error
 import urllib.request
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Callable, Dict, List, Mapping, Optional, Union
 
 from ..errors import ReproError
 from ..io import ArtifactError, parse_artifact_bytes, parse_artifact_text
 from .store import ENDPOINT_FILENAME
 
-__all__ = ["ServiceClient", "ServiceClientError", "read_endpoint"]
+__all__ = ["RETRYABLE_STATUSES", "ServiceClient", "ServiceClientError",
+           "read_endpoint"]
+
+#: Statuses whose typed envelopes carry an authoritative retry hint:
+#: 429 queue-full, 503 draining, 507 disk-pressure.
+RETRYABLE_STATUSES = (429, 503, 507)
 
 
 class ServiceClientError(ReproError):
@@ -66,23 +73,71 @@ def read_endpoint(spool: Union[str, Path]) -> Dict[str, object]:
 
 
 class ServiceClient:
-    """Blocking JSON client for one campaign daemon."""
+    """Blocking JSON client for one campaign daemon.
 
-    def __init__(self, base_url: str, *, timeout_s: float = 30.0):
+    With ``retries > 0`` the client honours the server's typed backoff
+    hints: a refusal whose envelope carries ``retry_after_s`` and one
+    of :data:`RETRYABLE_STATUSES` (429 queue-full, 503 draining, 507
+    disk-pressure) is retried after a capped exponential backoff with
+    *deterministic* jitter — derived from the request identity, not a
+    clock or RNG, so two processes hammering the same daemon desynch
+    while any single call sequence stays reproducible.  Everything
+    else (400s, 404s, transport failures) is never retried.
+    """
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0,
+                 retries: int = 0, backoff_cap_s: float = 30.0,
+                 sleep: Callable[[float], None] = time.sleep):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self._sleep = sleep
 
     @classmethod
     def from_spool(cls, spool: Union[str, Path], *,
-                   timeout_s: float = 30.0) -> "ServiceClient":
+                   timeout_s: float = 30.0,
+                   retries: int = 0) -> "ServiceClient":
         endpoint = read_endpoint(spool)
-        return cls(str(endpoint["url"]), timeout_s=timeout_s)
+        return cls(str(endpoint["url"]), timeout_s=timeout_s,
+                   retries=retries)
 
     # -- transport ---------------------------------------------------------
+
+    def backoff_s(self, path: str, attempt: int,
+                  retry_after_s: float) -> float:
+        """The delay before retry ``attempt`` (0-based) of ``path``.
+
+        ``min(cap, retry_after * 2^attempt)`` plus up to 25% jitter
+        keyed on (url, path, attempt) — deterministic, so tests can
+        assert it and identical clients still fan out in time.
+        """
+        base = min(self.backoff_cap_s,
+                   float(retry_after_s) * (2.0 ** attempt))
+        seed = hashlib.sha256(
+            f"{self.base_url}|{path}|{attempt}".encode("utf-8")).digest()
+        jitter = int.from_bytes(seed[:4], "big") / 0xFFFFFFFF
+        return min(self.backoff_cap_s, base * (1.0 + 0.25 * jitter))
 
     def _request(self, method: str, path: str,
                  body: Optional[Mapping[str, object]] = None,
                  ) -> Dict[str, object]:
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(method, path, body)
+            except ServiceClientError as exc:
+                retryable = (attempt < self.retries
+                             and exc.retry_after_s is not None
+                             and exc.http_status in RETRYABLE_STATUSES)
+                if not retryable:
+                    raise
+                self._sleep(self.backoff_s(path, attempt,
+                                           exc.retry_after_s))
+        raise AssertionError("unreachable: the loop returns or raises")
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Mapping[str, object]] = None,
+                      ) -> Dict[str, object]:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:

@@ -1,0 +1,312 @@
+"""Crash-safe spool garbage collection and journal compaction.
+
+A long-lived spool accumulates evidence: terminal job records, cached
+results, resume checkpoints, runner scratch, and an ever-growing
+journal chain.  This module reclaims it under an explicit
+:class:`RetentionPolicy` without ever endangering the service's two
+load-bearing invariants:
+
+* **Nothing reachable from a live job is collected.**  ``queued``,
+  ``leased`` and ``running`` records — and every artifact they reach
+  (result, checkpoint, heartbeat, scratch) — are retained
+  unconditionally; the policy only ranks *terminal* jobs.
+* **A ``done`` record never outlives its result.**  The sweep deletes
+  a collected job's scratch first, then its checkpoint, and its
+  *record last*; unreferenced results go in a second phase.  Because
+  the record is the thing the next plan is computed from, a crash at
+  any unlink boundary leaves a job GC still knows about — never an
+  orphaned checkpoint the sweep has forgotten, and never a completed
+  record whose result is gone (that would be fsck's
+  ``unreachable-result``).
+
+The sweep is **restartable by construction**: the plan is recomputed
+from the spool on every run and every deletion is idempotent, so a
+``kill -9`` mid-sweep (the chaos tier's ``gc-sweep`` point) simply
+means the next run finishes the job.  A dry run computes the same plan
+and touches nothing.
+
+Journal **compaction** bounds the audit chain: the current journal is
+archived durably (byte-for-byte, fsynced) under
+``spool/journal-archive/``, then a fresh chain is started whose
+genesis ``service.compacted`` entry names the archive, its entry count
+and its head digest — the old chain stays verifiable end-to-end, and
+the new chain records where its history went.  Compaction refuses a
+damaged journal (run ``repro fsck --repair`` first): archiving
+unverifiable bytes would launder corruption into provenance.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Set, Union
+
+from ..io.atomic import atomic_write_text
+from ..testing.chaos import service_chaos
+from .fsck import daemon_pid
+from .jobs import JobRecord, ServiceError
+from .journal import ServiceJournal, read_service_journal
+from .store import JobStore
+
+__all__ = ["ARCHIVE_DIRNAME", "GcPlan", "GcReport", "RetentionPolicy",
+           "compact_journal", "plan_gc", "run_gc"]
+
+ARCHIVE_DIRNAME = "journal-archive"
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """What terminal evidence to keep.
+
+    ``keep_last`` terminal jobs per tenant survive (newest first, by
+    ``submit_seq``); older ones — and, when ``max_age_s`` is set, any
+    terminal job or unreferenced result older than that — are
+    collected.  Live jobs are never ranked and never collected.
+    """
+
+    keep_last: int = 8
+    max_age_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.keep_last < 0:
+            raise ValueError("keep_last must be >= 0")
+        if self.max_age_s is not None and self.max_age_s < 0:
+            raise ValueError("max_age_s must be >= 0")
+
+
+@dataclass
+class GcPlan:
+    """The computed sweep: exactly which paths go, and why the rest
+    stay.  Deterministic given the spool contents and the clock."""
+
+    jobs_collected: List[str] = field(default_factory=list)
+    jobs_retained: List[str] = field(default_factory=list)
+    live_jobs: List[str] = field(default_factory=list)
+    record_paths: List[Path] = field(default_factory=list)
+    scratch_paths: List[Path] = field(default_factory=list)
+    checkpoint_paths: List[Path] = field(default_factory=list)
+    result_paths: List[Path] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.record_paths or self.scratch_paths
+                    or self.checkpoint_paths or self.result_paths)
+
+
+@dataclass
+class GcReport:
+    """What one sweep actually did."""
+
+    root: str
+    dry_run: bool
+    jobs_collected: int = 0
+    results_collected: int = 0
+    checkpoints_collected: int = 0
+    scratch_collected: int = 0
+    bytes_reclaimed: int = 0
+    jobs_retained: int = 0
+    live_jobs: int = 0
+    journal_compacted: bool = False
+    journal_archive: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "root": self.root, "dry_run": self.dry_run,
+            "jobs_collected": self.jobs_collected,
+            "results_collected": self.results_collected,
+            "checkpoints_collected": self.checkpoints_collected,
+            "scratch_collected": self.scratch_collected,
+            "bytes_reclaimed": self.bytes_reclaimed,
+            "jobs_retained": self.jobs_retained,
+            "live_jobs": self.live_jobs,
+            "journal_compacted": self.journal_compacted,
+            "journal_archive": self.journal_archive,
+        }
+
+
+def _age_s(path: Path, now: float) -> float:
+    try:
+        return max(0.0, now - path.stat().st_mtime)
+    except OSError:
+        return 0.0  # vanished mid-plan: someone else collected it
+
+
+def plan_gc(store: JobStore, policy: RetentionPolicy, *,
+            now: Optional[float] = None) -> GcPlan:
+    """Compute the sweep without touching anything.
+
+    Corrupt records are *skipped* (left for ``repro fsck``): GC never
+    deletes what it cannot verify.
+    """
+    if now is None:
+        now = datetime.now(timezone.utc).timestamp()
+    plan = GcPlan()
+    records: List[JobRecord] = []
+    for path in store.iter_job_paths():
+        try:
+            record = store.load_job(path.stem)
+        except (ValueError, OSError):
+            continue  # fsck territory, not GC's
+        records.append(record)
+
+    terminal_by_tenant: Dict[str, List[JobRecord]] = {}
+    for record in records:
+        if record.terminal:
+            terminal_by_tenant.setdefault(record.tenant, []).append(record)
+        else:
+            plan.live_jobs.append(record.job_id)
+
+    collected: List[JobRecord] = []
+    for tenant, terminals in sorted(terminal_by_tenant.items()):
+        terminals.sort(key=lambda r: r.submit_seq, reverse=True)
+        for rank, record in enumerate(terminals):
+            too_old = (policy.max_age_s is not None and _age_s(
+                store.job_path(record.job_id), now) > policy.max_age_s)
+            if rank < policy.keep_last and not too_old:
+                plan.jobs_retained.append(record.job_id)
+            else:
+                collected.append(record)
+
+    for record in collected:
+        plan.jobs_collected.append(record.job_id)
+        plan.record_paths.append(store.job_path(record.job_id))
+        for scratch in (store.heartbeat_path(record.job_id),
+                        store.error_path(record.job_id),
+                        store.log_path(record.job_id)):
+            if scratch.exists():
+                plan.scratch_paths.append(scratch)
+        checkpoint = store.checkpoint_path(record.job_id)
+        if checkpoint.exists():
+            plan.checkpoint_paths.append(checkpoint)
+
+    # Phase 2: results no *retained* record references.  Referenced-ness
+    # is recomputed from the post-sweep record set, so a result shared
+    # by a collected job and a retained one stays.
+    keep_ids: Set[str] = set(plan.live_jobs) | set(plan.jobs_retained)
+    referenced = {r.spec_digest.split(":", 1)[-1]
+                  for r in records if r.job_id in keep_ids}
+    for path in store.iter_result_paths():
+        if path.stem in referenced:
+            continue
+        if policy.max_age_s is None:
+            continue  # unreferenced cache is kept unless age-bounded
+        if _age_s(path, now) > policy.max_age_s:
+            plan.result_paths.append(path)
+    return plan
+
+
+def _unlink(path: Path, report: GcReport) -> int:
+    """One idempotent deletion step (the crash window the chaos tier
+    aims ``kill@gc-sweep`` at sits right before each unlink)."""
+    service_chaos("gc-sweep")
+    try:
+        size = path.stat().st_size
+        os.unlink(path)
+    except OSError:
+        return 0
+    report.bytes_reclaimed += size
+    return 1
+
+
+def run_gc(root: Union[str, Path], policy: RetentionPolicy, *,
+           compact: bool = False, dry_run: bool = False,
+           now: Optional[float] = None) -> GcReport:
+    """Plan and (unless ``dry_run``) execute one retention sweep.
+
+    Refuses to run while a daemon is alive on the spool.  The deletion
+    order is the crash-safety argument: scratch → checkpoints →
+    records → unreferenced results (see the module doc — the record
+    goes last so an interrupted sweep never orphans evidence the next
+    plan cannot see).
+    """
+    store = JobStore(root)
+    pid = daemon_pid(store)
+    if pid is not None:
+        raise ServiceError(
+            f"refusing to collect {store.root}: daemon pid {pid} is "
+            f"alive on this spool (stop it first)")
+    plan = plan_gc(store, policy, now=now)
+    report = GcReport(root=str(store.root), dry_run=dry_run,
+                      jobs_retained=len(plan.jobs_retained),
+                      live_jobs=len(plan.live_jobs))
+    if dry_run:
+        report.jobs_collected = len(plan.record_paths)
+        report.results_collected = len(plan.result_paths)
+        report.checkpoints_collected = len(plan.checkpoint_paths)
+        report.scratch_collected = len(plan.scratch_paths)
+        return report
+
+    for path in plan.scratch_paths:
+        report.scratch_collected += _unlink(path, report)
+    for path in plan.checkpoint_paths:
+        report.checkpoints_collected += _unlink(path, report)
+    for path in plan.record_paths:
+        report.jobs_collected += _unlink(path, report)
+    for path in plan.result_paths:
+        report.results_collected += _unlink(path, report)
+
+    if compact:
+        archive = compact_journal(store)
+        report.journal_compacted = archive is not None
+        report.journal_archive = (None if archive is None
+                                  else str(archive))
+    _journal_gc_summary(store, report)
+    return report
+
+
+def compact_journal(store: JobStore) -> Optional[Path]:
+    """Archive the current chain and start a fresh one.
+
+    Returns the archive path, or ``None`` when there is nothing to
+    compact.  The order is the crash-safety argument: the archive is
+    written *durably* before the live journal is removed, so no
+    instant exists at which the audit history is only in memory.
+    """
+    path = store.journal_path
+    if not path.exists():
+        return None
+    # Strict read: compaction must never archive an unverifiable chain.
+    records, head = read_service_journal(path)
+    if not records:
+        return None
+    archive_dir = store.root / ARCHIVE_DIRNAME
+    archive_dir.mkdir(parents=True, exist_ok=True)
+    index = len(list(archive_dir.glob("service-journal.*.jsonl")))
+    archive = archive_dir / f"service-journal.{index:04d}.jsonl"
+    atomic_write_text(archive, path.read_text(encoding="utf-8"))
+    os.unlink(path)
+    journal = ServiceJournal.open(path, resume=True)
+    try:
+        journal.emit("service.compacted", {
+            "archive": archive.name,
+            "entries": len(records),
+            "head": head,
+        })
+    finally:
+        journal.close()
+    return archive
+
+
+def _journal_gc_summary(store: JobStore, report: GcReport) -> None:
+    """Best-effort ``service.gc`` audit entry (same contract as the
+    fsck summary: a missing or damaged journal never fails the sweep)."""
+    if not store.journal_path.exists():
+        return
+    try:
+        journal = ServiceJournal.open(store.journal_path, resume=True)
+        try:
+            journal.emit("service.gc", {
+                "jobs_collected": report.jobs_collected,
+                "results_collected": report.results_collected,
+                "checkpoints_collected": report.checkpoints_collected,
+                "scratch_collected": report.scratch_collected,
+                "bytes_reclaimed": report.bytes_reclaimed,
+                "jobs_retained": report.jobs_retained,
+                "live_jobs": report.live_jobs,
+            })
+        finally:
+            journal.close()
+    except (OSError, ValueError):
+        pass

@@ -50,7 +50,7 @@ __all__ = [
     "PRIORITY_CLASSES", "TERMINAL_STATES", "CampaignSpec", "JobRecord",
     "Lease", "ServiceError", "QueueFullError", "DrainingError",
     "UnknownJobError", "InvalidSubmissionError", "SpoolError",
-    "JobStateError",
+    "JobStateError", "DiskPressureError",
 ]
 
 JOB_RECORD_SCHEMA_NAME = "repro.job-record"
@@ -146,6 +146,32 @@ class SpoolError(ServiceError):
 
     kind = "spool"
     http_status = 507
+
+
+class DiskPressureError(ServiceError):
+    """Admission refused *pre-emptively*: the spool's disk is under
+    pressure and the daemon has degraded to read-only-for-new-work
+    (``cautious``) or is draining in-flight runners (``minimal``).
+
+    The proactive sibling of :class:`SpoolError` — same 507, but
+    raised *before* any write is attempted, with a ``retry_after_s``
+    so clients back off while the operator (or ``repro gc``) makes
+    room.
+    """
+
+    kind = "disk-pressure"
+    http_status = 507
+
+    def __init__(self, mode: str, free_bytes: int, low_free_bytes: int,
+                 retry_after_s: float = 10.0):
+        super().__init__(
+            f"service is in {mode} mode: {free_bytes} bytes free on the "
+            f"spool filesystem (low watermark {low_free_bytes}); retry "
+            f"in {retry_after_s:g} s or reclaim space with `repro gc`")
+        self.mode = mode
+        self.free_bytes = free_bytes
+        self.low_free_bytes = low_free_bytes
+        self.retry_after_s = retry_after_s
 
 
 # -- the campaign spec -----------------------------------------------------

@@ -24,11 +24,14 @@ from typing import ClassVar, List, Optional, Tuple, Union
 
 from ..io.artifact import ArtifactSchema, register_artifact
 from ..io.validate import Int, Json, MapOf, NullOr, Record, Str
-from ..obs.events import EventJournal, EventRecord, read_chained_journal
+from ..obs.events import (EventJournal, EventRecord, JournalScan,
+                          read_chained_journal, repair_journal_tail,
+                          scan_journal)
 
 __all__ = ["SERVICE_JOURNAL_SCHEMA", "SERVICE_JOURNAL_SCHEMA_NAME",
            "SERVICE_EVENT_KINDS", "ServiceEventRecord", "ServiceJournal",
-           "read_service_journal"]
+           "read_service_journal", "scan_service_journal",
+           "repair_service_journal_tail"]
 
 SERVICE_JOURNAL_SCHEMA_NAME = "repro.service-journal"
 SERVICE_JOURNAL_SCHEMA = f"{SERVICE_JOURNAL_SCHEMA_NAME}/v1"
@@ -42,6 +45,9 @@ SERVICE_EVENT_KINDS = (
     # execution lifecycle
     "job.leased", "job.requeued", "job.completed", "job.failed",
     "job.cancelled",
+    # storage integrity (DESIGN §15): degradation-ladder transitions,
+    # offline repair summaries, retention sweeps and chain rotations
+    "service.pressure", "service.fsck", "service.gc", "service.compacted",
 )
 """The closed service-event taxonomy — the service sibling of
 :data:`~repro.obs.events.EVENT_KINDS`."""
@@ -72,6 +78,19 @@ def read_service_journal(path: Union[str, "object"],
     :func:`~repro.obs.events.read_chained_journal`)."""
     return read_chained_journal(path,  # type: ignore[arg-type]
                                 schema_name=SERVICE_JOURNAL_SCHEMA_NAME)
+
+
+def scan_service_journal(path) -> JournalScan:
+    """Damage-triage one service journal (fsck's lenient reader — see
+    :func:`~repro.obs.events.scan_journal`)."""
+    return scan_journal(path, schema_name=SERVICE_JOURNAL_SCHEMA_NAME)
+
+
+def repair_service_journal_tail(path) -> JournalScan:
+    """Suffix-cut a torn service-journal tail in place (see
+    :func:`~repro.obs.events.repair_journal_tail`)."""
+    return repair_journal_tail(path,
+                               schema_name=SERVICE_JOURNAL_SCHEMA_NAME)
 
 
 # -- artifact schema registration ------------------------------------------

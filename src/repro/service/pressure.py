@@ -1,0 +1,119 @@
+"""Disk-pressure degradation: detect a filling disk *before* it is full.
+
+The spool's crash-safety story assumes writes can land; a disk that
+fills mid-campaign turns every durable transition into an ``ENOSPC``
+minefield.  Instead of discovering that at the worst moment (a torn
+result commit), the daemon watches free space and walks a three-rung
+degradation ladder — the storage mirror of the nominal → cautious →
+minimal-risk mitigation strategies the paper's QRN assigns to hazard
+mitigation (Gleirscher's risk-structured modes):
+
+``nominal``
+    Free space above the low watermark: full service.
+``cautious``
+    Below the low watermark: the daemon goes *read-only for new work*.
+    Submissions are refused with a typed 507 (``disk-pressure``)
+    carrying ``retry_after_s``; queued jobs stay queued (granting them
+    would spend the remaining headroom on checkpoints); everything
+    already running is left to finish — its space is already budgeted.
+``minimal``
+    Below the critical watermark: in-flight runners are drained
+    (SIGTERM → checkpoint flush → exit 130 → parked back in
+    ``queued``), exactly like a graceful shutdown, so the last
+    megabytes go to *completing the audit trail*, not half-written
+    results.
+
+Transitions are **hysteretic**: escalation is immediate, recovery
+requires free space to clear the watermark by ``recover_factor`` —
+a disk oscillating around a threshold must not flap the service mode
+(and journal spam) with it.  Every transition lands in the service
+journal as ``service.pressure`` and the current state is exported as
+gauges (``service.disk_free_bytes``, ``service.pressure_level``).
+
+The probe is injectable for tests; the ``REPRO_DISK_FREE_OVERRIDE``
+environment variable (bytes) overrides the real ``statvfs`` answer so
+subprocess daemons can be put under synthetic pressure without
+actually filling a disk.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+__all__ = ["DEFAULT_CRITICAL_FREE_BYTES", "DEFAULT_LOW_FREE_BYTES",
+           "FREE_OVERRIDE_ENV", "PRESSURE_MODES", "DiskPressureWatchdog"]
+
+#: The degradation ladder, benign to severe (index = gauge value).
+PRESSURE_MODES = ("nominal", "cautious", "minimal")
+
+DEFAULT_LOW_FREE_BYTES = 128 * 1024 * 1024
+DEFAULT_CRITICAL_FREE_BYTES = 32 * 1024 * 1024
+
+#: Test hook: a byte count that overrides the filesystem probe.
+FREE_OVERRIDE_ENV = "REPRO_DISK_FREE_OVERRIDE"
+
+
+def _default_probe(root: Path) -> int:
+    override = os.environ.get(FREE_OVERRIDE_ENV)
+    if override:
+        return int(override)
+    return shutil.disk_usage(root).free
+
+
+class DiskPressureWatchdog:
+    """Hysteretic free-space monitor for one spool's filesystem.
+
+    ``poll()`` is cheap (one ``statvfs``) and safe to call from both
+    the supervisor tick and the admission path; it returns the current
+    mode and keeps ``mode`` / ``free_bytes`` up to date.
+    """
+
+    def __init__(self, root: Union[str, Path], *,
+                 low_free_bytes: int = DEFAULT_LOW_FREE_BYTES,
+                 critical_free_bytes: int = DEFAULT_CRITICAL_FREE_BYTES,
+                 probe: Optional[Callable[[], int]] = None,
+                 recover_factor: float = 1.25):
+        if critical_free_bytes < 0 or low_free_bytes < 0:
+            raise ValueError("watermarks must be >= 0")
+        if critical_free_bytes > low_free_bytes:
+            raise ValueError(
+                f"critical watermark ({critical_free_bytes}) must not "
+                f"exceed the low watermark ({low_free_bytes})")
+        if recover_factor < 1.0:
+            raise ValueError("recover_factor must be >= 1.0 (hysteresis "
+                             "cannot recover below the escalation point)")
+        self.root = Path(root)
+        self.low_free_bytes = int(low_free_bytes)
+        self.critical_free_bytes = int(critical_free_bytes)
+        self.recover_factor = float(recover_factor)
+        self._probe = probe or (lambda: _default_probe(self.root))
+        self.mode = "nominal"
+        self.free_bytes: Optional[int] = None
+
+    def poll(self) -> str:
+        free = int(self._probe())
+        self.free_bytes = free
+        # Escalation is immediate; the ladder can be taken two rungs at
+        # once (a sudden fill goes straight to minimal).
+        if free < self.critical_free_bytes:
+            self.mode = "minimal"
+            return self.mode
+        if free < self.low_free_bytes and self.mode != "minimal":
+            self.mode = "cautious"
+            return self.mode
+        # Recovery needs hysteresis headroom, one rung at a time.
+        if self.mode == "minimal":
+            if free >= self.critical_free_bytes * self.recover_factor:
+                self.mode = "cautious"
+        elif self.mode == "cautious":
+            if free >= self.low_free_bytes * self.recover_factor:
+                self.mode = "nominal"
+        return self.mode
+
+    @property
+    def level(self) -> int:
+        """The gauge encoding of :attr:`mode` (0 nominal … 2 minimal)."""
+        return PRESSURE_MODES.index(self.mode)

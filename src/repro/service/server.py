@@ -54,10 +54,13 @@ from ..obs.export import prometheus_text
 from ..obs.metrics import MetricsRegistry
 from ..testing.chaos import service_chaos
 from ..traffic.checkpoint import read_checkpoint_progress
-from .jobs import (PRIORITY_CLASSES, CampaignSpec, DrainingError,
-                   InvalidSubmissionError, JobRecord, JobStateError,
-                   QueueFullError, ServiceError, SpoolError, UnknownJobError)
+from .jobs import (PRIORITY_CLASSES, CampaignSpec, DiskPressureError,
+                   DrainingError, InvalidSubmissionError, JobRecord,
+                   JobStateError, QueueFullError, ServiceError, SpoolError,
+                   UnknownJobError)
 from .journal import ServiceJournal
+from .pressure import (DEFAULT_CRITICAL_FREE_BYTES, DEFAULT_LOW_FREE_BYTES,
+                       DiskPressureWatchdog)
 from .scheduler import FairShareScheduler, QueueEntry
 from .store import JOB_RESULT_SCHEMA_NAME, JobStore
 from .supervisor import Supervisor
@@ -73,16 +76,23 @@ class CampaignService:
 
     def __init__(self, spool: Union[str, Path], *, queue_limit: int = 16,
                  max_runners: int = 2, lease_ttl_s: float = 30.0,
-                 max_attempts: int = 3):
+                 max_attempts: int = 3,
+                 low_free_bytes: int = DEFAULT_LOW_FREE_BYTES,
+                 critical_free_bytes: int = DEFAULT_CRITICAL_FREE_BYTES,
+                 disk_probe=None):
         self.store = JobStore(spool)
         self.epoch = f"epoch-{os.getpid()}-{os.urandom(4).hex()}"
         self.metrics = MetricsRegistry()
         self._lock = threading.RLock()
         self.scheduler = FairShareScheduler(queue_limit=queue_limit)
+        self.watchdog = DiskPressureWatchdog(
+            self.store.root, low_free_bytes=low_free_bytes,
+            critical_free_bytes=critical_free_bytes, probe=disk_probe)
         self.supervisor = Supervisor(
             self.store, self.scheduler, self._emit, self.metrics,
             self._lock, epoch=self.epoch, max_runners=max_runners,
-            lease_ttl_s=lease_ttl_s, max_attempts=max_attempts)
+            lease_ttl_s=lease_ttl_s, max_attempts=max_attempts,
+            watchdog=self.watchdog)
         self._journal: Optional[ServiceJournal] = None
         self._next_seq = 0
         self.draining = False
@@ -94,8 +104,11 @@ class CampaignService:
         if self._journal is not None:
             try:
                 self._journal.emit(kind, data)
-            except OSError:
-                pass  # audit starvation must never take down the service
+            except (OSError, ValueError):
+                # Audit starvation must never take down the service; the
+                # ValueError arm covers a journal poisoned by an earlier
+                # failed append (records, not the journal, drive recovery).
+                pass
         service_chaos(f"journal-append:{kind}")
 
     # -- lifecycle ---------------------------------------------------------
@@ -154,6 +167,14 @@ class CampaignService:
         with self._lock:
             if self.draining:
                 raise DrainingError()
+            # Pre-emptive 507 (DESIGN §15): under disk pressure the
+            # spool is read-only for new work — refuse with a typed
+            # retry hint *before* any durable write is attempted.
+            if self.watchdog.poll() != "nominal":
+                self.metrics.counter("service.pressure_rejections").inc()
+                raise DiskPressureError(
+                    self.watchdog.mode, self.watchdog.free_bytes or 0,
+                    self.watchdog.low_free_bytes)
             if self.store.has_job(spec.job_id):
                 return self._resubmit(self.store.load_job(spec.job_id),
                                       tenant, priority)
@@ -209,6 +230,12 @@ class CampaignService:
                 priority=priority, submit_seq=self._next_seq)
             self._admit(retry)
             return retry, True, False
+        if (record.state == "queued"
+                and record.job_id not in self.scheduler.queued_ids()):
+            # A durability lie (short fsync) can persist the record
+            # while the admission rolled its queue entry back — the
+            # idempotent retry re-seats it instead of stranding it.
+            self.supervisor._enqueue(record, force=True)
         return record, False, record.state == "done"
 
     # -- queries -----------------------------------------------------------
@@ -248,6 +275,13 @@ class CampaignService:
                 "epoch": self.epoch,
                 "pid": os.getpid(),
                 "draining": self.draining,
+                "pressure": {
+                    "mode": self.watchdog.poll(),
+                    "free_bytes": self.watchdog.free_bytes,
+                    "low_free_bytes": self.watchdog.low_free_bytes,
+                    "critical_free_bytes":
+                        self.watchdog.critical_free_bytes,
+                },
                 "queue_depth": self.scheduler.depth(),
                 "queued": list(self.scheduler.queued_ids()),
                 "running": self.supervisor.running_jobs(),
@@ -432,7 +466,9 @@ class _PayloadTooLarge(ServiceError):
 def serve(spool: Union[str, Path], *, host: str = "127.0.0.1",
           port: int = 0, queue_limit: int = 16, max_runners: int = 2,
           lease_ttl_s: float = 30.0, max_attempts: int = 3,
-          drain_timeout_s: float = 30.0) -> int:
+          drain_timeout_s: float = 30.0,
+          low_free_bytes: int = DEFAULT_LOW_FREE_BYTES,
+          critical_free_bytes: int = DEFAULT_CRITICAL_FREE_BYTES) -> int:
     """Run the campaign daemon until SIGTERM/SIGINT; returns exit code.
 
     Binds (``port=0`` picks a free port), publishes the bound URL + pid
@@ -443,7 +479,9 @@ def serve(spool: Union[str, Path], *, host: str = "127.0.0.1",
     service = CampaignService(spool, queue_limit=queue_limit,
                               max_runners=max_runners,
                               lease_ttl_s=lease_ttl_s,
-                              max_attempts=max_attempts)
+                              max_attempts=max_attempts,
+                              low_free_bytes=low_free_bytes,
+                              critical_free_bytes=critical_free_bytes)
     service.start()
     httpd = _ServiceHTTPServer((host, port), _Handler, service)
     bound_host, bound_port = httpd.server_address[:2]

@@ -39,7 +39,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Union
 from ..io.artifact import ARTIFACTS, ArtifactSchema, register_artifact
 from ..io.atomic import atomic_write_text
 from ..io.validate import Int, Record, Str
-from ..testing.chaos import service_chaos
+from ..testing.chaos import fs_chaos, fs_fault, service_chaos
 from ..traffic.checkpoint import (RESULT_SPEC, result_from_dict,
                                   result_to_dict)
 from ..traffic.simulator import SimulationResult
@@ -130,12 +130,32 @@ class JobStore:
     def error_path(self, job_id: str) -> Path:
         return self.root / "jobs" / f"{job_id}.error"
 
+    def log_path(self, job_id: str) -> Path:
+        return self.root / "jobs" / f"{job_id}.log"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where ``repro fsck`` parks artifacts it cannot safely repair."""
+        return self.root / "quarantine"
+
+    def iter_job_paths(self) -> List[Path]:
+        return sorted((self.root / "jobs").glob("j-*.json"))
+
+    def iter_result_paths(self) -> List[Path]:
+        return sorted((self.root / "results").glob("*.json"))
+
+    def iter_checkpoint_paths(self) -> List[Path]:
+        return sorted((self.root / "checkpoints").glob("*.json"))
+
     # -- job records ------------------------------------------------------
 
     def save_job(self, record: JobRecord) -> JobRecord:
         """Atomically persist one job record (the durable transition)."""
         try:
             service_chaos("spool-write:job")
+            fault = fs_chaos("store.save-job")
+            if fault is not None:
+                raise fs_fault(fault, "store.save-job")
             ARTIFACTS.save(self.job_path(record.job_id),
                            "repro.job-record", record)
         except OSError as exc:
@@ -182,6 +202,9 @@ class JobStore:
 
     def save_result(self, job_result: JobResult) -> Path:
         try:
+            fault = fs_chaos("store.save-result")
+            if fault is not None:
+                raise fs_fault(fault, "store.save-result")
             path = ARTIFACTS.save(self.result_path(job_result.spec_digest),
                                   JOB_RESULT_SCHEMA_NAME, job_result)
         except OSError as exc:

@@ -28,12 +28,12 @@ import subprocess
 import sys
 import threading
 import time
-from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from ..testing.chaos import service_chaos
 from .jobs import JobRecord
 from .leases import LeaseTable
+from .pressure import DiskPressureWatchdog
 from .scheduler import FairShareScheduler, QueueEntry
 from .store import JobResult, JobStore
 
@@ -48,7 +48,8 @@ class Supervisor:
                  *, epoch: str, max_runners: int = 2,
                  lease_ttl_s: float = 30.0, max_attempts: int = 3,
                  poll_interval_s: float = 0.05,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 watchdog: Optional[DiskPressureWatchdog] = None):
         self._store = store
         self._scheduler = scheduler
         self._emit = emit
@@ -59,6 +60,8 @@ class Supervisor:
         self.max_attempts = int(max_attempts)
         self.poll_interval_s = float(poll_interval_s)
         self.draining = False
+        self.watchdog = watchdog
+        self._announced_mode = "nominal"
         self._leases = LeaseTable(epoch, ttl_s=lease_ttl_s, clock=clock)
         self._runners: Dict[str, subprocess.Popen] = {}
         self._stop = threading.Event()
@@ -84,12 +87,45 @@ class Supervisor:
 
     def tick(self) -> None:
         with self._lock:
+            self._watch_pressure()
             self._reap()
             self._watch_heartbeats()
             self._fill_slots()
             self._metrics.gauge("service.queue_depth").set(
                 self._scheduler.depth())
             self._metrics.gauge("service.running").set(len(self._runners))
+
+    # -- disk pressure (DESIGN §15 degradation ladder) --------------------
+
+    @property
+    def pressure_mode(self) -> str:
+        return "nominal" if self.watchdog is None else self.watchdog.mode
+
+    def _watch_pressure(self) -> None:
+        """Poll the watchdog; journal transitions; act on escalation.
+
+        Entering ``minimal`` drains in-flight runners exactly like a
+        graceful shutdown — SIGTERM, checkpoint flush, exit 130, job
+        parked back in ``queued`` — so the disk's last headroom goes to
+        completing durable state, not to half-written results.
+        """
+        if self.watchdog is None:
+            return
+        mode = self.watchdog.poll()
+        self._metrics.gauge("service.disk_free_bytes").set(
+            self.watchdog.free_bytes or 0)
+        self._metrics.gauge("service.pressure_level").set(
+            self.watchdog.level)
+        if mode == self._announced_mode:
+            return
+        previous, self._announced_mode = self._announced_mode, mode
+        self._emit("service.pressure", mode=mode, previous=previous,
+                   free_bytes=self.watchdog.free_bytes)
+        self._metrics.counter("service.pressure_transitions").inc()
+        if mode == "minimal":
+            for proc in self._runners.values():
+                if proc.poll() is None:
+                    proc.terminate()
 
     # -- recovery (before the loop starts) --------------------------------
 
@@ -150,14 +186,20 @@ class Supervisor:
                     and self._store.has_result(record.spec_digest):
                 result = self._store.load_result(record.spec_digest)
                 self._complete(record, result, cached=False)
-            elif returncode == 130 and self.draining:
-                # Graceful drain: the checkpoint holds the progress;
-                # park the job for the next daemon incarnation.
+            elif returncode == 130 and (self.draining
+                                        or self.pressure_mode == "minimal"):
+                # Graceful drain (shutdown or minimal-mode disk
+                # pressure): the checkpoint holds the progress; park the
+                # job until the next daemon — or the next nominal mode.
                 record = record.advanced("queued", lease=None)
                 self._store.save_job(record)
                 self._emit("job.requeued", job_id=job_id,
-                           tenant=record.tenant, reason="drain",
+                           tenant=record.tenant,
+                           reason=("drain" if self.draining
+                                   else "disk-pressure"),
                            attempts=record.attempts)
+                if not self.draining:
+                    self._enqueue(record, force=True)
             else:
                 self._handle_crash(record, returncode)
 
@@ -210,7 +252,8 @@ class Supervisor:
     # -- granting ---------------------------------------------------------
 
     def _fill_slots(self) -> None:
-        while not self.draining and len(self._runners) < self.max_runners:
+        while not self.draining and self.pressure_mode == "nominal" \
+                and len(self._runners) < self.max_runners:
             entry = self._scheduler.next_job()
             if entry is None:
                 return
@@ -241,9 +284,7 @@ class Supervisor:
         self._store.save_job(record)
 
     def _spawn(self, record: JobRecord) -> subprocess.Popen:
-        log_path = Path(self._store.root) / "jobs" / \
-            f"{record.job_id}.log"
-        log = open(log_path, "ab")
+        log = open(self._store.log_path(record.job_id), "ab")
         try:
             return subprocess.Popen(
                 [sys.executable, "-m", "repro.service.runner",

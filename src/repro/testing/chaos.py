@@ -57,7 +57,8 @@ import numpy as np
 
 __all__ = ["CHAOS_FAULT_KINDS", "ChaosError", "ChaosScript", "ChaosWorker",
            "replace_with_garbage", "SERVICE_CHAOS_ENV",
-           "SERVICE_CHAOS_DIR_ENV", "service_chaos"]
+           "SERVICE_CHAOS_DIR_ENV", "service_chaos", "FS_CHAOS_ENV",
+           "FS_CHAOS_DIR_ENV", "FS_FAULT_KINDS", "fs_chaos", "fs_fault"]
 
 CHAOS_FAULT_KINDS = ("raise", "exit", "hang", "garbage")
 
@@ -280,3 +281,94 @@ def service_chaos(point: str) -> None:
         nth = int(nth_text) if nth_text else 1
         if _claim_hit(state_dir, index) == nth:
             os.kill(os.getpid(), signal.SIGKILL)
+
+
+# -- filesystem-level chaos -------------------------------------------------
+#
+# Where the service chaos tier scripts *process* faults (kills, whole-
+# operation failures), the filesystem chaos tier scripts *storage*
+# faults at the named points inside the durable-write paths themselves —
+# ``io/atomic.py``'s temp-write-fsync-rename dance, the journal append
+# in ``obs/events.py`` (and its ``service/journal.py`` subclass), the
+# spool writes in ``service/store.py``, the checkpoint flush in
+# ``traffic/checkpoint.py``.  Each point asks :func:`fs_chaos` whether a
+# fault is scripted for *this* occurrence and then simulates the real
+# storage failure mode in place:
+#
+# ``enospc``
+#     ``OSError(ENOSPC)`` before any byte lands — the clean disk-full.
+# ``eio``
+#     ``OSError(EIO)`` after the data is written but before it is
+#     durable — the failed fsync / dying device.
+# ``torn``
+#     a *prefix* of the payload lands and then the write errors — the
+#     torn page / power-cut-mid-append every journal-repair path must
+#     survive.  Atomic writers leave their orphaned temp file behind
+#     (the crash-between-create-and-rename residue ``repro fsck``
+#     sweeps); journal appenders leave a genuinely torn tail.
+# ``shortfsync``
+#     the write completes — the rename even lands — but the final
+#     durability step reports failure, so the caller believes the write
+#     failed while the bytes are actually intact.  Retry/fsck paths must
+#     be idempotent against this lie.
+#
+# Directive syntax mirrors ``REPRO_SERVICE_CHAOS``::
+#
+#     REPRO_FS_CHAOS="<kind>@<point>[#<nth>];..."
+#
+# Without ``#<nth>`` the fault fires on *every* hit of the point (a
+# persistently sick disk).  With ``#<nth>`` it fires exactly once, on
+# the nth occurrence *across all processes and restarts*, claimed
+# crash-safely through ``O_CREAT | O_EXCL`` markers in
+# ``REPRO_FS_CHAOS_DIR`` — same protocol as the kill directives, because
+# the victim of a torn write may well be about to die.  With the
+# variable unset, every instrumented point costs one environment lookup.
+
+FS_CHAOS_ENV = "REPRO_FS_CHAOS"
+FS_CHAOS_DIR_ENV = "REPRO_FS_CHAOS_DIR"
+
+FS_FAULT_KINDS = ("enospc", "eio", "torn", "shortfsync")
+
+
+def fs_fault(kind: str, point: str) -> OSError:
+    """The :class:`OSError` an injected filesystem fault surfaces as.
+
+    ``enospc`` carries ``errno.ENOSPC``; every other kind carries
+    ``errno.EIO`` (a torn write and a failed fsync both look like I/O
+    errors to the caller).  Callers wrap it into their typed taxonomy
+    exactly as they would the real thing.
+    """
+    code = errno.ENOSPC if kind == "enospc" else errno.EIO
+    return OSError(code, f"injected fs fault {kind!r} at chaos point "
+                         f"{point!r}")
+
+
+def fs_chaos(point: str) -> "str | None":
+    """The scripted filesystem fault kind for this hit of ``point``.
+
+    Returns one of :data:`FS_FAULT_KINDS` when a directive matches (and,
+    for ``#<nth>`` directives, when this is the claimed nth global hit),
+    else ``None``.  The *caller* simulates the fault — only the call
+    site knows which bytes a torn write should cut.
+    """
+    spec = os.environ.get(FS_CHAOS_ENV, "")
+    if not spec:
+        return None
+    for index, directive in enumerate(spec.split(";")):
+        directive = directive.strip()
+        if "@" not in directive:
+            continue
+        kind, _, rest = directive.partition("@")
+        target, _, nth_text = rest.partition("#")
+        if target != point or kind not in FS_FAULT_KINDS:
+            continue
+        if not nth_text:
+            return kind
+        state_dir = os.environ.get(FS_CHAOS_DIR_ENV)
+        if state_dir is None:
+            raise RuntimeError(
+                f"{FS_CHAOS_ENV} has an nth-hit directive but "
+                f"{FS_CHAOS_DIR_ENV} is unset")
+        if _claim_hit(state_dir, 1000 + index) == int(nth_text):
+            return kind
+    return None

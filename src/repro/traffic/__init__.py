@@ -39,7 +39,7 @@ from .scenarios import (AnimalRunOut, CrossingPedestrian, CutIn,
                         ScenarioSuite, incident_rate_contributions,
                         run_scenario)
 from .checkpoint import (CHECKPOINT_SCHEMA, CampaignCheckpoint,
-                         CheckpointMismatchError,
+                         CheckpointMismatchError, CheckpointWriteError,
                          read_checkpoint_progress)
 from .fleet import (CHUNK_TRANSPORTS, DEFAULT_CHUNK_HOURS, DEFAULT_MIX,
                     DEFAULT_RETRY_POLICY, POLICY_NAMES, FleetProgress,
@@ -70,6 +70,7 @@ __all__ = [
     "classify_block_counts", "iter_record_blocks", "load_record_blocks",
     "shm_available",
     "CHECKPOINT_SCHEMA", "CampaignCheckpoint", "CheckpointMismatchError",
+    "CheckpointWriteError",
     "read_checkpoint_progress", "DEFAULT_MIX", "POLICY_NAMES",
     "policy_by_name",
     "TypeRates", "estimate_type_rates", "empirical_splits", "type_counts",

@@ -44,7 +44,7 @@ from typing import Dict, Mapping, Optional
 
 from ..core.incident import IncidentRecord
 from ..core.taxonomy import ActorClass
-from ..errors import ArtifactValidationError
+from ..errors import ArtifactError, ArtifactValidationError
 from ..io.artifact import ARTIFACTS, ArtifactSchema, register_artifact
 from ..io.validate import (Bool, Int, Json, ListOf, MapOf, NullOr, Number,
                            Record, Str)
@@ -54,7 +54,7 @@ from .simulator import SimulationResult
 
 __all__ = ["CHECKPOINT_SCHEMA", "CHECKPOINT_SCHEMA_NAME", "RESULT_SPEC",
            "CampaignCheckpoint", "CheckpointMismatchError",
-           "result_to_dict", "result_from_dict",
+           "CheckpointWriteError", "result_to_dict", "result_from_dict",
            "read_checkpoint_progress"]
 
 CHECKPOINT_SCHEMA_NAME = "repro.campaign-checkpoint"
@@ -63,6 +63,14 @@ CHECKPOINT_SCHEMA = f"{CHECKPOINT_SCHEMA_NAME}/v1"
 
 class CheckpointMismatchError(ArtifactValidationError):
     """The checkpoint on disk belongs to a different campaign."""
+
+
+class CheckpointWriteError(ArtifactError):
+    """A checkpoint flush failed at the filesystem (disk full, I/O
+    error).  Typed (CLI exit 4, runner exit 1 with a parked diagnostic)
+    because a campaign that cannot bank its progress must stop loudly —
+    the previous complete checkpoint is still on disk (atomic replace),
+    so a later ``--resume`` loses at most the un-flushed chunk."""
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, object]:
@@ -264,9 +272,22 @@ class CampaignCheckpoint:
         A crash at any point leaves either the previous complete
         checkpoint or the new complete checkpoint on disk — never a
         torn file — and the embedded payload digest lets :meth:`load`
-        *detect* any later corruption of the bytes.
+        *detect* any later corruption of the bytes.  A filesystem
+        failure (including the ``checkpoint-save`` fs-chaos point)
+        surfaces as a typed :class:`CheckpointWriteError`, never a raw
+        ``OSError`` traceback.
         """
-        ARTIFACTS.save(self.path, CHECKPOINT_SCHEMA_NAME, self)
+        from ..testing.chaos import fs_chaos, fs_fault
+
+        try:
+            fault = fs_chaos("checkpoint-save")
+            if fault is not None:
+                raise fs_fault(fault, "checkpoint-save")
+            ARTIFACTS.save(self.path, CHECKPOINT_SCHEMA_NAME, self)
+        except OSError as exc:
+            raise CheckpointWriteError(
+                f"cannot flush checkpoint: {exc.strerror or exc}",
+                source=self.path, schema=CHECKPOINT_SCHEMA) from exc
 
 
 def read_checkpoint_progress(path: "Path | str",

@@ -1,0 +1,295 @@
+"""Crash-safe spool GC and journal compaction (DESIGN §15).
+
+The two invariants under test: live-reachable evidence is never
+collected, and a ``kill -9`` at any unlink boundary (the ``gc-sweep``
+chaos point) leaves a spool from which a plain re-run converges to the
+same end state as an uninterrupted sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import CorruptArtifactError
+from repro.io.artifact import ARTIFACTS
+from repro.service import (CampaignSpec, JobRecord, JobResult, JobStore,
+                           RetentionPolicy, ServiceError, ServiceJournal,
+                           compact_journal, plan_gc, read_service_journal,
+                           run_gc)
+from repro.testing.chaos import SERVICE_CHAOS_DIR_ENV, SERVICE_CHAOS_ENV
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def spec(seed: int) -> CampaignSpec:
+    return CampaignSpec(policy="nominal", hours=8.0, seed=seed,
+                        chunk_hours=2.0)
+
+
+def example_result() -> JobResult:
+    return ARTIFACTS.get("repro.job-result").example()
+
+
+def add_done_job(store: JobStore, seed: int, *, tenant: str = "acme",
+                 with_result: bool = True,
+                 with_checkpoint: bool = False) -> JobRecord:
+    record = JobRecord.new(spec(seed), tenant=tenant, priority="normal",
+                           submit_seq=seed)
+    record = record.advanced("done")
+    store.save_job(record)
+    if with_result:
+        store.save_result(JobResult(spec_digest=record.spec_digest,
+                                    job_id=record.job_id,
+                                    result=example_result().result))
+    if with_checkpoint:
+        store.checkpoint_path(record.job_id).write_text("resume bytes")
+    return record
+
+
+def add_live_job(store: JobStore, seed: int, *,
+                 tenant: str = "acme") -> JobRecord:
+    record = JobRecord.new(spec(seed), tenant=tenant, priority="normal",
+                           submit_seq=seed)
+    store.save_job(record)
+    store.beat(record.job_id, 1)
+    return record
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "spool")
+
+
+class TestRetention:
+    def test_keep_last_per_tenant(self, store):
+        records = [add_done_job(store, seed) for seed in range(12)]
+        report = run_gc(store.root, RetentionPolicy(keep_last=8))
+        assert report.jobs_collected == 4 and report.jobs_retained == 8
+        survivors = {p.stem for p in store.iter_job_paths()}
+        # Newest eight by submit_seq survive; the four oldest go.
+        assert survivors == {r.job_id for r in records[4:]}
+        # Without an age bound the result cache is untouched.
+        assert len(store.iter_result_paths()) == 12
+
+    def test_tenants_ranked_independently(self, store):
+        for seed in range(4):
+            add_done_job(store, seed, tenant="acme")
+        for seed in range(4, 10):
+            add_done_job(store, seed, tenant="initech")
+        report = run_gc(store.root, RetentionPolicy(keep_last=3))
+        assert report.jobs_collected == (4 - 3) + (6 - 3)
+        tenants = [store.load_job(p.stem).tenant
+                   for p in store.iter_job_paths()]
+        assert tenants.count("acme") == 3
+        assert tenants.count("initech") == 3
+
+    def test_live_jobs_never_collected(self, store):
+        live = add_live_job(store, 1)
+        leased = JobRecord.new(spec(2), tenant="acme", priority="normal",
+                               submit_seq=2)
+        store.save_job(leased.advanced("running", attempts=1))
+        # The most aggressive policy conceivable, with everything "old".
+        for path in store.iter_job_paths():
+            os.utime(path, (0, 0))
+        report = run_gc(store.root,
+                        RetentionPolicy(keep_last=0, max_age_s=0.0),
+                        now=10.0 ** 10)
+        assert report.jobs_collected == 0 and report.live_jobs == 2
+        assert store.has_job(live.job_id)
+        assert store.read_beat(live.job_id) == 1
+
+    def test_age_bound_collects_old_terminals_and_results(self, store):
+        old = add_done_job(store, 1)
+        fresh = add_done_job(store, 2)
+        for path in (store.job_path(old.job_id),
+                     store.result_path(old.spec_digest)):
+            os.utime(path, (1000.0, 1000.0))
+        policy = RetentionPolicy(keep_last=99, max_age_s=3600.0)
+        report = run_gc(store.root, policy, now=1000.0 + 7200.0)
+        assert report.jobs_collected == 1
+        assert report.results_collected == 1
+        assert not store.has_job(old.job_id)
+        assert store.has_job(fresh.job_id)
+        assert store.has_result(fresh.spec_digest)
+
+    def test_retained_jobs_keep_their_results(self, store):
+        record = add_done_job(store, 1)
+        os.utime(store.result_path(record.spec_digest), (1000.0, 1000.0))
+        report = run_gc(store.root,
+                        RetentionPolicy(keep_last=8, max_age_s=3600.0),
+                        now=10.0 ** 9)
+        # The result is ancient, but its record is retained: phase 2
+        # only collects results no surviving record references.
+        assert report.results_collected == 0
+        assert store.has_result(record.spec_digest)
+
+    def test_collected_jobs_lose_scratch_and_checkpoints(self, store):
+        record = add_done_job(store, 1, with_checkpoint=True)
+        store.beat(record.job_id, 5)
+        store.write_job_error(record.job_id, "old diagnostic")
+        report = run_gc(store.root, RetentionPolicy(keep_last=0))
+        assert report.jobs_collected == 1
+        assert report.checkpoints_collected == 1
+        assert report.scratch_collected == 2
+        assert report.bytes_reclaimed > 0
+        assert not store.checkpoint_path(record.job_id).exists()
+        assert store.read_beat(record.job_id) is None
+
+    def test_dry_run_touches_nothing(self, store):
+        for seed in range(3):
+            add_done_job(store, seed, with_checkpoint=True)
+        before = sorted(str(p) for p in store.root.rglob("*"))
+        report = run_gc(store.root, RetentionPolicy(keep_last=0),
+                        dry_run=True)
+        assert report.dry_run and report.jobs_collected == 3
+        assert report.checkpoints_collected == 3
+        assert sorted(str(p) for p in store.root.rglob("*")) == before
+
+    def test_corrupt_record_is_fsck_territory(self, store):
+        record = add_done_job(store, 1)
+        path = store.job_path(record.job_id)
+        path.write_text(path.read_text().replace("done", "d0ne"))
+        report = run_gc(store.root, RetentionPolicy(keep_last=0))
+        assert report.jobs_collected == 0
+        assert path.exists()  # GC never deletes what it cannot verify
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="keep_last"):
+            RetentionPolicy(keep_last=-1)
+        with pytest.raises(ValueError, match="max_age_s"):
+            RetentionPolicy(max_age_s=-0.5)
+
+    def test_refuses_live_daemon(self, store):
+        store.endpoint_path.write_text(json.dumps(
+            {"url": "http://127.0.0.1:1", "pid": os.getpid()}))
+        with pytest.raises(ServiceError, match="refusing to collect"):
+            run_gc(store.root, RetentionPolicy())
+
+    def test_sweep_lands_audit_entry(self, store):
+        add_done_job(store, 1)
+        with ServiceJournal.open(store.journal_path) as journal:
+            journal.emit("service.started", {"epoch": "e1"})
+        run_gc(store.root, RetentionPolicy(keep_last=0))
+        records, _ = read_service_journal(store.journal_path)
+        assert records[-1].kind == "service.gc"
+        assert records[-1].data["jobs_collected"] == 1
+
+
+class TestCompaction:
+    def fill_journal(self, store, n=6) -> bytes:
+        with ServiceJournal.open(store.journal_path) as journal:
+            journal.emit("service.started", {"epoch": "e1"})
+            for index in range(n - 1):
+                journal.emit("job.submitted",
+                             {"job_id": f"j-{index:016x}"})
+        return store.journal_path.read_bytes()
+
+    def test_archive_then_fresh_chain(self, store):
+        original = self.fill_journal(store)
+        _, old_head = read_service_journal(store.journal_path)
+        archive = compact_journal(store)
+        assert archive.name == "service-journal.0000.jsonl"
+        # Byte-for-byte: the old chain stays verifiable end-to-end.
+        assert archive.read_bytes() == original
+        records, _ = read_service_journal(store.journal_path)
+        assert [r.kind for r in records] == ["service.compacted"]
+        assert records[0].data == {
+            "archive": archive.name, "entries": 6, "head": old_head}
+
+    def test_archives_accumulate_and_chain_resumes(self, store):
+        self.fill_journal(store, n=3)
+        compact_journal(store)
+        with ServiceJournal.open(store.journal_path,
+                                 resume=True) as journal:
+            journal.emit("service.started", {"epoch": "e2"})
+        second = compact_journal(store)
+        assert second.name == "service-journal.0001.jsonl"
+        records, _ = read_service_journal(store.journal_path)
+        assert records[0].data["entries"] == 2
+
+    def test_nothing_to_compact(self, store):
+        assert compact_journal(store) is None
+
+    def test_refuses_damaged_journal(self, store):
+        raw = self.fill_journal(store)
+        store.journal_path.write_bytes(raw[:-10])
+        with pytest.raises(CorruptArtifactError):
+            compact_journal(store)
+        # The torn journal is untouched — fsck first, then compact.
+        assert store.journal_path.read_bytes() == raw[:-10]
+
+    def test_run_gc_compact_flag(self, store):
+        add_done_job(store, 1)
+        self.fill_journal(store, n=2)
+        report = run_gc(store.root, RetentionPolicy(), compact=True)
+        assert report.journal_compacted
+        assert report.journal_archive.endswith("0000.jsonl")
+
+
+def build_collectible_spool(root: Path) -> JobStore:
+    """A deterministic spool where keep_last=0 collects everything:
+    four done jobs, each with scratch and a checkpoint."""
+    store = JobStore(root)
+    for seed in range(4):
+        record = add_done_job(store, seed, with_checkpoint=True)
+        store.beat(record.job_id, seed)
+    return store
+
+
+def surviving_files(store: JobStore) -> list:
+    return sorted(str(p.relative_to(store.root))
+                  for p in store.root.rglob("*") if p.is_file())
+
+
+@pytest.mark.diskfault
+class TestCrashSafety:
+    def gc_cli(self, spool: Path, *, env=None) -> subprocess.CompletedProcess:
+        cmd = [sys.executable, "-m", "repro", "gc", "--spool", str(spool),
+               "--keep-last", "0"]
+        full_env = dict(os.environ, PYTHONPATH=SRC)
+        full_env.update(env or {})
+        return subprocess.run(cmd, env=full_env, capture_output=True,
+                              text=True, timeout=60)
+
+    def test_sigkill_mid_sweep_then_rerun_converges(self, tmp_path):
+        store = build_collectible_spool(tmp_path / "spool")
+        twin = build_collectible_spool(tmp_path / "twin")
+
+        chaos_dir = tmp_path / "chaos"
+        chaos_dir.mkdir()
+        killed = self.gc_cli(store.root, env={
+            SERVICE_CHAOS_ENV: "kill@gc-sweep#3",
+            SERVICE_CHAOS_DIR_ENV: str(chaos_dir),
+        })
+        assert killed.returncode == -signal.SIGKILL
+
+        # Invariant at the crash point: every surviving record still
+        # loads, and no done record has lost its result.
+        for path in store.iter_job_paths():
+            record = store.load_job(path.stem)
+            if record.state == "done":
+                assert store.has_result(record.spec_digest)
+
+        # A plain re-run (no chaos) finishes the sweep...
+        rerun = self.gc_cli(store.root)
+        assert rerun.returncode == 0, rerun.stderr
+        # ...and converges to exactly the uninterrupted end state.
+        clean = self.gc_cli(twin.root)
+        assert clean.returncode == 0, clean.stderr
+        assert surviving_files(store) == surviving_files(twin)
+        assert store.iter_job_paths() == []
+
+    def test_interrupted_sweep_is_idempotent_in_process(self, store):
+        build_collectible_spool(store.root)
+        first = run_gc(store.root, RetentionPolicy(keep_last=0))
+        assert first.jobs_collected == 4
+        second = run_gc(store.root, RetentionPolicy(keep_last=0))
+        assert second.jobs_collected == 0
+        assert second.bytes_reclaimed == 0

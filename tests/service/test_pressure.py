@@ -1,0 +1,216 @@
+"""The disk-pressure degradation ladder (DESIGN §15).
+
+Watchdog unit tests use an injectable probe; service-level tests drive
+:class:`CampaignService` with a synthetic probe and tick the
+supervisor by hand — no daemon, no real disk filling.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.service import (CampaignService, CampaignSpec, DiskPressureError,
+                           JobRecord, Lease, ServiceJournal,
+                           read_service_journal)
+from repro.service.pressure import (DEFAULT_CRITICAL_FREE_BYTES,
+                                    DEFAULT_LOW_FREE_BYTES,
+                                    FREE_OVERRIDE_ENV, PRESSURE_MODES,
+                                    DiskPressureWatchdog)
+
+MB = 1024 * 1024
+
+
+class FakeDisk:
+    def __init__(self, free: int):
+        self.free = free
+
+    def __call__(self) -> int:
+        return self.free
+
+
+def watchdog(disk: FakeDisk, **overrides) -> DiskPressureWatchdog:
+    kwargs = dict(low_free_bytes=128 * MB, critical_free_bytes=32 * MB,
+                  probe=disk)
+    kwargs.update(overrides)
+    return DiskPressureWatchdog("/nonexistent-root", **kwargs)
+
+
+class TestWatchdog:
+    def test_nominal_above_low_watermark(self):
+        disk = FakeDisk(500 * MB)
+        dog = watchdog(disk)
+        assert dog.poll() == "nominal"
+        assert dog.free_bytes == 500 * MB and dog.level == 0
+
+    def test_escalation_is_immediate(self):
+        disk = FakeDisk(500 * MB)
+        dog = watchdog(disk)
+        disk.free = 100 * MB
+        assert dog.poll() == "cautious" and dog.level == 1
+        disk.free = 10 * MB
+        assert dog.poll() == "minimal" and dog.level == 2
+
+    def test_sudden_fill_skips_straight_to_minimal(self):
+        disk = FakeDisk(500 * MB)
+        dog = watchdog(disk)
+        assert dog.poll() == "nominal"
+        disk.free = 1 * MB
+        assert dog.poll() == "minimal"
+
+    def test_recovery_is_hysteretic(self):
+        disk = FakeDisk(100 * MB)
+        dog = watchdog(disk)
+        assert dog.poll() == "cautious"
+        # Back above the watermark — but not by the hysteresis margin.
+        disk.free = 140 * MB
+        assert dog.poll() == "cautious", "flapping around the threshold"
+        disk.free = int(128 * MB * 1.25) + 1
+        assert dog.poll() == "nominal"
+
+    def test_recovery_climbs_one_rung_per_poll(self):
+        disk = FakeDisk(1 * MB)
+        dog = watchdog(disk)
+        assert dog.poll() == "minimal"
+        disk.free = 10_000 * MB  # disk freed all at once
+        assert dog.poll() == "cautious"
+        assert dog.poll() == "nominal"
+
+    def test_watermark_validation(self):
+        with pytest.raises(ValueError, match="must not exceed"):
+            watchdog(FakeDisk(0), low_free_bytes=1 * MB,
+                     critical_free_bytes=2 * MB)
+        with pytest.raises(ValueError, match=">= 0"):
+            watchdog(FakeDisk(0), low_free_bytes=-1)
+        with pytest.raises(ValueError, match="recover_factor"):
+            watchdog(FakeDisk(0), recover_factor=0.5)
+
+    def test_env_override_beats_statvfs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FREE_OVERRIDE_ENV, str(5 * MB))
+        dog = DiskPressureWatchdog(tmp_path,
+                                   low_free_bytes=128 * MB,
+                                   critical_free_bytes=32 * MB)
+        assert dog.poll() == "minimal"
+        assert dog.free_bytes == 5 * MB
+
+    def test_defaults_are_sane(self):
+        assert DEFAULT_CRITICAL_FREE_BYTES < DEFAULT_LOW_FREE_BYTES
+        assert PRESSURE_MODES == ("nominal", "cautious", "minimal")
+
+
+def spec_payload(**overrides) -> dict:
+    base = dict(policy="nominal", hours=8.0, seed=2020, chunk_hours=2.0)
+    base.update(overrides)
+    return base
+
+
+@pytest.fixture
+def disk():
+    return FakeDisk(500 * MB)
+
+
+@pytest.fixture
+def service(tmp_path, disk):
+    return CampaignService(tmp_path / "spool", queue_limit=4,
+                           disk_probe=disk)
+
+
+class TestAdmissionUnderPressure:
+    def test_submit_refused_with_typed_507(self, service, disk):
+        disk.free = 100 * MB
+        with pytest.raises(DiskPressureError) as excinfo:
+            service.submit(spec_payload())
+        error = excinfo.value
+        assert error.http_status == 507
+        assert error.kind == "disk-pressure"
+        assert error.retry_after_s > 0
+        # Nothing was persisted: the refusal wrote no durable state.
+        assert service.store.iter_job_paths() == []
+        assert service.scheduler.depth() == 0
+        assert service.metrics.counter(
+            "service.pressure_rejections").value == 1
+
+    def test_queries_still_served_under_pressure(self, service, disk):
+        record, _, _ = service.submit(spec_payload())
+        disk.free = 1 * MB
+        status = service.status()
+        assert status["pressure"]["mode"] == "minimal"
+        assert status["pressure"]["free_bytes"] == 1 * MB
+        assert service.job_status(
+            record.job_id)["job"]["state"] == "queued"
+
+    def test_submission_resumes_after_recovery(self, service, disk):
+        disk.free = 100 * MB
+        with pytest.raises(DiskPressureError):
+            service.submit(spec_payload())
+        disk.free = 500 * MB
+        record, created, _ = service.submit(spec_payload())
+        assert created and record.state == "queued"
+
+    def test_status_reports_the_ladder(self, service):
+        block = service.status()["pressure"]
+        assert block["mode"] == "nominal"
+        assert block["low_free_bytes"] == DEFAULT_LOW_FREE_BYTES
+        assert block["critical_free_bytes"] == DEFAULT_CRITICAL_FREE_BYTES
+
+
+class TestSupervisorDegradation:
+    def test_cautious_mode_stops_granting(self, service, disk):
+        service.submit(spec_payload())
+        disk.free = 100 * MB
+        service.supervisor.tick()
+        # The queued job stays queued: granting it would spend the
+        # remaining headroom on checkpoints.
+        assert service.supervisor._runners == {}
+        assert service.scheduler.depth() == 1
+        assert service.supervisor.pressure_mode == "cautious"
+
+    def test_transitions_journaled_and_gauged(self, service, disk):
+        service._journal = ServiceJournal.open(
+            service.store.journal_path)
+        disk.free = 100 * MB
+        service.supervisor.tick()
+        disk.free = 1 * MB
+        service.supervisor.tick()
+        service.supervisor.tick()  # steady state: no duplicate entry
+        service._journal.close()
+        records, _ = read_service_journal(service.store.journal_path)
+        transitions = [(r.data["previous"], r.data["mode"])
+                       for r in records if r.kind == "service.pressure"]
+        assert transitions == [("nominal", "cautious"),
+                               ("cautious", "minimal")]
+        assert service.metrics.counter(
+            "service.pressure_transitions").value == 2
+
+    def test_minimal_mode_drains_runners(self, service, disk):
+        spec = CampaignSpec(**spec_payload())
+        record = JobRecord.new(spec, tenant="acme", priority="normal",
+                               submit_seq=0)
+        lease = Lease(lease_id=1, epoch=service.epoch, pid=0, ttl_s=30.0)
+        record = record.advanced("leased", lease=lease,
+                                 attempts=1).advanced("running")
+        service.store.save_job(record)
+        proc = subprocess.Popen([
+            sys.executable, "-c",
+            "import signal, sys, time\n"
+            "signal.signal(signal.SIGTERM, lambda *a: sys.exit(130))\n"
+            "print('ready', flush=True)\n"
+            "time.sleep(60)\n"], stdout=subprocess.PIPE)
+        assert proc.stdout.readline().strip() == b"ready"
+        service.supervisor._runners[record.job_id] = proc
+        try:
+            disk.free = 1 * MB
+            service.supervisor.tick()  # enters minimal -> SIGTERM
+            assert proc.wait(timeout=30) == 130
+            service.supervisor.tick()  # reaps the graceful exit
+            parked = service.store.load_job(record.job_id)
+            assert parked.state == "queued" and parked.lease is None
+            assert service.supervisor._runners == {}
+            # Parked, not dropped: re-queued for the nominal future.
+            assert record.job_id in service.scheduler.queued_ids()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
